@@ -1,0 +1,98 @@
+//! The Jacobi relaxation kernel.
+
+/// Outcome of one sweep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SweepResult {
+    /// Largest absolute cell change in this sweep.
+    pub max_delta: f64,
+}
+
+/// One Jacobi sweep over the owned rows `1..=rows` of a `(rows+2) × cols`
+/// buffer (rows 0 and `rows+1` are halo). Writes into `dst`, reads `src`.
+/// Left/right edges use one-sided (insulated) neighborhoods.
+pub fn jacobi_sweep(src: &[f64], dst: &mut [f64], rows: usize, cols: usize) -> SweepResult {
+    assert_eq!(src.len(), (rows + 2) * cols, "src shape");
+    assert_eq!(dst.len(), (rows + 2) * cols, "dst shape");
+    let mut max_delta: f64 = 0.0;
+    for r in 1..=rows {
+        let base = r * cols;
+        for c in 0..cols {
+            let left = if c == 0 { src[base + c] } else { src[base + c - 1] };
+            let right = if c == cols - 1 {
+                src[base + c]
+            } else {
+                src[base + c + 1]
+            };
+            let up = src[base - cols + c];
+            let down = src[base + cols + c];
+            let new = 0.25 * (left + right + up + down);
+            max_delta = max_delta.max((new - src[base + c]).abs());
+            dst[base + c] = new;
+        }
+    }
+    SweepResult { max_delta }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(rows: usize, cols: usize, v: f64) -> Vec<f64> {
+        vec![v; (rows + 2) * cols]
+    }
+
+    #[test]
+    fn uniform_grid_is_fixed_point() {
+        let src = grid(4, 8, 3.5);
+        let mut dst = grid(4, 8, 0.0);
+        let r = jacobi_sweep(&src, &mut dst, 4, 8);
+        assert_eq!(r.max_delta, 0.0);
+        for c in 0..8 {
+            for row in 1..=4 {
+                assert_eq!(dst[row * 8 + c], 3.5);
+            }
+        }
+    }
+
+    #[test]
+    fn hot_halo_diffuses_in() {
+        let cols = 4;
+        let mut src = grid(2, cols, 0.0);
+        for c in 0..cols {
+            src[c] = 100.0; // hot upper halo
+        }
+        let mut dst = grid(2, cols, 0.0);
+        let r = jacobi_sweep(&src, &mut dst, 2, cols);
+        assert_eq!(r.max_delta, 25.0);
+        for c in 0..cols {
+            assert_eq!(dst[cols + c], 25.0, "first owned row heated");
+            assert_eq!(dst[2 * cols + c], 0.0, "second row untouched in one sweep");
+        }
+    }
+
+    #[test]
+    fn average_conserves_between_bounds() {
+        let cols = 3;
+        let mut src = grid(1, cols, 0.0);
+        for (i, x) in src.iter_mut().enumerate() {
+            *x = i as f64;
+        }
+        let mut dst = grid(1, cols, 0.0);
+        jacobi_sweep(&src, &mut dst, 1, cols);
+        let (min, max) = src.iter().fold((f64::MAX, f64::MIN), |(a, b), &x| {
+            (a.min(x), b.max(x))
+        });
+        for c in 0..cols {
+            let v = dst[cols + c];
+            assert!(v >= min && v <= max, "averaging stays within bounds");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "src shape")]
+    fn shape_mismatch_panics() {
+        let src = vec![0.0; 10];
+        let mut dst = vec![0.0; 12];
+        jacobi_sweep(&src, &mut dst, 2, 3);
+    }
+}

@@ -1,0 +1,23 @@
+//! The paper's two evaluation applications.
+//!
+//! * [`heatdis`] — the VeloC heat-distribution benchmark, "modified to use
+//!   Kokkos for parallelism control": a 2-D Jacobi stencil with row-block
+//!   decomposition and halo exchange, in a fixed-iteration variant and a
+//!   converge-until-threshold variant (for the partial-rollback
+//!   demonstration). Checkpoints contain only the primary grid — half of
+//!   the application's data, matching the paper's setup.
+//! * [`minimd`] — a faithful miniature of Sandia's MiniMD molecular
+//!   dynamics mini-app: FCC-lattice Lennard-Jones atoms, binned neighbor
+//!   lists, velocity-Verlet integration, slab decomposition with atom
+//!   exchange and ghost halos, instrumented into the paper's three phases
+//!   (Force Compute / Neighboring / Communicator), plus the view inventory
+//!   (checkpointed / alias / skipped) behind Figure 7.
+//!
+//! Both implement [`resilience::IterativeApp`], so they run unmodified under
+//! every strategy in the matrix.
+
+pub mod heatdis;
+pub mod minimd;
+
+pub use heatdis::Heatdis;
+pub use minimd::MiniMd;

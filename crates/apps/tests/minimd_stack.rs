@@ -1,0 +1,176 @@
+//! MiniMD over the full stack: physics sanity, recovery exactness, and the
+//! Figure 7 view-classification statistics.
+
+use std::sync::Arc;
+
+use apps::MiniMd;
+use cluster::{Cluster, ClusterConfig, RelaunchModel, TimeScale};
+use kokkos_resilience::{BackendKind, CheckpointFilter, Context, ContextConfig, ViewClass};
+use resilience::{run_experiment, Bookkeeper, ExperimentConfig, IterativeApp, Strategy};
+use simmpi::{FaultPlan, MpiResult, Profile, Universe, UniverseConfig};
+
+fn cluster(n: usize) -> Cluster {
+    let mut cfg = ClusterConfig::default();
+    cfg.nodes = n;
+    cfg.ranks_per_node = 1;
+    cfg.time_scale = TimeScale::instant();
+    cfg.relaunch = RelaunchModel::free();
+    Cluster::new(cfg)
+}
+
+fn cfg(strategy: Strategy, spares: usize) -> ExperimentConfig {
+    ExperimentConfig {
+        strategy,
+        spares,
+        checkpoints: 4,
+        max_relaunches: 4,
+        imr_policy: None,
+        fresh_storage: true,
+    }
+}
+
+const CELLS: [usize; 3] = [3, 3, 3];
+const ITERS: u64 = 20;
+
+#[test]
+fn minimd_runs_and_conserves_energy_roughly() {
+    // Total energy (pe + ke summed over ranks) must not blow up over a
+    // short NVE run — a strong end-to-end physics check.
+    use resilience::RankApp;
+    use simmpi::ReduceOp;
+
+    let c = cluster(2);
+    let report = Universe::launch(
+        &c,
+        UniverseConfig::default(),
+        Arc::new(FaultPlan::none()),
+        |ctx| {
+            let app = MiniMd::new(CELLS, 40);
+            let comm = ctx.world().clone();
+            let bk = Bookkeeper::new(Arc::new(Profile::new()));
+            let mut st = app.state_for(&comm);
+            let mut energies = Vec::new();
+            for i in 0..40u64 {
+                st.step(&comm, i, &bk)?;
+                let local =
+                    st.views().pe.read_uncaptured()[0] + st.views().ke.read_uncaptured()[0];
+                // ke is refreshed every thermo_every steps; sample there.
+                if (i % 10) == 0 {
+                    let total = comm.allreduce_scalar(local, ReduceOp::Sum)?;
+                    energies.push(total);
+                }
+            }
+            let e0 = energies[1];
+            let e1 = *energies.last().unwrap();
+            assert!(
+                (e1 - e0).abs() < 0.05 * e0.abs().max(1.0),
+                "energy drift too large: {e0} -> {e1}"
+            );
+            Ok(())
+        },
+    );
+    assert!(report.all_ok(), "{:?}", report.outcomes);
+}
+
+#[test]
+fn minimd_failure_free_equivalence() {
+    let reference = run_experiment(
+        &cluster(4),
+        &MiniMd::new(CELLS, ITERS),
+        &cfg(Strategy::Unprotected, 0),
+        Arc::new(FaultPlan::none()),
+    )
+    .digest;
+    for strategy in [Strategy::KokkosResilience, Strategy::FenixKokkosResilience] {
+        let (nodes, spares) = if strategy.uses_fenix() { (5, 1) } else { (4, 0) };
+        let rec = run_experiment(
+            &cluster(nodes),
+            &MiniMd::new(CELLS, ITERS),
+            &cfg(strategy, spares),
+            Arc::new(FaultPlan::none()),
+        );
+        assert_eq!(rec.digest, reference, "{strategy}");
+    }
+}
+
+#[test]
+fn minimd_recovery_is_bitwise_exact() {
+    let reference = run_experiment(
+        &cluster(4),
+        &MiniMd::new(CELLS, ITERS),
+        &cfg(Strategy::Unprotected, 0),
+        Arc::new(FaultPlan::none()),
+    )
+    .digest;
+    for strategy in [
+        Strategy::FenixKokkosResilience,
+        Strategy::FenixVeloc,
+        Strategy::FenixImr,
+    ] {
+        let rec = run_experiment(
+            &cluster(5),
+            &MiniMd::new(CELLS, ITERS),
+            &cfg(strategy, 1),
+            // Checkpoints at 4,9,14,19; die at 13 (~95% of 10..14).
+            Arc::new(FaultPlan::kill_at(2, "iter", 13)),
+        );
+        assert!(rec.repairs >= 1, "{strategy}");
+        assert_eq!(
+            rec.digest, reference,
+            "{strategy} trajectory diverged after recovery"
+        );
+    }
+}
+
+#[test]
+fn minimd_view_inventory_matches_paper_figure7() {
+    // The §VI.E statistics: 61 view objects — 39 checkpointed, 3 aliases,
+    // 19 skipped duplicates — with one view holding the bulk of the data.
+    let c = cluster(2);
+    let report = Universe::launch(
+        &c,
+        UniverseConfig::default(),
+        Arc::new(FaultPlan::none()),
+        |ctx| -> MpiResult<()> {
+            let app = MiniMd::new(CELLS, 4);
+            let comm = ctx.world().clone();
+            let bk = Bookkeeper::new(Arc::new(Profile::new()));
+            let mut st = app.init_rank(ctx, &comm);
+            let kr = Context::new(
+                ctx.cluster(),
+                comm.clone(),
+                ContextConfig {
+                    name: "fig7".into(),
+                    filter: CheckpointFilter::Never,
+                    backend: BackendKind::VelocSingle,
+                    aliases: app.alias_labels(),
+                },
+            );
+            kr.checkpoint("loop", 0, || st.step(&comm, 0, &bk))?;
+            let stats = kr.region_stats("loop").expect("region detected");
+
+            assert_eq!(stats.total_views(), 61, "total view objects");
+            assert_eq!(stats.count(ViewClass::Checkpointed), 39);
+            assert_eq!(stats.count(ViewClass::Alias), 3);
+            assert_eq!(stats.count(ViewClass::Skipped), 19);
+
+            // "A single view contains the majority of the data" — the
+            // largest checkpointed view dominates the checkpointed bytes.
+            let max_view = stats
+                .views
+                .iter()
+                .filter(|v| v.class == ViewClass::Checkpointed)
+                .map(|v| v.meta.bytes)
+                .max()
+                .unwrap();
+            assert!(
+                max_view as f64 > 0.3 * stats.bytes(ViewClass::Checkpointed) as f64,
+                "largest view should dominate"
+            );
+            // Skipped views represent real memory (duplicated big arrays).
+            assert!(stats.bytes(ViewClass::Skipped) > stats.bytes(ViewClass::Alias) / 2);
+            Ok(())
+        },
+    );
+    assert!(report.all_ok(), "{:?}", report.outcomes);
+}

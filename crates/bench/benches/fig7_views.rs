@@ -1,0 +1,75 @@
+//! Figure 7 benchmarks: the cost of automatic view detection,
+//! classification, and the checkpoint serialization it drives.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kokkos::capture::CaptureSession;
+use kokkos::View;
+
+fn capture_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_capture");
+    // Cost of accessing views with and without an active capture session —
+    // the overhead automatic detection adds to a region's first execution.
+    let views: Vec<View<f64>> = (0..61).map(|i| View::new_1d(format!("v{i}"), 64)).collect();
+    group.bench_function("access_61_views_uncaptured", |b| {
+        b.iter(|| {
+            for v in &views {
+                std::hint::black_box(v.read().len());
+            }
+        })
+    });
+    group.bench_function("access_61_views_captured", |b| {
+        b.iter(|| {
+            let s = CaptureSession::new();
+            s.record(|| {
+                for v in &views {
+                    std::hint::black_box(v.read().len());
+                }
+            });
+            std::hint::black_box(s.unique_views().len())
+        })
+    });
+    group.finish();
+}
+
+fn classification_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_classification");
+    for n_views in [16usize, 64, 256] {
+        let views: Vec<View<u64>> = (0..n_views)
+            .map(|i| View::new_1d(format!("v{i}"), 16))
+            .collect();
+        let dups: Vec<View<u64>> = views
+            .iter()
+            .step_by(3)
+            .map(|v| v.duplicate_handle(format!("{}@dup", v.label())))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("dedup", n_views), &n_views, |b, _| {
+            b.iter(|| {
+                let s = CaptureSession::new();
+                s.record(|| {
+                    for v in &views {
+                        let _ = v.read();
+                    }
+                    for d in &dups {
+                        let _ = d.read();
+                    }
+                });
+                std::hint::black_box(s.unique_views().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn snapshot_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_snapshot");
+    for kb in [64usize, 1024] {
+        let v: View<f64> = View::new_1d("big", kb * 128);
+        group.bench_with_input(BenchmarkId::new("snapshot_kb", kb), &kb, |b, _| {
+            b.iter(|| std::hint::black_box(v.snapshot_bytes().len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(fig7, capture_overhead, classification_scaling, snapshot_cost);
+criterion_main!(fig7);

@@ -1,0 +1,16 @@
+//! Criterion benchmark crate: one bench target per paper table/figure plus
+//! ablation studies. See `benches/`. The library itself only hosts shared
+//! helpers.
+
+use cluster::{Cluster, ClusterConfig, RelaunchModel, TimeScale};
+
+/// A small, instant-timescale cluster for microbenchmarks: modeled costs are
+/// accounted but not slept, so criterion measures algorithmic cost only.
+pub fn bench_cluster(nodes: usize) -> Cluster {
+    let mut cfg = ClusterConfig::default();
+    cfg.nodes = nodes;
+    cfg.ranks_per_node = 1;
+    cfg.time_scale = TimeScale::instant();
+    cfg.relaunch = RelaunchModel::free();
+    Cluster::new(cfg)
+}

@@ -1,0 +1,85 @@
+//! Job relaunch cost model.
+//!
+//! The paper measures `mpirun` with the bash `time` utility precisely because
+//! relaunch-based recovery pays costs *outside* the application: tearing down
+//! every process, rescheduling the job, and restarting MPI. Fenix-based
+//! recovery avoids all of this. The model charges a base cost plus a
+//! per-rank cost for each of teardown and startup; the harness sleeps the
+//! scaled sum whenever a non-Fenix strategy recovers from a failure, and
+//! books it under the paper's "Other" category.
+
+use std::time::Duration;
+
+/// Modeled cost of stopping and restarting an entire MPI job.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RelaunchModel {
+    /// Fixed cost of tearing the job down (signal propagation, cleanup).
+    pub teardown_base: Duration,
+    /// Additional teardown cost per rank.
+    pub teardown_per_rank: Duration,
+    /// Fixed cost of launching the job (scheduler, `mpirun` wireup).
+    pub startup_base: Duration,
+    /// Additional startup cost per rank.
+    pub startup_per_rank: Duration,
+}
+
+impl Default for RelaunchModel {
+    fn default() -> Self {
+        RelaunchModel {
+            teardown_base: Duration::from_millis(800),
+            teardown_per_rank: Duration::from_millis(30),
+            startup_base: Duration::from_millis(1500),
+            startup_per_rank: Duration::from_millis(60),
+        }
+    }
+}
+
+impl RelaunchModel {
+    /// Modeled teardown time for an `n`-rank job.
+    pub fn teardown(&self, ranks: usize) -> Duration {
+        self.teardown_base + self.teardown_per_rank * ranks as u32
+    }
+
+    /// Modeled startup time for an `n`-rank job.
+    pub fn startup(&self, ranks: usize) -> Duration {
+        self.startup_base + self.startup_per_rank * ranks as u32
+    }
+
+    /// Full relaunch = teardown + startup.
+    pub fn relaunch(&self, ranks: usize) -> Duration {
+        self.teardown(ranks) + self.startup(ranks)
+    }
+
+    /// A model with no cost (unit tests).
+    pub fn free() -> Self {
+        RelaunchModel {
+            teardown_base: Duration::ZERO,
+            teardown_per_rank: Duration::ZERO,
+            startup_base: Duration::ZERO,
+            startup_per_rank: Duration::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relaunch_is_teardown_plus_startup() {
+        let m = RelaunchModel::default();
+        assert_eq!(m.relaunch(10), m.teardown(10) + m.startup(10));
+    }
+
+    #[test]
+    fn costs_grow_with_ranks() {
+        let m = RelaunchModel::default();
+        assert!(m.startup(64) > m.startup(1));
+        assert!(m.teardown(64) > m.teardown(1));
+    }
+
+    #[test]
+    fn free_model_is_zero() {
+        assert_eq!(RelaunchModel::free().relaunch(100), Duration::ZERO);
+    }
+}

@@ -1,0 +1,357 @@
+//! Fenix In-Memory-Redundancy (IMR) data storage, buddy-rank policy.
+//!
+//! "The IMR policies benefit from process-level resiliency by storing
+//! checkpoint data in the memory of other ranks … ranks form pairs and store
+//! each other's checkpointed data. Local copies of checkpoints are also
+//! kept, increasing memory use in exchange for quick, local recovery on
+//! surviving ranks." (paper §V.A)
+//!
+//! The [`ImrStore`] is per-rank memory that *persists across Fenix
+//! re-entries* (it lives outside the run loop, like any application state a
+//! survivor keeps). A [`DataGroup`] binds the store to the current resilient
+//! communicator for collective store/restore operations.
+//!
+//! Costs: a store is a synchronous exchange with the buddy — its time grows
+//! linearly with checkpoint size but uses disjoint rank-to-rank links, so
+//! aggregate IMR bandwidth *scales with the number of ranks* while the
+//! parallel filesystem's does not. That contrast is the crossover the
+//! paper's Figure 5 shows.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use simmpi::{Comm, MpiError, MpiResult};
+
+/// Buddy assignment policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ImrPolicy {
+    /// Ranks pair up by XOR (0↔1, 2↔3, …). Requires an even communicator
+    /// size. This is the paper's "buddy rank policy".
+    Pair,
+    /// Each rank stores to its right neighbor and holds for its left
+    /// neighbor (works for any size ≥ 2).
+    Ring,
+}
+
+impl ImrPolicy {
+    /// The rank that will hold `rank`'s data.
+    pub fn holder_of(self, rank: usize, size: usize) -> usize {
+        match self {
+            ImrPolicy::Pair => rank ^ 1,
+            ImrPolicy::Ring => (rank + 1) % size,
+        }
+    }
+
+    /// The rank whose data `rank` holds.
+    pub fn source_of(self, rank: usize, size: usize) -> usize {
+        match self {
+            ImrPolicy::Pair => rank ^ 1,
+            ImrPolicy::Ring => (rank + size - 1) % size,
+        }
+    }
+
+    fn validate(self, size: usize) {
+        assert!(size >= 2, "IMR needs at least 2 ranks");
+        if self == ImrPolicy::Pair {
+            assert!(size % 2 == 0, "Pair policy requires an even rank count");
+        }
+    }
+}
+
+/// IMR errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ImrError {
+    /// Both a member's local copy and its buddy copy are gone (e.g. a whole
+    /// buddy pair failed) — IMR cannot recover this data.
+    DataLost { member: u32, rank: usize },
+    /// Communication failed mid-operation (recover via Fenix).
+    Mpi(MpiError),
+}
+
+impl From<MpiError> for ImrError {
+    fn from(e: MpiError) -> Self {
+        ImrError::Mpi(e)
+    }
+}
+
+impl std::fmt::Display for ImrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImrError::DataLost { member, rank } => {
+                write!(f, "IMR member {member} of rank {rank} unrecoverable")
+            }
+            ImrError::Mpi(e) => write!(f, "IMR communication failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ImrError {}
+
+#[derive(Clone, Debug)]
+struct Held {
+    owner: usize,
+    version: u64,
+    data: Bytes,
+}
+
+/// Per-rank IMR memory. Create it *outside* the Fenix run loop so survivor
+/// copies persist across repairs.
+#[derive(Default)]
+pub struct ImrStore {
+    /// member id → this rank's own latest committed data.
+    own: Mutex<HashMap<u32, (u64, Bytes)>>,
+    /// member id → the buddy data this rank holds.
+    held: Mutex<HashMap<u32, Held>>,
+}
+
+impl ImrStore {
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// This rank's latest committed copy of a member.
+    pub fn own(&self, member: u32) -> Option<(u64, Bytes)> {
+        self.own.lock().get(&member).cloned()
+    }
+
+    /// Latest committed version of a member, if any.
+    pub fn latest_version(&self, member: u32) -> Option<u64> {
+        self.own.lock().get(&member).map(|(v, _)| *v)
+    }
+
+    /// Total bytes resident (own + held) — IMR's memory-overhead figure.
+    pub fn resident_bytes(&self) -> usize {
+        let own: usize = self.own.lock().values().map(|(_, b)| b.len()).sum();
+        let held: usize = self.held.lock().values().map(|h| h.data.len()).sum();
+        own + held
+    }
+
+    /// Drop everything (a recovered rank starts empty anyway; tests).
+    pub fn clear(&self) {
+        self.own.lock().clear();
+        self.held.lock().clear();
+    }
+}
+
+const IMR_TAG_BASE: u64 = 0x0100_0000;
+
+/// A data group bound to the current resilient communicator.
+pub struct DataGroup<'a> {
+    comm: &'a Comm,
+    policy: ImrPolicy,
+    store: Arc<ImrStore>,
+}
+
+impl<'a> DataGroup<'a> {
+    pub fn new(store: Arc<ImrStore>, comm: &'a Comm, policy: ImrPolicy) -> Self {
+        policy.validate(comm.size());
+        DataGroup {
+            comm,
+            policy,
+            store,
+        }
+    }
+
+    pub fn policy(&self) -> ImrPolicy {
+        self.policy
+    }
+
+    fn tag(member: u32, leg: u64) -> u64 {
+        IMR_TAG_BASE | ((leg as u64) << 32) | member as u64
+    }
+
+    /// Collectively commit `data` as `member`'s checkpoint at `version`.
+    /// Every rank of the communicator must call with its own data: the local
+    /// copy is kept and a remote copy is exchanged with the buddy.
+    ///
+    /// The commit is two-phase (Fenix's `data_commit`): the exchange happens
+    /// first, then a fault-tolerant agreement decides — identically on every
+    /// survivor — whether the version is committed. A failure during the
+    /// store therefore leaves *every* rank on the previous committed
+    /// version, never a mix.
+    pub fn store(&self, member: u32, version: u64, data: Bytes) -> MpiResult<()> {
+        let me = self.comm.rank();
+        let n = self.comm.size();
+        let to = self.policy.holder_of(me, n);
+        let from = self.policy.source_of(me, n);
+
+        // Phase 1: exchange. My data goes to my holder; I receive my
+        // source's data. Nothing is committed yet.
+        let exchange = (|| -> MpiResult<Bytes> {
+            self.comm.send_bytes(to, Self::tag(member, 0), data.clone())?;
+            let (buddy_data, _) = self.comm.recv_bytes(Some(from), Self::tag(member, 0))?;
+            Ok(buddy_data)
+        })();
+        match &exchange {
+            Err(MpiError::Killed) => return Err(MpiError::Killed),
+            Err(MpiError::Aborted) => return Err(MpiError::Aborted),
+            _ => {}
+        }
+
+        // Phase 2: agree on commit. The agreement value is identical on all
+        // survivors, so either everyone commits or nobody does. The sequence
+        // number mixes in the member id so concurrent members cannot collide.
+        let seq = ((member as u64) << 48) | (version & 0xffff_ffff_ffff);
+        let outcome = self.comm.agree(seq, exchange.is_ok() as u64)?;
+        if outcome.flags & 1 == 1 && outcome.failed.is_empty() {
+            let buddy_data = exchange.expect("agreed flags imply local success");
+            self.store.own.lock().insert(member, (version, data));
+            self.store.held.lock().insert(
+                member,
+                Held {
+                    owner: from,
+                    version,
+                    data: buddy_data,
+                },
+            );
+            Ok(())
+        } else {
+            match exchange {
+                Err(e) => Err(e),
+                Ok(_) => Err(MpiError::ProcFailed {
+                    ranks: outcome.failed,
+                }),
+            }
+        }
+    }
+
+    /// Collectively restore `member` after a repair.
+    ///
+    /// `recovered` is the list of resilient-communicator ranks that were
+    /// just replaced by spares ([`crate::Fenix::recovered_ranks`]). Survivors
+    /// recover from their local copy instantly; each recovered rank receives
+    /// its lost data from the rank holding it, and redundancy is
+    /// re-established (the recovered rank also re-receives the data it is
+    /// supposed to hold for its source).
+    ///
+    /// Every rank of the communicator must call with the same `recovered`
+    /// list. Fails with [`ImrError::DataLost`] when a recovered rank's
+    /// holder was also replaced.
+    pub fn restore(&self, member: u32, recovered: &[usize]) -> Result<(u64, Bytes), ImrError> {
+        let me = self.comm.rank();
+        let n = self.comm.size();
+
+        // Feasibility check is deterministic — same verdict on every rank.
+        for &q in recovered {
+            let h = self.policy.holder_of(q, n);
+            if recovered.contains(&h) {
+                return Err(ImrError::DataLost { member, rank: q });
+            }
+        }
+
+        // Sends first (buffered), then receives: no ordering deadlock.
+        for &q in recovered {
+            let holder = self.policy.holder_of(q, n);
+            let source = self.policy.source_of(q, n);
+            if me == holder && me != q {
+                let held = self.store.held.lock().get(&member).cloned();
+                let held = held.ok_or(ImrError::DataLost { member, rank: q })?;
+                debug_assert_eq!(held.owner, q, "held data owner mismatch");
+                let mut payload = Vec::with_capacity(8 + held.data.len());
+                payload.extend_from_slice(&held.version.to_le_bytes());
+                payload.extend_from_slice(&held.data);
+                self.comm
+                    .send_bytes(q, Self::tag(member, 1), Bytes::from(payload))
+                    .map_err(ImrError::from)?;
+            }
+            if me == source && me != q {
+                // Re-establish the copy q holds for me.
+                let own = self.store.own.lock().get(&member).cloned();
+                if let Some((version, data)) = own {
+                    let mut payload = Vec::with_capacity(8 + data.len());
+                    payload.extend_from_slice(&version.to_le_bytes());
+                    payload.extend_from_slice(&data);
+                    self.comm
+                        .send_bytes(q, Self::tag(member, 2), Bytes::from(payload))
+                        .map_err(ImrError::from)?;
+                }
+            }
+        }
+
+        if recovered.contains(&me) {
+            let holder = self.policy.holder_of(me, n);
+            let (payload, _) = self
+                .comm
+                .recv_bytes(Some(holder), Self::tag(member, 1))
+                .map_err(ImrError::from)?;
+            let version = u64::from_le_bytes(payload[..8].try_into().expect("version header"));
+            let data = payload.slice(8..);
+            self.store
+                .own
+                .lock()
+                .insert(member, (version, data.clone()));
+
+            let source = self.policy.source_of(me, n);
+            let (payload, _) = self
+                .comm
+                .recv_bytes(Some(source), Self::tag(member, 2))
+                .map_err(ImrError::from)?;
+            let sversion = u64::from_le_bytes(payload[..8].try_into().expect("version header"));
+            self.store.held.lock().insert(
+                member,
+                Held {
+                    owner: source,
+                    version: sversion,
+                    data: payload.slice(8..),
+                },
+            );
+            return Ok((version, data));
+        }
+
+        // Survivor: local copy is authoritative (this is IMR's "quick, local
+        // recovery on surviving ranks").
+        self.store
+            .own
+            .lock()
+            .get(&member)
+            .cloned()
+            .ok_or(ImrError::DataLost { member, rank: me })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_policy_is_involutive() {
+        for n in [2usize, 4, 8] {
+            for r in 0..n {
+                let h = ImrPolicy::Pair.holder_of(r, n);
+                assert_eq!(ImrPolicy::Pair.holder_of(h, n), r);
+                assert_eq!(ImrPolicy::Pair.source_of(r, n), h);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_policy_covers_all_ranks() {
+        let n = 5;
+        let mut held_by: Vec<usize> = (0..n).map(|r| ImrPolicy::Ring.holder_of(r, n)).collect();
+        held_by.sort_unstable();
+        assert_eq!(held_by, (0..n).collect::<Vec<_>>());
+        for r in 0..n {
+            let h = ImrPolicy::Ring.holder_of(r, n);
+            assert_eq!(ImrPolicy::Ring.source_of(h, n), r);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn pair_rejects_odd_sizes() {
+        ImrPolicy::Pair.validate(3);
+    }
+
+    #[test]
+    fn store_tracks_versions_and_bytes() {
+        let s = ImrStore::new();
+        assert_eq!(s.latest_version(0), None);
+        s.own.lock().insert(0, (3, Bytes::from_static(b"abc")));
+        assert_eq!(s.latest_version(0), Some(3));
+        assert_eq!(s.resident_bytes(), 3);
+        s.clear();
+        assert_eq!(s.resident_bytes(), 0);
+    }
+}

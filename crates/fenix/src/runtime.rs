@@ -1,0 +1,392 @@
+//! The Fenix run loop: spare-rank management, repair, and role tracking.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{HashSet, VecDeque};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use simmpi::rendezvous::{purpose, RendezvousKey};
+use simmpi::router::Router;
+use simmpi::{Comm, MpiError, MpiResult};
+
+/// What a rank is, as seen by the application on (re-)entry — the rank
+/// states of the paper's Figure 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// First entry; no failure has been recovered yet.
+    Initial,
+    /// This rank was active when a failure occurred elsewhere; its memory
+    /// (including in-progress data) is intact.
+    Survivor,
+    /// This rank was a spare and has just been substituted for a failed
+    /// rank; it has no application state and must restore from a checkpoint.
+    Recovered,
+}
+
+/// What to do when a failure occurs and no spares remain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExhaustPolicy {
+    /// Abort the job (Fenix's default).
+    Abort,
+    /// Continue with a shrunk resilient communicator; rank ids are
+    /// reassigned and the application must cope (paper §IV: requires
+    /// updating cached rank ids in Kokkos Resilience and VeloC).
+    Shrink,
+}
+
+/// Fenix initialization options.
+#[derive(Clone, Copy, Debug)]
+pub struct FenixConfig {
+    /// Number of world ranks held out as spares (the highest ranks).
+    pub spares: usize,
+    pub on_exhaustion: ExhaustPolicy,
+}
+
+impl Default for FenixConfig {
+    fn default() -> Self {
+        FenixConfig {
+            spares: 1,
+            on_exhaustion: ExhaustPolicy::Abort,
+        }
+    }
+}
+
+/// Outcome of a completed [`run`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunSummary {
+    /// How many repairs this rank participated in.
+    pub repairs: u64,
+    /// Whether this rank ever executed the application body.
+    pub executed_body: bool,
+    /// The rank's final role (`None` if it remained an unused spare).
+    pub final_role: Option<Role>,
+}
+
+/// Information handed to recovery callbacks after a repair.
+#[derive(Clone, Debug)]
+pub struct RepairInfo {
+    /// Repairs completed so far (including this one).
+    pub repair_count: u64,
+    /// Global ranks known dead after this repair.
+    pub failed_global: Vec<usize>,
+    /// Resilient-communicator ranks replaced by spares in this repair.
+    pub recovered_ranks: Vec<usize>,
+    /// Size of the repaired resilient communicator.
+    pub resilient_size: usize,
+    /// Spares still available.
+    pub spares_remaining: usize,
+}
+
+/// A recovery callback (paper §IV: Fenix "runs any application callbacks
+/// before returning control to the application").
+pub type RecoveryCallback = Box<dyn FnMut(&RepairInfo) + Send>;
+
+/// Handle to the Fenix runtime state, passed to the application body.
+pub struct Fenix {
+    world: Comm,
+    config: FenixConfig,
+    repair_count: Cell<u64>,
+    /// Global ranks currently filling the resilient communicator's slots.
+    active_group: RefCell<Vec<usize>>,
+    /// Unconsumed spares, lowest first.
+    spare_pool: RefCell<VecDeque<usize>>,
+    /// Resilient-communicator ranks replaced in the most recent repair
+    /// (needed by IMR restore and partial-rollback logic).
+    last_recovered: RefCell<Vec<usize>>,
+    /// Failures already handled by earlier repairs. The rendezvous reports
+    /// the *full* dead history; only previously unseen failures (or explicit
+    /// repair votes) trigger another repair — otherwise a finalize after a
+    /// recovery would re-repair forever. Updated only from agreed rendezvous
+    /// outcomes, so it stays identical on every rank.
+    known_dead: RefCell<HashSet<usize>>,
+    /// Application recovery callbacks (`Fenix_Callback_register`), invoked
+    /// after every repair, before the body re-runs.
+    callbacks: RefCell<Vec<RecoveryCallback>>,
+}
+
+/// Repair-rendezvous contributions.
+const VOTE_FINALIZE: u8 = 0;
+const VOTE_REPAIR: u8 = 1;
+const VOTE_SPARE: u8 = 2;
+
+/// Base id for resilient communicators, shared by all ranks.
+const FENIX_COMM_SALT: u64 = 0xFE21;
+
+impl Fenix {
+    fn new(world: &Comm, config: FenixConfig) -> Self {
+        let n = world.size();
+        assert!(
+            config.spares < n,
+            "need at least one non-spare rank ({} spares of {} ranks)",
+            config.spares,
+            n
+        );
+        let n_active = n - config.spares;
+        Fenix {
+            world: world.clone(),
+            config,
+            repair_count: Cell::new(0),
+            active_group: RefCell::new((0..n_active).map(|r| world.global_of(r)).collect()),
+            spare_pool: RefCell::new((n_active..n).map(|r| world.global_of(r)).collect()),
+            last_recovered: RefCell::new(Vec::new()),
+            known_dead: RefCell::new(HashSet::new()),
+            callbacks: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Register a recovery callback (`Fenix_Callback_register`): invoked on
+    /// this rank after each repair completes, with the repair's facts,
+    /// before the application body re-runs. Callbacks persist across
+    /// repairs; registering the same logic twice runs it twice.
+    pub fn register_callback(&self, cb: RecoveryCallback) {
+        self.callbacks.borrow_mut().push(cb);
+    }
+
+    fn fire_callbacks(&self) {
+        let info = RepairInfo {
+            repair_count: self.repair_count.get(),
+            failed_global: {
+                let mut v: Vec<usize> = self.known_dead.borrow().iter().copied().collect();
+                v.sort_unstable();
+                v
+            },
+            recovered_ranks: self.last_recovered.borrow().clone(),
+            resilient_size: self.active_group.borrow().len(),
+            spares_remaining: self.spare_pool.borrow().len(),
+        };
+        for cb in self.callbacks.borrow_mut().iter_mut() {
+            cb(&info);
+        }
+    }
+
+    /// Number of repairs performed so far.
+    pub fn repair_count(&self) -> u64 {
+        self.repair_count.get()
+    }
+
+    /// Spares not yet consumed.
+    pub fn spares_remaining(&self) -> usize {
+        self.spare_pool.borrow().len()
+    }
+
+    /// Resilient-communicator ranks that were replaced by spares in the most
+    /// recent repair.
+    pub fn recovered_ranks(&self) -> Vec<usize> {
+        self.last_recovered.borrow().clone()
+    }
+
+    /// The size of the current resilient communicator.
+    pub fn resilient_size(&self) -> usize {
+        self.active_group.borrow().len()
+    }
+
+    fn router(&self) -> &Arc<Router> {
+        self.world.router()
+    }
+
+    fn build_resilient_comm(&self) -> Comm {
+        let id = Router::derive_comm_id(
+            self.world.id(),
+            FENIX_COMM_SALT.wrapping_add(self.repair_count.get()),
+        );
+        Comm::from_group(
+            Arc::clone(self.router()),
+            id,
+            0,
+            Arc::new(self.active_group.borrow().clone()),
+            self.world.my_global(),
+        )
+    }
+
+    fn is_active(&self) -> bool {
+        self.active_group
+            .borrow()
+            .contains(&self.world.my_global())
+    }
+
+    /// Join the repair rendezvous for the current epoch with a vote.
+    /// Returns `Ok(None)` for normal completion (finalize), or
+    /// `Ok(Some(dead))` when a repair must be applied.
+    fn repair_rendezvous(&self, vote: u8) -> MpiResult<Option<Vec<usize>>> {
+        let key = RendezvousKey {
+            comm: self.world.id(),
+            epoch: self.world.epoch(),
+            purpose: purpose::FENIX,
+            seq: self.repair_count.get(),
+        };
+        let outcome = self.router().rendezvous(
+            key,
+            self.world.my_global(),
+            self.world.group(),
+            Bytes::copy_from_slice(&[vote]),
+            |parts| {
+                let any_repair = parts
+                    .iter()
+                    .any(|(_, b)| b.first() == Some(&VOTE_REPAIR));
+                Bytes::copy_from_slice(&[if any_repair { VOTE_REPAIR } else { VOTE_FINALIZE }])
+            },
+        )?;
+        let repair_voted = outcome.value.first() == Some(&VOTE_REPAIR);
+        let any_new_dead = {
+            let known = self.known_dead.borrow();
+            outcome
+                .failures_observed
+                .iter()
+                .any(|r| !known.contains(r))
+        };
+        if repair_voted || any_new_dead {
+            Ok(Some(outcome.failures_observed))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Apply a repair given the agreed dead set (full history of dead global
+    /// ranks — deterministic and identical on every rank).
+    fn apply_repair(&self, dead: &[usize]) -> MpiResult<()> {
+        let old_id = Router::derive_comm_id(
+            self.world.id(),
+            FENIX_COMM_SALT.wrapping_add(self.repair_count.get()),
+        );
+
+        {
+            let mut spares = self.spare_pool.borrow_mut();
+            spares.retain(|g| !dead.contains(g));
+            let mut group = self.active_group.borrow_mut();
+            let mut recovered = Vec::new();
+            for slot in 0..group.len() {
+                if dead.contains(&group[slot]) {
+                    if let Some(spare) = spares.pop_front() {
+                        group[slot] = spare;
+                        recovered.push(slot);
+                    }
+                }
+            }
+            // Any slot still dead means spares ran out.
+            let exhausted = group.iter().any(|g| dead.contains(g));
+            if exhausted {
+                match self.config.on_exhaustion {
+                    ExhaustPolicy::Abort => {
+                        self.router().abort();
+                        return Err(MpiError::Aborted);
+                    }
+                    ExhaustPolicy::Shrink => {
+                        group.retain(|g| !dead.contains(g));
+                        // Rank ids shifted; recovered slots are stale.
+                        recovered.clear();
+                    }
+                }
+            }
+            *self.last_recovered.borrow_mut() = recovered;
+        }
+
+        self.known_dead.borrow_mut().extend(dead.iter().copied());
+        self.repair_count.set(self.repair_count.get() + 1);
+        // Stale traffic on the retired communicator must not accumulate.
+        self.router().purge_comm(old_id, 0);
+        Ok(())
+    }
+}
+
+/// Run an application body under Fenix process resilience — the equivalent
+/// of the paper's `Fenix_Init` … `Fenix_Finalize` bracket (Figure 2).
+///
+/// The world communicator is split into `world.size() - config.spares`
+/// active ranks (which execute `body` on a resilient communicator) and
+/// spares (which block inside this call until promoted or until the job
+/// completes). On a recoverable failure, `body` unwinds with the error,
+/// Fenix repairs the resilient communicator by substituting spares in place,
+/// and `body` re-runs with `Role::Survivor` / `Role::Recovered`.
+///
+/// `body` receives the [`Fenix`] handle, the current resilient communicator,
+/// and this rank's role. It must propagate MPI errors with `?` — swallowing
+/// them defeats failure detection.
+pub fn run<F>(world: &Comm, config: FenixConfig, mut body: F) -> MpiResult<RunSummary>
+where
+    F: FnMut(&Fenix, &Comm, Role) -> MpiResult<()>,
+{
+    let fenix = Fenix::new(world, config);
+    let mut role = Role::Initial;
+    let mut executed_body = false;
+    let mut final_role = None;
+
+    loop {
+        if fenix.is_active() {
+            let res_comm = fenix.build_resilient_comm();
+            executed_body = true;
+            final_role = Some(role);
+            match body(&fenix, &res_comm, role) {
+                Ok(()) => {
+                    // Normal completion: vote to finalize. A concurrent
+                    // failure turns this into a repair and the body re-runs
+                    // (its work loop finds nothing left to do and returns).
+                    match fenix.repair_rendezvous(VOTE_FINALIZE)? {
+                        None => {
+                            return Ok(RunSummary {
+                                repairs: fenix.repair_count(),
+                                executed_body,
+                                final_role,
+                            })
+                        }
+                        Some(dead) => {
+                            fenix.apply_repair(&dead)?;
+                            fenix.fire_callbacks();
+                            role = Role::Survivor;
+                        }
+                    }
+                }
+                Err(e) if e.is_recoverable() => {
+                    // The single control-flow exit point: propagate failure
+                    // knowledge (revoke), agree, repair, re-enter.
+                    let _ = &res_comm.revoke();
+                    match fenix.repair_rendezvous(VOTE_REPAIR)? {
+                        Some(dead) => {
+                            fenix.apply_repair(&dead)?;
+                            fenix.fire_callbacks();
+                            role = Role::Survivor;
+                        }
+                        None => unreachable!("a REPAIR vote cannot yield finalize"),
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        } else {
+            // Spare: park in the repair rendezvous. Wakes on failure (to be
+            // promoted or keep waiting) or on normal completion.
+            match fenix.repair_rendezvous(VOTE_SPARE)? {
+                None => {
+                    return Ok(RunSummary {
+                        repairs: fenix.repair_count(),
+                        executed_body,
+                        final_role,
+                    })
+                }
+                Some(dead) => {
+                    fenix.apply_repair(&dead)?;
+                    fenix.fire_callbacks();
+                    if fenix.is_active() {
+                        role = Role::Recovered;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_default_has_one_spare() {
+        let c = FenixConfig::default();
+        assert_eq!(c.spares, 1);
+        assert_eq!(c.on_exhaustion, ExhaustPolicy::Abort);
+    }
+
+    #[test]
+    fn roles_are_distinct() {
+        assert_ne!(Role::Initial, Role::Survivor);
+        assert_ne!(Role::Survivor, Role::Recovered);
+    }
+}

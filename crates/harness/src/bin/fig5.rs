@@ -1,0 +1,104 @@
+//! Figure 5: Heatdis overhead and recovery costs.
+//!
+//! Two panels, as in the paper:
+//! * `--panel data` — fixed rank count, per-rank data-size sweep
+//!   (the paper's "64-Node Data Scaling (MB)");
+//! * `--panel weak` — fixed per-rank data, rank-count sweep
+//!   (the paper's "1GB-Data Node Weak-Scaling");
+//! * `--panel partial` — the §VI.D.2 partial-rollback comparison.
+//!
+//! Options: `--quick` (smaller sweep), `--repeats N`, `--json PATH`.
+
+use std::path::PathBuf;
+
+use harness::experiments::{fig5_panel, partial_rollback_comparison, Fig5Config};
+use harness::table::{arg_flag, arg_value, print_breakdown_table, write_json};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let panel = arg_value(&args, "--panel").unwrap_or_else(|| "data".into());
+    let quick = arg_flag(&args, "--quick");
+    let repeats: usize = arg_value(&args, "--repeats")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if quick { 1 } else { 2 });
+
+    let mut cfg = Fig5Config::default();
+    cfg.repeats = repeats;
+    if quick {
+        cfg.iterations = 30;
+        cfg.cols = 256;
+    }
+
+    match panel.as_str() {
+        "data" => {
+            // Paper: 64 nodes, MB..GB per node. Scaled: 4 ranks, MB sizes
+            // (sized so a full sweep finishes in minutes on one core).
+            let ranks = 4;
+            let sizes: &[f64] = if quick {
+                &[2.0, 8.0]
+            } else {
+                &[2.0, 4.0, 8.0, 16.0]
+            };
+            let points: Vec<(String, f64, usize)> = sizes
+                .iter()
+                .map(|&mb| (format!("{mb} MB/rank"), mb, ranks))
+                .collect();
+            let results = fig5_panel(&cfg, &points);
+            print_breakdown_table(
+                &format!("Figure 5 (left): Heatdis data scaling at {ranks} ranks"),
+                &results,
+            );
+            if let Some(path) = arg_value(&args, "--json") {
+                write_json(&PathBuf::from(path), &results).expect("write json");
+            }
+        }
+        "weak" => {
+            // Paper: 1 GB/node across node counts. Scaled: 4 MB/rank.
+            let mb = 4.0;
+            let rank_counts: &[usize] = if quick { &[2, 4] } else { &[2, 4, 8] };
+            let points: Vec<(String, f64, usize)> = rank_counts
+                .iter()
+                .map(|&r| (format!("{r} ranks"), mb, r))
+                .collect();
+            let results = fig5_panel(&cfg, &points);
+            print_breakdown_table(
+                &format!("Figure 5 (right): Heatdis weak scaling at {mb} MB/rank"),
+                &results,
+            );
+            if let Some(path) = arg_value(&args, "--json") {
+                write_json(&PathBuf::from(path), &results).expect("write json");
+            }
+        }
+        "partial" => {
+            // Jacobi needs O(N²) sweeps: keep the global grid small enough
+            // (48×32) that the converging variant actually converges.
+            let r = partial_rollback_comparison(2 * 8 * 32 * 12, 32, 4, 1.0);
+            println!("== §VI.D.2: partial vs full rollback (converging Heatdis) ==");
+            println!("failure-free convergence: {} iterations", r.free_iterations);
+            println!(
+                "recovered runs resume at iteration {} (last checkpoint + 1)",
+                r.resume_iteration
+            );
+            println!(
+                "full rollback:    converged at {} — {} iterations of recovery work, wall {:.3}s",
+                r.full.iterations,
+                r.post_failure_iterations(&r.full),
+                r.full.wall.as_secs_f64(),
+            );
+            println!(
+                "partial rollback: converged at {} — {} iterations of recovery work, wall {:.3}s",
+                r.partial.iterations,
+                r.post_failure_iterations(&r.partial),
+                r.partial.wall.as_secs_f64(),
+            );
+            println!(
+                "recovery speedup from keeping survivor data: {:.2}x (paper: ~2x)",
+                r.recovery_speedup()
+            );
+        }
+        other => {
+            eprintln!("unknown panel '{other}': use data | weak | partial");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Figure 6: MiniMD resilience weak scaling.
+//!
+//! Runs MiniMD under the integrated framework (and the no-Fenix baseline)
+//! across rank counts, printing the phase breakdown — Force Compute /
+//! Neighboring / Communicator / Checkpoint Function / Data Recovery /
+//! Other — plus failure costs.
+//!
+//! Options: `--quick`, `--repeats N`, `--json PATH`.
+
+use std::path::PathBuf;
+
+use harness::experiments::fig6_weak_scaling;
+use harness::table::{arg_flag, arg_value, print_breakdown_table, write_json};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = arg_flag(&args, "--quick");
+    let repeats: usize = arg_value(&args, "--repeats")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if quick { 1 } else { 2 });
+
+    let rank_counts: &[usize] = if quick { &[2, 4] } else { &[2, 4, 8] };
+    let cells = [3, 3, 3];
+    let iterations = if quick { 20 } else { 40 };
+    // MiniMD aligns checkpoint intervals with neighbor rebuilds itself.
+    let checkpoints = 4;
+
+    let results = fig6_weak_scaling(rank_counts, cells, iterations, checkpoints, repeats, 1.0);
+    print_breakdown_table(
+        &format!(
+            "Figure 6: MiniMD weak scaling ({}x{}x{} cells/rank, {iterations} steps)",
+            cells[0], cells[1], cells[2]
+        ),
+        &results,
+    );
+    if let Some(path) = arg_value(&args, "--json") {
+        write_json(&PathBuf::from(path), &results).expect("write json");
+    }
+}

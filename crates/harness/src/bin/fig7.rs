@@ -1,0 +1,38 @@
+//! Figure 7: MiniMD view-memory classification.
+//!
+//! For each simulation size, runs automatic view detection over one MiniMD
+//! step and reports how many view objects (and what fraction of the view
+//! memory) are Checkpointed / Alias / Skipped — the paper's Figure 7 bars
+//! and the §VI.E counts (61 views: 39 checkpointed, 3 alias, 19 skipped).
+
+use harness::experiments::fig7_stats;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    // Paper sizes are 100^3..400^3 sites; scaled to unit cells per rank.
+    let sizes: &[usize] = if quick { &[2, 3] } else { &[2, 3, 4, 5] };
+
+    println!("== Figure 7: MiniMD view classification by simulation size ==\n");
+    println!(
+        "{:<26} {:>6} {:>22} {:>22} {:>22}",
+        "simulation size", "views", "checkpointed", "alias", "skipped"
+    );
+    for row in fig7_stats(sizes) {
+        let total_bytes =
+            (row.checkpointed.1 + row.alias.1 + row.skipped.1).max(1) as f64;
+        let fmt = |c: (usize, usize)| {
+            format!("{:>3} ({:>5.1}%)", c.0, 100.0 * c.1 as f64 / total_bytes)
+        };
+        println!(
+            "{:<26} {:>6} {:>22} {:>22} {:>22}",
+            row.label,
+            row.total_views,
+            fmt(row.checkpointed),
+            fmt(row.alias),
+            fmt(row.skipped)
+        );
+    }
+    println!("\npaper reference: 61 view objects — 39 checkpointed, 3 alias, 19 skipped;");
+    println!("alias+skipped fractions of memory shrink as the dominant data view grows.");
+}

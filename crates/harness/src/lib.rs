@@ -1,0 +1,27 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation section at laptop scale.
+//!
+//! Binaries (see `src/bin/`):
+//!
+//! * `fig5` — Heatdis overhead & recovery costs: data-scaling panel and
+//!   node weak-scaling panel (paper Figure 5), plus the partial-rollback
+//!   comparison (§VI.D.2).
+//! * `fig6` — MiniMD weak scaling with the phase breakdown (Figure 6).
+//! * `fig7` — MiniMD view-classification statistics (Figure 7).
+//! * `complexity` — the §VI.E complexity-of-use statistics, computed from
+//!   this repository's own sources.
+//!
+//! Every binary prints human-readable tables and, with `--json PATH`,
+//! writes machine-readable records. Absolute numbers are not expected to
+//! match the paper (a 100-node Cray is not simulated wall-for-wall); the
+//! *shape* — which strategy wins, how costs scale, where crossovers fall —
+//! is the reproduction target (see `EXPERIMENTS.md`).
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::{
+    fig5_panel, fig6_weak_scaling, fig7_stats, partial_rollback_comparison, ExperimentPoint,
+    Fig5Config, PairedRuns,
+};
+pub use table::{print_breakdown_table, write_json};

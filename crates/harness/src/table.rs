@@ -1,0 +1,111 @@
+//! Table rendering and JSON output.
+
+use std::io::Write;
+use std::path::Path;
+
+use crate::experiments::{ExperimentPoint, JsonRecord};
+
+/// Print the paper-style stacked-cost table for a set of points: one block
+/// per point, one column per strategy, rows = cost categories, followed by
+/// the failure-cost line.
+pub fn print_breakdown_table(title: &str, points: &[ExperimentPoint]) {
+    println!("== {title} ==");
+    for point in points {
+        println!("\n--- {} ({} active ranks) ---", point.label, point.active_ranks);
+        let strategies: Vec<&str> = point.pairs.iter().map(|p| p.strategy.label()).collect();
+        print!("{:<28}", "category / strategy");
+        for s in &strategies {
+            print!(" {s:>18}");
+        }
+        println!();
+
+        let categories: Vec<&'static str> = point.pairs[0]
+            .no_failure
+            .breakdown
+            .rows()
+            .iter()
+            .map(|(n, _)| *n)
+            .collect();
+        for (ci, cat) in categories.iter().enumerate() {
+            // Skip all-zero categories to keep tables readable.
+            let any = point.pairs.iter().any(|p| {
+                p.no_failure.breakdown.rows()[ci].1 > 1e-6
+                    || p.with_failure
+                        .as_ref()
+                        .map_or(false, |f| f.breakdown.rows()[ci].1 > 1e-6)
+            });
+            if !any {
+                continue;
+            }
+            print!("{cat:<28}");
+            for p in &point.pairs {
+                print!(" {:>18.4}", p.no_failure.breakdown.rows()[ci].1);
+            }
+            println!();
+        }
+        print!("{:<28}", "TOTAL wall (no failure)");
+        for p in &point.pairs {
+            print!(" {:>18.4}", p.no_failure.wall.as_secs_f64());
+        }
+        println!();
+        if point.pairs.iter().any(|p| p.with_failure.is_some()) {
+            print!("{:<28}", "TOTAL wall (with failure)");
+            for p in &point.pairs {
+                match &p.with_failure {
+                    Some(f) => print!(" {:>18.4}", f.wall.as_secs_f64()),
+                    None => print!(" {:>18}", "-"),
+                }
+            }
+            println!();
+            print!("{:<28}", "FAILURE COST");
+            for p in &point.pairs {
+                match p.failure_cost_secs() {
+                    Some(c) => print!(" {:>18.4}", c),
+                    None => print!(" {:>18}", "-"),
+                }
+            }
+            println!();
+            print!("{:<28}", "recovery (recomp+recov)");
+            for p in &point.pairs {
+                match &p.with_failure {
+                    Some(f) => print!(
+                        " {:>18.4}",
+                        f.breakdown.recompute.as_secs_f64()
+                            + f.breakdown.data_recovery.as_secs_f64()
+                    ),
+                    None => print!(" {:>18}", "-"),
+                }
+            }
+            println!();
+        }
+    }
+    println!();
+}
+
+/// Write flat JSON records for every run in `points`.
+pub fn write_json(path: &Path, points: &[ExperimentPoint]) -> std::io::Result<()> {
+    let mut records = Vec::new();
+    for point in points {
+        for pair in &point.pairs {
+            records.push(JsonRecord::from_record(&point.label, false, &pair.no_failure));
+            if let Some(f) = &pair.with_failure {
+                records.push(JsonRecord::from_record(&point.label, true, f));
+            }
+        }
+    }
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(serde_json::to_string_pretty(&records)?.as_bytes())?;
+    Ok(())
+}
+
+/// Pull a `--flag value` pair out of CLI args.
+pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Whether a bare `--flag` is present.
+pub fn arg_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}

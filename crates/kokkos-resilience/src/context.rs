@@ -1,0 +1,373 @@
+//! The resilience context: region detection, recovery, and backend driving.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use cluster::Cluster;
+use kokkos::capture::{CaptureSession, Checkpointable};
+use simmpi::{Comm, MpiResult, Phase, Profile};
+use veloc::Mode;
+
+use crate::backend::{DataBackend, VelocBackend};
+use crate::filter::CheckpointFilter;
+use crate::stats::{RegionStats, ViewClass, ViewStat};
+
+/// Which data backend the context drives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendKind {
+    /// VeloC in non-collective ("single") mode; the context performs the
+    /// best-version agreement itself. **This is the configuration the paper
+    /// adds** — the only one compatible with Fenix process recovery.
+    VelocSingle,
+    /// VeloC in collective mode (stock Kokkos Resilience behaviour); the
+    /// client owns the agreement. Incompatible with a changing process
+    /// pool.
+    VelocCollective,
+    /// A caller-supplied [`DataBackend`] (see [`Context::with_backend`]) —
+    /// the paper's future-work "backend tier", e.g. Fenix in-memory
+    /// redundancy.
+    Custom,
+}
+
+/// Which ranks restore data during recovery.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecoveryScope {
+    /// Every rank restores (full rollback — default).
+    All,
+    /// Only the listed communicator ranks restore; others keep their
+    /// in-progress data (the paper's partial-rollback extension, "restoring
+    /// at just one rank with VeloC").
+    OnlyRanks(Vec<usize>),
+}
+
+impl RecoveryScope {
+    fn includes(&self, rank: usize) -> bool {
+        match self {
+            RecoveryScope::All => true,
+            RecoveryScope::OnlyRanks(rs) => rs.contains(&rank),
+        }
+    }
+}
+
+/// Context construction options.
+#[derive(Clone, Debug)]
+pub struct ContextConfig {
+    /// Base name for checkpoint sets (combined with each region label).
+    pub name: String,
+    pub filter: CheckpointFilter,
+    pub backend: BackendKind,
+    /// View labels excluded from checkpointing as user-declared aliases.
+    pub aliases: Vec<String>,
+}
+
+impl Default for ContextConfig {
+    fn default() -> Self {
+        ContextConfig {
+            name: "kr".into(),
+            filter: CheckpointFilter::Always,
+            backend: BackendKind::VelocSingle,
+            aliases: Vec::new(),
+        }
+    }
+}
+
+/// What a `checkpoint` call did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CheckpointOutcome {
+    /// How many times the region closure ran (2 when a detection pass was
+    /// followed by a post-restore re-execution).
+    pub executions: u32,
+    /// Whether view data was restored from a checkpoint.
+    pub restored: bool,
+    /// Whether a checkpoint was taken after the region.
+    pub checkpointed: bool,
+}
+
+/// Per-region cached metadata (cleared by [`Context::reset`]).
+struct RegionMeta {
+    stats: RegionStats,
+    /// `(veloc region id, handle)` for each checkpointed view, in detection
+    /// order — identical on every rank because the region code is.
+    checkpointed: Vec<(u32, Arc<dyn Checkpointable>)>,
+}
+
+/// A per-rank Kokkos Resilience context (`KokkosResilience::make_context`).
+pub struct Context {
+    comm: RefCell<Comm>,
+    data: Box<dyn DataBackend>,
+    name: String,
+    filter: CheckpointFilter,
+    backend: BackendKind,
+    aliases: RefCell<HashSet<String>>,
+    regions: RefCell<HashMap<String, RegionMeta>>,
+    /// Best restartable version per label, agreed across the communicator.
+    agreed_latest: RefCell<HashMap<String, Option<u64>>>,
+    /// Labels whose next region execution must perform recovery.
+    pending_recovery: RefCell<HashSet<String>>,
+    scope: RefCell<RecoveryScope>,
+    /// Communicator ranks that lost their state in the last repair (needed
+    /// by peer-storage backends such as IMR to route surviving copies).
+    recovering_ranks: RefCell<Vec<usize>>,
+    profile: RefCell<Option<Arc<Profile>>>,
+}
+
+impl Context {
+    /// Create a context over `comm` (`make_context(res_comm)` in Figure 4).
+    pub fn new(cluster: &Cluster, comm: Comm, config: ContextConfig) -> Self {
+        let mode = match config.backend {
+            BackendKind::VelocSingle => Mode::Single,
+            BackendKind::VelocCollective => Mode::Collective,
+            BackendKind::Custom => {
+                panic!("BackendKind::Custom requires Context::with_backend")
+            }
+        };
+        let data = Box::new(VelocBackend::new(cluster, comm.my_global(), mode));
+        Self::assemble(comm, config, data)
+    }
+
+    /// Create a context over a caller-supplied data backend — the paper's
+    /// future-work backend tier (e.g. Fenix in-memory redundancy).
+    pub fn with_backend(comm: Comm, mut config: ContextConfig, data: Box<dyn DataBackend>) -> Self {
+        config.backend = BackendKind::Custom;
+        Self::assemble(comm, config, data)
+    }
+
+    fn assemble(comm: Comm, config: ContextConfig, data: Box<dyn DataBackend>) -> Self {
+        data.set_rank(comm.rank());
+        Context {
+            comm: RefCell::new(comm),
+            data,
+            name: config.name,
+            filter: config.filter,
+            backend: config.backend,
+            aliases: RefCell::new(config.aliases.into_iter().collect()),
+            regions: RefCell::new(HashMap::new()),
+            agreed_latest: RefCell::new(HashMap::new()),
+            pending_recovery: RefCell::new(HashSet::new()),
+            scope: RefCell::new(RecoveryScope::All),
+            recovering_ranks: RefCell::new(Vec::new()),
+            profile: RefCell::new(None),
+        }
+    }
+
+    /// Attach a profile; checkpoint and recovery costs are booked to it.
+    pub fn set_profile(&self, profile: Arc<Profile>) {
+        *self.profile.borrow_mut() = Some(profile);
+    }
+
+    fn book<T>(&self, phase: Phase, f: impl FnOnce() -> T) -> T {
+        let profile = self.profile.borrow().clone();
+        match profile {
+            Some(p) => p.time(phase, f),
+            None => f(),
+        }
+    }
+
+    pub fn backend(&self) -> BackendKind {
+        self.backend
+    }
+
+    pub fn comm_rank(&self) -> usize {
+        self.comm.borrow().rank()
+    }
+
+    /// **Paper extension:** reset the context after a Fenix repair.
+    ///
+    /// Replaces the communicator, clears the checkpoint-metadata cache ("a
+    /// checkpoint finished locally may not have finished globally"), and
+    /// updates the cached rank id in the context and in VeloC.
+    pub fn reset(&self, new_comm: Comm) {
+        self.book(Phase::ResilienceInit, || {
+            self.data.clear();
+            self.data.set_rank(new_comm.rank());
+            *self.comm.borrow_mut() = new_comm;
+            self.regions.borrow_mut().clear();
+            self.agreed_latest.borrow_mut().clear();
+            self.pending_recovery.borrow_mut().clear();
+            *self.scope.borrow_mut() = RecoveryScope::All;
+            self.recovering_ranks.borrow_mut().clear();
+        });
+    }
+
+    /// Tell peer-storage backends which communicator ranks lost their
+    /// state in the last repair (typically `Fenix::recovered_ranks`).
+    pub fn set_recovering_ranks(&self, ranks: Vec<usize>) {
+        *self.recovering_ranks.borrow_mut() = ranks;
+    }
+
+    /// Declare a view label as an alias (not checkpointed).
+    pub fn mark_alias(&self, view_label: impl Into<String>) {
+        self.aliases.borrow_mut().insert(view_label.into());
+    }
+
+    /// Limit which ranks restore on the next recovery (partial rollback).
+    pub fn set_recovery_scope(&self, scope: RecoveryScope) {
+        *self.scope.borrow_mut() = scope;
+    }
+
+    fn qualified(&self, label: &str) -> String {
+        format!("{}.{}", self.name, label)
+    }
+
+    /// Best restartable version of a region across the communicator.
+    ///
+    /// Collective: every rank of the communicator must call it. In
+    /// `VelocSingle` mode this performs the paper's **manual reduction**
+    /// (min over each rank's locally newest version); in `VelocCollective`
+    /// mode VeloC itself agrees. A `Some` result arms recovery: the next
+    /// `checkpoint` call for this label restores the data.
+    pub fn latest_version(&self, label: &str) -> MpiResult<Option<u64>> {
+        let name = self.qualified(label);
+        let comm = self.comm.borrow();
+        let agreed = self.data.latest_agreed(&comm, &name)?;
+        self.agreed_latest
+            .borrow_mut()
+            .insert(label.to_owned(), agreed);
+        if agreed.is_some() {
+            self.pending_recovery.borrow_mut().insert(label.to_owned());
+        }
+        Ok(agreed)
+    }
+
+    /// Classification statistics for a detected region (Figure 7).
+    pub fn region_stats(&self, label: &str) -> Option<RegionStats> {
+        self.regions.borrow().get(label).map(|m| m.stats.clone())
+    }
+
+    /// Bytes a checkpoint of this region serializes.
+    pub fn checkpoint_bytes(&self, label: &str) -> usize {
+        self.regions
+            .borrow()
+            .get(label)
+            .map(|m| m.stats.bytes(ViewClass::Checkpointed))
+            .unwrap_or(0)
+    }
+
+    /// Block until outstanding asynchronous flushes complete.
+    pub fn checkpoint_wait(&self) {
+        self.data.wait();
+    }
+
+    fn detect(&self, label: &str, session: &CaptureSession) {
+        let aliases = self.aliases.borrow();
+        let mut stats = RegionStats::default();
+        let mut checkpointed = Vec::new();
+        let mut seen_allocs = HashSet::new();
+        let mut next_id = 0u32;
+        for rec in session.unique_views() {
+            let class = if aliases.contains(&rec.meta.label) {
+                ViewClass::Alias
+            } else if !seen_allocs.insert(rec.meta.alloc_id) {
+                ViewClass::Skipped
+            } else {
+                checkpointed.push((next_id, Arc::clone(&rec.handle)));
+                next_id += 1;
+                ViewClass::Checkpointed
+            };
+            stats.views.push(ViewStat {
+                meta: rec.meta,
+                class,
+            });
+        }
+        self.regions
+            .borrow_mut()
+            .insert(label.to_owned(), RegionMeta {
+                stats,
+                checkpointed,
+            });
+    }
+
+    /// Execute a checkpoint region (`KokkosResilience::checkpoint` of
+    /// Figure 4).
+    ///
+    /// On the first execution after context creation or reset, the region's
+    /// views are detected by running `body` under a capture session; if a
+    /// prior [`Context::latest_version`] call found a restartable version,
+    /// the views are then restored (subject to the [`RecoveryScope`]) and
+    /// `body` re-executes on the restored data. Every rank therefore runs
+    /// `body` the same number of times, keeping collective operations
+    /// matched. Finally, the configured filter decides whether this
+    /// iteration ends with a checkpoint of the detected views.
+    pub fn checkpoint<F>(
+        &self,
+        label: &str,
+        iteration: u64,
+        mut body: F,
+    ) -> MpiResult<CheckpointOutcome>
+    where
+        F: FnMut() -> MpiResult<()>,
+    {
+        let first = !self.regions.borrow().contains_key(label);
+        let mut executions = 0u32;
+
+        if first {
+            let session = CaptureSession::new();
+            let result = session.record(&mut body);
+            result?;
+            executions += 1;
+            self.detect(label, &session);
+        }
+
+        let pending = self.pending_recovery.borrow_mut().remove(label);
+        let mut restored = false;
+        if pending {
+            let version = self
+                .agreed_latest
+                .borrow()
+                .get(label)
+                .copied()
+                .flatten()
+                .expect("pending recovery implies an agreed version");
+            if self.scope.borrow().includes(self.comm.borrow().rank()) {
+                let name = self.qualified(label);
+                let regions = self.regions.borrow();
+                let meta = regions.get(label).expect("region detected before restore");
+                let comm = self.comm.borrow();
+                let recovering = self.recovering_ranks.borrow().clone();
+                self.book(Phase::DataRecovery, || {
+                    self.data
+                        .restore(&comm, &name, version, &meta.checkpointed, &recovering)
+                })?;
+                restored = true;
+            }
+            // All ranks re-execute on (possibly) restored data so that
+            // collective operations inside the region stay matched.
+            body()?;
+            executions += 1;
+        } else if !first {
+            body()?;
+            executions += 1;
+        }
+
+        let mut checkpointed = false;
+        if self.filter.should_checkpoint(iteration) {
+            let name = self.qualified(label);
+            let regions = self.regions.borrow();
+            let meta = regions.get(label).expect("region detected before checkpoint");
+            let comm = self.comm.borrow();
+            self.book(Phase::CheckpointFn, || {
+                self.data
+                    .checkpoint(&comm, &name, iteration, &meta.checkpointed)
+            })?;
+            checkpointed = true;
+        }
+
+        Ok(CheckpointOutcome {
+            executions,
+            restored,
+            checkpointed,
+        })
+    }
+}
+
+impl std::fmt::Debug for Context {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Context")
+            .field("name", &self.name)
+            .field("backend", &self.backend)
+            .field("rank", &self.comm_rank())
+            .field("regions", &self.regions.borrow().len())
+            .finish()
+    }
+}

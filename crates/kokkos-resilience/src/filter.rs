@@ -1,0 +1,73 @@
+//! Checkpoint-interval filters ("checkpoint at user-configured intervals").
+
+/// Decides, per region execution, whether to take a checkpoint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckpointFilter {
+    /// Never checkpoint (reference configurations).
+    Never,
+    /// Checkpoint when `iteration % n == n - 1` (i.e. after every `n`-th
+    /// execution, counting from 0).
+    EveryN(u64),
+    /// Checkpoint after every execution.
+    Always,
+}
+
+impl CheckpointFilter {
+    /// Should iteration `iteration` end with a checkpoint?
+    pub fn should_checkpoint(&self, iteration: u64) -> bool {
+        match self {
+            CheckpointFilter::Never => false,
+            CheckpointFilter::EveryN(n) => {
+                debug_assert!(*n > 0, "EveryN(0) is meaningless");
+                *n > 0 && iteration % n == n - 1
+            }
+            CheckpointFilter::Always => true,
+        }
+    }
+
+    /// The filter that produces exactly `count` checkpoints over
+    /// `iterations` iterations (the paper's Heatdis setup takes 6
+    /// checkpoints per run regardless of length).
+    pub fn for_total(iterations: u64, count: u64) -> Self {
+        if count == 0 || iterations == 0 {
+            CheckpointFilter::Never
+        } else {
+            CheckpointFilter::EveryN((iterations / count).max(1))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_n_fires_at_period_end() {
+        let f = CheckpointFilter::EveryN(5);
+        let fired: Vec<u64> = (0..20).filter(|&i| f.should_checkpoint(i)).collect();
+        assert_eq!(fired, vec![4, 9, 14, 19]);
+    }
+
+    #[test]
+    fn never_and_always() {
+        assert!(!CheckpointFilter::Never.should_checkpoint(0));
+        assert!(CheckpointFilter::Always.should_checkpoint(0));
+        assert!(CheckpointFilter::Always.should_checkpoint(7));
+    }
+
+    #[test]
+    fn for_total_produces_requested_count() {
+        let f = CheckpointFilter::for_total(60, 6);
+        let fired = (0..60).filter(|&i| f.should_checkpoint(i)).count();
+        assert_eq!(fired, 6);
+    }
+
+    #[test]
+    fn for_total_degenerate_cases() {
+        assert_eq!(CheckpointFilter::for_total(10, 0), CheckpointFilter::Never);
+        assert_eq!(CheckpointFilter::for_total(0, 5), CheckpointFilter::Never);
+        // More checkpoints than iterations: every iteration.
+        let f = CheckpointFilter::for_total(3, 10);
+        assert_eq!((0..3).filter(|&i| f.should_checkpoint(i)).count(), 3);
+    }
+}

@@ -1,0 +1,261 @@
+//! Parallel execution patterns (`parallel_for`, `parallel_reduce`).
+//!
+//! Two execution policies are offered. `Serial` is the default: experiment
+//! universes already run one OS thread per MPI rank, so intra-rank
+//! parallelism would oversubscribe the machine and add noise to the paper's
+//! timing reproductions. `Rayon` dispatches onto the global rayon pool for
+//! single-rank/standalone use of the library.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// How a parallel pattern executes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecPolicy {
+    /// Plain loop on the calling thread.
+    Serial,
+    /// Work-stealing on the global rayon pool.
+    Rayon,
+}
+
+static DEFAULT_POLICY: AtomicU8 = AtomicU8::new(0);
+
+/// Set the process-wide default policy.
+pub fn set_default_policy(p: ExecPolicy) {
+    DEFAULT_POLICY.store(p as u8, Ordering::Relaxed);
+}
+
+/// The current process-wide default policy.
+pub fn default_policy() -> ExecPolicy {
+    match DEFAULT_POLICY.load(Ordering::Relaxed) {
+        1 => ExecPolicy::Rayon,
+        _ => ExecPolicy::Serial,
+    }
+}
+
+/// `for i in 0..n { f(i) }`, possibly in parallel.
+pub fn parallel_for(n: usize, f: impl Fn(usize) + Sync + Send) {
+    parallel_for_with(default_policy(), n, f)
+}
+
+/// `parallel_for` with an explicit policy.
+pub fn parallel_for_with(policy: ExecPolicy, n: usize, f: impl Fn(usize) + Sync + Send) {
+    match policy {
+        ExecPolicy::Serial => {
+            for i in 0..n {
+                f(i);
+            }
+        }
+        ExecPolicy::Rayon => {
+            use rayon::prelude::*;
+            (0..n).into_par_iter().for_each(f);
+        }
+    }
+}
+
+/// Map-reduce over `0..n`: combines `map(i)` values with `combine`,
+/// starting from `identity`.
+pub fn parallel_reduce<A>(
+    n: usize,
+    identity: A,
+    map: impl Fn(usize) -> A + Sync + Send,
+    combine: impl Fn(A, A) -> A + Sync + Send,
+) -> A
+where
+    A: Send + Sync + Clone,
+{
+    parallel_reduce_with(default_policy(), n, identity, map, combine)
+}
+
+/// `parallel_reduce` with an explicit policy.
+pub fn parallel_reduce_with<A>(
+    policy: ExecPolicy,
+    n: usize,
+    identity: A,
+    map: impl Fn(usize) -> A + Sync + Send,
+    combine: impl Fn(A, A) -> A + Sync + Send,
+) -> A
+where
+    A: Send + Sync + Clone,
+{
+    match policy {
+        ExecPolicy::Serial => {
+            let mut acc = identity;
+            for i in 0..n {
+                acc = combine(acc, map(i));
+            }
+            acc
+        }
+        ExecPolicy::Rayon => {
+            use rayon::prelude::*;
+            (0..n)
+                .into_par_iter()
+                .map(map)
+                .reduce(|| identity.clone(), combine)
+        }
+    }
+}
+
+/// 2-D iteration (Kokkos `MDRangePolicy<Rank<2>>`): `f(i, j)` over
+/// `0..ni × 0..nj`, row-major.
+pub fn parallel_for_2d(ni: usize, nj: usize, f: impl Fn(usize, usize) + Sync + Send) {
+    parallel_for_2d_with(default_policy(), ni, nj, f)
+}
+
+/// `parallel_for_2d` with an explicit policy (parallelized over rows).
+pub fn parallel_for_2d_with(
+    policy: ExecPolicy,
+    ni: usize,
+    nj: usize,
+    f: impl Fn(usize, usize) + Sync + Send,
+) {
+    parallel_for_with(policy, ni, |i| {
+        for j in 0..nj {
+            f(i, j);
+        }
+    })
+}
+
+/// Exclusive prefix scan (Kokkos `parallel_scan`): `out[i]` receives the
+/// sum of `values[..i]`; returns the grand total. The parallel version is
+/// the standard two-pass chunked scan.
+pub fn parallel_scan_exclusive(values: &[u64], out: &mut [u64]) -> u64 {
+    parallel_scan_exclusive_with(default_policy(), values, out)
+}
+
+/// `parallel_scan_exclusive` with an explicit policy.
+pub fn parallel_scan_exclusive_with(
+    policy: ExecPolicy,
+    values: &[u64],
+    out: &mut [u64],
+) -> u64 {
+    assert_eq!(values.len(), out.len(), "scan buffer size mismatch");
+    let n = values.len();
+    if n == 0 {
+        return 0;
+    }
+    match policy {
+        ExecPolicy::Serial => {
+            let mut acc = 0u64;
+            for i in 0..n {
+                out[i] = acc;
+                acc = acc.wrapping_add(values[i]);
+            }
+            acc
+        }
+        ExecPolicy::Rayon => {
+            use rayon::prelude::*;
+            let chunk = n.div_ceil(rayon::current_num_threads().max(1)).max(1);
+            // Pass 1: per-chunk sums.
+            let sums: Vec<u64> = values
+                .par_chunks(chunk)
+                .map(|c| c.iter().fold(0u64, |a, &x| a.wrapping_add(x)))
+                .collect();
+            // Chunk offsets (few chunks: serial).
+            let mut offsets = Vec::with_capacity(sums.len());
+            let mut acc = 0u64;
+            for &s in &sums {
+                offsets.push(acc);
+                acc = acc.wrapping_add(s);
+            }
+            // Pass 2: scan within each chunk from its offset.
+            out.par_chunks_mut(chunk)
+                .zip(values.par_chunks(chunk))
+                .zip(offsets.par_iter())
+                .for_each(|((o, v), &base)| {
+                    let mut a = base;
+                    for (oi, &vi) in o.iter_mut().zip(v) {
+                        *oi = a;
+                        a = a.wrapping_add(vi);
+                    }
+                });
+            acc
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn serial_for_visits_all_indices() {
+        let sum = AtomicU64::new(0);
+        parallel_for_with(ExecPolicy::Serial, 100, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4950);
+    }
+
+    #[test]
+    fn rayon_for_visits_all_indices() {
+        let sum = AtomicU64::new(0);
+        parallel_for_with(ExecPolicy::Rayon, 100, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4950);
+    }
+
+    #[test]
+    fn reduce_matches_between_policies() {
+        let serial = parallel_reduce_with(ExecPolicy::Serial, 1000, 0u64, |i| i as u64, |a, b| a + b);
+        let rayon = parallel_reduce_with(ExecPolicy::Rayon, 1000, 0u64, |i| i as u64, |a, b| a + b);
+        assert_eq!(serial, rayon);
+        assert_eq!(serial, 499_500);
+    }
+
+    #[test]
+    fn reduce_max() {
+        let m = parallel_reduce_with(
+            ExecPolicy::Serial,
+            10,
+            f64::NEG_INFINITY,
+            |i| (i as f64 - 5.0).abs(),
+            f64::max,
+        );
+        assert_eq!(m, 5.0);
+    }
+
+    #[test]
+    fn zero_length_is_identity() {
+        let v = parallel_reduce_with(ExecPolicy::Rayon, 0, 42u64, |_| 0, |a, b| a + b);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn for_2d_covers_grid() {
+        let hits = AtomicU64::new(0);
+        parallel_for_2d_with(ExecPolicy::Rayon, 7, 5, |i, j| {
+            hits.fetch_add((i * 5 + j) as u64 + 1, Ordering::Relaxed);
+        });
+        // Sum of 1..=35.
+        assert_eq!(hits.load(Ordering::Relaxed), 630);
+    }
+
+    #[test]
+    fn scan_matches_serial_reference() {
+        let values: Vec<u64> = (0..1000).map(|i| (i * 7 + 3) % 23).collect();
+        let mut serial = vec![0u64; values.len()];
+        let mut par = vec![0u64; values.len()];
+        let t1 = parallel_scan_exclusive_with(ExecPolicy::Serial, &values, &mut serial);
+        let t2 = parallel_scan_exclusive_with(ExecPolicy::Rayon, &values, &mut par);
+        assert_eq!(t1, t2);
+        assert_eq!(serial, par);
+        assert_eq!(serial[0], 0);
+        assert_eq!(serial[1], values[0]);
+    }
+
+    #[test]
+    fn scan_empty_is_zero() {
+        let mut out = [];
+        assert_eq!(parallel_scan_exclusive(&[], &mut out), 0);
+    }
+
+    #[test]
+    fn default_policy_roundtrip() {
+        assert_eq!(default_policy(), ExecPolicy::Serial);
+        set_default_policy(ExecPolicy::Rayon);
+        assert_eq!(default_policy(), ExecPolicy::Rayon);
+        set_default_policy(ExecPolicy::Serial);
+    }
+}

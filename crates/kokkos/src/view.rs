@@ -1,0 +1,370 @@
+//! Labelled, reference-counted, shape-aware data views.
+//!
+//! A [`View`] is the unit of application data the resilience layers reason
+//! about. Like a Kokkos view it has a human-readable label, up to three
+//! dimensions, and shared ownership of its allocation: cloning a `View`
+//! yields another handle to the *same* view object, while
+//! [`View::duplicate_handle`] creates a *distinct view object over the same
+//! allocation* — the situation Kokkos Resilience must detect to avoid
+//! checkpointing one buffer twice (the "skipped" views in the paper's
+//! Figure 7).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use simmpi::pod::{self, Pod};
+
+use crate::capture;
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_id() -> u64 {
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Identity and shape of a view, carried into capture records and
+/// checkpoint metadata.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ViewMeta {
+    /// Unique per view *object*.
+    pub view_id: u64,
+    /// Shared by every view object over the same allocation.
+    pub alloc_id: u64,
+    pub label: String,
+    /// Extents; unused trailing dimensions are 1.
+    pub extents: [usize; 3],
+    /// Number of meaningful dimensions (1..=3).
+    pub rank: usize,
+    /// Size of the allocation in bytes.
+    pub bytes: usize,
+}
+
+impl ViewMeta {
+    pub fn len(&self) -> usize {
+        self.extents.iter().product()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+struct Storage<T> {
+    data: RwLock<Vec<T>>,
+}
+
+struct Inner<T: Pod> {
+    meta: ViewMeta,
+    storage: Arc<Storage<T>>,
+}
+
+/// A labelled, shared, shape-aware array of POD elements.
+///
+/// `clone()` produces another handle to the same view object (same
+/// `view_id`); use [`View::duplicate_handle`] for a new view object over the
+/// same data.
+pub struct View<T: Pod> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T: Pod> Clone for View<T> {
+    fn clone(&self) -> Self {
+        View {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: Pod + Default> View<T> {
+    /// A zero-initialized 1-D view.
+    pub fn new_1d(label: impl Into<String>, n: usize) -> Self {
+        Self::with_extents(label, [n, 1, 1], 1)
+    }
+
+    /// A zero-initialized 2-D view (row-major: index `i * ny + j`).
+    pub fn new_2d(label: impl Into<String>, nx: usize, ny: usize) -> Self {
+        Self::with_extents(label, [nx, ny, 1], 2)
+    }
+
+    /// A zero-initialized 3-D view (index `(i * ny + j) * nz + k`).
+    pub fn new_3d(label: impl Into<String>, nx: usize, ny: usize, nz: usize) -> Self {
+        Self::with_extents(label, [nx, ny, nz], 3)
+    }
+
+    fn with_extents(label: impl Into<String>, extents: [usize; 3], rank: usize) -> Self {
+        let len: usize = extents.iter().product();
+        Self::from_vec_extents(label, vec![T::default(); len], extents, rank)
+    }
+}
+
+impl<T: Pod> View<T> {
+    /// Wrap an existing vector as a 1-D view.
+    pub fn from_vec(label: impl Into<String>, data: Vec<T>) -> Self {
+        let n = data.len();
+        Self::from_vec_extents(label, data, [n, 1, 1], 1)
+    }
+
+    fn from_vec_extents(
+        label: impl Into<String>,
+        data: Vec<T>,
+        extents: [usize; 3],
+        rank: usize,
+    ) -> Self {
+        assert_eq!(
+            data.len(),
+            extents.iter().product::<usize>(),
+            "data length must match extents"
+        );
+        let alloc_id = fresh_id();
+        let bytes = std::mem::size_of::<T>() * data.len();
+        View {
+            inner: Arc::new(Inner {
+                meta: ViewMeta {
+                    view_id: fresh_id(),
+                    alloc_id,
+                    label: label.into(),
+                    extents,
+                    rank,
+                    bytes,
+                },
+                storage: Arc::new(Storage {
+                    data: RwLock::new(data),
+                }),
+            }),
+        }
+    }
+
+    /// A new view *object* (fresh `view_id`, same `alloc_id`) over this
+    /// view's allocation — the stand-in for a Kokkos view copied into
+    /// another lambda or struct.
+    pub fn duplicate_handle(&self, label: impl Into<String>) -> Self {
+        let mut meta = self.inner.meta.clone();
+        meta.view_id = fresh_id();
+        meta.label = label.into();
+        View {
+            inner: Arc::new(Inner {
+                meta,
+                storage: Arc::clone(&self.inner.storage),
+            }),
+        }
+    }
+
+    pub fn meta(&self) -> &ViewMeta {
+        &self.inner.meta
+    }
+
+    pub fn label(&self) -> &str {
+        &self.inner.meta.label
+    }
+
+    pub fn view_id(&self) -> u64 {
+        self.inner.meta.view_id
+    }
+
+    pub fn alloc_id(&self) -> u64 {
+        self.inner.meta.alloc_id
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.meta.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn extent(&self, dim: usize) -> usize {
+        self.inner.meta.extents[dim]
+    }
+
+    /// Size of the underlying allocation in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.inner.meta.bytes
+    }
+
+    /// Flat index for a 2-D view.
+    #[inline]
+    pub fn idx2(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.extent(0) && j < self.extent(1));
+        i * self.extent(1) + j
+    }
+
+    /// Flat index for a 3-D view.
+    #[inline]
+    pub fn idx3(&self, i: usize, j: usize, k: usize) -> usize {
+        debug_assert!(i < self.extent(0) && j < self.extent(1) && k < self.extent(2));
+        (i * self.extent(1) + j) * self.extent(2) + k
+    }
+
+    /// Lock the data for reading. If a capture session is active on this
+    /// thread, the access is recorded (read mode).
+    pub fn read(&self) -> parking_lot::RwLockReadGuard<'_, Vec<T>> {
+        capture::record_access(self, false);
+        self.inner.storage.data.read()
+    }
+
+    /// Lock the data for writing. If a capture session is active on this
+    /// thread, the access is recorded (write mode).
+    pub fn write(&self) -> parking_lot::RwLockWriteGuard<'_, Vec<T>> {
+        capture::record_access(self, true);
+        self.inner.storage.data.write()
+    }
+
+    /// Read access that bypasses capture recording (used by checkpoint
+    /// internals so snapshotting does not record itself).
+    pub fn read_uncaptured(&self) -> parking_lot::RwLockReadGuard<'_, Vec<T>> {
+        self.inner.storage.data.read()
+    }
+
+    /// Write access that bypasses capture recording.
+    pub fn write_uncaptured(&self) -> parking_lot::RwLockWriteGuard<'_, Vec<T>> {
+        self.inner.storage.data.write()
+    }
+
+    /// Serialize the current contents (no capture recording).
+    pub fn snapshot_bytes(&self) -> Bytes {
+        pod::to_bytes(&self.read_uncaptured())
+    }
+
+    /// Overwrite contents from serialized bytes (no capture recording).
+    /// Panics if the payload size does not match the allocation.
+    pub fn restore_bytes(&self, data: &[u8]) {
+        let mut guard = self.write_uncaptured();
+        pod::copy_from_bytes(&mut guard, data);
+    }
+
+    /// Fill with a value.
+    pub fn fill(&self, value: T) {
+        for x in self.write_uncaptured().iter_mut() {
+            *x = value;
+        }
+    }
+}
+
+impl<T: Pod> std::fmt::Debug for View<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("View")
+            .field("label", &self.label())
+            .field("extents", &self.inner.meta.extents)
+            .field("view_id", &self.view_id())
+            .field("alloc_id", &self.alloc_id())
+            .finish()
+    }
+}
+
+/// Copy `src`'s contents into `dst` (Kokkos `deep_copy`). Panics if lengths
+/// differ.
+pub fn deep_copy<T: Pod>(dst: &View<T>, src: &View<T>) {
+    if dst.alloc_id() == src.alloc_id() {
+        return; // same allocation: nothing to do
+    }
+    let s = src.read();
+    let mut d = dst.write();
+    assert_eq!(d.len(), s.len(), "deep_copy length mismatch");
+    d.copy_from_slice(&s);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_views_are_zeroed() {
+        let v: View<f64> = View::new_2d("t", 3, 4);
+        assert_eq!(v.len(), 12);
+        assert!(v.read().iter().all(|&x| x == 0.0));
+        assert_eq!(v.extent(0), 3);
+        assert_eq!(v.extent(1), 4);
+        assert_eq!(v.byte_len(), 12 * 8);
+    }
+
+    #[test]
+    fn clone_is_same_view_object() {
+        let v: View<u32> = View::new_1d("a", 4);
+        let c = v.clone();
+        assert_eq!(v.view_id(), c.view_id());
+        assert_eq!(v.alloc_id(), c.alloc_id());
+        c.write()[0] = 9;
+        assert_eq!(v.read()[0], 9);
+    }
+
+    #[test]
+    fn duplicate_handle_shares_data_not_identity() {
+        let v: View<u32> = View::new_1d("orig", 4);
+        let d = v.duplicate_handle("copy");
+        assert_ne!(v.view_id(), d.view_id());
+        assert_eq!(v.alloc_id(), d.alloc_id());
+        d.write()[2] = 5;
+        assert_eq!(v.read()[2], 5);
+    }
+
+    #[test]
+    fn idx2_row_major() {
+        let v: View<f64> = View::new_2d("g", 2, 3);
+        assert_eq!(v.idx2(0, 0), 0);
+        assert_eq!(v.idx2(0, 2), 2);
+        assert_eq!(v.idx2(1, 0), 3);
+        assert_eq!(v.idx2(1, 2), 5);
+    }
+
+    #[test]
+    fn idx3_layout() {
+        let v: View<f64> = View::new_3d("c", 2, 3, 4);
+        assert_eq!(v.idx3(0, 0, 0), 0);
+        assert_eq!(v.idx3(0, 0, 3), 3);
+        assert_eq!(v.idx3(0, 1, 0), 4);
+        assert_eq!(v.idx3(1, 0, 0), 12);
+        assert_eq!(v.idx3(1, 2, 3), 23);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let v: View<f64> = View::new_1d("x", 5);
+        {
+            let mut w = v.write();
+            for (i, x) in w.iter_mut().enumerate() {
+                *x = i as f64 * 1.5;
+            }
+        }
+        let snap = v.snapshot_bytes();
+        v.fill(0.0);
+        assert!(v.read().iter().all(|&x| x == 0.0));
+        v.restore_bytes(&snap);
+        for (i, &x) in v.read().iter().enumerate() {
+            assert_eq!(x, i as f64 * 1.5);
+        }
+    }
+
+    #[test]
+    fn deep_copy_copies() {
+        let a: View<u64> = View::from_vec("a", vec![1, 2, 3]);
+        let b: View<u64> = View::new_1d("b", 3);
+        deep_copy(&b, &a);
+        assert_eq!(*b.read(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn deep_copy_same_alloc_is_noop() {
+        let a: View<u64> = View::from_vec("a", vec![1, 2, 3]);
+        let d = a.duplicate_handle("dup");
+        deep_copy(&d, &a); // must not deadlock or panic
+        assert_eq!(*a.read(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn deep_copy_length_mismatch_panics() {
+        let a: View<u64> = View::new_1d("a", 3);
+        let b: View<u64> = View::new_1d("b", 4);
+        deep_copy(&b, &a);
+    }
+
+    #[test]
+    fn from_vec_preserves_contents() {
+        let v = View::from_vec("v", vec![9u8, 8, 7]);
+        assert_eq!(*v.read(), vec![9, 8, 7]);
+        assert_eq!(v.meta().rank, 1);
+    }
+}

@@ -1,0 +1,146 @@
+//! Phase booking with recompute rerouting.
+//!
+//! The paper separates "Recompute" — time spent re-executing iterations that
+//! had already been computed before a failure — from first-time compute.
+//! Applications book their phase times through a [`Bookkeeper`]; while
+//! recompute mode is on (the runner enables it for iterations at or below
+//! the globally reached progress mark), every booking is rerouted to
+//! [`Phase::Recompute`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use simmpi::{Phase, Profile};
+
+/// Per-rank phase booking façade.
+pub struct Bookkeeper {
+    profile: Arc<Profile>,
+    recompute: AtomicBool,
+    /// Encoded `Option<Phase>`: 0 = none, else `phase as u8 + 1`.
+    override_phase: std::sync::atomic::AtomicU8,
+}
+
+impl Bookkeeper {
+    pub fn new(profile: Arc<Profile>) -> Self {
+        Bookkeeper {
+            profile,
+            recompute: AtomicBool::new(false),
+            override_phase: std::sync::atomic::AtomicU8::new(0),
+        }
+    }
+
+    /// Reroute *all* bookings to one phase (e.g. `DataRecovery` while
+    /// rebuilding derived state after a restore). Pass `None` to clear.
+    pub fn set_phase_override(&self, phase: Option<Phase>) {
+        let encoded = phase.map_or(0, |p| p as u8 + 1);
+        self.override_phase.store(encoded, Ordering::Relaxed);
+    }
+
+    fn override_get(&self) -> Option<Phase> {
+        match self.override_phase.load(Ordering::Relaxed) {
+            0 => None,
+            n => Some(Phase::ALL[(n - 1) as usize]),
+        }
+    }
+
+    pub fn profile(&self) -> &Arc<Profile> {
+        &self.profile
+    }
+
+    /// Enable/disable recompute rerouting.
+    pub fn set_recompute(&self, on: bool) {
+        self.recompute.store(on, Ordering::Relaxed);
+    }
+
+    pub fn is_recompute(&self) -> bool {
+        self.recompute.load(Ordering::Relaxed)
+    }
+
+    fn route(&self, phase: Phase) -> Phase {
+        if let Some(p) = self.override_get() {
+            return p;
+        }
+        if self.is_recompute() {
+            match phase {
+                // Resilience overheads keep their identity even during
+                // recompute; only application work is rerouted.
+                Phase::CheckpointFn | Phase::DataRecovery | Phase::ResilienceInit => phase,
+                _ => Phase::Recompute,
+            }
+        } else {
+            phase
+        }
+    }
+
+    /// Time `f` and book it under `phase` (or `Recompute` when rerouting).
+    pub fn book<T>(&self, phase: Phase, f: impl FnOnce() -> T) -> T {
+        self.profile.time(self.route(phase), f)
+    }
+
+    /// Book an externally measured duration.
+    pub fn add(&self, phase: Phase, d: Duration) {
+        self.profile.add(self.route(phase), d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn books_to_named_phase_by_default() {
+        let bk = Bookkeeper::new(Arc::new(Profile::new()));
+        bk.add(Phase::AppCompute, Duration::from_millis(5));
+        assert_eq!(bk.profile().get(Phase::AppCompute), Duration::from_millis(5));
+        assert_eq!(bk.profile().get(Phase::Recompute), Duration::ZERO);
+    }
+
+    #[test]
+    fn recompute_mode_reroutes_app_phases() {
+        let bk = Bookkeeper::new(Arc::new(Profile::new()));
+        bk.set_recompute(true);
+        bk.add(Phase::AppCompute, Duration::from_millis(3));
+        bk.add(Phase::AppMpi, Duration::from_millis(2));
+        bk.add(Phase::ForceCompute, Duration::from_millis(1));
+        assert_eq!(bk.profile().get(Phase::Recompute), Duration::from_millis(6));
+        assert_eq!(bk.profile().get(Phase::AppCompute), Duration::ZERO);
+    }
+
+    #[test]
+    fn resilience_phases_keep_identity_during_recompute() {
+        let bk = Bookkeeper::new(Arc::new(Profile::new()));
+        bk.set_recompute(true);
+        bk.add(Phase::CheckpointFn, Duration::from_millis(4));
+        bk.add(Phase::DataRecovery, Duration::from_millis(2));
+        assert_eq!(bk.profile().get(Phase::CheckpointFn), Duration::from_millis(4));
+        assert_eq!(bk.profile().get(Phase::DataRecovery), Duration::from_millis(2));
+        assert_eq!(bk.profile().get(Phase::Recompute), Duration::ZERO);
+    }
+
+    #[test]
+    fn phase_override_reroutes_everything() {
+        let bk = Bookkeeper::new(Arc::new(Profile::new()));
+        bk.set_phase_override(Some(Phase::DataRecovery));
+        bk.add(Phase::AppCompute, Duration::from_millis(3));
+        bk.add(Phase::CheckpointFn, Duration::from_millis(2));
+        assert_eq!(
+            bk.profile().get(Phase::DataRecovery),
+            Duration::from_millis(5)
+        );
+        bk.set_phase_override(None);
+        bk.add(Phase::AppCompute, Duration::from_millis(1));
+        assert_eq!(bk.profile().get(Phase::AppCompute), Duration::from_millis(1));
+    }
+
+    #[test]
+    fn mode_toggles() {
+        let bk = Bookkeeper::new(Arc::new(Profile::new()));
+        assert!(!bk.is_recompute());
+        bk.set_recompute(true);
+        assert!(bk.is_recompute());
+        bk.set_recompute(false);
+        bk.add(Phase::AppCompute, Duration::from_millis(1));
+        assert_eq!(bk.profile().get(Phase::AppCompute), Duration::from_millis(1));
+    }
+}

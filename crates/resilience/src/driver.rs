@@ -1,0 +1,147 @@
+//! Experiment orchestration: launch, relaunch, and measurement.
+//!
+//! The driver is the equivalent of the paper's test scripts: it times the
+//! whole job from the outside (like `time mpirun …`), so costs that are
+//! invisible inside the application — modeled job startup/teardown, the
+//! relaunch a non-Fenix recovery needs, trailing checkpoint flushes — land
+//! in the "Other" category of the cost breakdown.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+use cluster::Cluster;
+use fenix::ImrPolicy;
+use simmpi::{FaultPlan, MpiError, Profile, Universe, UniverseConfig};
+
+use crate::app::IterativeApp;
+use crate::record::{CostBreakdown, RunRecord};
+use crate::runner::{self, SharedState};
+use crate::strategy::Strategy;
+
+/// Options for one experiment run.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    pub strategy: Strategy,
+    /// Spare ranks for Fenix strategies (ignored otherwise).
+    pub spares: usize,
+    /// Number of checkpoints over the whole run (the paper uses 6).
+    pub checkpoints: u64,
+    /// Safety bound on whole-job relaunches.
+    pub max_relaunches: usize,
+    /// Buddy policy override for Fenix IMR (`None` = Pair when the
+    /// resilient communicator is even-sized, Ring otherwise).
+    pub imr_policy: Option<ImrPolicy>,
+    /// Wipe checkpoint storage before the run (set false to chain runs).
+    pub fresh_storage: bool,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            strategy: Strategy::FenixKokkosResilience,
+            spares: 1,
+            checkpoints: 6,
+            max_relaunches: 8,
+            imr_policy: None,
+            fresh_storage: true,
+        }
+    }
+}
+
+/// Run `app` on `cluster` under the configured strategy, injecting the
+/// failures in `plan`. Returns the paper-style cost record.
+///
+/// For Fenix strategies the job is launched once and recovers in place.
+/// For plain-MPI strategies a failure aborts the job; the driver pays the
+/// modeled teardown+startup and relaunches until the run completes.
+pub fn run_experiment(
+    cluster: &Cluster,
+    app: &dyn IterativeApp,
+    cfg: &ExperimentConfig,
+    plan: Arc<FaultPlan>,
+) -> RunRecord {
+    if cfg.fresh_storage {
+        cluster.pfs().clear();
+        cluster.scratch().clear();
+    }
+    let shared = SharedState::default();
+    let failures = plan.kills().len();
+    let n = cluster.topology().total_ranks();
+    let t0 = Instant::now();
+    let merged = Profile::new();
+    let mut relaunches = 0usize;
+
+    if cfg.strategy.uses_fenix() {
+        let report = Universe::launch(
+            cluster,
+            UniverseConfig {
+                abort_on_failure: false,
+                charge_startup: true,
+            },
+            Arc::clone(&plan),
+            |ctx| {
+                runner::fenix_rank(
+                    ctx,
+                    app,
+                    cfg.strategy,
+                    cfg.spares,
+                    cfg.checkpoints,
+                    cfg.imr_policy,
+                    &shared,
+                )
+            },
+        );
+        merged.merge_from(&report.max_profile());
+        for o in &report.outcomes {
+            match &o.result {
+                Ok(()) => {}
+                Err(MpiError::Killed) => {} // injected victim
+                Err(e) => panic!(
+                    "rank {} failed unrecoverably under {:?}: {e}",
+                    o.rank, cfg.strategy
+                ),
+            }
+        }
+    } else {
+        loop {
+            let report = Universe::launch(
+                cluster,
+                UniverseConfig {
+                    abort_on_failure: true,
+                    charge_startup: true,
+                },
+                Arc::clone(&plan),
+                |ctx| runner::relaunch_rank(ctx, app, cfg.strategy, cfg.checkpoints, &shared),
+            );
+            merged.merge_from(&report.max_profile());
+            if report.all_ok() {
+                break;
+            }
+            relaunches += 1;
+            assert!(
+                relaunches <= cfg.max_relaunches,
+                "exceeded {} relaunches under {:?}",
+                cfg.max_relaunches,
+                cfg.strategy
+            );
+            // The failed job must be fully torn down before the next launch.
+            cluster
+                .time_scale()
+                .sleep(cluster.config().relaunch.teardown(n));
+        }
+    }
+
+    let wall = t0.elapsed();
+    RunRecord {
+        strategy: cfg.strategy,
+        ranks: n,
+        wall,
+        breakdown: CostBreakdown::from_profile(&merged, wall),
+        relaunches,
+        repairs: shared.repairs.load(Ordering::Relaxed),
+        failures,
+        digest: shared.digest.load(Ordering::Relaxed),
+        iterations: shared.iterations.load(Ordering::Relaxed),
+    }
+}

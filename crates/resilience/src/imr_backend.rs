@@ -1,0 +1,159 @@
+//! In-memory-redundancy data backend for Kokkos Resilience — the paper's
+//! Future Work §VII.A: "Further integration of Fenix and Kokkos Resilience
+//! in the form of a data-resiliency backend."
+//!
+//! With this backend, a Kokkos Resilience context drives Fenix's buddy-rank
+//! storage directly: checkpoint regions detected by automatic capture are
+//! packed into one blob per rank and committed to the buddy pair, with no
+//! filesystem involvement at all. The best-version agreement is a *max*
+//! reduction — committed versions are consistent across survivors (the
+//! two-phase store guarantees it) and a replacement rank, which contributes
+//! "nothing", restores from its buddy's copy.
+//!
+//! Requirements: the context must run under Fenix (restores need the
+//! recovered-rank hint, see [`kokkos_resilience::Context::set_recovering_ranks`])
+//! and with `RecoveryScope::All` (store and restore are collective).
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use fenix::{DataGroup, ImrError, ImrPolicy, ImrStore};
+use kokkos_resilience::{DataBackend, RegionViews};
+use simmpi::{Comm, MpiError, MpiResult, ReduceOp};
+
+/// Kokkos Resilience data backend storing checkpoints in peer memory.
+pub struct ImrBackend {
+    store: Arc<ImrStore>,
+    policy: Option<ImrPolicy>,
+}
+
+impl ImrBackend {
+    /// `store` must outlive Fenix repairs (create it outside the run loop);
+    /// `policy = None` selects Pair for even communicators, Ring otherwise.
+    pub fn new(store: Arc<ImrStore>, policy: Option<ImrPolicy>) -> Self {
+        ImrBackend { store, policy }
+    }
+
+    pub fn store(&self) -> &Arc<ImrStore> {
+        &self.store
+    }
+
+    fn policy_for(&self, comm: &Comm) -> ImrPolicy {
+        self.policy.unwrap_or(if comm.size() % 2 == 0 {
+            ImrPolicy::Pair
+        } else {
+            ImrPolicy::Ring
+        })
+    }
+
+    /// Stable member id per region name.
+    fn member_of(name: &str) -> u32 {
+        let mut h = DefaultHasher::new();
+        name.hash(&mut h);
+        (h.finish() & 0x7fff_ffff) as u32
+    }
+
+    fn pack(views: &RegionViews) -> Bytes {
+        let parts: Vec<(u32, Bytes)> =
+            views.iter().map(|(id, v)| (*id, v.snapshot())).collect();
+        veloc::serial::pack(&parts)
+    }
+
+    fn unpack(views: &RegionViews, blob: &Bytes) {
+        let parts = veloc::serial::unpack(blob).expect("IMR blob intact");
+        for (id, payload) in parts {
+            let (_, handle) = views
+                .iter()
+                .find(|(vid, _)| *vid == id)
+                .expect("region id present");
+            handle.restore(&payload);
+        }
+    }
+
+    fn imr_err(e: ImrError) -> MpiError {
+        match e {
+            ImrError::Mpi(m) => m,
+            other => panic!("unrecoverable IMR data loss: {other}"),
+        }
+    }
+}
+
+impl DataBackend for ImrBackend {
+    fn set_rank(&self, _rank: usize) {
+        // Peer storage is keyed by communicator position; nothing cached.
+    }
+
+    fn checkpoint(
+        &self,
+        comm: &Comm,
+        name: &str,
+        version: u64,
+        views: &RegionViews,
+    ) -> MpiResult<()> {
+        let group = DataGroup::new(Arc::clone(&self.store), comm, self.policy_for(comm));
+        group.store(Self::member_of(name), version, Self::pack(views))
+    }
+
+    fn latest_local(&self, name: &str) -> Option<u64> {
+        self.store.latest_version(Self::member_of(name))
+    }
+
+    fn latest_agreed(&self, comm: &Comm, name: &str) -> MpiResult<Option<u64>> {
+        // Max: survivors hold the (consistent) committed version; a
+        // replacement rank holds nothing but can restore from its buddy.
+        let local = self.latest_local(name).map_or(-1i64, |v| v as i64);
+        let max = comm.allreduce_scalar(local, ReduceOp::Max)?;
+        Ok((max >= 0).then_some(max as u64))
+    }
+
+    fn restore(
+        &self,
+        comm: &Comm,
+        name: &str,
+        version: u64,
+        views: &RegionViews,
+        recovering_ranks: &[usize],
+    ) -> MpiResult<()> {
+        let group = DataGroup::new(Arc::clone(&self.store), comm, self.policy_for(comm));
+        let (got, blob) = group
+            .restore(Self::member_of(name), recovering_ranks)
+            .map_err(Self::imr_err)?;
+        debug_assert_eq!(got, version, "commit protocol keeps versions consistent");
+        Self::unpack(views, &blob);
+        Ok(())
+    }
+
+    fn clear(&self) {
+        // Survivor copies must persist across context resets — clearing the
+        // peer store would defeat recovery. Region metadata re-detection is
+        // handled by the context itself.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn member_ids_are_stable_and_distinct() {
+        let a = ImrBackend::member_of("app.loop");
+        let b = ImrBackend::member_of("app.loop");
+        let c = ImrBackend::member_of("app.other");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        use kokkos::capture::Checkpointable;
+        use kokkos::View;
+        let v: View<u64> = View::from_vec("r", vec![1, 2, 3]);
+        let views: Vec<(u32, Arc<dyn Checkpointable>)> = vec![(7, Arc::new(v.clone()))];
+        let blob = ImrBackend::pack(&views);
+        v.fill(0);
+        ImrBackend::unpack(&views, &blob);
+        assert_eq!(*v.read_uncaptured(), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,214 @@
+//! The single-initialization integrated API — the paper's Future Work
+//! §VII.A: "This would remove the need for two resilience initialization
+//! steps, and further lower the amount of control-flow modifications needed
+//! for implementing the combination of Fenix and Kokkos Resilience."
+//!
+//! [`resilient_main`] is that combination: one call sets up Fenix process
+//! recovery *and* the Kokkos Resilience context, wires the repair →
+//! `reset(new_comm)` → recovery plumbing of Figure 4 internally, and hands
+//! the application a [`ResilientScope`] with everything it needs. Compare
+//! `examples/quickstart.rs` (two explicit initializations, manual reset
+//! logic) with `examples/integrated_api.rs` (this entry point).
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use fenix::{ExhaustPolicy, Fenix, FenixConfig, ImrPolicy, ImrStore, Role, RunSummary};
+use kokkos_resilience::{
+    CheckpointFilter, CheckpointOutcome, Context, ContextConfig, RecoveryScope,
+};
+use simmpi::{Comm, MpiResult, Phase, Profile, RankCtx};
+
+use crate::imr_backend::ImrBackend;
+
+/// Which data layer the integrated runtime drives.
+#[derive(Clone, Debug)]
+pub enum IntegratedBackend {
+    /// VeloC in single mode — the paper's published configuration.
+    VelocSingle,
+    /// Fenix in-memory redundancy as a KR backend — the future-work
+    /// configuration (`policy = None` picks Pair/Ring by communicator
+    /// parity).
+    Imr { policy: Option<ImrPolicy> },
+}
+
+/// Configuration for [`resilient_main`].
+#[derive(Clone, Debug)]
+pub struct IntegratedConfig {
+    /// Checkpoint-set namespace.
+    pub name: String,
+    /// Spare ranks held out of the resilient communicator.
+    pub spares: usize,
+    pub filter: CheckpointFilter,
+    pub backend: IntegratedBackend,
+    /// View labels excluded as aliases.
+    pub aliases: Vec<String>,
+    pub on_exhaustion: ExhaustPolicy,
+    /// Partial rollback: only replacement ranks restore checkpoint data
+    /// (requires a convergence-tolerant application; VeloC backend only).
+    pub partial_rollback: bool,
+}
+
+impl Default for IntegratedConfig {
+    fn default() -> Self {
+        IntegratedConfig {
+            name: "app".into(),
+            spares: 1,
+            filter: CheckpointFilter::Always,
+            backend: IntegratedBackend::VelocSingle,
+            aliases: Vec::new(),
+            on_exhaustion: ExhaustPolicy::Abort,
+            partial_rollback: false,
+        }
+    }
+}
+
+/// Everything the application body needs, in one handle.
+pub struct ResilientScope<'a> {
+    comm: &'a Comm,
+    role: Role,
+    fenix: &'a Fenix,
+    kr: &'a Context,
+}
+
+impl ResilientScope<'_> {
+    /// The resilient communicator.
+    pub fn comm(&self) -> &Comm {
+        self.comm
+    }
+
+    /// This rank's role on (re-)entry.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// Repairs performed so far.
+    pub fn repair_count(&self) -> u64 {
+        self.fenix.repair_count()
+    }
+
+    /// Communicator ranks replaced in the last repair.
+    pub fn recovered_ranks(&self) -> Vec<usize> {
+        self.fenix.recovered_ranks()
+    }
+
+    /// The underlying Kokkos Resilience context (statistics, aliases…).
+    pub fn context(&self) -> &Context {
+        self.kr
+    }
+
+    /// Best restartable version of a region (collective).
+    pub fn latest_version(&self, label: &str) -> MpiResult<Option<u64>> {
+        self.kr.latest_version(label)
+    }
+
+    /// Execute a checkpoint region (see
+    /// [`kokkos_resilience::Context::checkpoint`]).
+    pub fn checkpoint<F>(&self, label: &str, iteration: u64, body: F) -> MpiResult<CheckpointOutcome>
+    where
+        F: FnMut() -> MpiResult<()>,
+    {
+        self.kr.checkpoint(label, iteration, body)
+    }
+
+    /// Drain asynchronous checkpoint work.
+    pub fn checkpoint_wait(&self) {
+        self.kr.checkpoint_wait();
+    }
+}
+
+/// Run `body` under the fully integrated resilience stack with a single
+/// initialization call.
+///
+/// Internally this is Figure 4's pattern: Fenix owns process recovery; on
+/// every (re-)entry the Kokkos Resilience context is created or
+/// `reset(res_comm)`, the recovered-rank hint is forwarded to the data
+/// backend, and (when configured) the partial-rollback recovery scope is
+/// armed. `body` may be re-invoked after failures — it must derive its
+/// starting iteration from [`ResilientScope::latest_version`].
+pub fn resilient_main<F>(
+    ctx: &RankCtx,
+    config: IntegratedConfig,
+    mut body: F,
+) -> MpiResult<RunSummary>
+where
+    F: FnMut(&ResilientScope<'_>) -> MpiResult<()>,
+{
+    let fenix_cfg = FenixConfig {
+        spares: config.spares,
+        on_exhaustion: config.on_exhaustion,
+    };
+    let kr_cell: RefCell<Option<Context>> = RefCell::new(None);
+    let imr_store = ImrStore::new();
+    let profile: Arc<Profile> = Arc::clone(ctx.profile());
+
+    let summary = fenix::run(ctx.world(), fenix_cfg, |fx, comm, role| {
+        if kr_cell.borrow().is_none() {
+            let kr = profile.time(Phase::ResilienceInit, || {
+                let kr_config = ContextConfig {
+                    name: config.name.clone(),
+                    filter: config.filter.clone(),
+                    backend: kokkos_resilience::BackendKind::VelocSingle,
+                    aliases: config.aliases.clone(),
+                };
+                match &config.backend {
+                    IntegratedBackend::VelocSingle => {
+                        Context::new(ctx.cluster(), comm.clone(), kr_config)
+                    }
+                    IntegratedBackend::Imr { policy } => Context::with_backend(
+                        comm.clone(),
+                        kr_config,
+                        Box::new(ImrBackend::new(Arc::clone(&imr_store), *policy)),
+                    ),
+                }
+            });
+            kr.set_profile(Arc::clone(&profile));
+            *kr_cell.borrow_mut() = Some(kr);
+        } else {
+            kr_cell
+                .borrow()
+                .as_ref()
+                .expect("context present")
+                .reset(comm.clone());
+        }
+        let kr_ref = kr_cell.borrow();
+        let kr = kr_ref.as_ref().expect("context initialized");
+
+        if role != Role::Initial {
+            kr.set_recovering_ranks(fx.recovered_ranks());
+            if config.partial_rollback {
+                assert!(
+                    matches!(config.backend, IntegratedBackend::VelocSingle),
+                    "partial rollback requires per-rank storage (VeloC backend)"
+                );
+                kr.set_recovery_scope(RecoveryScope::OnlyRanks(fx.recovered_ranks()));
+            }
+        }
+
+        let scope = ResilientScope {
+            comm,
+            role,
+            fenix: fx,
+            kr,
+        };
+        body(&scope)
+    })?;
+
+    if let Some(kr) = kr_cell.borrow().as_ref() {
+        kr.checkpoint_wait();
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_published_configuration() {
+        let c = IntegratedConfig::default();
+        assert!(matches!(c.backend, IntegratedBackend::VelocSingle));
+        assert_eq!(c.spares, 1);
+        assert!(!c.partial_rollback);
+    }
+}

@@ -1,0 +1,41 @@
+//! The integrated multi-layer resilience system — the paper's contribution.
+//!
+//! This crate glues the three layers together exactly as §IV–§V describe:
+//! [`fenix`] handles process recovery (detecting failures, repairing the
+//! communicator, reporting roles), [`kokkos_resilience`] handles control
+//! flow (what/when to checkpoint, how to resume), and [`veloc`] handles the
+//! data (asynchronous multi-tier checkpoint/restart). The key integration
+//! moves are:
+//!
+//! * VeloC runs in **non-collective mode** with the best-checkpoint
+//!   agreement performed above it;
+//! * the Kokkos Resilience context is **reset with the repaired
+//!   communicator** after every Fenix recovery (Figure 4's
+//!   `ctx.reset(res_comm)`);
+//! * checkpoint metadata caches are cleared on repair because "a checkpoint
+//!   finished locally may not have finished globally".
+//!
+//! [`strategy::Strategy`] enumerates the seven configurations the paper
+//! evaluates (§V.A), and [`driver::run_experiment`] executes any application
+//! implementing [`app::IterativeApp`] under any of them — including the
+//! relaunch-based recovery of the non-Fenix baselines (whole-job teardown,
+//! modeled `mpirun` restart, recovery from the parallel filesystem) and the
+//! two bonus strategies (Fenix in-memory redundancy, partial rollback).
+
+pub mod app;
+pub mod bookkeeper;
+pub mod driver;
+pub mod imr_backend;
+pub mod integrated;
+pub mod record;
+pub mod strategy;
+
+mod runner;
+
+pub use app::{IterativeApp, RankApp, RunMode};
+pub use bookkeeper::Bookkeeper;
+pub use driver::{run_experiment, ExperimentConfig};
+pub use imr_backend::ImrBackend;
+pub use integrated::{resilient_main, IntegratedBackend, IntegratedConfig, ResilientScope};
+pub use record::{CostBreakdown, RunRecord};
+pub use strategy::Strategy;

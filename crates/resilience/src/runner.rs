@@ -1,0 +1,583 @@
+//! Per-rank execution of each resilience strategy.
+//!
+//! Two families:
+//!
+//! * [`relaunch_rank`] — plain-MPI strategies (Unprotected, VeloC-only,
+//!   Kokkos Resilience without Fenix). A failure aborts the whole job; the
+//!   driver relaunches it and recovery happens at startup from the
+//!   parallel filesystem.
+//! * [`fenix_rank`] — process-resilient strategies. The application body
+//!   runs inside [`fenix::run`]; recovery happens in place, following the
+//!   paper's Figure 4 pattern (context creation on `Initial`,
+//!   `ctx.reset(res_comm)` on re-entry).
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use fenix::{DataGroup, ExhaustPolicy, Fenix, FenixConfig, ImrError, ImrPolicy, ImrStore, Role};
+use kokkos::capture::Checkpointable;
+use kokkos_resilience::{BackendKind, CheckpointFilter, Context, ContextConfig, RecoveryScope};
+use simmpi::{Comm, MpiError, MpiResult, Phase, RankCtx, ReduceOp};
+use veloc::{Client, Config as VelocConfig, Mode, Protected, VelocError};
+
+use crate::app::{IterativeApp, RankApp, RunMode};
+use crate::bookkeeper::Bookkeeper;
+use crate::strategy::Strategy;
+
+/// Cross-rank experiment state shared between launches.
+#[derive(Default)]
+pub struct SharedState {
+    /// Highest iteration count completed anywhere (for recompute booking).
+    pub progress: AtomicU64,
+    /// Fenix repairs observed.
+    pub repairs: AtomicU64,
+    /// Agreed application digest at completion.
+    pub digest: AtomicU64,
+    /// Iterations executed when the run completed.
+    pub iterations: AtomicU64,
+}
+
+/// Region label used for the single checkpointed loop of every app.
+const LOOP_LABEL: &str = "loop";
+/// IMR member id holding the packed application views.
+const IMR_MEMBER: u32 = 0;
+
+fn veloc_err(e: VelocError) -> MpiError {
+    match e {
+        VelocError::Mpi(e) => e,
+        other => panic!("unrecoverable data-layer failure: {other}"),
+    }
+}
+
+fn imr_err(e: ImrError) -> MpiError {
+    match e {
+        ImrError::Mpi(e) => e,
+        other => panic!("unrecoverable IMR data loss: {other}"),
+    }
+}
+
+/// Adapts a captured view handle to a VeloC protected region.
+struct ViewRegion(Arc<dyn Checkpointable>);
+
+impl Protected for ViewRegion {
+    fn snapshot(&self) -> Bytes {
+        self.0.snapshot()
+    }
+
+    fn restore(&self, data: &[u8]) {
+        self.0.restore(data);
+    }
+
+    fn byte_len(&self) -> usize {
+        self.0.meta().bytes
+    }
+}
+
+fn protect_views(client: &Client, state: &dyn RankApp) {
+    client.clear_protected();
+    for (i, v) in state.checkpoint_views().into_iter().enumerate() {
+        client.protect(i as u32, Arc::new(ViewRegion(v)));
+    }
+}
+
+fn pack_views(state: &dyn RankApp) -> Bytes {
+    let parts: Vec<(u32, Bytes)> = state
+        .checkpoint_views()
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (i as u32, v.snapshot()))
+        .collect();
+    veloc::serial::pack(&parts)
+}
+
+fn unpack_views(state: &dyn RankApp, blob: &Bytes) {
+    let views = state.checkpoint_views();
+    let parts = veloc::serial::unpack(blob).expect("IMR blob intact");
+    for (i, payload) in parts {
+        views[i as usize].restore(&payload);
+    }
+}
+
+/// The shared iteration loop. `checkpoint_hook` runs after iterations the
+/// filter selects; `region_hook` wraps the step (identity for manual
+/// strategies, a Kokkos Resilience region for KR strategies).
+#[allow(clippy::too_many_arguments)]
+fn iteration_loop(
+    ctx: &RankCtx,
+    comm: &Comm,
+    state: &mut Box<dyn RankApp>,
+    bk: &Bookkeeper,
+    mode: RunMode,
+    start: u64,
+    filter: &CheckpointFilter,
+    shared: &SharedState,
+    mut step: impl FnMut(&RankCtx, &Comm, &mut Box<dyn RankApp>, u64, &Bookkeeper) -> MpiResult<()>,
+    mut checkpoint_hook: impl FnMut(u64, &mut Box<dyn RankApp>) -> MpiResult<()>,
+) -> MpiResult<u64> {
+    let max = mode.max_iterations();
+    // Snapshot the recompute horizon at loop (re-)entry: iterations below
+    // the globally reached mark are re-execution of lost work. Reading the
+    // live counter instead would mis-book first-time work whenever another
+    // rank runs slightly ahead.
+    let recompute_until = shared.progress.load(Ordering::Relaxed);
+    let mut i = start;
+    while i < max {
+        bk.set_recompute(i < recompute_until);
+        ctx.fault_point("iter", i)?;
+        step(ctx, comm, state, i, bk)?;
+        if filter.should_checkpoint(i) {
+            checkpoint_hook(i, state)?;
+        }
+        shared.progress.fetch_max(i + 1, Ordering::Relaxed);
+        i += 1;
+        if let RunMode::Converge { check_every, .. } = mode {
+            if i % check_every == 0 && state.converged(comm, bk)? {
+                break;
+            }
+        }
+    }
+    bk.set_recompute(false);
+    Ok(i)
+}
+
+fn finish(
+    comm: &Comm,
+    state: &mut Box<dyn RankApp>,
+    shared: &SharedState,
+    iterations: u64,
+) -> MpiResult<()> {
+    let digest = comm.allreduce_scalar(state.digest(), ReduceOp::Sum)?;
+    shared.digest.store(digest, Ordering::Relaxed);
+    shared.iterations.store(iterations, Ordering::Relaxed);
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Relaunch-based strategies
+// ---------------------------------------------------------------------------
+
+/// One rank of a plain-MPI (abort-on-failure) job.
+pub fn relaunch_rank(
+    ctx: &mut RankCtx,
+    app: &dyn IterativeApp,
+    strategy: Strategy,
+    checkpoints: u64,
+    shared: &SharedState,
+) -> MpiResult<()> {
+    let comm = ctx.world().clone();
+    let bk = Bookkeeper::new(Arc::clone(ctx.profile()));
+    let mode = app.mode();
+    let filter = app.checkpoint_filter(checkpoints);
+    let name = app.name().to_owned();
+
+    match strategy {
+        Strategy::Unprotected => {
+            let mut state = bk.book(Phase::AppInit, || app.init_rank(ctx, &comm));
+            let done = iteration_loop(
+                ctx,
+                &comm,
+                &mut state,
+                &bk,
+                mode,
+                0,
+                &CheckpointFilter::Never,
+                shared,
+                |_c, comm, st, i, bk| st.step(comm, i, bk),
+                |_i, _st| Ok(()),
+            )?;
+            finish(&comm, &mut state, shared, done)
+        }
+        Strategy::VelocOnly => {
+            // Stock VeloC: collective mode, manual control flow.
+            let client = bk.book(Phase::ResilienceInit, || {
+                Client::init(
+                    ctx.cluster().clone(),
+                    ctx.rank(),
+                    VelocConfig {
+                        mode: Mode::Collective,
+                        async_flush: true,
+                    },
+                )
+            });
+            client.set_rank(comm.rank());
+            let mut state = bk.book(Phase::AppInit, || app.init_rank(ctx, &comm));
+            protect_views(&client, state.as_ref());
+            let version = client
+                .restart_test(&name, Some(&comm))
+                .map_err(veloc_err)?;
+            let start = match version {
+                Some(v) => {
+                    bk.book(Phase::DataRecovery, || client.restart(&name, v))
+                        .map_err(veloc_err)?;
+                    state.post_restore(&comm, &bk)?;
+                    v + 1
+                }
+                None => 0,
+            };
+            let done = iteration_loop(
+                ctx,
+                &comm,
+                &mut state,
+                &bk,
+                mode,
+                start,
+                &filter,
+                shared,
+                |_c, comm, st, i, bk| st.step(comm, i, bk),
+                |i, _st| {
+                    bk.book(Phase::CheckpointFn, || client.checkpoint(&name, i))
+                        .map_err(veloc_err)
+                },
+            )?;
+            finish(&comm, &mut state, shared, done)?;
+            client.finalize();
+            Ok(())
+        }
+        Strategy::KokkosResilience => {
+            // KR without Fenix: stock collective VeloC backend underneath.
+            let kr = bk.book(Phase::ResilienceInit, || {
+                Context::new(
+                    ctx.cluster(),
+                    comm.clone(),
+                    ContextConfig {
+                        name: name.clone(),
+                        filter: filter.clone(),
+                        backend: BackendKind::VelocCollective,
+                        aliases: app.alias_labels(),
+                    },
+                )
+            });
+            kr.set_profile(Arc::clone(ctx.profile()));
+            let mut state = bk.book(Phase::AppInit, || app.init_rank(ctx, &comm));
+            let latest = kr.latest_version(LOOP_LABEL)?;
+            let start = latest.map_or(0, |v| v + 1);
+            let done = iteration_loop(
+                ctx,
+                &comm,
+                &mut state,
+                &bk,
+                mode,
+                start,
+                // The KR context applies the filter itself.
+                &CheckpointFilter::Never,
+                shared,
+                |_c, comm, st, i, bk| {
+                    // KR checkpoints every view the region touches, so a
+                    // restore reinstates *complete* state — no post_restore
+                    // (rebuilding derived state would be redundant work and
+                    // perturb float summation order).
+                    kr.checkpoint(LOOP_LABEL, i, || st.step(comm, i, bk))?;
+                    Ok(())
+                },
+                |_i, _st| Ok(()),
+            )?;
+            finish(&comm, &mut state, shared, done)?;
+            kr.checkpoint_wait();
+            Ok(())
+        }
+        other => panic!("{other:?} is not a relaunch strategy"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fenix-based strategies
+// ---------------------------------------------------------------------------
+
+/// One rank of a process-resilient job (Figure 4's structure).
+pub fn fenix_rank(
+    ctx: &mut RankCtx,
+    app: &dyn IterativeApp,
+    strategy: Strategy,
+    spares: usize,
+    checkpoints: u64,
+    imr_policy: Option<ImrPolicy>,
+    shared: &SharedState,
+) -> MpiResult<()> {
+    let bk = Bookkeeper::new(Arc::clone(ctx.profile()));
+    let mode = app.mode();
+    let filter = app.checkpoint_filter(checkpoints);
+    let name = app.name().to_owned();
+    let fenix_cfg = FenixConfig {
+        spares,
+        on_exhaustion: ExhaustPolicy::Abort,
+    };
+
+    // State surviving re-entries (created lazily: spares have none until
+    // promoted).
+    let state: RefCell<Option<Box<dyn RankApp>>> = RefCell::new(None);
+    let kr: RefCell<Option<Context>> = RefCell::new(None);
+    let veloc_client: RefCell<Option<Client>> = RefCell::new(None);
+    let imr_store = ImrStore::new();
+    let ctx = &*ctx;
+
+    let summary = fenix::run(ctx.world(), fenix_cfg, |fx, comm, role| {
+        shared.repairs.fetch_max(fx.repair_count(), Ordering::Relaxed);
+        match strategy {
+            Strategy::FenixVeloc => fenix_veloc_body(
+                ctx, app, comm, role, &bk, &name, &filter, mode, shared, &state, &veloc_client,
+            ),
+            Strategy::FenixKokkosResilience | Strategy::PartialRollback => fenix_kr_body(
+                ctx, app, comm, role, fx, &bk, &name, &filter, mode, shared, &state, &kr,
+                strategy == Strategy::PartialRollback,
+            ),
+            Strategy::FenixImr => fenix_imr_body(
+                ctx, app, comm, role, fx, &bk, &filter, mode, shared, &state, &imr_store,
+                imr_policy,
+            ),
+            other => panic!("{other:?} is not a Fenix strategy"),
+        }
+    })?;
+    shared.repairs.fetch_max(summary.repairs, Ordering::Relaxed);
+    if let Some(kr) = kr.borrow().as_ref() {
+        kr.checkpoint_wait();
+    }
+    if let Some(client) = veloc_client.borrow().as_ref() {
+        client.finalize();
+    }
+    Ok(())
+}
+
+/// Fenix + VeloC (single mode), manual control flow.
+#[allow(clippy::too_many_arguments)]
+fn fenix_veloc_body(
+    ctx: &RankCtx,
+    app: &dyn IterativeApp,
+    comm: &Comm,
+    role: Role,
+    bk: &Bookkeeper,
+    name: &str,
+    filter: &CheckpointFilter,
+    mode: RunMode,
+    shared: &SharedState,
+    state: &RefCell<Option<Box<dyn RankApp>>>,
+    client_cell: &RefCell<Option<Client>>,
+) -> MpiResult<()> {
+    if client_cell.borrow().is_none() {
+        let client = bk.book(Phase::ResilienceInit, || {
+            Client::init(
+                ctx.cluster().clone(),
+                ctx.rank(),
+                VelocConfig {
+                    mode: Mode::Single,
+                    async_flush: true,
+                },
+            )
+        });
+        *client_cell.borrow_mut() = Some(client);
+    }
+    let client_ref = client_cell.borrow();
+    let client = client_ref.as_ref().expect("client initialized");
+    // Paper: update the cached rank id after a repair.
+    client.set_rank(comm.rank());
+
+    if state.borrow().is_none() {
+        *state.borrow_mut() = Some(bk.book(Phase::AppInit, || app.init_rank(ctx, comm)));
+    }
+    let mut state_ref = state.borrow_mut();
+    let st = state_ref.as_mut().expect("state initialized");
+    protect_views(client, st.as_ref());
+
+    // Manual best-version reduction (the paper's non-collective pattern).
+    let local = client.latest_version(name).map_or(-1i64, |v| v as i64);
+    let agreed = comm.allreduce_scalar(local, ReduceOp::Min)?;
+    let start = if role != Role::Initial && agreed >= 0 {
+        let v = agreed as u64;
+        bk.book(Phase::DataRecovery, || client.restart(name, v))
+            .map_err(veloc_err)?;
+        st.post_restore(comm, bk)?;
+        v + 1
+    } else if role != Role::Initial {
+        // Failure before the first checkpoint: everyone restarts cleanly.
+        drop(state_ref);
+        *state.borrow_mut() = Some(bk.book(Phase::AppInit, || app.init_rank(ctx, comm)));
+        state_ref = state.borrow_mut();
+        protect_views(client, state_ref.as_ref().expect("state").as_ref());
+        0
+    } else {
+        0
+    };
+
+    let st = state_ref.as_mut().expect("state initialized");
+    let done = iteration_loop(
+        ctx,
+        comm,
+        st,
+        bk,
+        mode,
+        start,
+        filter,
+        shared,
+        |_c, comm, st, i, bk| st.step(comm, i, bk),
+        |i, _st| {
+            bk.book(Phase::CheckpointFn, || client.checkpoint(name, i))
+                .map_err(veloc_err)
+        },
+    )?;
+    finish(comm, st, shared, done)
+}
+
+/// The paper's integrated system: Fenix + Kokkos Resilience + VeloC-single.
+/// With `partial`, survivors skip data restoration (partial rollback).
+#[allow(clippy::too_many_arguments)]
+fn fenix_kr_body(
+    ctx: &RankCtx,
+    app: &dyn IterativeApp,
+    comm: &Comm,
+    role: Role,
+    fx: &Fenix,
+    bk: &Bookkeeper,
+    name: &str,
+    filter: &CheckpointFilter,
+    mode: RunMode,
+    shared: &SharedState,
+    state: &RefCell<Option<Box<dyn RankApp>>>,
+    kr_cell: &RefCell<Option<Context>>,
+    partial: bool,
+) -> MpiResult<()> {
+    // Figure 4: `make_context(res_comm)` on Initial, `ctx.reset(res_comm)`
+    // on re-entry.
+    if kr_cell.borrow().is_none() {
+        let kr = bk.book(Phase::ResilienceInit, || {
+            Context::new(
+                ctx.cluster(),
+                comm.clone(),
+                ContextConfig {
+                    name: name.to_owned(),
+                    filter: filter.clone(),
+                    backend: BackendKind::VelocSingle,
+                    aliases: app.alias_labels(),
+                },
+            )
+        });
+        kr.set_profile(Arc::clone(bk.profile()));
+        *kr_cell.borrow_mut() = Some(kr);
+    } else {
+        kr_cell
+            .borrow()
+            .as_ref()
+            .expect("context present")
+            .reset(comm.clone());
+    }
+    let kr_ref = kr_cell.borrow();
+    let kr = kr_ref.as_ref().expect("context initialized");
+
+    if partial && role != Role::Initial {
+        // Only the replacement ranks roll back; survivors keep their
+        // in-progress data.
+        kr.set_recovery_scope(RecoveryScope::OnlyRanks(fx.recovered_ranks()));
+    }
+
+    if state.borrow().is_none() {
+        *state.borrow_mut() = Some(bk.book(Phase::AppInit, || app.init_rank(ctx, comm)));
+    }
+
+    let latest = kr.latest_version(LOOP_LABEL)?;
+    let start = match latest {
+        Some(v) => v + 1,
+        None if role != Role::Initial => {
+            // Failure before the first checkpoint: consistent cold restart.
+            *state.borrow_mut() = Some(bk.book(Phase::AppInit, || app.init_rank(ctx, comm)));
+            0
+        }
+        None => 0,
+    };
+
+    let mut state_ref = state.borrow_mut();
+    let st = state_ref.as_mut().expect("state initialized");
+    let done = iteration_loop(
+        ctx,
+        comm,
+        st,
+        bk,
+        mode,
+        start,
+        // KR applies the filter internally.
+        &CheckpointFilter::Never,
+        shared,
+        |_c, comm, st, i, bk| {
+            // Complete-state restore: no post_restore (see relaunch_rank).
+            kr.checkpoint(LOOP_LABEL, i, || st.step(comm, i, bk))?;
+            Ok(())
+        },
+        |_i, _st| Ok(()),
+    )?;
+    finish(comm, st, shared, done)
+}
+
+/// Fenix process recovery + in-memory-redundancy data storage.
+#[allow(clippy::too_many_arguments)]
+fn fenix_imr_body(
+    ctx: &RankCtx,
+    app: &dyn IterativeApp,
+    comm: &Comm,
+    role: Role,
+    fx: &Fenix,
+    bk: &Bookkeeper,
+    filter: &CheckpointFilter,
+    mode: RunMode,
+    shared: &SharedState,
+    state: &RefCell<Option<Box<dyn RankApp>>>,
+    store: &Arc<ImrStore>,
+    imr_policy: Option<ImrPolicy>,
+) -> MpiResult<()> {
+    let policy = imr_policy.unwrap_or(if comm.size() % 2 == 0 {
+        ImrPolicy::Pair
+    } else {
+        ImrPolicy::Ring
+    });
+    let group = DataGroup::new(Arc::clone(store), comm, policy);
+
+    if state.borrow().is_none() {
+        *state.borrow_mut() = Some(bk.book(Phase::AppInit, || app.init_rank(ctx, comm)));
+    }
+
+    let start = if role != Role::Initial {
+        // Agree whether a committed version exists anywhere. Committed
+        // versions are consistent across survivors (two-phase store), so a
+        // Max reduction finds it; a recovered rank contributes -1.
+        let committed = comm.allreduce_scalar(
+            store.latest_version(IMR_MEMBER).map_or(-1i64, |v| v as i64),
+            ReduceOp::Max,
+        )?;
+        if committed >= 0 {
+            let (version, blob) = bk
+                .book(Phase::DataRecovery, || {
+                    group.restore(IMR_MEMBER, &fx.recovered_ranks())
+                })
+                .map_err(imr_err)?;
+            debug_assert_eq!(version as i64, committed, "commit protocol consistency");
+            let mut sref = state.borrow_mut();
+            let st = sref.as_mut().expect("state initialized");
+            unpack_views(st.as_ref(), &blob);
+            st.post_restore(comm, bk)?;
+            version + 1
+        } else {
+            // Failure before the first commit: consistent cold restart.
+            *state.borrow_mut() = Some(bk.book(Phase::AppInit, || app.init_rank(ctx, comm)));
+            0
+        }
+    } else {
+        0
+    };
+
+    let mut state_ref = state.borrow_mut();
+    let st = state_ref.as_mut().expect("state initialized");
+    let done = iteration_loop(
+        ctx,
+        comm,
+        st,
+        bk,
+        mode,
+        start,
+        filter,
+        shared,
+        |_c, comm, st, i, bk| st.step(comm, i, bk),
+        |i, st| {
+            let blob = pack_views(st.as_ref());
+            bk.book(Phase::CheckpointFn, || group.store(IMR_MEMBER, i, blob))
+        },
+    )?;
+    finish(comm, st, shared, done)
+}

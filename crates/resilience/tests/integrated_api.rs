@@ -1,0 +1,269 @@
+//! Tests of the future-work extensions: the single-initialization
+//! integrated entry point and the IMR data backend for Kokkos Resilience.
+
+use std::sync::Arc;
+
+use cluster::{Cluster, ClusterConfig, RelaunchModel, TimeScale};
+use kokkos::View;
+use kokkos_resilience::CheckpointFilter;
+use resilience::{resilient_main, IntegratedBackend, IntegratedConfig};
+use simmpi::{FaultPlan, MpiResult, RankCtx, ReduceOp, Universe, UniverseConfig};
+
+fn cluster(n: usize) -> Cluster {
+    let mut cfg = ClusterConfig::default();
+    cfg.nodes = n;
+    cfg.ranks_per_node = 1;
+    cfg.time_scale = TimeScale::instant();
+    cfg.relaunch = RelaunchModel::free();
+    Cluster::new(cfg)
+}
+
+/// A little iterative kernel driven through the integrated API; returns the
+/// final digest agreed across the resilient communicator.
+fn run_integrated(
+    n: usize,
+    spares: usize,
+    plan: FaultPlan,
+    backend: IntegratedBackend,
+    iters: u64,
+) -> (simmpi::LaunchReport, Arc<std::sync::atomic::AtomicU64>) {
+    let digest = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let dg = Arc::clone(&digest);
+    let report = Universe::launch(
+        &cluster(n),
+        UniverseConfig::default(),
+        Arc::new(plan),
+        move |ctx: &mut RankCtx| -> MpiResult<()> {
+            let data: View<u64> = View::new_1d("vec", 32);
+            let cfg = IntegratedConfig {
+                name: "itest".into(),
+                spares,
+                filter: CheckpointFilter::EveryN(4),
+                backend: backend.clone(),
+                aliases: vec![],
+                on_exhaustion: fenix::ExhaustPolicy::Abort,
+                partial_rollback: false,
+            };
+            let ctx = &*ctx;
+            let dg = Arc::clone(&dg);
+            resilient_main(ctx, cfg, move |scope| {
+                let start = scope.latest_version("loop")?.map_or(0, |v| v + 1);
+                if start == 0 {
+                    // Deterministic reinit (failure before first checkpoint
+                    // or fresh start).
+                    let mut d = data.write_uncaptured();
+                    for (i, x) in d.iter_mut().enumerate() {
+                        *x = (scope.comm().rank() * 100 + i) as u64;
+                    }
+                }
+                for i in start..iters {
+                    ctx.fault_point("iter", i)?;
+                    scope.checkpoint("loop", i, || {
+                        {
+                            let mut d = data.write();
+                            for x in d.iter_mut() {
+                                *x = x.wrapping_mul(31).wrapping_add(i);
+                            }
+                        }
+                        Ok(())
+                    })?;
+                }
+                let local = data
+                    .read_uncaptured()
+                    .iter()
+                    .fold(0u64, |a, &x| a.wrapping_mul(131).wrapping_add(x));
+                let total = scope.comm().allreduce_scalar(local, ReduceOp::Sum)?;
+                dg.store(total, std::sync::atomic::Ordering::Relaxed);
+                Ok(())
+            })
+            .map(|_| ())
+        },
+    );
+    (report, digest)
+}
+
+fn reference_digest(n: usize, spares: usize, iters: u64) -> u64 {
+    let (report, digest) = run_integrated(
+        n,
+        spares,
+        FaultPlan::none(),
+        IntegratedBackend::VelocSingle,
+        iters,
+    );
+    assert!(report.all_ok(), "{:?}", report.outcomes);
+    digest.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+#[test]
+fn integrated_api_failure_free_both_backends() {
+    let reference = reference_digest(5, 1, 16);
+    let (report, digest) = run_integrated(
+        5,
+        1,
+        FaultPlan::none(),
+        IntegratedBackend::Imr { policy: None },
+        16,
+    );
+    assert!(report.all_ok());
+    assert_eq!(
+        digest.load(std::sync::atomic::Ordering::Relaxed),
+        reference,
+        "IMR backend must not change failure-free results"
+    );
+}
+
+#[test]
+fn integrated_api_recovers_with_veloc_backend() {
+    let reference = reference_digest(5, 1, 16);
+    let (report, digest) = run_integrated(
+        5,
+        1,
+        FaultPlan::kill_at(1, "iter", 11), // after the v7 checkpoint
+        IntegratedBackend::VelocSingle,
+        16,
+    );
+    assert_eq!(report.killed_ranks(), vec![1]);
+    assert_eq!(
+        digest.load(std::sync::atomic::Ordering::Relaxed),
+        reference,
+        "recovered run must match uninterrupted run"
+    );
+}
+
+#[test]
+fn integrated_api_recovers_with_imr_backend() {
+    // The future-work configuration: KR context driving buddy-rank memory
+    // storage, no filesystem at all.
+    let reference = reference_digest(5, 1, 16);
+    let (report, digest) = run_integrated(
+        5,
+        1,
+        FaultPlan::kill_at(2, "iter", 11),
+        IntegratedBackend::Imr { policy: None },
+        16,
+    );
+    assert_eq!(report.killed_ranks(), vec![2]);
+    assert_eq!(
+        digest.load(std::sync::atomic::Ordering::Relaxed),
+        reference,
+        "IMR-backend recovery must match uninterrupted run"
+    );
+}
+
+#[test]
+fn integrated_api_imr_multiple_failures() {
+    // Two failures need two spares (6 nodes = 4 active + 2 spares).
+    let reference = reference_digest(6, 2, 20);
+    let (report, digest) = run_integrated(
+        6,
+        2,
+        FaultPlan::kill_at(0, "iter", 6).and_kill(3, "iter", 14),
+        IntegratedBackend::Imr { policy: None },
+        20,
+    );
+    let mut killed = report.killed_ranks();
+    killed.sort_unstable();
+    assert_eq!(killed, vec![0, 3]);
+    assert_eq!(
+        digest.load(std::sync::atomic::Ordering::Relaxed),
+        reference
+    );
+}
+
+#[test]
+fn integrated_api_failure_at_checkpoint_iteration() {
+    // The victim dies exactly at a checkpoint iteration (filter fires at
+    // 3, 7, 11, …): survivors are entering the collective store when the
+    // failure hits, exercising the two-phase commit's abort path. The run
+    // must roll back to the previous committed version and still match.
+    let reference = reference_digest(5, 1, 16);
+    for backend in [
+        IntegratedBackend::VelocSingle,
+        IntegratedBackend::Imr { policy: None },
+    ] {
+        let (report, digest) = run_integrated(
+            5,
+            1,
+            FaultPlan::kill_at(3, "iter", 7),
+            backend.clone(),
+            16,
+        );
+        assert_eq!(report.killed_ranks(), vec![3]);
+        assert_eq!(
+            digest.load(std::sync::atomic::Ordering::Relaxed),
+            reference,
+            "{backend:?}"
+        );
+    }
+}
+
+#[test]
+fn integrated_api_recovered_rank_dies_too() {
+    // The replacement rank itself fails during recovery re-execution; the
+    // second spare takes over. (Global rank 4 is the first spare with 6
+    // nodes and 2 spares.)
+    let reference = reference_digest(6, 2, 20);
+    let (report, digest) = run_integrated(
+        6,
+        2,
+        // Rank 4 is promoted after rank 1 dies at 14, resumes at 12 (the
+        // v11 checkpoint), and is killed at 13 during its recovery pass.
+        FaultPlan::kill_at(1, "iter", 14).and_kill(4, "iter", 13),
+        IntegratedBackend::VelocSingle,
+        20,
+    );
+    let mut killed = report.killed_ranks();
+    killed.sort_unstable();
+    assert_eq!(killed, vec![1, 4]);
+    assert_eq!(digest.load(std::sync::atomic::Ordering::Relaxed), reference);
+}
+
+#[test]
+fn integrated_api_simultaneous_failures() {
+    // Two ranks die at the same iteration; one repair wave (or two) must
+    // absorb both and the result must still match.
+    let reference = reference_digest(6, 2, 20);
+    for backend in [
+        IntegratedBackend::VelocSingle,
+        IntegratedBackend::Imr { policy: None },
+    ] {
+        let (report, digest) = run_integrated(
+            6,
+            2,
+            FaultPlan::kill_at(0, "iter", 6).and_kill(2, "iter", 6),
+            backend.clone(),
+            20,
+        );
+        let mut killed = report.killed_ranks();
+        killed.sort_unstable();
+        assert_eq!(killed, vec![0, 2]);
+        assert_eq!(
+            digest.load(std::sync::atomic::Ordering::Relaxed),
+            reference,
+            "{backend:?}"
+        );
+    }
+}
+
+#[test]
+fn integrated_api_failure_before_first_checkpoint() {
+    let reference = reference_digest(5, 1, 16);
+    for backend in [
+        IntegratedBackend::VelocSingle,
+        IntegratedBackend::Imr { policy: None },
+    ] {
+        let (report, digest) = run_integrated(
+            5,
+            1,
+            FaultPlan::kill_at(1, "iter", 2), // before the first checkpoint (v3)
+            backend.clone(),
+            16,
+        );
+        assert_eq!(report.killed_ranks(), vec![1]);
+        assert_eq!(
+            digest.load(std::sync::atomic::Ordering::Relaxed),
+            reference,
+            "{backend:?}"
+        );
+    }
+}

@@ -1,0 +1,336 @@
+//! Full strategy-matrix tests over a synthetic 1-D ring-diffusion app:
+//! failure-free equivalence, recovery correctness per strategy, and
+//! partial-rollback convergence.
+
+use std::sync::Arc;
+
+use cluster::{Cluster, ClusterConfig, RelaunchModel, TimeScale};
+use kokkos::capture::Checkpointable;
+use kokkos::View;
+use resilience::{
+    run_experiment, Bookkeeper, ExperimentConfig, IterativeApp, RankApp, RunMode, Strategy,
+};
+use simmpi::{Comm, FaultPlan, MpiResult, Phase, RankCtx};
+
+/// A deterministic 1-D diffusion on a ring: each rank owns `cells` values;
+/// every step exchanges edge values with both neighbors and relaxes toward
+/// the neighborhood average. Digest is exact (bit-level), so recovered runs
+/// can be compared bit-for-bit with uninterrupted ones.
+struct RingDiffusion {
+    cells: usize,
+    mode: RunMode,
+}
+
+struct RingState {
+    data: View<f64>,
+    rank: usize,
+    size: usize,
+    last_delta: f64,
+}
+
+impl IterativeApp for RingDiffusion {
+    fn name(&self) -> &str {
+        "ringdiff"
+    }
+
+    fn mode(&self) -> RunMode {
+        self.mode
+    }
+
+    fn init_rank(&self, _ctx: &RankCtx, comm: &Comm) -> Box<dyn RankApp> {
+        let data: View<f64> = View::new_1d("ring_data", self.cells);
+        {
+            let mut d = data.write_uncaptured();
+            for (i, x) in d.iter_mut().enumerate() {
+                // Deterministic, rank-dependent initial condition.
+                *x = ((comm.rank() * 31 + i * 7) % 101) as f64;
+            }
+        }
+        Box::new(RingState {
+            data,
+            rank: comm.rank(),
+            size: comm.size(),
+            last_delta: f64::INFINITY,
+        })
+    }
+}
+
+impl RankApp for RingState {
+    fn step(&mut self, comm: &Comm, _iteration: u64, bk: &Bookkeeper) -> MpiResult<()> {
+        let n = self.size;
+        let right = (self.rank + 1) % n;
+        let left = (self.rank + n - 1) % n;
+
+        let (first, last) = {
+            let d = self.data.read();
+            (d[0], d[d.len() - 1])
+        };
+        let mut from_left = [0.0f64];
+        let mut from_right = [0.0f64];
+        bk.book(Phase::AppMpi, || -> MpiResult<()> {
+            comm.sendrecv(right, 1, &[last], left, 1, &mut from_left)?;
+            comm.sendrecv(left, 2, &[first], right, 2, &mut from_right)?;
+            Ok(())
+        })?;
+
+        bk.book(Phase::AppCompute, || {
+            let mut d = self.data.write();
+            let len = d.len();
+            let mut delta: f64 = 0.0;
+            let snapshot: Vec<f64> = d.clone();
+            for i in 0..len {
+                let l = if i == 0 { from_left[0] } else { snapshot[i - 1] };
+                let r = if i == len - 1 {
+                    from_right[0]
+                } else {
+                    snapshot[i + 1]
+                };
+                let new = 0.5 * snapshot[i] + 0.25 * (l + r);
+                delta = delta.max((new - snapshot[i]).abs());
+                d[i] = new;
+            }
+            self.last_delta = delta;
+        });
+        Ok(())
+    }
+
+    fn checkpoint_views(&self) -> Vec<Arc<dyn Checkpointable>> {
+        vec![Arc::new(self.data.clone())]
+    }
+
+    fn converged(&mut self, comm: &Comm, bk: &Bookkeeper) -> MpiResult<bool> {
+        let global = bk.book(Phase::AppMpi, || {
+            comm.allreduce_scalar(self.last_delta, simmpi::ReduceOp::Max)
+        })?;
+        Ok(global < 1e-3)
+    }
+
+    fn digest(&self) -> u64 {
+        self.data
+            .read_uncaptured()
+            .iter()
+            .fold(0u64, |acc, x| acc.wrapping_mul(31).wrapping_add(x.to_bits()))
+    }
+}
+
+fn cluster(n: usize) -> Cluster {
+    let mut cfg = ClusterConfig::default();
+    cfg.nodes = n;
+    cfg.ranks_per_node = 1;
+    cfg.time_scale = TimeScale::instant();
+    cfg.relaunch = RelaunchModel::free();
+    Cluster::new(cfg)
+}
+
+fn fixed_app(iters: u64) -> RingDiffusion {
+    RingDiffusion {
+        cells: 64,
+        mode: RunMode::FixedIterations(iters),
+    }
+}
+
+fn cfg(strategy: Strategy, spares: usize) -> ExperimentConfig {
+    ExperimentConfig {
+        strategy,
+        spares,
+        checkpoints: 6,
+        max_relaunches: 4,
+        imr_policy: None,
+        fresh_storage: true,
+    }
+}
+
+/// Reference digest from an unprotected, failure-free run.
+fn reference_digest(active_ranks: usize, iters: u64) -> u64 {
+    let c = cluster(active_ranks);
+    let rec = run_experiment(
+        &c,
+        &fixed_app(iters),
+        &cfg(Strategy::Unprotected, 0),
+        Arc::new(FaultPlan::none()),
+    );
+    assert_eq!(rec.iterations, iters);
+    rec.digest
+}
+
+#[test]
+fn failure_free_all_strategies_agree() {
+    let iters = 30;
+    let reference = reference_digest(4, iters);
+    for strategy in [
+        Strategy::VelocOnly,
+        Strategy::KokkosResilience,
+        Strategy::FenixVeloc,
+        Strategy::FenixKokkosResilience,
+        Strategy::FenixImr,
+    ] {
+        // Fenix strategies get a spare on top of the 4 active ranks.
+        let (nodes, spares) = if strategy.uses_fenix() { (5, 1) } else { (4, 0) };
+        let c = cluster(nodes);
+        let rec = run_experiment(
+            &c,
+            &fixed_app(iters),
+            &cfg(strategy, spares),
+            Arc::new(FaultPlan::none()),
+        );
+        assert_eq!(rec.iterations, iters, "{strategy}");
+        assert_eq!(rec.digest, reference, "digest mismatch under {strategy}");
+        assert_eq!(rec.relaunches, 0, "{strategy}");
+        assert_eq!(rec.repairs, 0, "{strategy}");
+    }
+}
+
+#[test]
+fn relaunch_strategies_recover_exactly() {
+    let iters = 30;
+    let reference = reference_digest(4, iters);
+    for strategy in [Strategy::VelocOnly, Strategy::KokkosResilience] {
+        let c = cluster(4);
+        // Checkpoints at iterations 4,9,14,19,24,29; kill at 23 ≈ 95% of the
+        // 20..24 interval, after the v19 flush.
+        let plan = Arc::new(FaultPlan::kill_at(2, "iter", 23));
+        let rec = run_experiment(&c, &fixed_app(iters), &cfg(strategy, 0), plan);
+        assert_eq!(rec.relaunches, 1, "{strategy}");
+        assert_eq!(rec.iterations, iters, "{strategy}");
+        assert_eq!(rec.digest, reference, "recovered digest differs under {strategy}");
+        assert!(
+            rec.breakdown.data_recovery > std::time::Duration::ZERO,
+            "{strategy} must book data recovery"
+        );
+    }
+}
+
+#[test]
+fn unprotected_recovers_by_recomputing_everything() {
+    let iters = 20;
+    let reference = reference_digest(3, iters);
+    let c = cluster(3);
+    let plan = Arc::new(FaultPlan::kill_at(1, "iter", 15));
+    let rec = run_experiment(&c, &fixed_app(iters), &cfg(Strategy::Unprotected, 0), plan);
+    assert_eq!(rec.relaunches, 1);
+    assert_eq!(rec.digest, reference);
+    assert!(rec.breakdown.recompute > std::time::Duration::ZERO);
+}
+
+#[test]
+fn fenix_strategies_recover_exactly() {
+    let iters = 30;
+    let reference = reference_digest(4, iters);
+    for strategy in [
+        Strategy::FenixVeloc,
+        Strategy::FenixKokkosResilience,
+        Strategy::FenixImr,
+    ] {
+        let c = cluster(5); // 4 active + 1 spare
+        let plan = Arc::new(FaultPlan::kill_at(2, "iter", 23));
+        let rec = run_experiment(&c, &fixed_app(iters), &cfg(strategy, 1), plan);
+        assert_eq!(rec.relaunches, 0, "{strategy} must not relaunch");
+        assert!(rec.repairs >= 1, "{strategy} must repair");
+        assert_eq!(rec.iterations, iters, "{strategy}");
+        assert_eq!(rec.digest, reference, "recovered digest differs under {strategy}");
+    }
+}
+
+#[test]
+fn fenix_failure_before_first_checkpoint_cold_restarts() {
+    let iters = 12;
+    let reference = reference_digest(4, iters);
+    for strategy in [
+        Strategy::FenixVeloc,
+        Strategy::FenixKokkosResilience,
+        Strategy::FenixImr,
+    ] {
+        eprintln!("cold-restart strategy: {strategy}");
+        let c = cluster(5);
+        // Checkpoints every 2 iterations; kill at iteration 1, before the
+        // first checkpoint fires.
+        let plan = Arc::new(FaultPlan::kill_at(0, "iter", 1));
+        let rec = run_experiment(&c, &fixed_app(iters), &cfg(strategy, 1), plan);
+        assert_eq!(rec.digest, reference, "{strategy}");
+        assert!(rec.repairs >= 1, "{strategy}");
+    }
+}
+
+#[test]
+fn partial_rollback_converges() {
+    let app = RingDiffusion {
+        cells: 32,
+        mode: RunMode::Converge {
+            check_every: 5,
+            max_iterations: 4000,
+        },
+    };
+    // Failure-free convergence, full-rollback recovery, and partial-rollback
+    // recovery must all converge; partial must not recompute more than full.
+    let c = cluster(5);
+    let free = run_experiment(
+        &c,
+        &app,
+        &cfg(Strategy::FenixKokkosResilience, 1),
+        Arc::new(FaultPlan::none()),
+    );
+    assert!(free.iterations > 0 && free.iterations < 4000, "converged");
+
+    let kill_iter = free.iterations * 3 / 4;
+    let full = run_experiment(
+        &c,
+        &app,
+        &cfg(Strategy::FenixKokkosResilience, 1),
+        Arc::new(FaultPlan::kill_at(1, "iter", kill_iter)),
+    );
+    assert!(full.repairs >= 1);
+    assert!(full.iterations < 4000, "full rollback converged");
+
+    let partial = run_experiment(
+        &c,
+        &app,
+        &cfg(Strategy::PartialRollback, 1),
+        Arc::new(FaultPlan::kill_at(1, "iter", kill_iter)),
+    );
+    assert!(partial.repairs >= 1);
+    assert!(partial.iterations < 4000, "partial rollback converged");
+}
+
+#[test]
+fn imr_two_failures_with_two_spares() {
+    let iters = 30;
+    let reference = reference_digest(4, iters);
+    let c = cluster(6); // 4 active + 2 spares
+    let plan = Arc::new(FaultPlan::kill_at(0, "iter", 12).and_kill(3, "iter", 22));
+    let rec = run_experiment(&c, &fixed_app(iters), &cfg(Strategy::FenixImr, 2), plan);
+    assert!(rec.repairs >= 2);
+    assert_eq!(rec.digest, reference);
+}
+
+#[test]
+fn checkpoint_function_time_is_booked() {
+    let c = cluster(4);
+    let rec = run_experiment(
+        &c,
+        &fixed_app(30),
+        &cfg(Strategy::VelocOnly, 0),
+        Arc::new(FaultPlan::none()),
+    );
+    assert!(rec.breakdown.checkpoint_fn > std::time::Duration::ZERO);
+    assert!(rec.breakdown.app_compute > std::time::Duration::ZERO);
+}
+
+#[test]
+fn imr_commit_racing_repair_does_not_deadlock() {
+    // Regression: at larger rank counts, ranks far from the victim reach
+    // the IMR store's two-phase agreement while ranks adjacent to the
+    // victim abandon it for Fenix repair. The agreement must abort with
+    // Revoked (via the rendezvous revocation check) or the job deadlocks.
+    // Observed originally with 8-rank Heatdis dying exactly at a
+    // checkpoint iteration.
+    let iters = 60;
+    let reference = reference_digest(8, iters);
+    let c = cluster(9); // 8 active + 1 spare
+    // Checkpoints at 9,19,...,59; rank 4 dies at the checkpoint iteration
+    // 49, while distant ranks are already inside the commit.
+    let plan = Arc::new(FaultPlan::kill_at(4, "iter", 49));
+    let rec = run_experiment(&c, &fixed_app(iters), &cfg(Strategy::FenixImr, 1), plan);
+    assert!(rec.repairs >= 1);
+    assert_eq!(rec.iterations, iters);
+    assert_eq!(rec.digest, reference, "post-deadlock-fix recovery must be exact");
+}

@@ -1,0 +1,81 @@
+//! Error model following MPI-ULFM.
+
+/// Errors raised by simulated MPI operations.
+///
+/// The first three variants mirror ULFM's error classes:
+/// `MPI_ERR_PROC_FAILED`, `MPI_ERR_REVOKED`, and the local condition of the
+/// failing process itself. `Aborted` models `MPI_Abort` semantics — the whole
+/// job is being torn down (the default response to a failure when no
+/// fault-tolerant layer such as Fenix is attached).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MpiError {
+    /// One or more peer processes have failed. Ranks are *global* (world)
+    /// ranks. Raised by operations that require the failed process.
+    ProcFailed { ranks: Vec<usize> },
+    /// The communicator has been revoked (by `ulfm::revoke`); every pending
+    /// and future operation on it fails with this error.
+    Revoked,
+    /// This process itself has been killed by fault injection; the caller
+    /// must unwind out of the application.
+    Killed,
+    /// The job is aborting (a failure occurred and no recovery layer claimed
+    /// it, or `abort` was called).
+    Aborted,
+    /// A rank argument was outside the communicator.
+    RankOutOfRange { rank: usize, size: usize },
+    /// Payload length did not match the receive buffer.
+    TypeMismatch { expected: usize, got: usize },
+}
+
+impl MpiError {
+    /// True for the failure classes a fault-tolerant layer can recover from.
+    pub fn is_recoverable(&self) -> bool {
+        matches!(self, MpiError::ProcFailed { .. } | MpiError::Revoked)
+    }
+
+    /// Convenience constructor.
+    pub fn proc_failed(rank: usize) -> Self {
+        MpiError::ProcFailed { ranks: vec![rank] }
+    }
+}
+
+impl std::fmt::Display for MpiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MpiError::ProcFailed { ranks } => write!(f, "process failure at ranks {ranks:?}"),
+            MpiError::Revoked => write!(f, "communicator revoked"),
+            MpiError::Killed => write!(f, "this process was killed"),
+            MpiError::Aborted => write!(f, "job aborted"),
+            MpiError::RankOutOfRange { rank, size } => {
+                write!(f, "rank {rank} out of range for communicator of size {size}")
+            }
+            MpiError::TypeMismatch { expected, got } => {
+                write!(f, "payload size mismatch: expected {expected} bytes, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
+
+/// Result alias used throughout the MPI simulation.
+pub type MpiResult<T> = Result<T, MpiError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recoverable_classes() {
+        assert!(MpiError::proc_failed(3).is_recoverable());
+        assert!(MpiError::Revoked.is_recoverable());
+        assert!(!MpiError::Killed.is_recoverable());
+        assert!(!MpiError::Aborted.is_recoverable());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = MpiError::proc_failed(7).to_string();
+        assert!(s.contains('7'));
+    }
+}

@@ -1,0 +1,124 @@
+//! Deterministic fault injection.
+//!
+//! The paper simulates failures "through a rank exiting early, approximately
+//! 95% of the way between two checkpoints". A [`FaultPlan`] encodes exactly
+//! that: named application fault points (e.g. `"iter"`) fire when a chosen
+//! rank reaches a chosen count. Each kill fires at most once, even across
+//! simulated job relaunches — the plan is shared by reference between
+//! launches so a recovered run does not re-kill itself at the same spot.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// One scheduled failure.
+#[derive(Debug)]
+pub struct Kill {
+    /// Global (world) rank to kill.
+    pub rank: usize,
+    /// Fault-point label the application passes to `RankCtx::fault_point`.
+    pub label: String,
+    /// Fires when the labelled fault point reaches this count.
+    pub at: u64,
+    fired: AtomicBool,
+}
+
+impl Kill {
+    pub fn new(rank: usize, label: impl Into<String>, at: u64) -> Self {
+        Kill {
+            rank,
+            label: label.into(),
+            at,
+            fired: AtomicBool::new(false),
+        }
+    }
+
+    pub fn has_fired(&self) -> bool {
+        self.fired.load(Ordering::Acquire)
+    }
+}
+
+/// A set of scheduled failures, shared between (re)launches.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    kills: Vec<Kill>,
+}
+
+impl FaultPlan {
+    /// No failures.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Plan a single kill.
+    pub fn kill_at(rank: usize, label: impl Into<String>, at: u64) -> Self {
+        FaultPlan {
+            kills: vec![Kill::new(rank, label, at)],
+        }
+    }
+
+    /// Builder-style: add another kill.
+    pub fn and_kill(mut self, rank: usize, label: impl Into<String>, at: u64) -> Self {
+        self.kills.push(Kill::new(rank, label, at));
+        self
+    }
+
+    pub fn kills(&self) -> &[Kill] {
+        &self.kills
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.kills.is_empty()
+    }
+
+    /// Should `rank` die now at fault point `label` with counter `count`?
+    /// Marks the kill as fired; returns `true` only the first time.
+    pub fn check(&self, rank: usize, label: &str, count: u64) -> bool {
+        for k in &self.kills {
+            if k.rank == rank && k.at == count && k.label == label {
+                if k.fired
+                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// How many kills have fired so far.
+    pub fn fired_count(&self) -> usize {
+        self.kills.iter().filter(|k| k.has_fired()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_exactly_once() {
+        let plan = FaultPlan::kill_at(2, "iter", 10);
+        assert!(!plan.check(2, "iter", 9));
+        assert!(!plan.check(1, "iter", 10));
+        assert!(!plan.check(2, "other", 10));
+        assert!(plan.check(2, "iter", 10));
+        assert!(!plan.check(2, "iter", 10), "must not re-fire");
+        assert_eq!(plan.fired_count(), 1);
+    }
+
+    #[test]
+    fn multiple_kills_independent() {
+        let plan = FaultPlan::kill_at(0, "iter", 5).and_kill(1, "iter", 7);
+        assert!(plan.check(0, "iter", 5));
+        assert!(!plan.check(1, "iter", 5));
+        assert!(plan.check(1, "iter", 7));
+        assert_eq!(plan.fired_count(), 2);
+    }
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_empty());
+        assert!(!plan.check(0, "iter", 0));
+    }
+}

@@ -1,0 +1,116 @@
+//! Plain-old-data marshalling between typed slices and byte payloads.
+//!
+//! MPI moves raw bytes; the typed convenience API needs a cheap, safe-enough
+//! bridge. `Pod` is restricted to primitive numeric types whose every bit
+//! pattern is valid and which carry no padding, so the slice casts below are
+//! sound. This mirrors what `bytemuck::Pod` provides without adding the
+//! dependency.
+
+use bytes::Bytes;
+
+/// Types that can be viewed as raw bytes and reconstructed from them.
+///
+/// # Safety
+///
+/// Implementors must be `Copy`, have no padding bytes, no interior
+/// mutability, and every bit pattern must be a valid value.
+pub unsafe trait Pod: Copy + Send + Sync + 'static {}
+
+unsafe impl Pod for u8 {}
+unsafe impl Pod for i8 {}
+unsafe impl Pod for u16 {}
+unsafe impl Pod for i16 {}
+unsafe impl Pod for u32 {}
+unsafe impl Pod for i32 {}
+unsafe impl Pod for u64 {}
+unsafe impl Pod for i64 {}
+unsafe impl Pod for usize {}
+unsafe impl Pod for f32 {}
+unsafe impl Pod for f64 {}
+
+/// View a typed slice as its underlying bytes (zero copy).
+pub fn as_bytes<T: Pod>(slice: &[T]) -> &[u8] {
+    // SAFETY: T is Pod (no padding, all bit patterns valid), and u8 has
+    // alignment 1, so reinterpreting the memory of the slice is sound.
+    unsafe {
+        std::slice::from_raw_parts(slice.as_ptr().cast::<u8>(), std::mem::size_of_val(slice))
+    }
+}
+
+/// Copy a typed slice into an owned byte payload.
+pub fn to_bytes<T: Pod>(slice: &[T]) -> Bytes {
+    Bytes::copy_from_slice(as_bytes(slice))
+}
+
+/// Copy a byte payload into a typed buffer. Panics if lengths mismatch or
+/// the payload length is not a multiple of `size_of::<T>()`.
+pub fn copy_from_bytes<T: Pod>(dst: &mut [T], src: &[u8]) {
+    let want = std::mem::size_of_val(dst);
+    assert_eq!(
+        src.len(),
+        want,
+        "payload is {} bytes but buffer wants {}",
+        src.len(),
+        want
+    );
+    // SAFETY: dst is Pod; writing arbitrary bytes over it yields valid values.
+    let dst_bytes = unsafe {
+        std::slice::from_raw_parts_mut(dst.as_mut_ptr().cast::<u8>(), want)
+    };
+    dst_bytes.copy_from_slice(src);
+}
+
+/// Decode a byte payload into a freshly allocated `Vec<T>`.
+pub fn vec_from_bytes<T: Pod + Default>(src: &[u8]) -> Vec<T> {
+    let sz = std::mem::size_of::<T>();
+    assert!(
+        src.len() % sz == 0,
+        "payload length {} is not a multiple of element size {}",
+        src.len(),
+        sz
+    );
+    let mut v = vec![T::default(); src.len() / sz];
+    copy_from_bytes(&mut v, src);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_f64() {
+        let xs = [1.5f64, -2.25, 0.0, f64::MAX];
+        let b = to_bytes(&xs);
+        let mut ys = [0.0f64; 4];
+        copy_from_bytes(&mut ys, &b);
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn roundtrip_vec_u32() {
+        let xs = vec![1u32, 2, 3, u32::MAX];
+        let b = to_bytes(&xs);
+        assert_eq!(vec_from_bytes::<u32>(&b), xs);
+    }
+
+    #[test]
+    fn empty_slice_is_empty_bytes() {
+        let xs: [f64; 0] = [];
+        assert!(to_bytes(&xs).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "payload")]
+    fn size_mismatch_panics() {
+        let mut ys = [0.0f64; 2];
+        copy_from_bytes(&mut ys, &[0u8; 9]);
+    }
+
+    #[test]
+    fn bytes_are_little_endian_native() {
+        let xs = [0x0102_0304u32];
+        let b = to_bytes(&xs);
+        assert_eq!(u32::from_ne_bytes([b[0], b[1], b[2], b[3]]), xs[0]);
+    }
+}

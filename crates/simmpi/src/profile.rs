@@ -1,0 +1,199 @@
+//! Per-rank phase timing.
+//!
+//! The paper reports stacked cost breakdowns; every run in this repo carries
+//! a `Profile` per rank that accumulates wall time into the same categories:
+//! Heatdis uses `AppCompute`/`AppMpi`, MiniMD uses
+//! `ForceCompute`/`Neighboring`/`Communicator`, and the resilience layers
+//! book their own costs (`ResilienceInit`, `CheckpointFn`, `DataRecovery`,
+//! `Recompute`). Whatever the harness measures beyond the in-app phases
+//! lands in the paper's "Other" category (job startup/teardown, data
+//! initialization).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Cost categories matching the paper's figures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Phase {
+    /// Heatdis: local stencil compute.
+    AppCompute,
+    /// Heatdis: time blocked in MPI calls.
+    AppMpi,
+    /// Fenix + Kokkos Resilience + VeloC initialization.
+    ResilienceInit,
+    /// Synchronous portion of checkpoint calls.
+    CheckpointFn,
+    /// Restoring data after a failure (restart reads + deserialization).
+    DataRecovery,
+    /// Re-executing iterations lost since the last checkpoint.
+    Recompute,
+    /// MiniMD: force computation (compute-bound).
+    ForceCompute,
+    /// MiniMD: neighbor-list construction (mostly compute-bound).
+    Neighboring,
+    /// MiniMD: atom exchange/ghost communication (communication-bound).
+    Communicator,
+    /// Application initialization (counted toward "Other" on relaunch).
+    AppInit,
+}
+
+impl Phase {
+    pub const COUNT: usize = 10;
+
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::AppCompute,
+        Phase::AppMpi,
+        Phase::ResilienceInit,
+        Phase::CheckpointFn,
+        Phase::DataRecovery,
+        Phase::Recompute,
+        Phase::ForceCompute,
+        Phase::Neighboring,
+        Phase::Communicator,
+        Phase::AppInit,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::AppCompute => "App compute",
+            Phase::AppMpi => "App MPI",
+            Phase::ResilienceInit => "Resilience Initialization",
+            Phase::CheckpointFn => "Checkpoint Function",
+            Phase::DataRecovery => "Data Recovery",
+            Phase::Recompute => "Recompute",
+            Phase::ForceCompute => "Force Compute",
+            Phase::Neighboring => "Neighboring",
+            Phase::Communicator => "Communicator",
+            Phase::AppInit => "App Init",
+        }
+    }
+}
+
+/// Thread-safe phase-time accumulator (nanosecond resolution).
+#[derive(Default)]
+pub struct Profile {
+    nanos: [AtomicU64; Phase::COUNT],
+}
+
+impl Profile {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a measured duration to a phase.
+    pub fn add(&self, phase: Phase, d: Duration) {
+        self.nanos[phase as usize].fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Time a closure and book it under `phase`.
+    pub fn time<T>(&self, phase: Phase, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.add(phase, t0.elapsed());
+        out
+    }
+
+    /// Accumulated time in a phase.
+    pub fn get(&self, phase: Phase) -> Duration {
+        Duration::from_nanos(self.nanos[phase as usize].load(Ordering::Relaxed))
+    }
+
+    /// Sum across all phases (the in-app accounted time).
+    pub fn total(&self) -> Duration {
+        Phase::ALL.iter().map(|&p| self.get(p)).sum()
+    }
+
+    /// Snapshot all phases as (phase, duration) pairs.
+    pub fn snapshot(&self) -> Vec<(Phase, Duration)> {
+        Phase::ALL.iter().map(|&p| (p, self.get(p))).collect()
+    }
+
+    /// Zero every accumulator (used when an app section re-runs and the
+    /// caller wants to rebook it, e.g. recompute after rollback).
+    pub fn reset(&self) {
+        for n in &self.nanos {
+            n.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Merge another profile into this one (used when a relaunched job's
+    /// profile is folded into the overall experiment record).
+    pub fn merge_from(&self, other: &Profile) {
+        for &p in &Phase::ALL {
+            self.add(p, other.get(p));
+        }
+    }
+}
+
+impl std::fmt::Debug for Profile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut s = f.debug_struct("Profile");
+        for &p in &Phase::ALL {
+            let d = self.get(p);
+            if !d.is_zero() {
+                s.field(p.name(), &d);
+            }
+        }
+        s.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get() {
+        let p = Profile::new();
+        p.add(Phase::AppCompute, Duration::from_millis(5));
+        p.add(Phase::AppCompute, Duration::from_millis(7));
+        assert_eq!(p.get(Phase::AppCompute), Duration::from_millis(12));
+        assert_eq!(p.get(Phase::AppMpi), Duration::ZERO);
+    }
+
+    #[test]
+    fn time_books_elapsed() {
+        let p = Profile::new();
+        let v = p.time(Phase::CheckpointFn, || {
+            std::thread::sleep(Duration::from_millis(2));
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(p.get(Phase::CheckpointFn) >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn total_sums_phases() {
+        let p = Profile::new();
+        p.add(Phase::AppCompute, Duration::from_millis(1));
+        p.add(Phase::AppMpi, Duration::from_millis(2));
+        assert_eq!(p.total(), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let a = Profile::new();
+        let b = Profile::new();
+        a.add(Phase::Recompute, Duration::from_millis(3));
+        b.add(Phase::Recompute, Duration::from_millis(4));
+        a.merge_from(&b);
+        assert_eq!(a.get(Phase::Recompute), Duration::from_millis(7));
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let p = Profile::new();
+        p.add(Phase::AppInit, Duration::from_millis(9));
+        p.reset();
+        assert_eq!(p.total(), Duration::ZERO);
+    }
+
+    #[test]
+    fn phase_names_unique() {
+        let mut names: Vec<_> = Phase::ALL.iter().map(|p| p.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), Phase::COUNT);
+    }
+}

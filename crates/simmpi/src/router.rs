@@ -1,0 +1,500 @@
+//! The shared message fabric: per-rank mailboxes, death and revocation
+//! registries, and the job-abort flag.
+//!
+//! The router is the only shared-memory component of the MPI simulation;
+//! every property visible to application code (message ordering, failure
+//! observability, revocation wake-ups) mirrors what a real ULFM MPI provides
+//! over a network.
+//!
+//! Key semantics:
+//!
+//! * A message already enqueued is deliverable even if its sender has since
+//!   died (in-flight data is not clawed back).
+//! * A receive *from a specific rank* fails with `ProcFailed` once that rank
+//!   is dead and no matching message is queued.
+//! * A receive from `ANY` fails only when every other live member of the
+//!   communicator's group is dead — otherwise it keeps waiting (exactly the
+//!   ULFM situation that makes `revoke` necessary to avoid deadlock).
+//! * Revoking a communicator wakes every rank blocked on it with `Revoked`.
+//! * Killing a rank wakes all blocked ranks so they can re-evaluate.
+
+use std::collections::{HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use cluster::Cluster;
+
+use crate::error::{MpiError, MpiResult};
+use crate::rendezvous::RendezvousTable;
+
+/// Identifies a communicator. Derived communicators get deterministic ids so
+/// all ranks agree without communication.
+pub type CommId = u64;
+
+/// A message in flight.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Envelope {
+    pub comm: CommId,
+    pub epoch: u32,
+    /// Global (world) rank of the sender.
+    pub src: usize,
+    pub tag: u64,
+    pub payload: Bytes,
+}
+
+/// What a receive call is waiting for.
+#[derive(Clone, Copy, Debug)]
+pub struct MatchSpec<'a> {
+    pub comm: CommId,
+    pub epoch: u32,
+    /// `None` = receive from any source in `group`.
+    pub src: Option<usize>,
+    pub tag: u64,
+    /// Global ranks of the communicator's group (used for any-source
+    /// deadlock detection).
+    pub group: &'a [usize],
+    /// Global rank of the receiver.
+    pub me: usize,
+}
+
+struct Mailbox {
+    queue: Mutex<VecDeque<Envelope>>,
+    cv: Condvar,
+}
+
+impl Mailbox {
+    fn new() -> Self {
+        Mailbox {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// The shared fabric.
+pub struct Router {
+    mailboxes: Vec<Mailbox>,
+    dead: RwLock<HashSet<usize>>,
+    revoked: RwLock<HashSet<(CommId, u32)>>,
+    aborted: AtomicBool,
+    cluster: Cluster,
+    pub(crate) rendezvous: RendezvousTable,
+}
+
+impl Router {
+    pub fn new(cluster: Cluster) -> Arc<Self> {
+        let n = cluster.topology().total_ranks();
+        Arc::new(Router {
+            mailboxes: (0..n).map(|_| Mailbox::new()).collect(),
+            dead: RwLock::new(HashSet::new()),
+            revoked: RwLock::new(HashSet::new()),
+            aborted: AtomicBool::new(false),
+            cluster,
+            rendezvous: RendezvousTable::new(),
+        })
+    }
+
+    pub fn ranks(&self) -> usize {
+        self.mailboxes.len()
+    }
+
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    // ---- failure state ----------------------------------------------------
+
+    pub fn is_dead(&self, rank: usize) -> bool {
+        self.dead.read().contains(&rank)
+    }
+
+    /// Snapshot of all dead global ranks.
+    pub fn dead_snapshot(&self) -> HashSet<usize> {
+        self.dead.read().clone()
+    }
+
+    /// Dead ranks within a given group, in group order.
+    pub fn dead_in(&self, group: &[usize]) -> Vec<usize> {
+        let dead = self.dead.read();
+        group.iter().copied().filter(|r| dead.contains(r)).collect()
+    }
+
+    /// Kill a rank: mark it dead, purge its node's scratch space, and wake
+    /// every blocked rank so it can observe the failure.
+    pub fn kill(&self, rank: usize) {
+        {
+            let mut dead = self.dead.write();
+            if !dead.insert(rank) {
+                return; // already dead
+            }
+        }
+        self.cluster.fail_node_of(rank);
+        self.wake_all();
+    }
+
+    pub fn is_revoked(&self, comm: CommId, epoch: u32) -> bool {
+        self.revoked.read().contains(&(comm, epoch))
+    }
+
+    /// Revoke a communicator epoch; wakes all blocked ranks.
+    pub fn revoke(&self, comm: CommId, epoch: u32) {
+        {
+            let mut rv = self.revoked.write();
+            if !rv.insert((comm, epoch)) {
+                return;
+            }
+        }
+        self.wake_all();
+    }
+
+    pub fn is_aborted(&self) -> bool {
+        self.aborted.load(Ordering::Acquire)
+    }
+
+    /// Abort the job (plain-MPI response to an unrecovered failure).
+    pub fn abort(&self) {
+        self.aborted.store(true, Ordering::Release);
+        self.wake_all();
+    }
+
+    /// Wake every rank blocked in a receive or a rendezvous.
+    pub fn wake_all(&self) {
+        for mb in &self.mailboxes {
+            let _guard = mb.queue.lock();
+            mb.cv.notify_all();
+        }
+        self.rendezvous.wake_all();
+    }
+
+    /// Discard queued envelopes belonging to a retired communicator epoch
+    /// (called after a Fenix repair so stale traffic cannot accumulate).
+    pub fn purge_comm(&self, comm: CommId, epoch: u32) {
+        for mb in &self.mailboxes {
+            mb.queue
+                .lock()
+                .retain(|e| !(e.comm == comm && e.epoch == epoch));
+        }
+    }
+
+    /// Deterministically derive a child communicator id, identically
+    /// computable on every rank without communication.
+    pub fn derive_comm_id(parent: CommId, salt: u64) -> CommId {
+        // FNV-1a over the two words; collision-free enough for the handful
+        // of communicators a resilience stack creates.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in parent.to_le_bytes().into_iter().chain(salt.to_le_bytes()) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h | 0x8000_0000_0000_0000 // keep derived ids out of the small-id space
+    }
+
+    // ---- messaging --------------------------------------------------------
+
+    fn preflight(&self, me: usize, comm: CommId, epoch: u32) -> MpiResult<()> {
+        if self.is_aborted() {
+            return Err(MpiError::Aborted);
+        }
+        if self.is_dead(me) {
+            return Err(MpiError::Killed);
+        }
+        if self.is_revoked(comm, epoch) {
+            return Err(MpiError::Revoked);
+        }
+        Ok(())
+    }
+
+    /// Send an envelope from global rank `src` to global rank `dst`,
+    /// charging the modeled network (intra-node messages skip the NIC).
+    pub fn send(&self, dst: usize, env: Envelope) -> MpiResult<()> {
+        self.preflight(env.src, env.comm, env.epoch)?;
+        if self.is_dead(dst) {
+            return Err(MpiError::proc_failed(dst));
+        }
+        if !self.cluster.topology().same_node(env.src, dst) {
+            self.cluster.network().transfer(env.src, dst, env.payload.len());
+        }
+        // The destination may have died while the transfer was in flight.
+        if self.is_dead(dst) {
+            return Err(MpiError::proc_failed(dst));
+        }
+        let mb = &self.mailboxes[dst];
+        mb.queue.lock().push_back(env);
+        mb.cv.notify_all();
+        Ok(())
+    }
+
+    /// Blocking receive. Returns the matched envelope.
+    pub fn recv(&self, spec: MatchSpec<'_>) -> MpiResult<Envelope> {
+        let mb = &self.mailboxes[spec.me];
+        let mut queue = mb.queue.lock();
+        loop {
+            // Deliver queued matches first: in-flight data from a
+            // now-dead sender is still valid.
+            if let Some(pos) = queue.iter().position(|e| {
+                e.comm == spec.comm
+                    && e.epoch == spec.epoch
+                    && e.tag == spec.tag
+                    && spec.src.map_or(true, |s| e.src == s)
+            }) {
+                return Ok(queue.remove(pos).expect("position just found"));
+            }
+
+            if self.is_aborted() {
+                return Err(MpiError::Aborted);
+            }
+            if self.is_dead(spec.me) {
+                return Err(MpiError::Killed);
+            }
+            if self.is_revoked(spec.comm, spec.epoch) {
+                return Err(MpiError::Revoked);
+            }
+            match spec.src {
+                Some(s) if self.is_dead(s) => {
+                    return Err(MpiError::proc_failed(s));
+                }
+                None => {
+                    let dead = self.dead.read();
+                    let others_alive = spec
+                        .group
+                        .iter()
+                        .any(|&r| r != spec.me && !dead.contains(&r));
+                    if !others_alive {
+                        let all_dead: Vec<usize> = spec
+                            .group
+                            .iter()
+                            .copied()
+                            .filter(|&r| r != spec.me)
+                            .collect();
+                        return Err(MpiError::ProcFailed { ranks: all_dead });
+                    }
+                }
+                _ => {}
+            }
+            // Bounded wait: all state transitions notify, the timeout is a
+            // belt-and-braces re-check.
+            mb.cv.wait_for(&mut queue, Duration::from_millis(250));
+        }
+    }
+
+    /// Non-blocking probe: is a matching message queued?
+    pub fn probe(&self, spec: MatchSpec<'_>) -> bool {
+        self.mailboxes[spec.me].queue.lock().iter().any(|e| {
+            e.comm == spec.comm
+                && e.epoch == spec.epoch
+                && e.tag == spec.tag
+                && spec.src.map_or(true, |s| e.src == s)
+        })
+    }
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Router")
+            .field("ranks", &self.mailboxes.len())
+            .field("dead", &*self.dead.read())
+            .field("aborted", &self.is_aborted())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::{ClusterConfig, TimeScale};
+
+    fn router(n: usize) -> Arc<Router> {
+        let mut cfg = ClusterConfig::default();
+        cfg.nodes = n;
+        cfg.ranks_per_node = 1;
+        cfg.time_scale = TimeScale::instant();
+        Router::new(Cluster::new(cfg))
+    }
+
+    fn env(src: usize, tag: u64, payload: &'static [u8]) -> Envelope {
+        Envelope {
+            comm: 0,
+            epoch: 0,
+            src,
+            tag,
+            payload: Bytes::from_static(payload),
+        }
+    }
+
+    fn spec<'a>(me: usize, src: Option<usize>, tag: u64, group: &'a [usize]) -> MatchSpec<'a> {
+        MatchSpec {
+            comm: 0,
+            epoch: 0,
+            src,
+            tag,
+            group,
+            me,
+        }
+    }
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let r = router(2);
+        r.send(1, env(0, 7, b"hi")).unwrap();
+        let group = [0, 1];
+        let e = r.recv(spec(1, Some(0), 7, &group)).unwrap();
+        assert_eq!(&e.payload[..], b"hi");
+        assert_eq!(e.src, 0);
+    }
+
+    #[test]
+    fn recv_filters_by_tag() {
+        let r = router(2);
+        r.send(1, env(0, 1, b"one")).unwrap();
+        r.send(1, env(0, 2, b"two")).unwrap();
+        let group = [0, 1];
+        let e = r.recv(spec(1, Some(0), 2, &group)).unwrap();
+        assert_eq!(&e.payload[..], b"two");
+        let e = r.recv(spec(1, Some(0), 1, &group)).unwrap();
+        assert_eq!(&e.payload[..], b"one");
+    }
+
+    #[test]
+    fn send_to_dead_rank_fails() {
+        let r = router(2);
+        r.kill(1);
+        assert_eq!(
+            r.send(1, env(0, 0, b"")),
+            Err(MpiError::proc_failed(1))
+        );
+    }
+
+    #[test]
+    fn dead_sender_cannot_send() {
+        let r = router(2);
+        r.kill(0);
+        assert_eq!(r.send(1, env(0, 0, b"")), Err(MpiError::Killed));
+    }
+
+    #[test]
+    fn recv_from_dead_rank_fails() {
+        let r = router(2);
+        r.kill(0);
+        let group = [0, 1];
+        assert_eq!(
+            r.recv(spec(1, Some(0), 0, &group)),
+            Err(MpiError::proc_failed(0))
+        );
+    }
+
+    #[test]
+    fn queued_message_from_dead_sender_still_delivers() {
+        let r = router(2);
+        r.send(1, env(0, 3, b"last words")).unwrap();
+        r.kill(0);
+        let group = [0, 1];
+        let e = r.recv(spec(1, Some(0), 3, &group)).unwrap();
+        assert_eq!(&e.payload[..], b"last words");
+    }
+
+    #[test]
+    fn revoked_comm_fails_blocked_recv() {
+        let r = router(2);
+        let r2 = Arc::clone(&r);
+        let h = std::thread::spawn(move || {
+            let group = [0, 1];
+            r2.recv(spec(1, Some(0), 0, &group))
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        r.revoke(0, 0);
+        assert_eq!(h.join().unwrap(), Err(MpiError::Revoked));
+    }
+
+    #[test]
+    fn any_source_recv_fails_when_all_peers_dead() {
+        let r = router(3);
+        r.kill(0);
+        r.kill(2);
+        let group = [0, 1, 2];
+        match r.recv(spec(1, None, 0, &group)) {
+            Err(MpiError::ProcFailed { ranks }) => assert_eq!(ranks, vec![0, 2]),
+            other => panic!("expected ProcFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn any_source_recv_wakes_on_late_message() {
+        let r = router(2);
+        let r2 = Arc::clone(&r);
+        let h = std::thread::spawn(move || {
+            let group = [0, 1];
+            r2.recv(spec(1, None, 9, &group))
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        r.send(1, env(0, 9, b"late")).unwrap();
+        let e = h.join().unwrap().unwrap();
+        assert_eq!(&e.payload[..], b"late");
+    }
+
+    #[test]
+    fn abort_wakes_blocked_recv() {
+        let r = router(2);
+        let r2 = Arc::clone(&r);
+        let h = std::thread::spawn(move || {
+            let group = [0, 1];
+            r2.recv(spec(1, Some(0), 0, &group))
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        r.abort();
+        assert_eq!(h.join().unwrap(), Err(MpiError::Aborted));
+    }
+
+    #[test]
+    fn kill_purges_scratch() {
+        let r = router(2);
+        r.cluster()
+            .scratch()
+            .write(1, "ck", Bytes::from_static(b"x"));
+        r.kill(1);
+        assert!(r.cluster().scratch().read(1, "ck").is_none());
+    }
+
+    #[test]
+    fn purge_comm_drops_only_that_epoch() {
+        let r = router(2);
+        r.send(1, env(0, 1, b"old")).unwrap();
+        let mut e2 = env(0, 1, b"new");
+        e2.epoch = 1;
+        r.send(1, e2).unwrap();
+        r.purge_comm(0, 0);
+        let group = [0, 1];
+        let s = MatchSpec {
+            comm: 0,
+            epoch: 1,
+            src: Some(0),
+            tag: 1,
+            group: &group,
+            me: 1,
+        };
+        let e = r.recv(s).unwrap();
+        assert_eq!(&e.payload[..], b"new");
+        assert!(!r.probe(spec(1, Some(0), 1, &group)));
+    }
+
+    #[test]
+    fn derived_ids_are_deterministic_and_distinct() {
+        let a = Router::derive_comm_id(0, 1);
+        let b = Router::derive_comm_id(0, 1);
+        let c = Router::derive_comm_id(0, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn double_kill_is_idempotent() {
+        let r = router(2);
+        r.kill(1);
+        r.kill(1);
+        assert!(r.is_dead(1));
+        assert_eq!(r.dead_in(&[0, 1]), vec![1]);
+    }
+}

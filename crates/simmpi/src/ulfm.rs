@@ -1,0 +1,128 @@
+//! ULFM fault-tolerance extensions on [`Comm`].
+//!
+//! The four primitives the paper's Fenix layer builds on, with the semantics
+//! of the MPI-ULFM specification (Bland et al. 2013):
+//!
+//! * [`Comm::revoke`] — non-collective; permanently poisons the communicator
+//!   so every pending/future operation on it raises
+//!   [`MpiError::Revoked`]. This is how one rank's local failure knowledge
+//!   is propagated to ranks that would otherwise block forever.
+//! * [`Comm::agree`] — fault-tolerant agreement on a bitwise-AND of flags;
+//!   completes despite failures (including failures *during* the call) and
+//!   reports the failed ranks it observed. Works on revoked communicators.
+//! * [`Comm::shrink`] — collectively builds a new communicator containing
+//!   the survivors, preserving their relative order. Works on revoked
+//!   communicators.
+//! * [`Comm::failed_ranks`] — local knowledge of failed group members
+//!   (`MPI_Comm_failure_ack` + `get_acked` folded into one query).
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use crate::comm::Comm;
+use crate::error::MpiResult;
+use crate::rendezvous::{purpose, RendezvousKey};
+use crate::router::Router;
+
+/// Result of [`Comm::agree`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AgreeOutcome {
+    /// Bitwise AND of every live participant's flags.
+    pub flags: u64,
+    /// Global ranks of group members observed dead during the agreement.
+    pub failed: Vec<usize>,
+}
+
+impl Comm {
+    /// Revoke this communicator (ULFM `MPI_Comm_revoke`): every rank blocked
+    /// on it wakes with `Revoked`, and all future operations fail likewise.
+    /// Idempotent; any rank may call it at any time.
+    pub fn revoke(&self) {
+        self.router().revoke(self.id(), self.epoch());
+    }
+
+    /// Whether this communicator has been revoked.
+    pub fn is_revoked(&self) -> bool {
+        self.router().is_revoked(self.id(), self.epoch())
+    }
+
+    /// Locally-known failed members of this communicator, as communicator
+    /// ranks (ULFM `failure_ack`/`get_acked`).
+    pub fn failed_ranks(&self) -> Vec<usize> {
+        let dead = self.router().dead_snapshot();
+        (0..self.size())
+            .filter(|&r| dead.contains(&self.global_of(r)))
+            .collect()
+    }
+
+    /// Fault-tolerant agreement (ULFM `MPI_Comm_agree`).
+    ///
+    /// All live members must call with the same `seq` (successive agreements
+    /// on one communicator must use increasing sequence numbers — the caller
+    /// owns that ordering, which in Fenix is the repair counter). Returns the
+    /// AND of all live contributions plus the failures observed. Completes
+    /// even on a revoked communicator.
+    pub fn agree(&self, seq: u64, flags: u64) -> MpiResult<AgreeOutcome> {
+        let key = RendezvousKey {
+            comm: self.id(),
+            epoch: self.epoch(),
+            purpose: purpose::AGREE,
+            seq,
+        };
+        let outcome = self.router().rendezvous(
+            key,
+            self.my_global(),
+            self.group(),
+            Bytes::copy_from_slice(&flags.to_le_bytes()),
+            |parts| {
+                let agreed = parts
+                    .iter()
+                    .map(|(_, b)| u64::from_le_bytes(b[..8].try_into().expect("u64 payload")))
+                    .fold(u64::MAX, |a, b| a & b);
+                Bytes::copy_from_slice(&agreed.to_le_bytes())
+            },
+        )?;
+        Ok(AgreeOutcome {
+            flags: u64::from_le_bytes(outcome.value[..8].try_into().expect("u64 payload")),
+            failed: outcome.failures_observed,
+        })
+    }
+
+    /// Fault-tolerant shrink (ULFM `MPI_Comm_shrink`): survivors collectively
+    /// agree on the dead set and build a new communicator containing only
+    /// the survivors, preserving relative rank order. All live members must
+    /// call with the same `seq`.
+    pub fn shrink(&self, seq: u64) -> MpiResult<Comm> {
+        let key = RendezvousKey {
+            comm: self.id(),
+            epoch: self.epoch(),
+            purpose: purpose::SHRINK,
+            seq,
+        };
+        let outcome = self.router().rendezvous(
+            key,
+            self.my_global(),
+            self.group(),
+            Bytes::new(),
+            |_parts| Bytes::new(),
+        )?;
+        // The agreed dead set is the snapshot taken by the completing
+        // participant; every rank derives the identical survivor group.
+        let dead = &outcome.failures_observed;
+        let survivors: Vec<usize> = self
+            .group()
+            .iter()
+            .copied()
+            .filter(|g| !dead.contains(g))
+            .collect();
+        let new_id = Router::derive_comm_id(self.id(), ((self.epoch() as u64) << 32) | seq);
+        Ok(Comm::from_group(
+            Arc::clone(self.router()),
+            new_id,
+            0,
+            Arc::new(survivors),
+            self.my_global(),
+        ))
+    }
+}

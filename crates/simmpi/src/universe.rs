@@ -1,0 +1,230 @@
+//! Job launch: one OS thread per MPI rank.
+//!
+//! [`Universe::launch`] is the `mpirun` of the simulation. It spawns the
+//! rank threads, hands each a [`RankCtx`], runs the application closure, and
+//! collects per-rank outcomes plus the job's wall time. When a rank fails
+//! and `abort_on_failure` is set (plain-MPI semantics, used by the paper's
+//! relaunch-based baselines), the whole job is aborted — surviving ranks
+//! observe [`MpiError::Aborted`] and unwind, exactly like `MPI_Abort` after
+//! an unhandled fault.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cluster::Cluster;
+
+use crate::comm::Comm;
+use crate::error::{MpiError, MpiResult};
+use crate::fault::FaultPlan;
+use crate::profile::Profile;
+use crate::router::Router;
+
+/// Launch-time options.
+#[derive(Clone, Debug)]
+pub struct UniverseConfig {
+    /// If true, any rank failure aborts the whole job (plain MPI). If false,
+    /// failures only surface as ULFM errors and a fault-tolerant layer
+    /// (Fenix) is expected to recover (the job keeps running).
+    pub abort_on_failure: bool,
+    /// Whether to charge the modeled job-startup cost before running ranks
+    /// (the harness accounts it under "Other").
+    pub charge_startup: bool,
+}
+
+impl Default for UniverseConfig {
+    fn default() -> Self {
+        UniverseConfig {
+            abort_on_failure: false,
+            charge_startup: false,
+        }
+    }
+}
+
+/// Per-rank execution context handed to the application closure.
+pub struct RankCtx {
+    rank: usize,
+    world: Comm,
+    router: Arc<Router>,
+    fault: Arc<FaultPlan>,
+    profile: Arc<Profile>,
+}
+
+impl RankCtx {
+    /// Global (world) rank of this thread.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// The world communicator (`MPI_COMM_WORLD` equivalent).
+    pub fn world(&self) -> &Comm {
+        &self.world
+    }
+
+    pub fn router(&self) -> &Arc<Router> {
+        &self.router
+    }
+
+    pub fn cluster(&self) -> &Cluster {
+        self.router.cluster()
+    }
+
+    pub fn profile(&self) -> &Arc<Profile> {
+        &self.profile
+    }
+
+    pub fn fault_plan(&self) -> &Arc<FaultPlan> {
+        &self.fault
+    }
+
+    /// Application fault point: dies here if the fault plan says so.
+    /// The returned error must be propagated (`?`) so the rank unwinds.
+    pub fn fault_point(&self, label: &str, count: u64) -> MpiResult<()> {
+        if self.fault.check(self.rank, label, count) {
+            self.router.kill(self.rank);
+            return Err(MpiError::Killed);
+        }
+        Ok(())
+    }
+
+    /// Unconditionally kill this rank (tests, custom failure modes).
+    pub fn die(&self) -> MpiError {
+        self.router.kill(self.rank);
+        MpiError::Killed
+    }
+}
+
+/// Outcome of one rank's execution.
+#[derive(Debug)]
+pub struct RankOutcome {
+    pub rank: usize,
+    pub result: MpiResult<()>,
+    pub profile: Arc<Profile>,
+}
+
+/// Outcome of a whole launch.
+#[derive(Debug)]
+pub struct LaunchReport {
+    pub outcomes: Vec<RankOutcome>,
+    /// Wall time of the launch (excluding modeled startup, which the
+    /// harness accounts separately).
+    pub wall: Duration,
+    /// Whether the job ended in an abort.
+    pub aborted: bool,
+}
+
+impl LaunchReport {
+    /// True when every rank completed without error.
+    pub fn all_ok(&self) -> bool {
+        self.outcomes.iter().all(|o| o.result.is_ok())
+    }
+
+    /// Ranks that ended with `Killed` (the injected victims).
+    pub fn killed_ranks(&self) -> Vec<usize> {
+        self.outcomes
+            .iter()
+            .filter(|o| o.result == Err(MpiError::Killed))
+            .map(|o| o.rank)
+            .collect()
+    }
+
+    /// Merged per-phase profile across ranks: maximum over ranks per phase
+    /// (critical-path view, matching a wall-clock measurement).
+    pub fn max_profile(&self) -> Profile {
+        let out = Profile::new();
+        for &phase in &crate::profile::Phase::ALL {
+            let m = self
+                .outcomes
+                .iter()
+                .map(|o| o.profile.get(phase))
+                .max()
+                .unwrap_or_default();
+            out.add(phase, m);
+        }
+        out
+    }
+}
+
+/// The job launcher.
+pub struct Universe;
+
+impl Universe {
+    /// Launch `cluster.total_ranks()` rank threads running `f`.
+    ///
+    /// `f` is invoked once per rank. A rank returning `Err` signals failure:
+    /// with `abort_on_failure` the remaining ranks are aborted. Panics in
+    /// `f` are caught, reported as `Killed`, and treated like failures so
+    /// the job cannot hang.
+    pub fn launch<F>(
+        cluster: &Cluster,
+        config: UniverseConfig,
+        fault: Arc<FaultPlan>,
+        f: F,
+    ) -> LaunchReport
+    where
+        F: Fn(&mut RankCtx) -> MpiResult<()> + Send + Sync,
+    {
+        let n = cluster.topology().total_ranks();
+        let router = Router::new(cluster.clone());
+
+        if config.charge_startup {
+            let startup = cluster.config().relaunch.startup(n);
+            cluster.time_scale().sleep(startup);
+        }
+
+        let t0 = Instant::now();
+        let mut outcomes: Vec<Option<RankOutcome>> = Vec::new();
+        outcomes.resize_with(n, || None);
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for rank in 0..n {
+                let router = Arc::clone(&router);
+                let fault = Arc::clone(&fault);
+                let f = &f;
+                let config = &config;
+                handles.push(scope.spawn(move || {
+                    let profile = Arc::new(Profile::new());
+                    let mut ctx = RankCtx {
+                        rank,
+                        world: Comm::world(Arc::clone(&router), rank),
+                        router: Arc::clone(&router),
+                        fault,
+                        profile: Arc::clone(&profile),
+                    };
+                    let result = match std::panic::catch_unwind(AssertUnwindSafe(|| f(&mut ctx))) {
+                        Ok(r) => r,
+                        Err(_) => {
+                            // A panicking rank is indistinguishable from a
+                            // crash: mark it dead so peers observe it.
+                            router.kill(rank);
+                            Err(MpiError::Killed)
+                        }
+                    };
+                    if result.is_err() && config.abort_on_failure {
+                        router.abort();
+                    }
+                    RankOutcome {
+                        rank,
+                        result,
+                        profile,
+                    }
+                }));
+            }
+            for (rank, h) in handles.into_iter().enumerate() {
+                let outcome = h.join().unwrap_or_else(|_| RankOutcome {
+                    rank,
+                    result: Err(MpiError::Killed),
+                    profile: Arc::new(Profile::new()),
+                });
+                outcomes[rank] = Some(outcome);
+            }
+        });
+
+        LaunchReport {
+            outcomes: outcomes.into_iter().map(|o| o.expect("joined")).collect(),
+            wall: t0.elapsed(),
+            aborted: router.is_aborted(),
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! ULFM failure semantics across launched universes: fault injection,
+//! failure observability, revoke/agree/shrink recovery, and plain-MPI abort.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use cluster::{Cluster, ClusterConfig, TimeScale};
+use simmpi::{FaultPlan, MpiError, MpiResult, RankCtx, ReduceOp, Universe, UniverseConfig};
+
+fn cluster(n: usize) -> Cluster {
+    let mut cfg = ClusterConfig::default();
+    cfg.nodes = n;
+    cfg.ranks_per_node = 1;
+    cfg.time_scale = TimeScale::instant();
+    Cluster::new(cfg)
+}
+
+fn run_with_faults<F>(n: usize, plan: FaultPlan, cfg: UniverseConfig, f: F) -> simmpi::LaunchReport
+where
+    F: Fn(&mut RankCtx) -> MpiResult<()> + Send + Sync,
+{
+    Universe::launch(&cluster(n), cfg, Arc::new(plan), f)
+}
+
+#[test]
+fn injected_fault_kills_only_victim() {
+    let report = run_with_faults(
+        3,
+        FaultPlan::kill_at(1, "step", 2),
+        UniverseConfig::default(),
+        |ctx| {
+            for i in 0..5 {
+                ctx.fault_point("step", i)?;
+            }
+            Ok(())
+        },
+    );
+    assert_eq!(report.killed_ranks(), vec![1]);
+    assert!(report.outcomes[0].result.is_ok());
+    assert!(report.outcomes[2].result.is_ok());
+}
+
+#[test]
+fn neighbor_observes_proc_failed() {
+    // Rank 1 dies; rank 0 tries to receive from it and gets ProcFailed.
+    let report = run_with_faults(
+        2,
+        FaultPlan::kill_at(1, "pre-send", 0),
+        UniverseConfig::default(),
+        |ctx| {
+            let w = ctx.world();
+            if ctx.rank() == 1 {
+                ctx.fault_point("pre-send", 0)?;
+                w.send(0, 1, &[1u8])?;
+            } else {
+                let mut b = [0u8];
+                let e = w.recv_into(Some(1), 1, &mut b).unwrap_err();
+                assert_eq!(e, MpiError::proc_failed(1));
+            }
+            Ok(())
+        },
+    );
+    assert_eq!(report.killed_ranks(), vec![1]);
+    assert!(report.outcomes[0].result.is_ok());
+}
+
+#[test]
+fn revoke_unblocks_third_party() {
+    // Rank 2 dies. Rank 1 would block forever receiving from rank 0 (which
+    // is itself stuck on rank 2) — until rank 0 observes the failure and
+    // revokes. This is the exact deadlock ULFM's revoke exists to solve.
+    let report = run_with_faults(
+        3,
+        FaultPlan::kill_at(2, "boom", 0),
+        UniverseConfig::default(),
+        |ctx| {
+            let w = ctx.world();
+            match ctx.rank() {
+                0 => {
+                    let mut b = [0u8];
+                    let e = w.recv_into(Some(2), 9, &mut b).unwrap_err();
+                    assert_eq!(e, MpiError::proc_failed(2));
+                    w.revoke();
+                    Ok(())
+                }
+                1 => {
+                    let mut b = [0u8];
+                    let e = w.recv_into(Some(0), 9, &mut b).unwrap_err();
+                    assert_eq!(e, MpiError::Revoked);
+                    Ok(())
+                }
+                _ => Err(ctx.die()),
+            }
+        },
+    );
+    assert_eq!(report.killed_ranks(), vec![2]);
+}
+
+#[test]
+fn agree_converges_despite_failure() {
+    let report = run_with_faults(
+        4,
+        FaultPlan::kill_at(3, "boom", 0),
+        UniverseConfig::default(),
+        |ctx| {
+            let w = ctx.world();
+            if ctx.rank() == 3 {
+                return Err(ctx.die());
+            }
+            let out = w.agree(0, 0b1110 | (1 << ctx.rank()))?;
+            // AND over live ranks 0..2.
+            assert_eq!(out.flags, 0b1110);
+            assert_eq!(out.failed, vec![3]);
+            Ok(())
+        },
+    );
+    assert_eq!(report.killed_ranks(), vec![3]);
+}
+
+#[test]
+fn shrink_builds_working_survivor_comm() {
+    let survivors_sum = Arc::new(AtomicUsize::new(0));
+    let ss = Arc::clone(&survivors_sum);
+    let report = run_with_faults(
+        4,
+        FaultPlan::kill_at(1, "boom", 0),
+        UniverseConfig::default(),
+        move |ctx| {
+            let w = ctx.world();
+            if ctx.rank() == 1 {
+                return Err(ctx.die());
+            }
+            let shrunk = w.shrink(0)?;
+            assert_eq!(shrunk.size(), 3);
+            // Survivor order preserved: globals [0, 2, 3].
+            assert_eq!(*shrunk.group().as_slice(), [0, 2, 3]);
+            // The shrunk communicator must be fully operational.
+            let total = shrunk.allreduce_scalar(shrunk.rank() as u64, ReduceOp::Sum)?;
+            assert_eq!(total, 3); // 0+1+2
+            ss.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        },
+    );
+    assert_eq!(report.killed_ranks(), vec![1]);
+    assert_eq!(survivors_sum.load(Ordering::Relaxed), 3);
+}
+
+#[test]
+fn abort_on_failure_tears_down_job() {
+    // Plain-MPI semantics: rank 1 dies, rank 0 is blocked in a receive from
+    // rank 2 (which never sends); the abort must unblock everyone.
+    let cfg = UniverseConfig {
+        abort_on_failure: true,
+        charge_startup: false,
+    };
+    let report = run_with_faults(
+        3,
+        FaultPlan::kill_at(1, "boom", 0),
+        cfg,
+        |ctx| {
+            let w = ctx.world();
+            match ctx.rank() {
+                1 => ctx.fault_point("boom", 0).map(|_| ()),
+                0 => {
+                    let mut b = [0u8];
+                    let e = w.recv_into(Some(2), 5, &mut b).unwrap_err();
+                    assert_eq!(e, MpiError::Aborted);
+                    Err(e)
+                }
+                _ => {
+                    let mut b = [0u8];
+                    // Rank 2 blocks on rank 0 and is also unblocked by abort.
+                    let e = w.recv_into(Some(0), 6, &mut b).unwrap_err();
+                    assert_eq!(e, MpiError::Aborted);
+                    Err(e)
+                }
+            }
+        },
+    );
+    assert!(report.aborted);
+    assert_eq!(report.killed_ranks(), vec![1]);
+}
+
+#[test]
+fn collective_reports_failure_not_hang() {
+    // A failure before a reduction: participants that depend on the dead
+    // rank's subtree observe ProcFailed (possibly after revoke).
+    let report = run_with_faults(
+        4,
+        FaultPlan::kill_at(2, "boom", 0),
+        UniverseConfig::default(),
+        |ctx| {
+            let w = ctx.world();
+            if ctx.rank() == 2 {
+                return Err(ctx.die());
+            }
+            match w.allreduce_scalar(1u64, ReduceOp::Sum) {
+                Ok(_) => Ok(()), // completed before observing the failure
+                Err(e) if e.is_recoverable() => {
+                    w.revoke(); // propagate, like a Fenix error handler
+                    Ok(())
+                }
+                Err(e) => Err(e),
+            }
+        },
+    );
+    assert_eq!(report.killed_ranks(), vec![2]);
+    for o in &report.outcomes {
+        if o.rank != 2 {
+            assert!(o.result.is_ok(), "rank {} hung or failed: {:?}", o.rank, o.result);
+        }
+    }
+}
+
+#[test]
+fn panic_in_rank_is_contained() {
+    let report = run_with_faults(2, FaultPlan::none(), UniverseConfig::default(), |ctx| {
+        if ctx.rank() == 1 {
+            panic!("application bug");
+        }
+        // Rank 0 tries to talk to the panicked rank; must not hang.
+        let w = ctx.world();
+        let mut b = [0u8];
+        let e = w.recv_into(Some(1), 3, &mut b).unwrap_err();
+        assert_eq!(e, MpiError::proc_failed(1));
+        Ok(())
+    });
+    assert_eq!(report.killed_ranks(), vec![1]);
+    assert!(report.outcomes[0].result.is_ok());
+}
+
+#[test]
+fn fault_plan_does_not_refire_on_relaunch() {
+    let plan = Arc::new(FaultPlan::kill_at(0, "iter", 1));
+    let c = cluster(2);
+    let app = |ctx: &mut RankCtx| -> MpiResult<()> {
+        for i in 0..3 {
+            ctx.fault_point("iter", i)?;
+        }
+        Ok(())
+    };
+    let first = Universe::launch(&c, UniverseConfig::default(), Arc::clone(&plan), app);
+    assert_eq!(first.killed_ranks(), vec![0]);
+    // Relaunch (same plan, like a restarted job): no kill this time.
+    let second = Universe::launch(&c, UniverseConfig::default(), Arc::clone(&plan), app);
+    assert!(second.all_ok());
+}
+
+#[test]
+fn multiple_failures_shrink_twice() {
+    // Two failures at different times; survivors shrink, lose another rank,
+    // and shrink again.
+    let report = run_with_faults(
+        5,
+        FaultPlan::kill_at(1, "first", 0).and_kill(3, "second", 0),
+        UniverseConfig::default(),
+        |ctx| {
+            let w = ctx.world();
+            if ctx.rank() == 1 {
+                return Err(ctx.die());
+            }
+            let s1 = w.shrink(0)?;
+            assert_eq!(s1.size(), 4);
+            if ctx.rank() == 3 {
+                return Err(ctx.die());
+            }
+            let s2 = s1.shrink(1)?;
+            assert_eq!(s2.size(), 3);
+            assert_eq!(*s2.group().as_slice(), [0, 2, 4]);
+            let sum = s2.allreduce_scalar(1u64, ReduceOp::Sum)?;
+            assert_eq!(sum, 3);
+            Ok(())
+        },
+    );
+    let mut killed = report.killed_ranks();
+    killed.sort_unstable();
+    assert_eq!(killed, vec![1, 3]);
+}

@@ -1,0 +1,157 @@
+//! Property-based collective correctness: random rank counts, random
+//! payloads, collectives must match their sequential definitions. Each case
+//! launches a real universe, so case counts are kept modest.
+
+use std::sync::Arc;
+use std::sync::Mutex;
+
+use cluster::{Cluster, ClusterConfig, TimeScale};
+use proptest::prelude::*;
+use simmpi::{FaultPlan, ReduceOp, Universe, UniverseConfig};
+
+fn cluster(n: usize) -> Cluster {
+    let mut cfg = ClusterConfig::default();
+    cfg.nodes = n;
+    cfg.ranks_per_node = 1;
+    cfg.time_scale = TimeScale::instant();
+    Cluster::new(cfg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn allreduce_matches_sequential(
+        n in 1usize..8,
+        per_rank in proptest::collection::vec(-1e6f64..1e6, 8),
+    ) {
+        let vals = per_rank.clone();
+        let results = Arc::new(Mutex::new(Vec::new()));
+        let rc = Arc::clone(&results);
+        let report = Universe::launch(
+            &cluster(n),
+            UniverseConfig::default(),
+            Arc::new(FaultPlan::none()),
+            move |ctx| {
+                let w = ctx.world();
+                let mine = vals[ctx.rank() % vals.len()];
+                let sum = w.allreduce_scalar(mine, ReduceOp::Sum)?;
+                let min = w.allreduce_scalar(mine, ReduceOp::Min)?;
+                let max = w.allreduce_scalar(mine, ReduceOp::Max)?;
+                rc.lock().unwrap().push((sum, min, max));
+                Ok(())
+            },
+        );
+        prop_assert!(report.all_ok());
+        let contributions: Vec<f64> = (0..n).map(|r| per_rank[r % per_rank.len()]).collect();
+        let expect_sum: f64 = contributions.iter().sum();
+        let expect_min = contributions.iter().cloned().fold(f64::MAX, f64::min);
+        let expect_max = contributions.iter().cloned().fold(f64::MIN, f64::max);
+        let got = results.lock().unwrap();
+        prop_assert_eq!(got.len(), n);
+        for &(sum, min, max) in got.iter() {
+            // Binomial-tree summation order is fixed, so every rank gets the
+            // *identical* float; compare to sequential within tolerance.
+            prop_assert!((sum - expect_sum).abs() <= 1e-6 * expect_sum.abs().max(1.0));
+            prop_assert_eq!(min, expect_min);
+            prop_assert_eq!(max, expect_max);
+        }
+        // All ranks agree bitwise.
+        let first = got[0];
+        for &x in got.iter() {
+            prop_assert_eq!(x.0.to_bits(), first.0.to_bits());
+        }
+    }
+
+    #[test]
+    fn gather_and_bcast_roundtrip(
+        n in 1usize..8,
+        root_seed in 0usize..8,
+        payload in proptest::collection::vec(any::<u32>(), 1..16),
+    ) {
+        let root = root_seed % n;
+        let payload2 = payload.clone();
+        let report = Universe::launch(
+            &cluster(n),
+            UniverseConfig::default(),
+            Arc::new(FaultPlan::none()),
+            move |ctx| {
+                let w = ctx.world();
+                // Each rank contributes payload rotated by its rank.
+                let mine: Vec<u32> = payload2
+                    .iter()
+                    .map(|&x| x.wrapping_add(ctx.rank() as u32))
+                    .collect();
+                let gathered = w.gather(root, &mine)?;
+                if w.rank() == root {
+                    let g = gathered.expect("root receives");
+                    for r in 0..n {
+                        for (k, &x) in payload2.iter().enumerate() {
+                            assert_eq!(g[r * payload2.len() + k], x.wrapping_add(r as u32));
+                        }
+                    }
+                }
+                // Broadcast something derived back out.
+                let mut buf = vec![0u32; payload2.len()];
+                if w.rank() == root {
+                    buf.copy_from_slice(&mine);
+                }
+                w.bcast(root, &mut buf)?;
+                let expect: Vec<u32> = payload2
+                    .iter()
+                    .map(|&x| x.wrapping_add(root as u32))
+                    .collect();
+                assert_eq!(buf, expect);
+                Ok(())
+            },
+        );
+        prop_assert!(report.all_ok());
+    }
+
+    #[test]
+    fn allgather_concatenates_in_rank_order(
+        n in 1usize..7,
+        base in any::<u16>(),
+    ) {
+        let report = Universe::launch(
+            &cluster(n),
+            UniverseConfig::default(),
+            Arc::new(FaultPlan::none()),
+            move |ctx| {
+                let w = ctx.world();
+                let mine = [base as u64 + ctx.rank() as u64];
+                let all = w.allgather(&mine)?;
+                let expect: Vec<u64> = (0..n).map(|r| base as u64 + r as u64).collect();
+                assert_eq!(all, expect);
+                Ok(())
+            },
+        );
+        prop_assert!(report.all_ok());
+    }
+
+    #[test]
+    fn point_to_point_payload_sizes(
+        size_bytes in 0usize..100_000,
+    ) {
+        // Arbitrary payload sizes, including zero, through send/recv.
+        let report = Universe::launch(
+            &cluster(2),
+            UniverseConfig::default(),
+            Arc::new(FaultPlan::none()),
+            move |ctx| {
+                let w = ctx.world();
+                if ctx.rank() == 0 {
+                    let data = vec![0xA5u8; size_bytes];
+                    w.send(1, 5, &data)?;
+                } else {
+                    let (got, from) = w.recv_vec::<u8>(Some(0), 5)?;
+                    assert_eq!(from, 0);
+                    assert_eq!(got.len(), size_bytes);
+                    assert!(got.iter().all(|&b| b == 0xA5));
+                }
+                Ok(())
+            },
+        );
+        prop_assert!(report.all_ok());
+    }
+}

@@ -1,0 +1,151 @@
+//! The asynchronous flush backend — the co-located "VeloC server" thread.
+//!
+//! One backend serves one client (the paper runs one rank, and hence one
+//! server, per node). Flush jobs move a checkpoint blob from node-local
+//! scratch to the parallel filesystem, paying the modeled network egress and
+//! filesystem ingest costs while the application keeps computing. The
+//! application only blocks on the backend in `checkpoint_wait` (at the next
+//! checkpoint call) and at finalize — exactly VeloC's contract.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use bytes::Bytes;
+use cluster::Cluster;
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+
+enum Job {
+    Flush { path: String, blob: Bytes },
+    Stop,
+}
+
+struct PendingCount {
+    count: Mutex<usize>,
+    cv: Condvar,
+}
+
+/// Handle to the background flush thread.
+pub struct ActiveBackend {
+    tx: Sender<Job>,
+    pending: Arc<PendingCount>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ActiveBackend {
+    /// Spawn a backend for the client of global rank `rank`.
+    pub fn spawn(cluster: Cluster, rank: usize) -> Self {
+        let (tx, rx) = unbounded::<Job>();
+        let pending = Arc::new(PendingCount {
+            count: Mutex::new(0),
+            cv: Condvar::new(),
+        });
+        let pending2 = Arc::clone(&pending);
+        let handle = std::thread::Builder::new()
+            .name(format!("veloc-backend-{rank}"))
+            .spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    match job {
+                        Job::Flush { path, blob } => {
+                            // Egress from the rank's NIC, then filesystem
+                            // ingest: this is the traffic that congests
+                            // application MPI.
+                            cluster.network().egress(rank, blob.len());
+                            cluster.pfs().write(&path, blob);
+                            let mut c = pending2.count.lock();
+                            *c -= 1;
+                            pending2.cv.notify_all();
+                        }
+                        Job::Stop => break,
+                    }
+                }
+            })
+            .expect("spawn veloc backend");
+        ActiveBackend {
+            tx,
+            pending,
+            handle: Some(handle),
+        }
+    }
+
+    /// Enqueue an asynchronous flush of `blob` to `path` on the PFS.
+    pub fn enqueue_flush(&self, path: String, blob: Bytes) {
+        {
+            let mut c = self.pending.count.lock();
+            *c += 1;
+        }
+        self.tx
+            .send(Job::Flush { path, blob })
+            .expect("backend thread alive");
+    }
+
+    /// Number of flushes not yet completed.
+    pub fn outstanding(&self) -> usize {
+        *self.pending.count.lock()
+    }
+
+    /// Block until all enqueued flushes have completed (VeloC
+    /// `checkpoint_wait`).
+    pub fn wait(&self) {
+        let mut c = self.pending.count.lock();
+        while *c > 0 {
+            self.pending.cv.wait(&mut c);
+        }
+    }
+}
+
+impl Drop for ActiveBackend {
+    fn drop(&mut self) {
+        // Drain outstanding work, then stop the thread. A dropped client
+        // must never lose an acknowledged checkpoint.
+        self.wait();
+        let _ = self.tx.send(Job::Stop);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::{ClusterConfig, TimeScale};
+
+    fn cluster() -> Cluster {
+        let mut cfg = ClusterConfig::default();
+        cfg.nodes = 2;
+        cfg.time_scale = TimeScale::instant();
+        Cluster::new(cfg)
+    }
+
+    #[test]
+    fn flush_lands_on_pfs() {
+        let c = cluster();
+        let b = ActiveBackend::spawn(c.clone(), 0);
+        b.enqueue_flush("ck/v1/r0".into(), Bytes::from_static(b"data"));
+        b.wait();
+        assert_eq!(&c.pfs().read("ck/v1/r0").unwrap().0[..], b"data");
+    }
+
+    #[test]
+    fn wait_blocks_until_drained() {
+        let c = cluster();
+        let b = ActiveBackend::spawn(c.clone(), 0);
+        for v in 0..10 {
+            b.enqueue_flush(format!("ck/v{v}/r0"), Bytes::from(vec![0u8; 100]));
+        }
+        b.wait();
+        assert_eq!(b.outstanding(), 0);
+        assert_eq!(c.pfs().list("ck/").len(), 10);
+    }
+
+    #[test]
+    fn drop_drains_outstanding_flushes() {
+        let c = cluster();
+        {
+            let b = ActiveBackend::spawn(c.clone(), 1);
+            b.enqueue_flush("ck/v1/r1".into(), Bytes::from_static(b"x"));
+        }
+        assert!(c.pfs().exists("ck/v1/r1"), "drop must drain, not discard");
+    }
+}

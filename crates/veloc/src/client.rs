@@ -1,0 +1,545 @@
+//! The VeloC client API.
+//!
+//! One [`Client`] per rank. The client distinguishes two rank identities:
+//!
+//! * the **physical rank** — the global rank whose NIC and node-local
+//!   scratch this client uses; and
+//! * the **logical rank** — the id used in checkpoint file names.
+//!
+//! Under Fenix, a spare that replaces a failed rank keeps its own physical
+//! placement but assumes the victim's *logical* rank ([`Client::set_rank`],
+//! the paper's "update cached information … on the current rank ID"). Its
+//! checkpoints-by-name are on the parallel filesystem (flushed there by the
+//! victim before dying) but not in its own scratch — so a recovered rank
+//! pays a remote read while survivors restore from scratch. This asymmetry
+//! is central to the paper's recovery-cost results.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use cluster::Cluster;
+use parking_lot::Mutex;
+use simmpi::{Comm, MpiError, ReduceOp};
+
+use crate::backend::ActiveBackend;
+use crate::region::Protected;
+use crate::serial;
+
+/// How restart agreement is performed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// The client owns a communicator and agrees on the globally best
+    /// version internally (stock VeloC). Incompatible with a changing
+    /// process pool.
+    Collective,
+    /// The client answers from local knowledge only; the caller performs
+    /// the agreement (the non-collective mode this paper's integration
+    /// requires).
+    Single,
+}
+
+/// Client configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    pub mode: Mode,
+    /// Flush scratch→PFS asynchronously on the backend thread (VeloC's
+    /// async mode, used throughout the paper). When false the flush happens
+    /// inside `checkpoint` (VeloC sync mode).
+    pub async_flush: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            mode: Mode::Single,
+            async_flush: true,
+        }
+    }
+}
+
+/// Errors from checkpoint/restart operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VelocError {
+    /// No checkpoint with the requested name/version is reachable.
+    NotFound { name: String, version: u64 },
+    /// The stored blob failed to deserialize.
+    Corrupt { path: String },
+    /// A stored region id has no matching protected region.
+    UnknownRegion { id: u32 },
+    /// An MPI error during collective agreement.
+    Mpi(MpiError),
+}
+
+impl std::fmt::Display for VelocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VelocError::NotFound { name, version } => {
+                write!(f, "checkpoint {name} v{version} not found")
+            }
+            VelocError::Corrupt { path } => write!(f, "corrupt checkpoint blob at {path}"),
+            VelocError::UnknownRegion { id } => write!(f, "no protected region with id {id}"),
+            VelocError::Mpi(e) => write!(f, "MPI error during restart agreement: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VelocError {}
+
+impl From<MpiError> for VelocError {
+    fn from(e: MpiError) -> Self {
+        VelocError::Mpi(e)
+    }
+}
+
+/// The per-rank checkpoint/restart client.
+pub struct Client {
+    cluster: Cluster,
+    /// Physical (global) rank: placement of NIC and scratch.
+    physical_rank: usize,
+    /// Logical rank: checkpoint naming. Mutable across Fenix repairs.
+    logical_rank: Mutex<usize>,
+    mode: Mode,
+    async_flush: bool,
+    regions: Mutex<BTreeMap<u32, Arc<dyn Protected>>>,
+    backend: ActiveBackend,
+}
+
+impl Client {
+    /// Initialize a client for `physical_rank` (which is also the initial
+    /// logical rank).
+    pub fn init(cluster: Cluster, physical_rank: usize, config: Config) -> Self {
+        let backend = ActiveBackend::spawn(cluster.clone(), physical_rank);
+        Client {
+            cluster,
+            physical_rank,
+            logical_rank: Mutex::new(physical_rank),
+            mode: config.mode,
+            async_flush: config.async_flush,
+            regions: Mutex::new(BTreeMap::new()),
+            backend,
+        }
+    }
+
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    pub fn physical_rank(&self) -> usize {
+        self.physical_rank
+    }
+
+    pub fn logical_rank(&self) -> usize {
+        *self.logical_rank.lock()
+    }
+
+    /// Update the logical rank after a process-pool change (Fenix repair or
+    /// shrunk-communicator continuation).
+    pub fn set_rank(&self, logical_rank: usize) {
+        *self.logical_rank.lock() = logical_rank;
+    }
+
+    fn node(&self) -> usize {
+        self.cluster.topology().node_of(self.physical_rank)
+    }
+
+    fn path(&self, name: &str, version: u64) -> String {
+        format!("{name}/v{version}/r{}", self.logical_rank())
+    }
+
+    // ---- protection -------------------------------------------------------
+
+    /// Register a memory region under `id` (VeloC `mem_protect`). Replaces
+    /// any previous region with the same id.
+    pub fn protect(&self, id: u32, region: Arc<dyn Protected>) {
+        self.regions.lock().insert(id, region);
+    }
+
+    /// Remove a protected region.
+    pub fn unprotect(&self, id: u32) -> bool {
+        self.regions.lock().remove(&id).is_some()
+    }
+
+    /// Drop every protected region (used by a Kokkos Resilience context
+    /// reset, which re-registers views after a repair).
+    pub fn clear_protected(&self) {
+        self.regions.lock().clear();
+    }
+
+    /// Number of protected regions.
+    pub fn protected_count(&self) -> usize {
+        self.regions.lock().len()
+    }
+
+    /// Total protected bytes (checkpoint size).
+    pub fn protected_bytes(&self) -> usize {
+        self.regions.lock().values().map(|r| r.byte_len()).sum()
+    }
+
+    // ---- checkpoint -------------------------------------------------------
+
+    /// Take checkpoint `version` under `name`.
+    ///
+    /// Blocks on any previous outstanding flush (`checkpoint_wait`), then
+    /// serializes the protected regions to node-local scratch; the flush to
+    /// the parallel filesystem proceeds asynchronously unless the client is
+    /// configured for synchronous flushing. The synchronous part — what the
+    /// paper books as "Checkpoint Function" — is everything this method does
+    /// before returning.
+    pub fn checkpoint(&self, name: &str, version: u64) -> Result<(), VelocError> {
+        self.backend.wait();
+        let blob = {
+            let regions = self.regions.lock();
+            let parts: Vec<(u32, Bytes)> = regions
+                .iter()
+                .map(|(&id, r)| (id, r.snapshot()))
+                .collect();
+            serial::pack(&parts)
+        };
+        let path = self.path(name, version);
+        self.cluster
+            .scratch()
+            .write(self.node(), &path, blob.clone());
+        if self.async_flush {
+            self.backend.enqueue_flush(path, blob);
+        } else {
+            self.cluster.network().egress(self.physical_rank, blob.len());
+            self.cluster.pfs().write(&path, blob);
+        }
+        Ok(())
+    }
+
+    /// Block until all asynchronous flushes complete.
+    pub fn checkpoint_wait(&self) {
+        self.backend.wait();
+    }
+
+    // ---- restart ----------------------------------------------------------
+
+    /// Latest version of `name` reachable *by this rank* (scratch or PFS).
+    /// This is the local half of the paper's manual best-version reduction.
+    pub fn latest_version(&self, name: &str) -> Option<u64> {
+        let r = self.logical_rank();
+        let suffix = format!("/r{r}");
+        let parse = |p: &str| -> Option<u64> {
+            // "{name}/v{version}/r{rank}"
+            let rest = p.strip_prefix(name)?.strip_prefix("/v")?;
+            let rest = rest.strip_suffix(&suffix)?;
+            rest.parse().ok()
+        };
+        let mut best: Option<u64> = None;
+        for p in self
+            .cluster
+            .scratch()
+            .list(self.node(), &format!("{name}/"))
+            .iter()
+            .chain(self.cluster.pfs().list(&format!("{name}/")).iter())
+        {
+            if let Some(v) = parse(p) {
+                best = Some(best.map_or(v, |b| b.max(v)));
+            }
+        }
+        best
+    }
+
+    /// Whether checkpoint `name`/`version` is reachable by this rank.
+    pub fn version_available(&self, name: &str, version: u64) -> bool {
+        let path = self.path(name, version);
+        self.cluster.scratch().exists(self.node(), &path) || self.cluster.pfs().exists(&path)
+    }
+
+    /// Find the best restartable version.
+    ///
+    /// `Single` mode answers locally; `Collective` mode agrees over `comm`
+    /// on the newest version available everywhere (min over ranks of each
+    /// rank's latest). Collective mode *requires* a communicator — this is
+    /// precisely the coupling the paper had to break for Fenix integration.
+    pub fn restart_test(
+        &self,
+        name: &str,
+        comm: Option<&Comm>,
+    ) -> Result<Option<u64>, VelocError> {
+        match self.mode {
+            Mode::Single => Ok(self.latest_version(name)),
+            Mode::Collective => {
+                let comm = comm.expect("Collective-mode restart_test requires a communicator");
+                // Encode None as i64 -1 so min() finds the weakest rank.
+                let local = self.latest_version(name).map_or(-1i64, |v| v as i64);
+                let agreed = comm.allreduce_scalar(local, ReduceOp::Min)?;
+                Ok((agreed >= 0).then_some(agreed as u64))
+            }
+        }
+    }
+
+    /// Restore every protected region from checkpoint `name`/`version`.
+    ///
+    /// Reads node-local scratch when available (survivors), falling back to
+    /// the parallel filesystem (recovered replacement ranks). Returns the
+    /// number of regions restored.
+    pub fn restart(&self, name: &str, version: u64) -> Result<usize, VelocError> {
+        let path = self.path(name, version);
+        let blob = match self.cluster.scratch().read(self.node(), &path) {
+            Some((blob, _)) => blob,
+            None => match self.cluster.pfs().read(&path) {
+                Some((blob, _)) => blob,
+                None => {
+                    return Err(VelocError::NotFound {
+                        name: name.to_owned(),
+                        version,
+                    })
+                }
+            },
+        };
+        let parts = serial::unpack(&blob).ok_or(VelocError::Corrupt { path })?;
+        let regions = self.regions.lock();
+        let mut restored = 0;
+        for (id, payload) in parts {
+            let region = regions
+                .get(&id)
+                .ok_or(VelocError::UnknownRegion { id })?;
+            region.restore(&payload);
+            restored += 1;
+        }
+        Ok(restored)
+    }
+
+    /// Drop all but the newest `keep_last` versions of `name` reachable by
+    /// this rank, from both storage tiers (VeloC's bounded checkpoint
+    /// history). Returns how many versions were removed.
+    pub fn prune(&self, name: &str, keep_last: usize) -> usize {
+        self.backend.wait();
+        let r = self.logical_rank();
+        let suffix = format!("/r{r}");
+        let parse = |p: &str| -> Option<u64> {
+            p.strip_prefix(name)?
+                .strip_prefix("/v")?
+                .strip_suffix(&suffix)?
+                .parse()
+                .ok()
+        };
+        let mut versions: Vec<u64> = self
+            .cluster
+            .scratch()
+            .list(self.node(), &format!("{name}/"))
+            .iter()
+            .chain(self.cluster.pfs().list(&format!("{name}/")).iter())
+            .filter_map(|p| parse(p))
+            .collect();
+        versions.sort_unstable();
+        versions.dedup();
+        if versions.len() <= keep_last {
+            return 0;
+        }
+        let cutoff = versions.len() - keep_last;
+        let mut removed = 0;
+        for &v in &versions[..cutoff] {
+            let path = self.path(name, v);
+            let s = self.cluster.scratch().remove(self.node(), &path);
+            let p = self.cluster.pfs().remove(&path);
+            if s || p {
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    /// Finalize: drain outstanding flushes. (Also happens on drop.)
+    pub fn finalize(&self) {
+        self.backend.wait();
+    }
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("physical_rank", &self.physical_rank)
+            .field("logical_rank", &self.logical_rank())
+            .field("mode", &self.mode)
+            .field("regions", &self.protected_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::VecRegion;
+    use cluster::{ClusterConfig, TimeScale};
+
+    fn cluster(n: usize) -> Cluster {
+        let mut cfg = ClusterConfig::default();
+        cfg.nodes = n;
+        cfg.ranks_per_node = 1;
+        cfg.time_scale = TimeScale::instant();
+        Cluster::new(cfg)
+    }
+
+    fn client(c: &Cluster, rank: usize) -> Client {
+        Client::init(c.clone(), rank, Config::default())
+    }
+
+    #[test]
+    fn checkpoint_restart_roundtrip() {
+        let c = cluster(1);
+        let cl = client(&c, 0);
+        let r = VecRegion::new(vec![1.0f64, 2.0, 3.0]);
+        cl.protect(0, Arc::new(r.clone()));
+        cl.checkpoint("heat", 1).unwrap();
+        r.lock().iter_mut().for_each(|x| *x = 0.0);
+        assert_eq!(cl.restart("heat", 1).unwrap(), 1);
+        assert_eq!(*r.lock(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn latest_version_scans_both_tiers() {
+        let c = cluster(1);
+        let cl = client(&c, 0);
+        cl.protect(0, Arc::new(VecRegion::new(vec![0u8; 8])));
+        assert_eq!(cl.latest_version("ck"), None);
+        cl.checkpoint("ck", 1).unwrap();
+        cl.checkpoint("ck", 4).unwrap();
+        cl.checkpoint("ck", 2).unwrap();
+        cl.checkpoint_wait();
+        assert_eq!(cl.latest_version("ck"), Some(4));
+        // Scratch lost (node reboot): PFS copy still found.
+        c.scratch().purge_node(0);
+        assert_eq!(cl.latest_version("ck"), Some(4));
+    }
+
+    #[test]
+    fn restart_falls_back_to_pfs() {
+        let c = cluster(1);
+        let cl = client(&c, 0);
+        let r = VecRegion::new(vec![7u32; 4]);
+        cl.protect(3, Arc::new(r.clone()));
+        cl.checkpoint("ck", 1).unwrap();
+        cl.checkpoint_wait();
+        c.scratch().purge_node(0);
+        r.lock().iter_mut().for_each(|x| *x = 0);
+        assert_eq!(cl.restart("ck", 1).unwrap(), 1);
+        assert_eq!(*r.lock(), vec![7u32; 4]);
+    }
+
+    #[test]
+    fn restart_missing_version_errors() {
+        let c = cluster(1);
+        let cl = client(&c, 0);
+        assert_eq!(
+            cl.restart("nope", 9),
+            Err(VelocError::NotFound {
+                name: "nope".into(),
+                version: 9
+            })
+        );
+    }
+
+    #[test]
+    fn set_rank_redirects_naming() {
+        let c = cluster(2);
+        // Rank 0 checkpoints as logical rank 0 and flushes to PFS.
+        let cl0 = client(&c, 0);
+        let r0 = VecRegion::new(vec![42u64]);
+        cl0.protect(0, Arc::new(r0.clone()));
+        cl0.checkpoint("ck", 1).unwrap();
+        cl0.checkpoint_wait();
+        // Rank 1 (a spare replacing rank 0) assumes logical rank 0 and can
+        // restore rank 0's checkpoint — from the PFS, since its own scratch
+        // never saw it.
+        let cl1 = client(&c, 1);
+        let r1 = VecRegion::new(vec![0u64]);
+        cl1.protect(0, Arc::new(r1.clone()));
+        cl1.set_rank(0);
+        assert_eq!(cl1.latest_version("ck"), Some(1));
+        cl1.restart("ck", 1).unwrap();
+        assert_eq!(*r1.lock(), vec![42]);
+    }
+
+    #[test]
+    fn unknown_region_id_errors() {
+        let c = cluster(1);
+        let cl = client(&c, 0);
+        cl.protect(5, Arc::new(VecRegion::new(vec![1u8])));
+        cl.checkpoint("ck", 1).unwrap();
+        cl.clear_protected();
+        cl.protect(6, Arc::new(VecRegion::new(vec![1u8])));
+        assert_eq!(cl.restart("ck", 1), Err(VelocError::UnknownRegion { id: 5 }));
+    }
+
+    #[test]
+    fn multiple_regions_restore_by_id() {
+        let c = cluster(1);
+        let cl = client(&c, 0);
+        let a = VecRegion::new(vec![1u8, 2]);
+        let b = VecRegion::new(vec![9.0f64]);
+        cl.protect(1, Arc::new(a.clone()));
+        cl.protect(2, Arc::new(b.clone()));
+        cl.checkpoint("ck", 1).unwrap();
+        // Re-register in the opposite order; ids still match.
+        cl.clear_protected();
+        cl.protect(2, Arc::new(b.clone()));
+        cl.protect(1, Arc::new(a.clone()));
+        a.lock().iter_mut().for_each(|x| *x = 0);
+        b.lock().iter_mut().for_each(|x| *x = 0.0);
+        assert_eq!(cl.restart("ck", 1).unwrap(), 2);
+        assert_eq!(*a.lock(), vec![1, 2]);
+        assert_eq!(*b.lock(), vec![9.0]);
+    }
+
+    #[test]
+    fn protected_bytes_counts() {
+        let c = cluster(1);
+        let cl = client(&c, 0);
+        cl.protect(0, Arc::new(VecRegion::new(vec![0u64; 10])));
+        cl.protect(1, Arc::new(VecRegion::new(vec![0u8; 3])));
+        assert_eq!(cl.protected_bytes(), 83);
+        assert_eq!(cl.protected_count(), 2);
+    }
+
+    #[test]
+    fn prune_keeps_newest_versions() {
+        let c = cluster(1);
+        let cl = client(&c, 0);
+        cl.protect(0, Arc::new(VecRegion::new(vec![1u8; 4])));
+        for v in [1u64, 3, 5, 9] {
+            cl.checkpoint("pr", v).unwrap();
+        }
+        cl.checkpoint_wait();
+        assert_eq!(cl.prune("pr", 2), 2);
+        assert!(!cl.version_available("pr", 1));
+        assert!(!cl.version_available("pr", 3));
+        assert!(cl.version_available("pr", 5));
+        assert!(cl.version_available("pr", 9));
+        assert_eq!(cl.latest_version("pr"), Some(9));
+        // Pruning again removes nothing.
+        assert_eq!(cl.prune("pr", 2), 0);
+    }
+
+    #[test]
+    fn prune_is_per_name() {
+        let c = cluster(1);
+        let cl = client(&c, 0);
+        cl.protect(0, Arc::new(VecRegion::new(vec![1u8; 4])));
+        cl.checkpoint("a", 1).unwrap();
+        cl.checkpoint("b", 1).unwrap();
+        cl.checkpoint_wait();
+        assert_eq!(cl.prune("a", 0), 1);
+        assert!(cl.version_available("b", 1));
+    }
+
+    #[test]
+    fn sync_mode_flushes_inline() {
+        let c = cluster(1);
+        let cl = Client::init(
+            c.clone(),
+            0,
+            Config {
+                mode: Mode::Single,
+                async_flush: false,
+            },
+        );
+        cl.protect(0, Arc::new(VecRegion::new(vec![5u8])));
+        cl.checkpoint("ck", 1).unwrap();
+        // No wait needed: already on the PFS.
+        assert!(c.pfs().exists("ck/v1/r0"));
+    }
+}

@@ -1,0 +1,32 @@
+//! VeloC-style asynchronous multi-tier checkpoint/restart.
+//!
+//! Mirrors the VeloC architecture the paper uses as its data layer:
+//!
+//! * Applications *protect* memory regions ([`Client::protect`]) and then
+//!   call [`Client::checkpoint`]. The **synchronous** phase serializes the
+//!   protected regions to node-local scratch (the paper configures scratch
+//!   as memory-mapped storage, so this is "just a memory copy").
+//! * An **asynchronous** backend thread — the stand-in for the co-located
+//!   VeloC server process — then flushes the scratch blob to the parallel
+//!   filesystem, consuming real modeled network bandwidth. This background
+//!   traffic is what congests application MPI in the paper's Figure 5.
+//! * Restart finds the best available version: in [`Mode::Collective`] the
+//!   client performs the agreement over its communicator; in
+//!   [`Mode::Single`] — the mode this paper *adds* to make VeloC usable
+//!   under Fenix process recovery — the client answers from local knowledge
+//!   only and the caller (Kokkos Resilience) performs the reduction itself.
+//!
+//! Checkpoints live under `"{name}/v{version}/r{rank}"` in both tiers;
+//! restart prefers scratch (fast, node-local) and falls back to the
+//! filesystem — which is why in the paper "other ranks are able to restore
+//! using locally-available checkpoint files" while only the replacement
+//! rank pays a remote read.
+
+pub mod backend;
+pub mod client;
+pub mod region;
+pub mod serial;
+
+pub use backend::ActiveBackend;
+pub use client::{Client, Config, Mode, VelocError};
+pub use region::{Protected, VecRegion};

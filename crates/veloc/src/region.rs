@@ -1,0 +1,94 @@
+//! Protected memory regions.
+//!
+//! VeloC's `VELOC_Mem_protect` registers raw memory with the runtime. The
+//! Rust equivalent is a trait object: anything that can serialize itself and
+//! restore from bytes can be protected. Kokkos Resilience adapts its views;
+//! plain applications can use [`VecRegion`].
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use simmpi::pod::{self, Pod};
+
+/// A registered checkpoint region.
+pub trait Protected: Send + Sync {
+    /// Serialize the current contents.
+    fn snapshot(&self) -> Bytes;
+    /// Overwrite the contents from a serialized snapshot.
+    fn restore(&self, data: &[u8]);
+    /// Size in bytes of a snapshot.
+    fn byte_len(&self) -> usize;
+}
+
+/// A shared, lockable vector usable directly as a protected region —
+/// the no-Kokkos path (the paper's Fenix+VeloC-without-Kokkos-Resilience
+/// configuration).
+pub struct VecRegion<T: Pod> {
+    data: Arc<Mutex<Vec<T>>>,
+}
+
+impl<T: Pod> Clone for VecRegion<T> {
+    fn clone(&self) -> Self {
+        VecRegion {
+            data: Arc::clone(&self.data),
+        }
+    }
+}
+
+impl<T: Pod> VecRegion<T> {
+    pub fn new(data: Vec<T>) -> Self {
+        VecRegion {
+            data: Arc::new(Mutex::new(data)),
+        }
+    }
+
+    /// Lock for access.
+    pub fn lock(&self) -> parking_lot::MutexGuard<'_, Vec<T>> {
+        self.data.lock()
+    }
+}
+
+impl<T: Pod> Protected for VecRegion<T> {
+    fn snapshot(&self) -> Bytes {
+        pod::to_bytes(&self.data.lock())
+    }
+
+    fn restore(&self, data: &[u8]) {
+        let mut guard = self.data.lock();
+        pod::copy_from_bytes(&mut guard, data);
+    }
+
+    fn byte_len(&self) -> usize {
+        std::mem::size_of::<T>() * self.data.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_region_roundtrip() {
+        let r = VecRegion::new(vec![1.0f64, 2.0, 3.0]);
+        let snap = r.snapshot();
+        r.lock().iter_mut().for_each(|x| *x = 0.0);
+        r.restore(&snap);
+        assert_eq!(*r.lock(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn byte_len_matches() {
+        let r = VecRegion::new(vec![0u32; 10]);
+        assert_eq!(r.byte_len(), 40);
+        assert_eq!(r.snapshot().len(), 40);
+    }
+
+    #[test]
+    fn clone_shares_data() {
+        let r = VecRegion::new(vec![1u8]);
+        let c = r.clone();
+        c.lock()[0] = 9;
+        assert_eq!(r.lock()[0], 9);
+    }
+}

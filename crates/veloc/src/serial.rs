@@ -1,0 +1,109 @@
+//! Checkpoint blob format.
+//!
+//! One checkpoint = all protected regions of one rank, packed into a single
+//! blob:
+//!
+//! ```text
+//! [u32 region_count]
+//! repeat region_count times:
+//!   [u32 region_id][u64 payload_len][payload bytes]
+//! ```
+//!
+//! Restores match regions by id, so a restart can tolerate registration in
+//! a different order (Kokkos Resilience re-registers views after a context
+//! reset).
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Pack `(id, payload)` pairs into one checkpoint blob.
+pub fn pack(regions: &[(u32, Bytes)]) -> Bytes {
+    let total: usize = 4 + regions.iter().map(|(_, b)| 12 + b.len()).sum::<usize>();
+    let mut buf = BytesMut::with_capacity(total);
+    buf.put_u32_le(regions.len() as u32);
+    for (id, payload) in regions {
+        buf.put_u32_le(*id);
+        buf.put_u64_le(payload.len() as u64);
+        buf.put_slice(payload);
+    }
+    buf.freeze()
+}
+
+/// Unpack a checkpoint blob into `(id, payload)` pairs.
+///
+/// Returns `None` on a malformed blob (truncation, bad counts) — a restart
+/// from a corrupt checkpoint must fail cleanly, not panic.
+pub fn unpack(blob: &Bytes) -> Option<Vec<(u32, Bytes)>> {
+    let mut off = 0usize;
+    let take = |off: &mut usize, n: usize| -> Option<&[u8]> {
+        let s = blob.get(*off..*off + n)?;
+        *off += n;
+        Some(s)
+    };
+    let count = u32::from_le_bytes(take(&mut off, 4)?.try_into().ok()?) as usize;
+    // Guard against absurd counts from corrupt headers.
+    if count > blob.len() {
+        return None;
+    }
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let id = u32::from_le_bytes(take(&mut off, 4)?.try_into().ok()?);
+        let len = u64::from_le_bytes(take(&mut off, 8)?.try_into().ok()?) as usize;
+        if off + len > blob.len() {
+            return None;
+        }
+        out.push((id, blob.slice(off..off + len)));
+        off += len;
+    }
+    if off != blob.len() {
+        return None; // trailing garbage
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_multiple_regions() {
+        let regions = vec![
+            (1u32, Bytes::from_static(b"alpha")),
+            (7u32, Bytes::from_static(b"")),
+            (3u32, Bytes::from_static(b"gamma-data")),
+        ];
+        let blob = pack(&regions);
+        assert_eq!(unpack(&blob).unwrap(), regions);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let blob = pack(&[]);
+        assert_eq!(unpack(&blob).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn truncated_blob_fails_cleanly() {
+        let blob = pack(&[(1, Bytes::from_static(b"payload"))]);
+        for cut in [0, 3, 5, blob.len() - 1] {
+            let truncated = blob.slice(0..cut);
+            assert!(unpack(&truncated).is_none(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_fails() {
+        let mut raw = pack(&[(1, Bytes::from_static(b"x"))]).to_vec();
+        raw.push(0xFF);
+        assert!(unpack(&Bytes::from(raw)).is_none());
+    }
+
+    #[test]
+    fn corrupt_count_fails() {
+        let mut raw = pack(&[]).to_vec();
+        raw[0] = 0xFF;
+        raw[1] = 0xFF;
+        raw[2] = 0xFF;
+        raw[3] = 0x7F;
+        assert!(unpack(&Bytes::from(raw)).is_none());
+    }
+}
