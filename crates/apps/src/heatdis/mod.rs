@@ -247,10 +247,9 @@ impl RankApp for HeatdisState {
     }
 
     fn digest(&self) -> u64 {
-        self.primary
-            .read_uncaptured()
-            .iter()
-            .fold(0u64, |acc, x| acc.wrapping_mul(1099511628211).wrapping_add(x.to_bits()))
+        self.primary.read_uncaptured().iter().fold(0u64, |acc, x| {
+            acc.wrapping_mul(1099511628211).wrapping_add(x.to_bits())
+        })
     }
 }
 

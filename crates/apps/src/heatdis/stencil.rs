@@ -17,7 +17,11 @@ pub fn jacobi_sweep(src: &[f64], dst: &mut [f64], rows: usize, cols: usize) -> S
     for r in 1..=rows {
         let base = r * cols;
         for c in 0..cols {
-            let left = if c == 0 { src[base + c] } else { src[base + c - 1] };
+            let left = if c == 0 {
+                src[base + c]
+            } else {
+                src[base + c - 1]
+            };
             let right = if c == cols - 1 {
                 src[base + c]
             } else {
@@ -58,9 +62,7 @@ mod tests {
     fn hot_halo_diffuses_in() {
         let cols = 4;
         let mut src = grid(2, cols, 0.0);
-        for c in 0..cols {
-            src[c] = 100.0; // hot upper halo
-        }
+        src[..cols].fill(100.0); // hot upper halo
         let mut dst = grid(2, cols, 0.0);
         let r = jacobi_sweep(&src, &mut dst, 2, cols);
         assert_eq!(r.max_delta, 25.0);
@@ -79,9 +81,9 @@ mod tests {
         }
         let mut dst = grid(1, cols, 0.0);
         jacobi_sweep(&src, &mut dst, 1, cols);
-        let (min, max) = src.iter().fold((f64::MAX, f64::MIN), |(a, b), &x| {
-            (a.min(x), b.max(x))
-        });
+        let (min, max) = src
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(a, b), &x| (a.min(x), b.max(x)));
         for c in 0..cols {
             let v = dst[cols + c];
             assert!(v >= min && v <= max, "averaging stays within bounds");

@@ -53,13 +53,12 @@ impl Slab {
 
     /// Wrap a position into the global periodic box.
     pub fn wrap(&self, p: &mut [f64; 3]) {
-        for d in 0..3 {
-            let l = self.global[d];
-            if p[d] < 0.0 {
-                p[d] += l;
+        for (x, &l) in p.iter_mut().zip(&self.global) {
+            if *x < 0.0 {
+                *x += l;
             }
-            if p[d] >= l {
-                p[d] -= l;
+            if *x >= l {
+                *x -= l;
             }
         }
     }

@@ -81,7 +81,8 @@ pub fn exchange_atoms(
         } else {
             panic!(
                 "atom {} moved more than one slab (x={}, target {target}, me {me})",
-                id[i], x[3 * i]
+                id[i],
+                x[3 * i]
             );
         }
     }
@@ -129,7 +130,10 @@ pub fn exchange_atoms(
     let n_new = new_ids.len();
     let mut order: Vec<usize> = (0..n_new).collect();
     order.sort_by_key(|&k| new_ids[k]);
-    assert!(3 * n_new <= x.len(), "atom capacity exceeded after exchange");
+    assert!(
+        3 * n_new <= x.len(),
+        "atom capacity exceeded after exchange"
+    );
     for (slot, &k) in order.iter().enumerate() {
         id[slot] = new_ids[k];
         x[3 * slot..3 * slot + 3].copy_from_slice(&new_x[3 * k..3 * k + 3]);
@@ -182,7 +186,11 @@ pub fn setup_borders(
 
     let ids_of = |idxs: &[u32]| -> Vec<u64> { idxs.iter().map(|&i| id[i as usize]).collect() };
 
-    comm.send(left_of(comm), TAG_BORDER, &pack(&plan.send_left, plan.shift_left))?;
+    comm.send(
+        left_of(comm),
+        TAG_BORDER,
+        &pack(&plan.send_left, plan.shift_left),
+    )?;
     comm.send(left_of(comm), TAG_BORDER + 1, &ids_of(&plan.send_left))?;
     comm.send(
         right_of(comm),
@@ -215,12 +223,7 @@ pub fn setup_borders(
 
 /// Per-step ghost position refresh: resend the planned border atoms'
 /// current positions and overwrite the ghost slots.
-pub fn communicate(
-    comm: &Comm,
-    plan: &CommPlan,
-    x: &mut [f64],
-    nlocal: usize,
-) -> MpiResult<()> {
+pub fn communicate(comm: &Comm, plan: &CommPlan, x: &mut [f64], nlocal: usize) -> MpiResult<()> {
     let pack = |idxs: &[u32], shift: f64| -> Vec<f64> {
         let mut out = Vec::with_capacity(idxs.len() * 3);
         for &i in idxs {
@@ -231,7 +234,11 @@ pub fn communicate(
         }
         out
     };
-    comm.send(left_of(comm), TAG_COMM, &pack(&plan.send_left, plan.shift_left))?;
+    comm.send(
+        left_of(comm),
+        TAG_COMM,
+        &pack(&plan.send_left, plan.shift_left),
+    )?;
     comm.send(
         right_of(comm),
         TAG_COMM + 0x10,
@@ -240,7 +247,11 @@ pub fn communicate(
     let base = 3 * nlocal;
     let nl = 3 * plan.nghost_left;
     let nr = 3 * plan.nghost_right;
-    comm.recv_into(Some(left_of(comm)), TAG_COMM + 0x10, &mut x[base..base + nl])?;
+    comm.recv_into(
+        Some(left_of(comm)),
+        TAG_COMM + 0x10,
+        &mut x[base..base + nl],
+    )?;
     comm.recv_into(
         Some(right_of(comm)),
         TAG_COMM,

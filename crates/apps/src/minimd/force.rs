@@ -70,8 +70,8 @@ pub fn final_integrate(v: &mut [f64], f: &[f64], nlocal: usize, dt: f64) {
 /// Kinetic energy of the owned atoms (unit mass).
 pub fn kinetic_energy(v: &[f64], nlocal: usize) -> f64 {
     let mut ke = 0.0;
-    for i in 0..3 * nlocal {
-        ke += v[i] * v[i];
+    for &vi in &v[..3 * nlocal] {
+        ke += vi * vi;
     }
     0.5 * ke
 }

@@ -137,8 +137,7 @@ impl MiniMd {
                 nb[1] = grid.nby as u64;
                 nb[2] = grid.nbz as u64;
             }
-            vs.natoms_global.write_uncaptured()[0] =
-                (self.atoms_per_rank() * comm.size()) as u64;
+            vs.natoms_global.write_uncaptured()[0] = (self.atoms_per_rank() * comm.size()) as u64;
             {
                 let mut bb = vs.box_bounds.write_uncaptured();
                 bb.copy_from_slice(&[
@@ -334,8 +333,14 @@ impl MiniMdState {
             let new_nlocal =
                 exchange::exchange_atoms(comm, &self.slab, &mut x, &mut v, &mut id, nlocal)?;
             assert!(new_nlocal <= self.caps.nmax, "owned capacity exceeded");
-            let plan =
-                exchange::setup_borders(comm, &self.slab, self.cutneigh, &mut x, &mut id, new_nlocal)?;
+            let plan = exchange::setup_borders(
+                comm,
+                &self.slab,
+                self.cutneigh,
+                &mut x,
+                &mut id,
+                new_nlocal,
+            )?;
             drop((x, v, id));
             self.store_plan(&plan);
             let mut counts = self.vs.counts.write();
@@ -418,7 +423,7 @@ impl MiniMdState {
             force::final_integrate(&mut v, &f, nlocal, dt);
 
             let thermo_every = self.vs.thermo_every.read()[0].max(1);
-            if step % thermo_every == 0 {
+            if step.is_multiple_of(thermo_every) {
                 let ke = force::kinetic_energy(&v, nlocal);
                 self.vs.ke.write()[0] = ke;
                 self.vs.temp.write()[0] = 2.0 * ke / (3.0 * nlocal.max(1) as f64);
@@ -446,7 +451,7 @@ impl RankApp for MiniMdState {
             force::initial_integrate(&mut x, &mut v, &f, nlocal, dt);
         });
 
-        if iteration % neigh_every == 0 {
+        if iteration.is_multiple_of(neigh_every) {
             self.rebuild(comm, iteration, bk)?;
         } else {
             bk.book(Phase::Communicator, || -> MpiResult<()> {

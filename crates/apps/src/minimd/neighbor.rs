@@ -52,8 +52,8 @@ impl BinGrid {
     /// Bin coordinates of a position (x clamped, y/z wrapped).
     #[inline]
     pub fn coords_of(&self, p: &[f64]) -> (usize, usize, usize) {
-        let bx = (((p[0] - self.origin_x) / self.size_x) as isize)
-            .clamp(0, self.nbx as isize - 1) as usize;
+        let bx = (((p[0] - self.origin_x) / self.size_x) as isize).clamp(0, self.nbx as isize - 1)
+            as usize;
         let by = ((p[1] / self.size_y) as isize).rem_euclid(self.nby as isize) as usize;
         let bz = ((p[2] / self.size_z) as isize).rem_euclid(self.nbz as isize) as usize;
         (bx, by, bz)
@@ -222,7 +222,17 @@ mod tests {
         let mut nlist = vec![0u32; n * maxneigh];
         let ids: Vec<u64> = (0..n as u64).collect();
         build_neighbors(
-            &grid, &slab, &x, &ids, n, &bc, &ba, cap, cut * cut, &mut ncount, &mut nlist,
+            &grid,
+            &slab,
+            &x,
+            &ids,
+            n,
+            &bc,
+            &ba,
+            cap,
+            cut * cut,
+            &mut ncount,
+            &mut nlist,
             maxneigh,
         );
 
@@ -247,10 +257,7 @@ mod tests {
                     brute += 1;
                 }
             }
-            assert_eq!(
-                ncount[i], brute,
-                "atom {i} at x={px:.2} (lattice a={a:.3})"
-            );
+            assert_eq!(ncount[i], brute, "atom {i} at x={px:.2} (lattice a={a:.3})");
         }
     }
 
@@ -268,7 +275,17 @@ mod tests {
         let mut nlist = vec![0u32; n * maxneigh];
         let ids: Vec<u64> = (0..n as u64).collect();
         build_neighbors(
-            &grid, &slab, &x, &ids, n, &bc, &ba, cap, cut * cut, &mut ncount, &mut nlist,
+            &grid,
+            &slab,
+            &x,
+            &ids,
+            n,
+            &bc,
+            &ba,
+            cap,
+            cut * cut,
+            &mut ncount,
+            &mut nlist,
             maxneigh,
         );
         let has = |i: usize, j: usize| {
@@ -304,13 +321,22 @@ mod tests {
         let mut nlist = vec![0u32; n * maxneigh];
         let ids: Vec<u64> = (0..n as u64).collect();
         build_neighbors(
-            &grid, &slab, &x, &ids, n, &bc, &ba, cap, cut * cut, &mut ncount, &mut nlist,
+            &grid,
+            &slab,
+            &x,
+            &ids,
+            n,
+            &bc,
+            &ba,
+            cap,
+            cut * cut,
+            &mut ncount,
+            &mut nlist,
             maxneigh,
         );
         // No duplicate entries in any list.
         for i in 0..n {
-            let mut l: Vec<u32> =
-                nlist[i * maxneigh..i * maxneigh + ncount[i] as usize].to_vec();
+            let mut l: Vec<u32> = nlist[i * maxneigh..i * maxneigh + ncount[i] as usize].to_vec();
             let before = l.len();
             l.sort_unstable();
             l.dedup();

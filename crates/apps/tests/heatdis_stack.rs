@@ -9,11 +9,13 @@ use resilience::{run_experiment, ExperimentConfig, Strategy};
 use simmpi::FaultPlan;
 
 fn cluster(n: usize) -> Cluster {
-    let mut cfg = ClusterConfig::default();
-    cfg.nodes = n;
-    cfg.ranks_per_node = 1;
-    cfg.time_scale = TimeScale::instant();
-    cfg.relaunch = RelaunchModel::free();
+    let cfg = ClusterConfig {
+        nodes: n,
+        ranks_per_node: 1,
+        time_scale: TimeScale::instant(),
+        relaunch: RelaunchModel::free(),
+        ..ClusterConfig::default()
+    };
     Cluster::new(cfg)
 }
 
@@ -25,6 +27,7 @@ fn cfg(strategy: Strategy, spares: usize) -> ExperimentConfig {
         max_relaunches: 4,
         imr_policy: None,
         fresh_storage: true,
+        telemetry: None,
     }
 }
 
@@ -51,7 +54,11 @@ fn heatdis_failure_free_equivalence() {
         Strategy::FenixKokkosResilience,
         Strategy::FenixImr,
     ] {
-        let (nodes, spares) = if strategy.uses_fenix() { (5, 1) } else { (4, 0) };
+        let (nodes, spares) = if strategy.uses_fenix() {
+            (5, 1)
+        } else {
+            (4, 0)
+        };
         let rec = run_experiment(
             &cluster(nodes),
             &Heatdis::fixed(BYTES, 64, ITERS),
@@ -72,7 +79,11 @@ fn heatdis_recovery_is_bitwise_exact() {
         Strategy::FenixKokkosResilience,
         Strategy::FenixImr,
     ] {
-        let (nodes, spares) = if strategy.uses_fenix() { (5, 1) } else { (4, 0) };
+        let (nodes, spares) = if strategy.uses_fenix() {
+            (5, 1)
+        } else {
+            (4, 0)
+        };
         let rec = run_experiment(
             &cluster(nodes),
             &Heatdis::fixed(BYTES, 64, ITERS),
@@ -152,7 +163,7 @@ fn heatdis_is_decomposition_invariant() {
     // The same global grid computed on 1 rank and on 4 ranks must produce
     // bitwise-identical fields: halo exchange is exact communication, not
     // an approximation.
-    use resilience::{Bookkeeper, IterativeApp, RankApp};
+    use resilience::{Bookkeeper, RankApp};
     use simmpi::{Profile, Universe, UniverseConfig};
     use std::sync::Mutex;
 

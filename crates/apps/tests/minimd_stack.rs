@@ -10,11 +10,13 @@ use resilience::{run_experiment, Bookkeeper, ExperimentConfig, IterativeApp, Str
 use simmpi::{FaultPlan, MpiResult, Profile, Universe, UniverseConfig};
 
 fn cluster(n: usize) -> Cluster {
-    let mut cfg = ClusterConfig::default();
-    cfg.nodes = n;
-    cfg.ranks_per_node = 1;
-    cfg.time_scale = TimeScale::instant();
-    cfg.relaunch = RelaunchModel::free();
+    let cfg = ClusterConfig {
+        nodes: n,
+        ranks_per_node: 1,
+        time_scale: TimeScale::instant(),
+        relaunch: RelaunchModel::free(),
+        ..ClusterConfig::default()
+    };
     Cluster::new(cfg)
 }
 
@@ -26,6 +28,7 @@ fn cfg(strategy: Strategy, spares: usize) -> ExperimentConfig {
         max_relaunches: 4,
         imr_policy: None,
         fresh_storage: true,
+        telemetry: None,
     }
 }
 
@@ -52,8 +55,7 @@ fn minimd_runs_and_conserves_energy_roughly() {
             let mut energies = Vec::new();
             for i in 0..40u64 {
                 st.step(&comm, i, &bk)?;
-                let local =
-                    st.views().pe.read_uncaptured()[0] + st.views().ke.read_uncaptured()[0];
+                let local = st.views().pe.read_uncaptured()[0] + st.views().ke.read_uncaptured()[0];
                 // ke is refreshed every thermo_every steps; sample there.
                 if (i % 10) == 0 {
                     let total = comm.allreduce_scalar(local, ReduceOp::Sum)?;
@@ -82,7 +84,11 @@ fn minimd_failure_free_equivalence() {
     )
     .digest;
     for strategy in [Strategy::KokkosResilience, Strategy::FenixKokkosResilience] {
-        let (nodes, spares) = if strategy.uses_fenix() { (5, 1) } else { (4, 0) };
+        let (nodes, spares) = if strategy.uses_fenix() {
+            (5, 1)
+        } else {
+            (4, 0)
+        };
         let rec = run_experiment(
             &cluster(nodes),
             &MiniMd::new(CELLS, ITERS),

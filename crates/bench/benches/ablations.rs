@@ -31,6 +31,7 @@ fn checkpoint_interval_sweep(c: &mut Criterion) {
             max_relaunches: 4,
             imr_policy: None,
             fresh_storage: true,
+            telemetry: None,
         };
         group.bench_with_input(
             BenchmarkId::new("checkpoints", checkpoints),
@@ -57,13 +58,12 @@ fn imr_vs_veloc_commit(c: &mut Criterion) {
                 max_relaunches: 4,
                 imr_policy: None,
                 fresh_storage: true,
+                telemetry: None,
             };
             group.bench_with_input(
                 BenchmarkId::new(strategy.label().replace(' ', "_"), kb),
                 &kb,
-                |b, _| {
-                    b.iter(|| run_experiment(&cluster, &app, &cfg, Arc::new(FaultPlan::none())))
-                },
+                |b, _| b.iter(|| run_experiment(&cluster, &app, &cfg, Arc::new(FaultPlan::none()))),
             );
         }
     }
@@ -85,6 +85,7 @@ fn spare_count_sensitivity(c: &mut Criterion) {
             max_relaunches: 4,
             imr_policy: None,
             fresh_storage: true,
+            telemetry: None,
         };
         group.bench_with_input(BenchmarkId::new("spares", spares), &spares, |b, _| {
             b.iter(|| run_experiment(&cluster, &app, &cfg, Arc::new(FaultPlan::none())))

@@ -23,6 +23,7 @@ fn cfg(strategy: Strategy) -> ExperimentConfig {
         max_relaunches: 4,
         imr_policy: None,
         fresh_storage: true,
+        telemetry: None,
     }
 }
 
@@ -62,7 +63,11 @@ fn fig5_weak_scaling(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_secs(1));
     for ranks in [2usize, 4, 8] {
         for strategy in [Strategy::KokkosResilience, Strategy::FenixKokkosResilience] {
-            let nodes = if strategy.uses_fenix() { ranks + 1 } else { ranks };
+            let nodes = if strategy.uses_fenix() {
+                ranks + 1
+            } else {
+                ranks
+            };
             let cluster = bench_cluster(nodes);
             let app = Heatdis::fixed(256 * 1024, 128, 30);
             group.bench_with_input(

@@ -17,7 +17,11 @@ fn fig6_framework_weak_scaling(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_secs(1));
     for ranks in [2usize, 4] {
         for strategy in [Strategy::KokkosResilience, Strategy::FenixKokkosResilience] {
-            let nodes = if strategy.uses_fenix() { ranks + 1 } else { ranks };
+            let nodes = if strategy.uses_fenix() {
+                ranks + 1
+            } else {
+                ranks
+            };
             let cluster = bench_cluster(nodes);
             let app = MiniMd::new([3, 3, 3], 15);
             let cfg = ExperimentConfig {
@@ -27,13 +31,12 @@ fn fig6_framework_weak_scaling(c: &mut Criterion) {
                 max_relaunches: 4,
                 imr_policy: None,
                 fresh_storage: true,
+                telemetry: None,
             };
             group.bench_with_input(
                 BenchmarkId::new(strategy.label().replace(' ', "_"), ranks),
                 &ranks,
-                |b, _| {
-                    b.iter(|| run_experiment(&cluster, &app, &cfg, Arc::new(FaultPlan::none())))
-                },
+                |b, _| b.iter(|| run_experiment(&cluster, &app, &cfg, Arc::new(FaultPlan::none()))),
             );
         }
     }

@@ -71,5 +71,10 @@ fn snapshot_cost(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(fig7, capture_overhead, classification_scaling, snapshot_cost);
+criterion_group!(
+    fig7,
+    capture_overhead,
+    classification_scaling,
+    snapshot_cost
+);
 criterion_main!(fig7);

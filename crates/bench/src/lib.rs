@@ -7,10 +7,12 @@ use cluster::{Cluster, ClusterConfig, RelaunchModel, TimeScale};
 /// A small, instant-timescale cluster for microbenchmarks: modeled costs are
 /// accounted but not slept, so criterion measures algorithmic cost only.
 pub fn bench_cluster(nodes: usize) -> Cluster {
-    let mut cfg = ClusterConfig::default();
-    cfg.nodes = nodes;
-    cfg.ranks_per_node = 1;
-    cfg.time_scale = TimeScale::instant();
-    cfg.relaunch = RelaunchModel::free();
+    let cfg = ClusterConfig {
+        nodes,
+        ranks_per_node: 1,
+        time_scale: TimeScale::instant(),
+        relaunch: RelaunchModel::free(),
+        ..ClusterConfig::default()
+    };
     Cluster::new(cfg)
 }

@@ -93,7 +93,9 @@ impl Governor {
 
 impl std::fmt::Debug for Governor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Governor").field("rate", &self.rate).finish()
+        f.debug_struct("Governor")
+            .field("rate", &self.rate)
+            .finish()
     }
 }
 

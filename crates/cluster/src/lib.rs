@@ -246,9 +246,11 @@ mod tests {
 
     #[test]
     fn cluster_wires_topology() {
-        let mut cfg = ClusterConfig::default();
-        cfg.nodes = 4;
-        cfg.ranks_per_node = 2;
+        let cfg = ClusterConfig {
+            nodes: 4,
+            ranks_per_node: 2,
+            ..ClusterConfig::default()
+        };
         let c = Cluster::new(cfg);
         assert_eq!(c.topology().total_ranks(), 8);
         assert_eq!(c.topology().node_of(7), 3);
@@ -256,8 +258,10 @@ mod tests {
 
     #[test]
     fn fail_node_purges_scratch() {
-        let mut cfg = ClusterConfig::default();
-        cfg.time_scale = TimeScale::instant();
+        let cfg = ClusterConfig {
+            time_scale: TimeScale::instant(),
+            ..ClusterConfig::default()
+        };
         let c = Cluster::new(cfg);
         c.scratch()
             .write(0, "ckpt", bytes::Bytes::from_static(b"x"));

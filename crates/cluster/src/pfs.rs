@@ -10,8 +10,8 @@
 //! Contents survive simulated job relaunches and node failures — the harness
 //! holds the same `ParallelFileSystem` across `Universe` launches.
 
-use std::collections::HashMap;
 use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::time::Duration;
 

@@ -13,7 +13,10 @@ pub struct Topology {
 impl Topology {
     pub fn new(nodes: usize, ranks_per_node: usize) -> Self {
         assert!(nodes > 0, "topology needs at least one node");
-        assert!(ranks_per_node > 0, "topology needs at least one rank per node");
+        assert!(
+            ranks_per_node > 0,
+            "topology needs at least one rank per node"
+        );
         Topology {
             nodes,
             ranks_per_node,

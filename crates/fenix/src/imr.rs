@@ -55,7 +55,10 @@ impl ImrPolicy {
     fn validate(self, size: usize) {
         assert!(size >= 2, "IMR needs at least 2 ranks");
         if self == ImrPolicy::Pair {
-            assert!(size % 2 == 0, "Pair policy requires an even rank count");
+            assert!(
+                size.is_multiple_of(2),
+                "Pair policy requires an even rank count"
+            );
         }
     }
 }
@@ -159,7 +162,7 @@ impl<'a> DataGroup<'a> {
     }
 
     fn tag(member: u32, leg: u64) -> u64 {
-        IMR_TAG_BASE | ((leg as u64) << 32) | member as u64
+        IMR_TAG_BASE | (leg << 32) | member as u64
     }
 
     /// Collectively commit `data` as `member`'s checkpoint at `version`.
@@ -180,7 +183,8 @@ impl<'a> DataGroup<'a> {
         // Phase 1: exchange. My data goes to my holder; I receive my
         // source's data. Nothing is committed yet.
         let exchange = (|| -> MpiResult<Bytes> {
-            self.comm.send_bytes(to, Self::tag(member, 0), data.clone())?;
+            self.comm
+                .send_bytes(to, Self::tag(member, 0), data.clone())?;
             let (buddy_data, _) = self.comm.recv_bytes(Some(from), Self::tag(member, 0))?;
             Ok(buddy_data)
         })();

@@ -8,6 +8,7 @@ use bytes::Bytes;
 use simmpi::rendezvous::{purpose, RendezvousKey};
 use simmpi::router::Router;
 use simmpi::{Comm, MpiError, MpiResult};
+use telemetry::{Event, Recorder};
 
 /// What a rank is, as seen by the application on (re-)entry — the rank
 /// states of the paper's Figure 2.
@@ -154,7 +155,11 @@ impl Fenix {
             resilient_size: self.active_group.borrow().len(),
             spares_remaining: self.spare_pool.borrow().len(),
         };
-        for cb in self.callbacks.borrow_mut().iter_mut() {
+        let rec = self.recorder();
+        for (i, cb) in self.callbacks.borrow_mut().iter_mut().enumerate() {
+            rec.emit_with(|| Event::CallbackFired {
+                name: format!("callback{i}"),
+            });
             cb(&info);
         }
     }
@@ -184,6 +189,10 @@ impl Fenix {
         self.world.router()
     }
 
+    fn recorder(&self) -> Recorder {
+        self.router().recorder(self.world.my_global())
+    }
+
     fn build_resilient_comm(&self) -> Comm {
         let id = Router::derive_comm_id(
             self.world.id(),
@@ -199,9 +208,7 @@ impl Fenix {
     }
 
     fn is_active(&self) -> bool {
-        self.active_group
-            .borrow()
-            .contains(&self.world.my_global())
+        self.active_group.borrow().contains(&self.world.my_global())
     }
 
     /// Join the repair rendezvous for the current epoch with a vote.
@@ -220,21 +227,28 @@ impl Fenix {
             self.world.group(),
             Bytes::copy_from_slice(&[vote]),
             |parts| {
-                let any_repair = parts
-                    .iter()
-                    .any(|(_, b)| b.first() == Some(&VOTE_REPAIR));
-                Bytes::copy_from_slice(&[if any_repair { VOTE_REPAIR } else { VOTE_FINALIZE }])
+                let any_repair = parts.iter().any(|(_, b)| b.first() == Some(&VOTE_REPAIR));
+                Bytes::copy_from_slice(&[if any_repair {
+                    VOTE_REPAIR
+                } else {
+                    VOTE_FINALIZE
+                }])
             },
         )?;
+        // The rendezvous *is* the agreement step of the failure chain.
+        self.recorder().emit_with(|| Event::Agree {
+            seq: self.repair_count.get(),
+            flags: outcome.value.first().copied().unwrap_or(0) as u64,
+        });
         let repair_voted = outcome.value.first() == Some(&VOTE_REPAIR);
         let any_new_dead = {
             let known = self.known_dead.borrow();
-            outcome
-                .failures_observed
-                .iter()
-                .any(|r| !known.contains(r))
+            outcome.failures_observed.iter().any(|r| !known.contains(r))
         };
         if repair_voted || any_new_dead {
+            self.recorder().emit_with(|| Event::FailureDetected {
+                scope: if repair_voted { "voted" } else { "observed" }.to_string(),
+            });
             Ok(Some(outcome.failures_observed))
         } else {
             Ok(None)
@@ -244,6 +258,10 @@ impl Fenix {
     /// Apply a repair given the agreed dead set (full history of dead global
     /// ranks — deterministic and identical on every rank).
     fn apply_repair(&self, dead: &[usize]) -> MpiResult<()> {
+        let rec = self.recorder();
+        rec.emit_with(|| Event::RepairBegin {
+            epoch: self.repair_count.get(),
+        });
         let old_id = Router::derive_comm_id(
             self.world.id(),
             FENIX_COMM_SALT.wrapping_add(self.repair_count.get()),
@@ -284,6 +302,11 @@ impl Fenix {
         self.repair_count.set(self.repair_count.get() + 1);
         // Stale traffic on the retired communicator must not accumulate.
         self.router().purge_comm(old_id, 0);
+        rec.emit_with(|| Event::RepairEnd {
+            epoch: self.repair_count.get(),
+            survivors: self.active_group.borrow().len() as u64,
+            spares_left: self.spare_pool.borrow().len() as u64,
+        });
         Ok(())
     }
 }
@@ -332,18 +355,27 @@ where
                             fenix.apply_repair(&dead)?;
                             fenix.fire_callbacks();
                             role = Role::Survivor;
+                            fenix.recorder().emit_with(|| Event::RoleChanged {
+                                role: "survivor".to_string(),
+                            });
                         }
                     }
                 }
                 Err(e) if e.is_recoverable() => {
-                    // The single control-flow exit point: propagate failure
-                    // knowledge (revoke), agree, repair, re-enter.
+                    // The single control-flow exit point: detect, propagate
+                    // failure knowledge (revoke), agree, repair, re-enter.
+                    fenix.recorder().emit_with(|| Event::FailureDetected {
+                        scope: e.to_string(),
+                    });
                     let _ = &res_comm.revoke();
                     match fenix.repair_rendezvous(VOTE_REPAIR)? {
                         Some(dead) => {
                             fenix.apply_repair(&dead)?;
                             fenix.fire_callbacks();
                             role = Role::Survivor;
+                            fenix.recorder().emit_with(|| Event::RoleChanged {
+                                role: "survivor".to_string(),
+                            });
                         }
                         None => unreachable!("a REPAIR vote cannot yield finalize"),
                     }
@@ -366,6 +398,9 @@ where
                     fenix.fire_callbacks();
                     if fenix.is_active() {
                         role = Role::Recovered;
+                        fenix.recorder().emit_with(|| Event::RoleChanged {
+                            role: "recovered".to_string(),
+                        });
                     }
                 }
             }

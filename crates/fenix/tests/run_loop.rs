@@ -10,10 +10,12 @@ use parking_lot::Mutex;
 use simmpi::{FaultPlan, MpiResult, RankCtx, ReduceOp, Universe, UniverseConfig};
 
 fn cluster(n: usize) -> Cluster {
-    let mut cfg = ClusterConfig::default();
-    cfg.nodes = n;
-    cfg.ranks_per_node = 1;
-    cfg.time_scale = TimeScale::instant();
+    let cfg = ClusterConfig {
+        nodes: n,
+        ranks_per_node: 1,
+        time_scale: TimeScale::instant(),
+        ..ClusterConfig::default()
+    };
     Cluster::new(cfg)
 }
 
@@ -237,9 +239,9 @@ fn survivor_state_persists_across_repair() {
             if role == Role::Recovered {
                 assert_eq!(local_progress, 0, "recovered rank starts fresh");
             }
-            for i in local_progress..4 {
-                ctx.fault_point("iter", i)?;
-                local_progress = i + 1;
+            while local_progress < 4 {
+                ctx.fault_point("iter", local_progress)?;
+                local_progress += 1;
             }
             // One collective everyone reaches with matched counts.
             comm.barrier()?;
@@ -342,7 +344,10 @@ fn recovery_callbacks_fire_with_repair_facts() {
     // been called once. (The promoted spare registers after the repair.)
     let callers: Vec<usize> = calls.iter().map(|(r, _)| *r).collect();
     for r in [0usize, 2, 3] {
-        assert!(callers.contains(&r), "rank {r} callback missing: {callers:?}");
+        assert!(
+            callers.contains(&r),
+            "rank {r} callback missing: {callers:?}"
+        );
     }
     for (_, info) in calls.iter() {
         assert_eq!(info.repair_count, 1);

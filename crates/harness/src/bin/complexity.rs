@@ -7,7 +7,8 @@
 //! binary reproduces the view statistics from live capture and counts the
 //! MPI call sites in our own MiniMD sources.
 
-use harness::experiments::fig7_stats;
+use harness::experiments::fig7_stats_traced;
+use harness::table::{arg_trace, write_trace};
 
 fn count_in_dir(dir: &std::path::Path, pred: &dyn Fn(&str) -> usize) -> (usize, usize, usize) {
     // (files scanned, files with hits, total hits)
@@ -38,10 +39,12 @@ fn count_in_dir(dir: &std::path::Path, pred: &dyn Fn(&str) -> usize) -> (usize, 
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let trace = arg_trace(&args);
     println!("== §VI.E complexity-of-use statistics ==\n");
 
     // View statistics from live automatic capture (4^3-cell MiniMD).
-    let row = fig7_stats(&[4]).remove(0);
+    let row = fig7_stats_traced(&[4], trace.as_ref().map(|(t, _)| t.clone())).remove(0);
     println!("view objects detected in the MiniMD checkpoint region:");
     println!("   total:        {:>3}   (paper: 61)", row.total_views);
     println!("   checkpointed: {:>3}   (paper: 39)", row.checkpointed.0);
@@ -80,7 +83,12 @@ fn main() {
     // Resilience-integration line count: what the application itself adds
     // to run under the full stack (the IterativeApp hooks beyond pure
     // physics).
-    let hooks = ["checkpoint_views", "post_restore", "alias_labels", "fault_point"];
+    let hooks = [
+        "checkpoint_views",
+        "post_restore",
+        "alias_labels",
+        "fault_point",
+    ];
     let hook_lines = |s: &str| {
         s.lines()
             .filter(|l| hooks.iter().any(|h| l.contains(h)) && !l.trim_start().starts_with("//"))
@@ -89,4 +97,17 @@ fn main() {
     let (_, _, lines) = count_in_dir(&minimd_dir, &hook_lines);
     println!("\nresilience-specific hook references in MiniMD sources: {lines}");
     println!("   (paper: fewer than 20 lines of simple code in a single file)");
+
+    if let Some((tel, base)) = &trace {
+        match write_trace(base, tel) {
+            Ok(timeline) => print!("{timeline}"),
+            Err(e) => {
+                eprintln!(
+                    "error: failed to write trace files at {}: {e}",
+                    base.display()
+                );
+                std::process::exit(2);
+            }
+        }
+    }
 }

@@ -7,12 +7,16 @@
 //!   (the paper's "1GB-Data Node Weak-Scaling");
 //! * `--panel partial` — the §VI.D.2 partial-rollback comparison.
 //!
-//! Options: `--quick` (smaller sweep), `--repeats N`, `--json PATH`.
+//! Options: `--quick` (smaller sweep), `--repeats N`, `--json PATH`,
+//! `--trace PATH` (write `PATH.jsonl` + `PATH.trace.json` and print the
+//! failure timeline).
 
 use std::path::PathBuf;
 
 use harness::experiments::{fig5_panel, partial_rollback_comparison, Fig5Config};
-use harness::table::{arg_flag, arg_value, print_breakdown_table, write_json};
+use harness::table::{
+    arg_flag, arg_trace, arg_value, print_breakdown_table, write_json, write_trace,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -22,8 +26,12 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(if quick { 1 } else { 2 });
 
-    let mut cfg = Fig5Config::default();
-    cfg.repeats = repeats;
+    let trace = arg_trace(&args);
+    let mut cfg = Fig5Config {
+        telemetry: trace.as_ref().map(|(t, _)| t.clone()),
+        repeats,
+        ..Fig5Config::default()
+    };
     if quick {
         cfg.iterations = 30;
         cfg.cols = 256;
@@ -72,7 +80,13 @@ fn main() {
         "partial" => {
             // Jacobi needs O(N²) sweeps: keep the global grid small enough
             // (48×32) that the converging variant actually converges.
-            let r = partial_rollback_comparison(2 * 8 * 32 * 12, 32, 4, 1.0);
+            let r = partial_rollback_comparison(
+                2 * 8 * 32 * 12,
+                32,
+                4,
+                1.0,
+                trace.as_ref().map(|(t, _)| t.clone()),
+            );
             println!("== §VI.D.2: partial vs full rollback (converging Heatdis) ==");
             println!("failure-free convergence: {} iterations", r.free_iterations);
             println!(
@@ -99,6 +113,19 @@ fn main() {
         other => {
             eprintln!("unknown panel '{other}': use data | weak | partial");
             std::process::exit(2);
+        }
+    }
+
+    if let Some((tel, base)) = &trace {
+        match write_trace(base, tel) {
+            Ok(timeline) => print!("{timeline}"),
+            Err(e) => {
+                eprintln!(
+                    "error: failed to write trace files at {}: {e}",
+                    base.display()
+                );
+                std::process::exit(2);
+            }
         }
     }
 }

@@ -5,12 +5,14 @@
 //! Neighboring / Communicator / Checkpoint Function / Data Recovery /
 //! Other — plus failure costs.
 //!
-//! Options: `--quick`, `--repeats N`, `--json PATH`.
+//! Options: `--quick`, `--repeats N`, `--json PATH`, `--trace PATH`.
 
 use std::path::PathBuf;
 
 use harness::experiments::fig6_weak_scaling;
-use harness::table::{arg_flag, arg_value, print_breakdown_table, write_json};
+use harness::table::{
+    arg_flag, arg_trace, arg_value, print_breakdown_table, write_json, write_trace,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -25,7 +27,16 @@ fn main() {
     // MiniMD aligns checkpoint intervals with neighbor rebuilds itself.
     let checkpoints = 4;
 
-    let results = fig6_weak_scaling(rank_counts, cells, iterations, checkpoints, repeats, 1.0);
+    let trace = arg_trace(&args);
+    let results = fig6_weak_scaling(
+        rank_counts,
+        cells,
+        iterations,
+        checkpoints,
+        repeats,
+        1.0,
+        trace.as_ref().map(|(t, _)| t.clone()),
+    );
     print_breakdown_table(
         &format!(
             "Figure 6: MiniMD weak scaling ({}x{}x{} cells/rank, {iterations} steps)",
@@ -35,5 +46,17 @@ fn main() {
     );
     if let Some(path) = arg_value(&args, "--json") {
         write_json(&PathBuf::from(path), &results).expect("write json");
+    }
+    if let Some((tel, base)) = &trace {
+        match write_trace(base, tel) {
+            Ok(timeline) => print!("{timeline}"),
+            Err(e) => {
+                eprintln!(
+                    "error: failed to write trace files at {}: {e}",
+                    base.display()
+                );
+                std::process::exit(2);
+            }
+        }
     }
 }

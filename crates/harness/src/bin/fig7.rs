@@ -5,11 +5,13 @@
 //! memory) are Checkpointed / Alias / Skipped — the paper's Figure 7 bars
 //! and the §VI.E counts (61 views: 39 checkpointed, 3 alias, 19 skipped).
 
-use harness::experiments::fig7_stats;
+use harness::experiments::fig7_stats_traced;
+use harness::table::{arg_trace, write_trace};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let trace = arg_trace(&args);
     // Paper sizes are 100^3..400^3 sites; scaled to unit cells per rank.
     let sizes: &[usize] = if quick { &[2, 3] } else { &[2, 3, 4, 5] };
 
@@ -18,12 +20,10 @@ fn main() {
         "{:<26} {:>6} {:>22} {:>22} {:>22}",
         "simulation size", "views", "checkpointed", "alias", "skipped"
     );
-    for row in fig7_stats(sizes) {
-        let total_bytes =
-            (row.checkpointed.1 + row.alias.1 + row.skipped.1).max(1) as f64;
-        let fmt = |c: (usize, usize)| {
-            format!("{:>3} ({:>5.1}%)", c.0, 100.0 * c.1 as f64 / total_bytes)
-        };
+    for row in fig7_stats_traced(sizes, trace.as_ref().map(|(t, _)| t.clone())) {
+        let total_bytes = (row.checkpointed.1 + row.alias.1 + row.skipped.1).max(1) as f64;
+        let fmt =
+            |c: (usize, usize)| format!("{:>3} ({:>5.1}%)", c.0, 100.0 * c.1 as f64 / total_bytes);
         println!(
             "{:<26} {:>6} {:>22} {:>22} {:>22}",
             row.label,
@@ -35,4 +35,16 @@ fn main() {
     }
     println!("\npaper reference: 61 view objects — 39 checkpointed, 3 alias, 19 skipped;");
     println!("alias+skipped fractions of memory shrink as the dominant data view grows.");
+    if let Some((tel, base)) = &trace {
+        match write_trace(base, tel) {
+            Ok(timeline) => print!("{timeline}"),
+            Err(e) => {
+                eprintln!(
+                    "error: failed to write trace files at {}: {e}",
+                    base.display()
+                );
+                std::process::exit(2);
+            }
+        }
+    }
 }

@@ -5,8 +5,8 @@ use std::sync::Arc;
 use apps::{Heatdis, MiniMd};
 use cluster::{Cluster, ClusterConfig, TimeScale};
 use resilience::{run_experiment, ExperimentConfig, IterativeApp, RunRecord, Strategy};
-use serde::Serialize;
 use simmpi::FaultPlan;
+use telemetry::{Json, Telemetry};
 
 /// A no-failure/with-failure pair of averaged runs for one configuration —
 /// the paper's protocol: "Each tested application is run four times, twice
@@ -36,7 +36,6 @@ pub struct ExperimentPoint {
 }
 
 /// Serializable flat record for `--json` output.
-#[derive(Serialize)]
 pub struct JsonRecord {
     pub point: String,
     pub strategy: String,
@@ -68,16 +67,40 @@ impl JsonRecord {
             iterations: rec.iterations,
         }
     }
+
+    /// Flat JSON object for this record.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("point", Json::from(self.point.as_str())),
+            ("strategy", Json::from(self.strategy.as_str())),
+            ("failed", Json::from(self.failed)),
+            ("ranks", Json::from(self.ranks)),
+            ("wall_s", Json::from(self.wall_s)),
+            (
+                "categories",
+                Json::arr(
+                    self.categories
+                        .iter()
+                        .map(|(n, v)| Json::arr([Json::from(n.as_str()), Json::from(*v)])),
+                ),
+            ),
+            ("relaunches", Json::from(self.relaunches)),
+            ("repairs", Json::from(self.repairs)),
+            ("iterations", Json::from(self.iterations)),
+        ])
+    }
 }
 
 /// Build the experiment cluster for a given active-rank count (Fenix
 /// strategies get their spares as extra nodes, like the paper's spare
 /// nodes).
 pub fn experiment_cluster(nodes: usize, time_scale: f64) -> Cluster {
-    let mut cfg = ClusterConfig::default();
-    cfg.nodes = nodes;
-    cfg.ranks_per_node = 1;
-    cfg.time_scale = TimeScale(time_scale);
+    let cfg = ClusterConfig {
+        nodes,
+        ranks_per_node: 1,
+        time_scale: TimeScale(time_scale),
+        ..ClusterConfig::default()
+    };
     Cluster::new(cfg)
 }
 
@@ -136,6 +159,7 @@ pub fn run_pair(
     fail_at: Option<(usize, u64)>,
     repeats: usize,
     time_scale: f64,
+    telemetry: Option<Telemetry>,
 ) -> PairedRuns {
     let nodes = if strategy.uses_fenix() {
         active_ranks + spares
@@ -150,6 +174,7 @@ pub fn run_pair(
         max_relaunches: 6,
         imr_policy: None,
         fresh_storage: true,
+        telemetry,
     };
 
     let no_failure = averaged(
@@ -187,6 +212,8 @@ pub struct Fig5Config {
     pub cols: usize,
     pub repeats: usize,
     pub time_scale: f64,
+    /// Observability hub shared by every run of the panel (`--trace`).
+    pub telemetry: Option<Telemetry>,
 }
 
 impl Default for Fig5Config {
@@ -203,6 +230,7 @@ impl Default for Fig5Config {
             cols: 512,
             repeats: 2,
             time_scale: 1.0,
+            telemetry: None,
         }
     }
 }
@@ -216,10 +244,7 @@ pub fn default_fail_iteration(iterations: u64, checkpoints: u64) -> u64 {
 }
 
 /// One Figure 5 panel: Heatdis at each `(label, mb_per_rank, ranks)` point.
-pub fn fig5_panel(
-    cfg: &Fig5Config,
-    points: &[(String, f64, usize)],
-) -> Vec<ExperimentPoint> {
+pub fn fig5_panel(cfg: &Fig5Config, points: &[(String, f64, usize)]) -> Vec<ExperimentPoint> {
     points
         .iter()
         .map(|(label, mb, ranks)| {
@@ -238,6 +263,7 @@ pub fn fig5_panel(
                         Some((ranks / 2, fail_iter)),
                         cfg.repeats,
                         cfg.time_scale,
+                        cfg.telemetry.clone(),
                     )
                 })
                 .collect();
@@ -252,6 +278,7 @@ pub fn fig5_panel(
 
 /// Figure 6: MiniMD weak scaling under the integrated framework, with the
 /// no-Fenix baseline for the relaunch comparison.
+#[allow(clippy::too_many_arguments)]
 pub fn fig6_weak_scaling(
     rank_counts: &[usize],
     cells: [usize; 3],
@@ -259,6 +286,7 @@ pub fn fig6_weak_scaling(
     checkpoints: u64,
     repeats: usize,
     time_scale: f64,
+    telemetry: Option<Telemetry>,
 ) -> Vec<ExperimentPoint> {
     rank_counts
         .iter()
@@ -277,6 +305,7 @@ pub fn fig6_weak_scaling(
                         Some((ranks / 2, fail_iter)),
                         repeats,
                         time_scale,
+                        telemetry.clone(),
                     )
                 })
                 .collect();
@@ -299,6 +328,11 @@ pub struct Fig7Row {
 }
 
 pub fn fig7_stats(cell_sizes: &[usize]) -> Vec<Fig7Row> {
+    fig7_stats_traced(cell_sizes, None)
+}
+
+/// [`fig7_stats`] with an optional observability hub (`--trace`).
+pub fn fig7_stats_traced(cell_sizes: &[usize], telemetry: Option<Telemetry>) -> Vec<Fig7Row> {
     use kokkos_resilience::{BackendKind, CheckpointFilter, Context, ContextConfig, ViewClass};
     use resilience::{Bookkeeper, RankApp};
     use simmpi::{Profile, Universe, UniverseConfig};
@@ -310,7 +344,10 @@ pub fn fig7_stats(cell_sizes: &[usize]) -> Vec<Fig7Row> {
             let row = std::sync::Mutex::new(None);
             let report = Universe::launch(
                 &cluster,
-                UniverseConfig::default(),
+                UniverseConfig {
+                    telemetry: telemetry.clone(),
+                    ..UniverseConfig::default()
+                },
                 Arc::new(FaultPlan::none()),
                 |ctx| {
                     let app = MiniMd::new([n, n, n], 1);
@@ -327,6 +364,7 @@ pub fn fig7_stats(cell_sizes: &[usize]) -> Vec<Fig7Row> {
                             aliases: app.alias_labels(),
                         },
                     );
+                    kr.set_recorder(ctx.recorder().clone());
                     kr.checkpoint("loop", 0, || st.step(&comm, 0, &bk))?;
                     let stats = kr.region_stats("loop").expect("region detected");
                     *row.lock().unwrap() = Some(Fig7Row {
@@ -380,6 +418,7 @@ pub fn partial_rollback_comparison(
     cols: usize,
     ranks: usize,
     time_scale: f64,
+    telemetry: Option<Telemetry>,
 ) -> PartialRollbackResult {
     let app = Heatdis::converging(per_rank_bytes, cols, 12_000).with_eps(0.3);
     let cluster = experiment_cluster(ranks + 1, time_scale);
@@ -390,6 +429,7 @@ pub fn partial_rollback_comparison(
         max_relaunches: 4,
         imr_policy: None,
         fresh_storage: true,
+        telemetry: telemetry.clone(),
     };
     let free = run_experiment(
         &cluster,
@@ -401,7 +441,7 @@ pub fn partial_rollback_comparison(
     // Checkpoints fire at i % interval == interval-1; the recovered runs
     // resume at the first iteration after the last checkpoint before the
     // kill.
-    let interval = (12_000u64 / 6).max(1);
+    let interval = 12_000u64 / 6;
     let resume_iteration = (kill / interval) * interval;
     let full = run_experiment(
         &cluster,

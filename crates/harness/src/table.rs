@@ -11,7 +11,10 @@ use crate::experiments::{ExperimentPoint, JsonRecord};
 pub fn print_breakdown_table(title: &str, points: &[ExperimentPoint]) {
     println!("== {title} ==");
     for point in points {
-        println!("\n--- {} ({} active ranks) ---", point.label, point.active_ranks);
+        println!(
+            "\n--- {} ({} active ranks) ---",
+            point.label, point.active_ranks
+        );
         let strategies: Vec<&str> = point.pairs.iter().map(|p| p.strategy.label()).collect();
         print!("{:<28}", "category / strategy");
         for s in &strategies {
@@ -32,7 +35,7 @@ pub fn print_breakdown_table(title: &str, points: &[ExperimentPoint]) {
                 p.no_failure.breakdown.rows()[ci].1 > 1e-6
                     || p.with_failure
                         .as_ref()
-                        .map_or(false, |f| f.breakdown.rows()[ci].1 > 1e-6)
+                        .is_some_and(|f| f.breakdown.rows()[ci].1 > 1e-6)
             });
             if !any {
                 continue;
@@ -87,15 +90,42 @@ pub fn write_json(path: &Path, points: &[ExperimentPoint]) -> std::io::Result<()
     let mut records = Vec::new();
     for point in points {
         for pair in &point.pairs {
-            records.push(JsonRecord::from_record(&point.label, false, &pair.no_failure));
+            records.push(JsonRecord::from_record(
+                &point.label,
+                false,
+                &pair.no_failure,
+            ));
             if let Some(f) = &pair.with_failure {
                 records.push(JsonRecord::from_record(&point.label, true, f));
             }
         }
     }
+    let doc = telemetry::Json::arr(records.iter().map(|r| r.to_json()));
     let mut file = std::fs::File::create(path)?;
-    file.write_all(serde_json::to_string_pretty(&records)?.as_bytes())?;
+    file.write_all(doc.to_json_pretty().as_bytes())?;
     Ok(())
+}
+
+/// Export a run's telemetry next to `base`: `<base>.jsonl` (one event per
+/// line) and `<base>.trace.json` (Chrome `trace_event`, loadable in
+/// `about:tracing` / Perfetto). Returns the human-readable failure timeline
+/// for the caller to print.
+pub fn write_trace(base: &Path, tel: &telemetry::Telemetry) -> std::io::Result<String> {
+    let snap = tel.snapshot();
+    telemetry::export::write_jsonl(&base.with_extension("jsonl"), &snap)?;
+    telemetry::export::write_chrome_trace(&base.with_extension("trace.json"), &snap)?;
+    Ok(telemetry::export::failure_timeline(&snap))
+}
+
+/// Build the `--trace` observability hub if the flag is present. Returns the
+/// hub plus the base path traces will be written under.
+pub fn arg_trace(args: &[String]) -> Option<(telemetry::Telemetry, std::path::PathBuf)> {
+    arg_value(args, "--trace").map(|p| {
+        (
+            telemetry::Telemetry::new(telemetry::TelemetryConfig::default()),
+            std::path::PathBuf::from(p),
+        )
+    })
 }
 
 /// Pull a `--flag value` pair out of CLI args.

@@ -14,6 +14,7 @@ use std::sync::Arc;
 use cluster::Cluster;
 use kokkos::capture::Checkpointable;
 use simmpi::{Comm, MpiResult};
+use telemetry::Recorder;
 use veloc::{Client, Config as VelocConfig, Mode, Protected, VelocError};
 
 /// A classified region's checkpointed views, in stable detection order.
@@ -67,6 +68,12 @@ pub trait DataBackend: Send {
 
     /// Clear cached protection state (context reset).
     fn clear(&self) {}
+
+    /// Attach a telemetry recorder for storage-layer lifecycle events.
+    /// Backends with nothing to trace keep the default no-op.
+    fn set_recorder(&self, rec: Recorder) {
+        let _ = rec;
+    }
 }
 
 /// Adapter: a captured view as a VeloC protected region.
@@ -175,6 +182,10 @@ impl DataBackend for VelocBackend {
         self.client.checkpoint_wait();
         self.client.clear_protected();
     }
+
+    fn set_recorder(&self, rec: Recorder) {
+        self.client.set_recorder(rec);
+    }
 }
 
 #[cfg(test)]
@@ -184,9 +195,11 @@ mod tests {
     use kokkos::View;
 
     fn cluster() -> Cluster {
-        let mut cfg = ClusterConfig::default();
-        cfg.nodes = 1;
-        cfg.time_scale = TimeScale::instant();
+        let cfg = ClusterConfig {
+            nodes: 1,
+            time_scale: TimeScale::instant(),
+            ..ClusterConfig::default()
+        };
         Cluster::new(cfg)
     }
 

@@ -7,6 +7,7 @@ use std::sync::Arc;
 use cluster::Cluster;
 use kokkos::capture::{CaptureSession, Checkpointable};
 use simmpi::{Comm, MpiResult, Phase, Profile};
+use telemetry::{Event, Recorder};
 use veloc::Mode;
 
 use crate::backend::{DataBackend, VelocBackend};
@@ -110,6 +111,7 @@ pub struct Context {
     /// by peer-storage backends such as IMR to route surviving copies).
     recovering_ranks: RefCell<Vec<usize>>,
     profile: RefCell<Option<Arc<Profile>>>,
+    recorder: RefCell<Recorder>,
 }
 
 impl Context {
@@ -148,12 +150,25 @@ impl Context {
             scope: RefCell::new(RecoveryScope::All),
             recovering_ranks: RefCell::new(Vec::new()),
             profile: RefCell::new(None),
+            recorder: RefCell::new(Recorder::disabled()),
         }
     }
 
     /// Attach a profile; checkpoint and recovery costs are booked to it.
     pub fn set_profile(&self, profile: Arc<Profile>) {
         *self.profile.borrow_mut() = Some(profile);
+    }
+
+    /// Attach a telemetry recorder; region lifecycle events
+    /// (enter/capture/commit/restore) are emitted through it, and it is
+    /// forwarded to the data backend for storage-layer events.
+    pub fn set_recorder(&self, rec: Recorder) {
+        self.data.set_recorder(rec.clone());
+        *self.recorder.borrow_mut() = rec;
+    }
+
+    fn recorder(&self) -> Recorder {
+        self.recorder.borrow().clone()
     }
 
     fn book<T>(&self, phase: Phase, f: impl FnOnce() -> T) -> T {
@@ -270,12 +285,13 @@ impl Context {
                 class,
             });
         }
-        self.regions
-            .borrow_mut()
-            .insert(label.to_owned(), RegionMeta {
+        self.regions.borrow_mut().insert(
+            label.to_owned(),
+            RegionMeta {
                 stats,
                 checkpointed,
-            });
+            },
+        );
     }
 
     /// Execute a checkpoint region (`KokkosResilience::checkpoint` of
@@ -300,6 +316,11 @@ impl Context {
     {
         let first = !self.regions.borrow().contains_key(label);
         let mut executions = 0u32;
+        let rec = self.recorder();
+        rec.emit_with(|| Event::RegionEnter {
+            label: label.to_owned(),
+            iteration,
+        });
 
         if first {
             let session = CaptureSession::new();
@@ -307,6 +328,15 @@ impl Context {
             result?;
             executions += 1;
             self.detect(label, &session);
+            rec.emit_with(|| Event::RegionCapture {
+                label: label.to_owned(),
+                views: self
+                    .regions
+                    .borrow()
+                    .get(label)
+                    .map_or(0, |m| m.checkpointed.len() as u64),
+                bytes: self.checkpoint_bytes(label) as u64,
+            });
         }
 
         let pending = self.pending_recovery.borrow_mut().remove(label);
@@ -329,6 +359,10 @@ impl Context {
                     self.data
                         .restore(&comm, &name, version, &meta.checkpointed, &recovering)
                 })?;
+                rec.emit_with(|| Event::RegionRestore {
+                    label: label.to_owned(),
+                    version,
+                });
                 restored = true;
             }
             // All ranks re-execute on (possibly) restored data so that
@@ -344,12 +378,18 @@ impl Context {
         if self.filter.should_checkpoint(iteration) {
             let name = self.qualified(label);
             let regions = self.regions.borrow();
-            let meta = regions.get(label).expect("region detected before checkpoint");
+            let meta = regions
+                .get(label)
+                .expect("region detected before checkpoint");
             let comm = self.comm.borrow();
             self.book(Phase::CheckpointFn, || {
                 self.data
                     .checkpoint(&comm, &name, iteration, &meta.checkpointed)
             })?;
+            rec.emit_with(|| Event::RegionCommit {
+                label: label.to_owned(),
+                version: iteration,
+            });
             checkpointed = true;
         }
 

@@ -11,10 +11,12 @@ use kokkos_resilience::{
 use simmpi::{FaultPlan, MpiResult, RankCtx, Universe, UniverseConfig};
 
 fn cluster(n: usize) -> Cluster {
-    let mut cfg = ClusterConfig::default();
-    cfg.nodes = n;
-    cfg.ranks_per_node = 1;
-    cfg.time_scale = TimeScale::instant();
+    let cfg = ClusterConfig {
+        nodes: n,
+        ranks_per_node: 1,
+        time_scale: TimeScale::instant(),
+        ..ClusterConfig::default()
+    };
     Cluster::new(cfg)
 }
 
@@ -22,12 +24,7 @@ fn launch<F>(c: &Cluster, f: F) -> simmpi::LaunchReport
 where
     F: Fn(&mut RankCtx) -> MpiResult<()> + Send + Sync,
 {
-    Universe::launch(
-        c,
-        UniverseConfig::default(),
-        Arc::new(FaultPlan::none()),
-        f,
-    )
+    Universe::launch(c, UniverseConfig::default(), Arc::new(FaultPlan::none()), f)
 }
 
 fn config(name: &str, filter: CheckpointFilter) -> ContextConfig {
@@ -128,7 +125,11 @@ fn checkpoint_and_recover_across_contexts() {
         resumed += 1;
         assert_eq!(resumed, 7);
         // Restored 6, one increment applied on restored data -> 7.
-        assert!(data.read().iter().all(|&x| x == 7), "{:?}", &data.read()[..]);
+        assert!(
+            data.read().iter().all(|&x| x == 7),
+            "{:?}",
+            &data.read()[..]
+        );
         Ok(())
     });
     assert!(report.all_ok());

@@ -10,7 +10,7 @@
 //!
 //! Limitation (documented, matching how the apps are written): the *handle
 //! acquisition* is recorded, so views must be locked on the region's thread;
-//! data touched only inside rayon workers through pre-acquired guards is
+//! data touched only inside pool workers through pre-acquired guards is
 //! attributed to the lock site, which is the region.
 
 use std::cell::RefCell;

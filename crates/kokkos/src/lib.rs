@@ -15,7 +15,7 @@
 //!   writing is recorded. Kokkos Resilience opens a session around the first
 //!   execution of a checkpoint region to discover, automatically, the data
 //!   the region touches.
-//! * [`parallel`] — `parallel_for`/`parallel_reduce` with serial and rayon
+//! * [`parallel`] — `parallel_for`/`parallel_reduce` with serial and threaded
 //!   execution policies (serial is the default: experiment ranks are
 //!   already one thread each).
 

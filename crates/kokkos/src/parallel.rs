@@ -3,18 +3,18 @@
 //! Two execution policies are offered. `Serial` is the default: experiment
 //! universes already run one OS thread per MPI rank, so intra-rank
 //! parallelism would oversubscribe the machine and add noise to the paper's
-//! timing reproductions. `Rayon` dispatches onto the global rayon pool for
+//! timing reproductions. `Threads` fans work out over scoped OS threads for
 //! single-rank/standalone use of the library.
 
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 
 /// How a parallel pattern executes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ExecPolicy {
     /// Plain loop on the calling thread.
     Serial,
-    /// Work-stealing on the global rayon pool.
-    Rayon,
+    /// Static chunking over scoped OS threads (one per available core).
+    Threads,
 }
 
 static DEFAULT_POLICY: AtomicU8 = AtomicU8::new(0);
@@ -27,9 +27,33 @@ pub fn set_default_policy(p: ExecPolicy) {
 /// The current process-wide default policy.
 pub fn default_policy() -> ExecPolicy {
     match DEFAULT_POLICY.load(Ordering::Relaxed) {
-        1 => ExecPolicy::Rayon,
+        1 => ExecPolicy::Threads,
         _ => ExecPolicy::Serial,
     }
+}
+
+/// Worker count for the `Threads` policy.
+fn pool_width() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `work(chunk_index, start..end)` for `n` items split over the pool.
+fn fan_out(n: usize, work: impl Fn(usize, std::ops::Range<usize>) + Sync) {
+    let chunks = pool_width().min(n.max(1));
+    let chunk = n.div_ceil(chunks).max(1);
+    std::thread::scope(|scope| {
+        for c in 0..chunks {
+            let start = c * chunk;
+            let end = ((c + 1) * chunk).min(n);
+            if start >= end {
+                break;
+            }
+            let work = &work;
+            scope.spawn(move || work(c, start..end));
+        }
+    });
 }
 
 /// `for i in 0..n { f(i) }`, possibly in parallel.
@@ -45,9 +69,12 @@ pub fn parallel_for_with(policy: ExecPolicy, n: usize, f: impl Fn(usize) + Sync 
                 f(i);
             }
         }
-        ExecPolicy::Rayon => {
-            use rayon::prelude::*;
-            (0..n).into_par_iter().for_each(f);
+        ExecPolicy::Threads => {
+            fan_out(n, |_, range| {
+                for i in range {
+                    f(i);
+                }
+            });
         }
     }
 }
@@ -85,12 +112,39 @@ where
             }
             acc
         }
-        ExecPolicy::Rayon => {
-            use rayon::prelude::*;
-            (0..n)
-                .into_par_iter()
-                .map(map)
-                .reduce(|| identity.clone(), combine)
+        ExecPolicy::Threads => {
+            let chunks = pool_width().min(n.max(1));
+            let mut partials: Vec<Option<A>> = vec![None; chunks];
+            {
+                let slots: Vec<_> = partials.iter_mut().collect();
+                let slot_of = AtomicUsize::new(0);
+                let map = &map;
+                let combine = &combine;
+                let identity = &identity;
+                let chunk = n.div_ceil(chunks).max(1);
+                std::thread::scope(|scope| {
+                    for slot in slots {
+                        let c = slot_of.fetch_add(1, Ordering::Relaxed);
+                        let start = c * chunk;
+                        let end = ((c + 1) * chunk).min(n);
+                        if start >= end {
+                            continue; // empty chunk must not contribute `identity`
+                        }
+                        scope.spawn(move || {
+                            let mut acc = identity.clone();
+                            for i in start..end {
+                                acc = combine(acc, map(i));
+                            }
+                            *slot = Some(acc);
+                        });
+                    }
+                });
+            }
+            partials
+                .into_iter()
+                .flatten()
+                .reduce(combine)
+                .unwrap_or(identity)
         }
     }
 }
@@ -123,11 +177,7 @@ pub fn parallel_scan_exclusive(values: &[u64], out: &mut [u64]) -> u64 {
 }
 
 /// `parallel_scan_exclusive` with an explicit policy.
-pub fn parallel_scan_exclusive_with(
-    policy: ExecPolicy,
-    values: &[u64],
-    out: &mut [u64],
-) -> u64 {
+pub fn parallel_scan_exclusive_with(policy: ExecPolicy, values: &[u64], out: &mut [u64]) -> u64 {
     assert_eq!(values.len(), out.len(), "scan buffer size mismatch");
     let n = values.len();
     if n == 0 {
@@ -142,14 +192,18 @@ pub fn parallel_scan_exclusive_with(
             }
             acc
         }
-        ExecPolicy::Rayon => {
-            use rayon::prelude::*;
-            let chunk = n.div_ceil(rayon::current_num_threads().max(1)).max(1);
+        ExecPolicy::Threads => {
+            let chunks = pool_width().min(n);
+            let chunk = n.div_ceil(chunks).max(1);
             // Pass 1: per-chunk sums.
-            let sums: Vec<u64> = values
-                .par_chunks(chunk)
-                .map(|c| c.iter().fold(0u64, |a, &x| a.wrapping_add(x)))
-                .collect();
+            let mut sums = vec![0u64; values.chunks(chunk).len()];
+            std::thread::scope(|scope| {
+                for (s, c) in sums.iter_mut().zip(values.chunks(chunk)) {
+                    scope.spawn(move || {
+                        *s = c.iter().fold(0u64, |a, &x| a.wrapping_add(x));
+                    });
+                }
+            });
             // Chunk offsets (few chunks: serial).
             let mut offsets = Vec::with_capacity(sums.len());
             let mut acc = 0u64;
@@ -158,16 +212,21 @@ pub fn parallel_scan_exclusive_with(
                 acc = acc.wrapping_add(s);
             }
             // Pass 2: scan within each chunk from its offset.
-            out.par_chunks_mut(chunk)
-                .zip(values.par_chunks(chunk))
-                .zip(offsets.par_iter())
-                .for_each(|((o, v), &base)| {
-                    let mut a = base;
-                    for (oi, &vi) in o.iter_mut().zip(v) {
-                        *oi = a;
-                        a = a.wrapping_add(vi);
-                    }
-                });
+            std::thread::scope(|scope| {
+                for ((o, v), &base) in out
+                    .chunks_mut(chunk)
+                    .zip(values.chunks(chunk))
+                    .zip(offsets.iter())
+                {
+                    scope.spawn(move || {
+                        let mut a = base;
+                        for (oi, &vi) in o.iter_mut().zip(v) {
+                            *oi = a;
+                            a = a.wrapping_add(vi);
+                        }
+                    });
+                }
+            });
             acc
         }
     }
@@ -188,9 +247,9 @@ mod tests {
     }
 
     #[test]
-    fn rayon_for_visits_all_indices() {
+    fn threaded_for_visits_all_indices() {
         let sum = AtomicU64::new(0);
-        parallel_for_with(ExecPolicy::Rayon, 100, |i| {
+        parallel_for_with(ExecPolicy::Threads, 100, |i| {
             sum.fetch_add(i as u64, Ordering::Relaxed);
         });
         assert_eq!(sum.load(Ordering::Relaxed), 4950);
@@ -198,9 +257,11 @@ mod tests {
 
     #[test]
     fn reduce_matches_between_policies() {
-        let serial = parallel_reduce_with(ExecPolicy::Serial, 1000, 0u64, |i| i as u64, |a, b| a + b);
-        let rayon = parallel_reduce_with(ExecPolicy::Rayon, 1000, 0u64, |i| i as u64, |a, b| a + b);
-        assert_eq!(serial, rayon);
+        let serial =
+            parallel_reduce_with(ExecPolicy::Serial, 1000, 0u64, |i| i as u64, |a, b| a + b);
+        let threaded =
+            parallel_reduce_with(ExecPolicy::Threads, 1000, 0u64, |i| i as u64, |a, b| a + b);
+        assert_eq!(serial, threaded);
         assert_eq!(serial, 499_500);
     }
 
@@ -218,14 +279,14 @@ mod tests {
 
     #[test]
     fn zero_length_is_identity() {
-        let v = parallel_reduce_with(ExecPolicy::Rayon, 0, 42u64, |_| 0, |a, b| a + b);
+        let v = parallel_reduce_with(ExecPolicy::Threads, 0, 42u64, |_| 0, |a, b| a + b);
         assert_eq!(v, 42);
     }
 
     #[test]
     fn for_2d_covers_grid() {
         let hits = AtomicU64::new(0);
-        parallel_for_2d_with(ExecPolicy::Rayon, 7, 5, |i, j| {
+        parallel_for_2d_with(ExecPolicy::Threads, 7, 5, |i, j| {
             hits.fetch_add((i * 5 + j) as u64 + 1, Ordering::Relaxed);
         });
         // Sum of 1..=35.
@@ -238,7 +299,7 @@ mod tests {
         let mut serial = vec![0u64; values.len()];
         let mut par = vec![0u64; values.len()];
         let t1 = parallel_scan_exclusive_with(ExecPolicy::Serial, &values, &mut serial);
-        let t2 = parallel_scan_exclusive_with(ExecPolicy::Rayon, &values, &mut par);
+        let t2 = parallel_scan_exclusive_with(ExecPolicy::Threads, &values, &mut par);
         assert_eq!(t1, t2);
         assert_eq!(serial, par);
         assert_eq!(serial[0], 0);
@@ -252,10 +313,19 @@ mod tests {
     }
 
     #[test]
+    fn scan_single_chunk_path() {
+        let values = [1u64, 2, 3];
+        let mut out = [0u64; 3];
+        let total = parallel_scan_exclusive_with(ExecPolicy::Threads, &values, &mut out);
+        assert_eq!(out, [0, 1, 3]);
+        assert_eq!(total, 6);
+    }
+
+    #[test]
     fn default_policy_roundtrip() {
         assert_eq!(default_policy(), ExecPolicy::Serial);
-        set_default_policy(ExecPolicy::Rayon);
-        assert_eq!(default_policy(), ExecPolicy::Rayon);
+        set_default_policy(ExecPolicy::Threads);
+        assert_eq!(default_policy(), ExecPolicy::Threads);
         set_default_policy(ExecPolicy::Serial);
     }
 }

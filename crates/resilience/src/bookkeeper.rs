@@ -92,7 +92,10 @@ mod tests {
     fn books_to_named_phase_by_default() {
         let bk = Bookkeeper::new(Arc::new(Profile::new()));
         bk.add(Phase::AppCompute, Duration::from_millis(5));
-        assert_eq!(bk.profile().get(Phase::AppCompute), Duration::from_millis(5));
+        assert_eq!(
+            bk.profile().get(Phase::AppCompute),
+            Duration::from_millis(5)
+        );
         assert_eq!(bk.profile().get(Phase::Recompute), Duration::ZERO);
     }
 
@@ -113,8 +116,14 @@ mod tests {
         bk.set_recompute(true);
         bk.add(Phase::CheckpointFn, Duration::from_millis(4));
         bk.add(Phase::DataRecovery, Duration::from_millis(2));
-        assert_eq!(bk.profile().get(Phase::CheckpointFn), Duration::from_millis(4));
-        assert_eq!(bk.profile().get(Phase::DataRecovery), Duration::from_millis(2));
+        assert_eq!(
+            bk.profile().get(Phase::CheckpointFn),
+            Duration::from_millis(4)
+        );
+        assert_eq!(
+            bk.profile().get(Phase::DataRecovery),
+            Duration::from_millis(2)
+        );
         assert_eq!(bk.profile().get(Phase::Recompute), Duration::ZERO);
     }
 
@@ -130,7 +139,10 @@ mod tests {
         );
         bk.set_phase_override(None);
         bk.add(Phase::AppCompute, Duration::from_millis(1));
-        assert_eq!(bk.profile().get(Phase::AppCompute), Duration::from_millis(1));
+        assert_eq!(
+            bk.profile().get(Phase::AppCompute),
+            Duration::from_millis(1)
+        );
     }
 
     #[test]
@@ -141,6 +153,9 @@ mod tests {
         assert!(bk.is_recompute());
         bk.set_recompute(false);
         bk.add(Phase::AppCompute, Duration::from_millis(1));
-        assert_eq!(bk.profile().get(Phase::AppCompute), Duration::from_millis(1));
+        assert_eq!(
+            bk.profile().get(Phase::AppCompute),
+            Duration::from_millis(1)
+        );
     }
 }

@@ -13,6 +13,7 @@ use std::time::Instant;
 use cluster::Cluster;
 use fenix::ImrPolicy;
 use simmpi::{FaultPlan, MpiError, Profile, Universe, UniverseConfig};
+use telemetry::Telemetry;
 
 use crate::app::IterativeApp;
 use crate::record::{CostBreakdown, RunRecord};
@@ -34,6 +35,9 @@ pub struct ExperimentConfig {
     pub imr_policy: Option<ImrPolicy>,
     /// Wipe checkpoint storage before the run (set false to chain runs).
     pub fresh_storage: bool,
+    /// Observability hub: when set, every launch (and relaunch) of this
+    /// experiment records events/spans/metrics into it.
+    pub telemetry: Option<Telemetry>,
 }
 
 impl Default for ExperimentConfig {
@@ -45,6 +49,7 @@ impl Default for ExperimentConfig {
             max_relaunches: 8,
             imr_policy: None,
             fresh_storage: true,
+            telemetry: None,
         }
     }
 }
@@ -78,6 +83,7 @@ pub fn run_experiment(
             UniverseConfig {
                 abort_on_failure: false,
                 charge_startup: true,
+                telemetry: cfg.telemetry.clone(),
             },
             Arc::clone(&plan),
             |ctx| {
@@ -110,6 +116,7 @@ pub fn run_experiment(
                 UniverseConfig {
                     abort_on_failure: true,
                     charge_startup: true,
+                    telemetry: cfg.telemetry.clone(),
                 },
                 Arc::clone(&plan),
                 |ctx| runner::relaunch_rank(ctx, app, cfg.strategy, cfg.checkpoints, &shared),

@@ -41,7 +41,7 @@ impl ImrBackend {
     }
 
     fn policy_for(&self, comm: &Comm) -> ImrPolicy {
-        self.policy.unwrap_or(if comm.size() % 2 == 0 {
+        self.policy.unwrap_or(if comm.size().is_multiple_of(2) {
             ImrPolicy::Pair
         } else {
             ImrPolicy::Ring
@@ -56,8 +56,7 @@ impl ImrBackend {
     }
 
     fn pack(views: &RegionViews) -> Bytes {
-        let parts: Vec<(u32, Bytes)> =
-            views.iter().map(|(id, v)| (*id, v.snapshot())).collect();
+        let parts: Vec<(u32, Bytes)> = views.iter().map(|(id, v)| (*id, v.snapshot())).collect();
         veloc::serial::pack(&parts)
     }
 

@@ -104,7 +104,12 @@ impl ResilientScope<'_> {
 
     /// Execute a checkpoint region (see
     /// [`kokkos_resilience::Context::checkpoint`]).
-    pub fn checkpoint<F>(&self, label: &str, iteration: u64, body: F) -> MpiResult<CheckpointOutcome>
+    pub fn checkpoint<F>(
+        &self,
+        label: &str,
+        iteration: u64,
+        body: F,
+    ) -> MpiResult<CheckpointOutcome>
     where
         F: FnMut() -> MpiResult<()>,
     {

@@ -3,6 +3,7 @@
 use std::time::Duration;
 
 use simmpi::{Phase, Profile};
+use telemetry::PhaseAccumulator;
 
 use crate::strategy::Strategy;
 
@@ -26,19 +27,40 @@ pub struct CostBreakdown {
 
 impl CostBreakdown {
     /// Build from a critical-path profile plus the measured wall time.
+    /// Reads only the shim's span-data snapshot, so any accumulator a
+    /// telemetry recorder books into (spans, `Profile::time`, direct adds)
+    /// feeds the same breakdown.
     pub fn from_profile(profile: &Profile, wall: Duration) -> Self {
-        let accounted: Duration = Phase::ALL.iter().map(|&p| profile.get(p)).sum();
+        Self::from_phases(&profile.snapshot(), wall)
+    }
+
+    /// Build from a raw telemetry accumulator (e.g. a per-rank exclusive-time
+    /// accumulator from `Telemetry::exclusive_phases`).
+    pub fn from_accumulator(acc: &PhaseAccumulator, wall: Duration) -> Self {
+        Self::from_phases(&acc.snapshot(), wall)
+    }
+
+    /// Build from `(phase, duration)` span totals plus the measured wall
+    /// time — the common core of the profile/accumulator constructors.
+    pub fn from_phases(phases: &[(Phase, Duration)], wall: Duration) -> Self {
+        let get = |want: Phase| -> Duration {
+            phases
+                .iter()
+                .find(|(p, _)| *p == want)
+                .map_or(Duration::ZERO, |&(_, d)| d)
+        };
+        let accounted: Duration = phases.iter().map(|&(_, d)| d).sum();
         CostBreakdown {
-            app_compute: profile.get(Phase::AppCompute),
-            app_mpi: profile.get(Phase::AppMpi),
-            resilience_init: profile.get(Phase::ResilienceInit),
-            checkpoint_fn: profile.get(Phase::CheckpointFn),
-            data_recovery: profile.get(Phase::DataRecovery),
-            recompute: profile.get(Phase::Recompute),
-            force_compute: profile.get(Phase::ForceCompute),
-            neighboring: profile.get(Phase::Neighboring),
-            communicator: profile.get(Phase::Communicator),
-            app_init: profile.get(Phase::AppInit),
+            app_compute: get(Phase::AppCompute),
+            app_mpi: get(Phase::AppMpi),
+            resilience_init: get(Phase::ResilienceInit),
+            checkpoint_fn: get(Phase::CheckpointFn),
+            data_recovery: get(Phase::DataRecovery),
+            recompute: get(Phase::Recompute),
+            force_compute: get(Phase::ForceCompute),
+            neighboring: get(Phase::Neighboring),
+            communicator: get(Phase::Communicator),
+            app_init: get(Phase::AppInit),
             other: wall.saturating_sub(accounted),
         }
     }
@@ -68,14 +90,14 @@ impl CostBreakdown {
             ("Force Compute", self.force_compute.as_secs_f64()),
             ("Neighboring", self.neighboring.as_secs_f64()),
             ("Communicator", self.communicator.as_secs_f64()),
-            ("Resilience Initialization", self.resilience_init.as_secs_f64()),
+            (
+                "Resilience Initialization",
+                self.resilience_init.as_secs_f64(),
+            ),
             ("Checkpoint Function", self.checkpoint_fn.as_secs_f64()),
             ("Data Recovery", self.data_recovery.as_secs_f64()),
             ("Recompute", self.recompute.as_secs_f64()),
-            (
-                "Other",
-                (self.other + self.app_init).as_secs_f64(),
-            ),
+            ("Other", (self.other + self.app_init).as_secs_f64()),
         ]
     }
 }
@@ -138,6 +160,20 @@ mod tests {
         p.add(Phase::AppCompute, Duration::from_millis(150));
         let b = CostBreakdown::from_profile(&p, Duration::from_millis(100));
         assert_eq!(b.other, Duration::ZERO);
+    }
+
+    #[test]
+    fn from_phases_matches_from_profile() {
+        let p = Profile::new();
+        p.add(Phase::AppCompute, Duration::from_millis(40));
+        p.add(Phase::DataRecovery, Duration::from_millis(10));
+        let wall = Duration::from_millis(70);
+        let a = CostBreakdown::from_profile(&p, wall);
+        let b = CostBreakdown::from_phases(&p.snapshot(), wall);
+        assert_eq!(a.app_compute, b.app_compute);
+        assert_eq!(a.data_recovery, b.data_recovery);
+        assert_eq!(a.other, b.other);
+        assert_eq!(b.other, Duration::from_millis(20));
     }
 
     #[test]

@@ -133,7 +133,7 @@ fn iteration_loop(
         shared.progress.fetch_max(i + 1, Ordering::Relaxed);
         i += 1;
         if let RunMode::Converge { check_every, .. } = mode {
-            if i % check_every == 0 && state.converged(comm, bk)? {
+            if i.is_multiple_of(check_every) && state.converged(comm, bk)? {
                 break;
             }
         }
@@ -202,11 +202,10 @@ pub fn relaunch_rank(
                 )
             });
             client.set_rank(comm.rank());
+            client.set_recorder(ctx.recorder().clone());
             let mut state = bk.book(Phase::AppInit, || app.init_rank(ctx, &comm));
             protect_views(&client, state.as_ref());
-            let version = client
-                .restart_test(&name, Some(&comm))
-                .map_err(veloc_err)?;
+            let version = client.restart_test(&name, Some(&comm)).map_err(veloc_err)?;
             let start = match version {
                 Some(v) => {
                     bk.book(Phase::DataRecovery, || client.restart(&name, v))
@@ -250,6 +249,7 @@ pub fn relaunch_rank(
                 )
             });
             kr.set_profile(Arc::clone(ctx.profile()));
+            kr.set_recorder(ctx.recorder().clone());
             let mut state = bk.book(Phase::AppInit, || app.init_rank(ctx, &comm));
             let latest = kr.latest_version(LOOP_LABEL)?;
             let start = latest.map_or(0, |v| v + 1);
@@ -313,13 +313,36 @@ pub fn fenix_rank(
     let ctx = &*ctx;
 
     let summary = fenix::run(ctx.world(), fenix_cfg, |fx, comm, role| {
-        shared.repairs.fetch_max(fx.repair_count(), Ordering::Relaxed);
+        shared
+            .repairs
+            .fetch_max(fx.repair_count(), Ordering::Relaxed);
         match strategy {
             Strategy::FenixVeloc => fenix_veloc_body(
-                ctx, app, comm, role, &bk, &name, &filter, mode, shared, &state, &veloc_client,
+                ctx,
+                app,
+                comm,
+                role,
+                &bk,
+                &name,
+                &filter,
+                mode,
+                shared,
+                &state,
+                &veloc_client,
             ),
             Strategy::FenixKokkosResilience | Strategy::PartialRollback => fenix_kr_body(
-                ctx, app, comm, role, fx, &bk, &name, &filter, mode, shared, &state, &kr,
+                ctx,
+                app,
+                comm,
+                role,
+                fx,
+                &bk,
+                &name,
+                &filter,
+                mode,
+                shared,
+                &state,
+                &kr,
                 strategy == Strategy::PartialRollback,
             ),
             Strategy::FenixImr => fenix_imr_body(
@@ -371,6 +394,7 @@ fn fenix_veloc_body(
     let client = client_ref.as_ref().expect("client initialized");
     // Paper: update the cached rank id after a repair.
     client.set_rank(comm.rank());
+    client.set_recorder(ctx.recorder().clone());
 
     if state.borrow().is_none() {
         *state.borrow_mut() = Some(bk.book(Phase::AppInit, || app.init_rank(ctx, comm)));
@@ -452,6 +476,7 @@ fn fenix_kr_body(
             )
         });
         kr.set_profile(Arc::clone(bk.profile()));
+        kr.set_recorder(ctx.recorder().clone());
         *kr_cell.borrow_mut() = Some(kr);
     } else {
         kr_cell
@@ -522,7 +547,7 @@ fn fenix_imr_body(
     store: &Arc<ImrStore>,
     imr_policy: Option<ImrPolicy>,
 ) -> MpiResult<()> {
-    let policy = imr_policy.unwrap_or(if comm.size() % 2 == 0 {
+    let policy = imr_policy.unwrap_or(if comm.size().is_multiple_of(2) {
         ImrPolicy::Pair
     } else {
         ImrPolicy::Ring

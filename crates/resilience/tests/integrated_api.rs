@@ -10,11 +10,13 @@ use resilience::{resilient_main, IntegratedBackend, IntegratedConfig};
 use simmpi::{FaultPlan, MpiResult, RankCtx, ReduceOp, Universe, UniverseConfig};
 
 fn cluster(n: usize) -> Cluster {
-    let mut cfg = ClusterConfig::default();
-    cfg.nodes = n;
-    cfg.ranks_per_node = 1;
-    cfg.time_scale = TimeScale::instant();
-    cfg.relaunch = RelaunchModel::free();
+    let cfg = ClusterConfig {
+        nodes: n,
+        ranks_per_node: 1,
+        time_scale: TimeScale::instant(),
+        relaunch: RelaunchModel::free(),
+        ..ClusterConfig::default()
+    };
     Cluster::new(cfg)
 }
 
@@ -164,10 +166,7 @@ fn integrated_api_imr_multiple_failures() {
     let mut killed = report.killed_ranks();
     killed.sort_unstable();
     assert_eq!(killed, vec![0, 3]);
-    assert_eq!(
-        digest.load(std::sync::atomic::Ordering::Relaxed),
-        reference
-    );
+    assert_eq!(digest.load(std::sync::atomic::Ordering::Relaxed), reference);
 }
 
 #[test]
@@ -181,13 +180,8 @@ fn integrated_api_failure_at_checkpoint_iteration() {
         IntegratedBackend::VelocSingle,
         IntegratedBackend::Imr { policy: None },
     ] {
-        let (report, digest) = run_integrated(
-            5,
-            1,
-            FaultPlan::kill_at(3, "iter", 7),
-            backend.clone(),
-            16,
-        );
+        let (report, digest) =
+            run_integrated(5, 1, FaultPlan::kill_at(3, "iter", 7), backend.clone(), 16);
         assert_eq!(report.killed_ranks(), vec![3]);
         assert_eq!(
             digest.load(std::sync::atomic::Ordering::Relaxed),

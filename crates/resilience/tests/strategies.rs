@@ -79,7 +79,11 @@ impl RankApp for RingState {
             let mut delta: f64 = 0.0;
             let snapshot: Vec<f64> = d.clone();
             for i in 0..len {
-                let l = if i == 0 { from_left[0] } else { snapshot[i - 1] };
+                let l = if i == 0 {
+                    from_left[0]
+                } else {
+                    snapshot[i - 1]
+                };
                 let r = if i == len - 1 {
                     from_right[0]
                 } else {
@@ -106,19 +110,20 @@ impl RankApp for RingState {
     }
 
     fn digest(&self) -> u64 {
-        self.data
-            .read_uncaptured()
-            .iter()
-            .fold(0u64, |acc, x| acc.wrapping_mul(31).wrapping_add(x.to_bits()))
+        self.data.read_uncaptured().iter().fold(0u64, |acc, x| {
+            acc.wrapping_mul(31).wrapping_add(x.to_bits())
+        })
     }
 }
 
 fn cluster(n: usize) -> Cluster {
-    let mut cfg = ClusterConfig::default();
-    cfg.nodes = n;
-    cfg.ranks_per_node = 1;
-    cfg.time_scale = TimeScale::instant();
-    cfg.relaunch = RelaunchModel::free();
+    let cfg = ClusterConfig {
+        nodes: n,
+        ranks_per_node: 1,
+        time_scale: TimeScale::instant(),
+        relaunch: RelaunchModel::free(),
+        ..ClusterConfig::default()
+    };
     Cluster::new(cfg)
 }
 
@@ -137,6 +142,7 @@ fn cfg(strategy: Strategy, spares: usize) -> ExperimentConfig {
         max_relaunches: 4,
         imr_policy: None,
         fresh_storage: true,
+        telemetry: None,
     }
 }
 
@@ -165,7 +171,11 @@ fn failure_free_all_strategies_agree() {
         Strategy::FenixImr,
     ] {
         // Fenix strategies get a spare on top of the 4 active ranks.
-        let (nodes, spares) = if strategy.uses_fenix() { (5, 1) } else { (4, 0) };
+        let (nodes, spares) = if strategy.uses_fenix() {
+            (5, 1)
+        } else {
+            (4, 0)
+        };
         let c = cluster(nodes);
         let rec = run_experiment(
             &c,
@@ -192,7 +202,10 @@ fn relaunch_strategies_recover_exactly() {
         let rec = run_experiment(&c, &fixed_app(iters), &cfg(strategy, 0), plan);
         assert_eq!(rec.relaunches, 1, "{strategy}");
         assert_eq!(rec.iterations, iters, "{strategy}");
-        assert_eq!(rec.digest, reference, "recovered digest differs under {strategy}");
+        assert_eq!(
+            rec.digest, reference,
+            "recovered digest differs under {strategy}"
+        );
         assert!(
             rec.breakdown.data_recovery > std::time::Duration::ZERO,
             "{strategy} must book data recovery"
@@ -227,7 +240,10 @@ fn fenix_strategies_recover_exactly() {
         assert_eq!(rec.relaunches, 0, "{strategy} must not relaunch");
         assert!(rec.repairs >= 1, "{strategy} must repair");
         assert_eq!(rec.iterations, iters, "{strategy}");
-        assert_eq!(rec.digest, reference, "recovered digest differs under {strategy}");
+        assert_eq!(
+            rec.digest, reference,
+            "recovered digest differs under {strategy}"
+        );
     }
 }
 
@@ -326,11 +342,14 @@ fn imr_commit_racing_repair_does_not_deadlock() {
     let iters = 60;
     let reference = reference_digest(8, iters);
     let c = cluster(9); // 8 active + 1 spare
-    // Checkpoints at 9,19,...,59; rank 4 dies at the checkpoint iteration
-    // 49, while distant ranks are already inside the commit.
+                        // Checkpoints at 9,19,...,59; rank 4 dies at the checkpoint iteration
+                        // 49, while distant ranks are already inside the commit.
     let plan = Arc::new(FaultPlan::kill_at(4, "iter", 49));
     let rec = run_experiment(&c, &fixed_app(iters), &cfg(Strategy::FenixImr, 1), plan);
     assert!(rec.repairs >= 1);
     assert_eq!(rec.iterations, iters);
-    assert_eq!(rec.digest, reference, "post-deadlock-fix recovery must be exact");
+    assert_eq!(
+        rec.digest, reference,
+        "post-deadlock-fix recovery must be exact"
+    );
 }

@@ -16,6 +16,7 @@ use bytes::Bytes;
 use crate::error::{MpiError, MpiResult};
 use crate::pod::{self, Pod};
 use crate::router::{CommId, Envelope, MatchSpec, Router};
+use telemetry::MpiOp;
 
 /// Message tag. User tags must keep the top bit clear; collective-internal
 /// traffic uses the reserved space.
@@ -196,6 +197,13 @@ impl Comm {
         &self.router
     }
 
+    /// Trace hook: forwards to the router's per-rank recorder (no-op unless
+    /// `TelemetryConfig::record_mpi_calls` is set).
+    fn trace_call(&self, op: MpiOp, peer: Option<usize>, bytes: usize) {
+        self.router
+            .record_mpi(self.my_global(), op, peer.map(|p| p as u32), bytes as u64);
+    }
+
     fn check_rank(&self, rank: usize) -> MpiResult<()> {
         if rank >= self.size() {
             Err(MpiError::RankOutOfRange {
@@ -212,6 +220,7 @@ impl Comm {
     /// Send raw bytes to a communicator rank.
     pub fn send_bytes(&self, dst: usize, tag: Tag, payload: Bytes) -> MpiResult<()> {
         self.check_rank(dst)?;
+        self.trace_call(MpiOp::Send, Some(dst), payload.len());
         debug_assert!(tag & COLL_BIT == 0, "user tags must keep the top bit clear");
         self.router.send(
             self.global_of(dst),
@@ -235,6 +244,7 @@ impl Comm {
         let src_rank = self
             .rank_of_global(env.src)
             .expect("sender not in communicator group");
+        self.trace_call(MpiOp::Recv, Some(src_rank), env.payload.len());
         Ok((env.payload, src_rank))
     }
 
@@ -275,7 +285,11 @@ impl Comm {
     }
 
     /// Receive a typed vector of any length.
-    pub fn recv_vec<T: Pod + Default>(&self, src: Option<usize>, tag: Tag) -> MpiResult<(Vec<T>, usize)> {
+    pub fn recv_vec<T: Pod + Default>(
+        &self,
+        src: Option<usize>,
+        tag: Tag,
+    ) -> MpiResult<(Vec<T>, usize)> {
         let (payload, from) = self.recv_bytes(src, tag)?;
         Ok((pod::vec_from_bytes(&payload), from))
     }
@@ -291,6 +305,7 @@ impl Comm {
         recv_tag: Tag,
         recv_buf: &mut [T],
     ) -> MpiResult<()> {
+        self.trace_call(MpiOp::SendRecv, Some(dst), std::mem::size_of_val(send_data));
         self.send(dst, send_tag, send_data)?;
         self.recv_into(Some(src), recv_tag, recv_buf)?;
         Ok(())
@@ -305,7 +320,8 @@ impl Comm {
     }
 
     fn coll_begin(&self) {
-        self.coll_seq.set(self.coll_seq.get().wrapping_add(1) & 0x0000_ffff_ffff_ffff);
+        self.coll_seq
+            .set(self.coll_seq.get().wrapping_add(1) & 0x0000_ffff_ffff_ffff);
     }
 
     fn coll_send(&self, kind: Coll, round: u32, dst: usize, payload: Bytes) -> MpiResult<()> {
@@ -336,6 +352,7 @@ impl Comm {
 
     /// Dissemination barrier.
     pub fn barrier(&self) -> MpiResult<()> {
+        self.trace_call(MpiOp::Barrier, None, 0);
         self.coll_begin();
         let n = self.size();
         if n <= 1 {
@@ -359,6 +376,7 @@ impl Comm {
     /// the returned payload replaces `data`'s role.
     pub fn bcast_bytes(&self, root: usize, data: Bytes) -> MpiResult<Bytes> {
         self.check_rank(root)?;
+        self.trace_call(MpiOp::Bcast, Some(root), data.len());
         self.coll_begin();
         let n = self.size();
         if n <= 1 {
@@ -420,6 +438,7 @@ impl Comm {
         combine: impl Fn(&mut [T], &[T]),
     ) -> MpiResult<()> {
         self.check_rank(root)?;
+        self.trace_call(MpiOp::Reduce, Some(root), std::mem::size_of_val(buf));
         self.coll_begin();
         let n = self.size();
         if n <= 1 {
@@ -459,6 +478,7 @@ impl Comm {
 
     /// Allreduce = reduce to rank 0 + broadcast.
     pub fn allreduce<T: Scalar>(&self, buf: &mut [T], op: ReduceOp) -> MpiResult<()> {
+        self.trace_call(MpiOp::Allreduce, None, std::mem::size_of_val(buf));
         self.reduce(0, buf, op)?;
         self.bcast(0, buf)
     }
@@ -469,6 +489,7 @@ impl Comm {
         buf: &mut [T],
         combine: impl Fn(&mut [T], &[T]),
     ) -> MpiResult<()> {
+        self.trace_call(MpiOp::Allreduce, None, std::mem::size_of_val(buf));
         self.reduce_with(0, buf, combine)?;
         self.bcast(0, buf)
     }
@@ -482,12 +503,9 @@ impl Comm {
 
     /// Gather equal-sized contributions to `root`. Returns
     /// `Some(concatenated-in-rank-order)` at root, `None` elsewhere.
-    pub fn gather<T: Pod + Default>(
-        &self,
-        root: usize,
-        data: &[T],
-    ) -> MpiResult<Option<Vec<T>>> {
+    pub fn gather<T: Pod + Default>(&self, root: usize, data: &[T]) -> MpiResult<Option<Vec<T>>> {
         self.check_rank(root)?;
+        self.trace_call(MpiOp::Gather, Some(root), std::mem::size_of_val(data));
         self.coll_begin();
         let n = self.size();
         if self.my_rank == root {
@@ -515,6 +533,7 @@ impl Comm {
 
     /// Allgather = gather to rank 0 + broadcast.
     pub fn allgather<T: Pod + Default>(&self, data: &[T]) -> MpiResult<Vec<T>> {
+        self.trace_call(MpiOp::Allgather, None, std::mem::size_of_val(data));
         let gathered = self.gather(0, data)?;
         let mut full = match gathered {
             Some(v) => v,
@@ -529,6 +548,7 @@ impl Comm {
     /// Returns this rank's new communicator. (Unlike MPI there is no
     /// `MPI_UNDEFINED` color — every rank lands in some sub-communicator.)
     pub fn split(&self, color: u64, key: u64) -> MpiResult<Comm> {
+        self.trace_call(MpiOp::Split, None, 0);
         // Everyone learns everyone's (color, key).
         let all = self.allgather(&[color, key])?;
         let mut members: Vec<(u64, usize)> = (0..self.size())

@@ -47,10 +47,16 @@ impl std::fmt::Display for MpiError {
             MpiError::Killed => write!(f, "this process was killed"),
             MpiError::Aborted => write!(f, "job aborted"),
             MpiError::RankOutOfRange { rank, size } => {
-                write!(f, "rank {rank} out of range for communicator of size {size}")
+                write!(
+                    f,
+                    "rank {rank} out of range for communicator of size {size}"
+                )
             }
             MpiError::TypeMismatch { expected, got } => {
-                write!(f, "payload size mismatch: expected {expected} bytes, got {got}")
+                write!(
+                    f,
+                    "payload size mismatch: expected {expected} bytes, got {got}"
+                )
             }
         }
     }

@@ -73,13 +73,14 @@ impl FaultPlan {
     /// Marks the kill as fired; returns `true` only the first time.
     pub fn check(&self, rank: usize, label: &str, count: u64) -> bool {
         for k in &self.kills {
-            if k.rank == rank && k.at == count && k.label == label {
-                if k.fired
+            if k.rank == rank
+                && k.at == count
+                && k.label == label
+                && k.fired
                     .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
                     .is_ok()
-                {
-                    return true;
-                }
+            {
+                return true;
             }
         }
         false

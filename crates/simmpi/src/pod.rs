@@ -32,9 +32,7 @@ unsafe impl Pod for f64 {}
 pub fn as_bytes<T: Pod>(slice: &[T]) -> &[u8] {
     // SAFETY: T is Pod (no padding, all bit patterns valid), and u8 has
     // alignment 1, so reinterpreting the memory of the slice is sound.
-    unsafe {
-        std::slice::from_raw_parts(slice.as_ptr().cast::<u8>(), std::mem::size_of_val(slice))
-    }
+    unsafe { std::slice::from_raw_parts(slice.as_ptr().cast::<u8>(), std::mem::size_of_val(slice)) }
 }
 
 /// Copy a typed slice into an owned byte payload.
@@ -54,9 +52,7 @@ pub fn copy_from_bytes<T: Pod>(dst: &mut [T], src: &[u8]) {
         want
     );
     // SAFETY: dst is Pod; writing arbitrary bytes over it yields valid values.
-    let dst_bytes = unsafe {
-        std::slice::from_raw_parts_mut(dst.as_mut_ptr().cast::<u8>(), want)
-    };
+    let dst_bytes = unsafe { std::slice::from_raw_parts_mut(dst.as_mut_ptr().cast::<u8>(), want) };
     dst_bytes.copy_from_slice(src);
 }
 
@@ -64,7 +60,7 @@ pub fn copy_from_bytes<T: Pod>(dst: &mut [T], src: &[u8]) {
 pub fn vec_from_bytes<T: Pod + Default>(src: &[u8]) -> Vec<T> {
     let sz = std::mem::size_of::<T>();
     assert!(
-        src.len() % sz == 0,
+        src.len().is_multiple_of(sz),
         "payload length {} is not a multiple of element size {}",
         src.len(),
         sz

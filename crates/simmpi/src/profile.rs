@@ -1,79 +1,24 @@
-//! Per-rank phase timing.
+//! Per-rank phase timing (compatibility shim over `telemetry`).
 //!
-//! The paper reports stacked cost breakdowns; every run in this repo carries
-//! a `Profile` per rank that accumulates wall time into the same categories:
-//! Heatdis uses `AppCompute`/`AppMpi`, MiniMD uses
-//! `ForceCompute`/`Neighboring`/`Communicator`, and the resilience layers
-//! book their own costs (`ResilienceInit`, `CheckpointFn`, `DataRecovery`,
-//! `Recompute`). Whatever the harness measures beyond the in-app phases
-//! lands in the paper's "Other" category (job startup/teardown, data
-//! initialization).
+//! `Phase` and the accumulator storage moved to the `telemetry` crate so
+//! every layer and the exporters share one set of cost categories;
+//! [`Profile`] remains the interface the rest of the workspace books time
+//! through. It now wraps a shared [`telemetry::PhaseAccumulator`] and, when
+//! a [`telemetry::Recorder`] is attached, routes `time(..)` through span
+//! guards so the same measurement also produces `SpanBegin`/`SpanEnd`
+//! events (and exclusive-time attribution) in the trace.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
-/// Cost categories matching the paper's figures.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-#[repr(usize)]
-pub enum Phase {
-    /// Heatdis: local stencil compute.
-    AppCompute,
-    /// Heatdis: time blocked in MPI calls.
-    AppMpi,
-    /// Fenix + Kokkos Resilience + VeloC initialization.
-    ResilienceInit,
-    /// Synchronous portion of checkpoint calls.
-    CheckpointFn,
-    /// Restoring data after a failure (restart reads + deserialization).
-    DataRecovery,
-    /// Re-executing iterations lost since the last checkpoint.
-    Recompute,
-    /// MiniMD: force computation (compute-bound).
-    ForceCompute,
-    /// MiniMD: neighbor-list construction (mostly compute-bound).
-    Neighboring,
-    /// MiniMD: atom exchange/ghost communication (communication-bound).
-    Communicator,
-    /// Application initialization (counted toward "Other" on relaunch).
-    AppInit,
-}
-
-impl Phase {
-    pub const COUNT: usize = 10;
-
-    pub const ALL: [Phase; Phase::COUNT] = [
-        Phase::AppCompute,
-        Phase::AppMpi,
-        Phase::ResilienceInit,
-        Phase::CheckpointFn,
-        Phase::DataRecovery,
-        Phase::Recompute,
-        Phase::ForceCompute,
-        Phase::Neighboring,
-        Phase::Communicator,
-        Phase::AppInit,
-    ];
-
-    pub fn name(self) -> &'static str {
-        match self {
-            Phase::AppCompute => "App compute",
-            Phase::AppMpi => "App MPI",
-            Phase::ResilienceInit => "Resilience Initialization",
-            Phase::CheckpointFn => "Checkpoint Function",
-            Phase::DataRecovery => "Data Recovery",
-            Phase::Recompute => "Recompute",
-            Phase::ForceCompute => "Force Compute",
-            Phase::Neighboring => "Neighboring",
-            Phase::Communicator => "Communicator",
-            Phase::AppInit => "App Init",
-        }
-    }
-}
+pub use telemetry::Phase;
+use telemetry::{PhaseAccumulator, Recorder};
 
 /// Thread-safe phase-time accumulator (nanosecond resolution).
 #[derive(Default)]
 pub struct Profile {
-    nanos: [AtomicU64; Phase::COUNT],
+    acc: Arc<PhaseAccumulator>,
+    recorder: OnceLock<Recorder>,
 }
 
 impl Profile {
@@ -81,48 +26,73 @@ impl Profile {
         Self::default()
     }
 
+    /// The shared accumulator backing this profile. Hand this to
+    /// [`telemetry::Telemetry::recorder`] so spans and `Profile` bookings
+    /// land in the same totals.
+    pub fn accumulator(&self) -> &Arc<PhaseAccumulator> {
+        &self.acc
+    }
+
+    /// Attach a recorder so [`Profile::time`] emits span events. Only the
+    /// first enabled recorder sticks; disabled recorders are ignored.
+    /// The recorder must have been created with this profile's
+    /// [`Profile::accumulator`], or times would book twice in different
+    /// places.
+    pub fn attach_recorder(&self, rec: Recorder) {
+        if rec.is_enabled() {
+            let _ = self.recorder.set(rec);
+        }
+    }
+
+    /// The attached recorder, if any (disabled recorder otherwise).
+    pub fn recorder(&self) -> Recorder {
+        self.recorder.get().cloned().unwrap_or_default()
+    }
+
     /// Add a measured duration to a phase.
     pub fn add(&self, phase: Phase, d: Duration) {
-        self.nanos[phase as usize].fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        self.acc.add(phase, d);
     }
 
     /// Time a closure and book it under `phase`.
     pub fn time<T>(&self, phase: Phase, f: impl FnOnce() -> T) -> T {
-        let t0 = Instant::now();
-        let out = f();
-        self.add(phase, t0.elapsed());
-        out
+        match self.recorder.get() {
+            // The recorder's span books inclusive time into `self.acc`.
+            Some(rec) => rec.time(phase, f),
+            None => {
+                let t0 = Instant::now();
+                let out = f();
+                self.acc.add(phase, t0.elapsed());
+                out
+            }
+        }
     }
 
     /// Accumulated time in a phase.
     pub fn get(&self, phase: Phase) -> Duration {
-        Duration::from_nanos(self.nanos[phase as usize].load(Ordering::Relaxed))
+        self.acc.get(phase)
     }
 
     /// Sum across all phases (the in-app accounted time).
     pub fn total(&self) -> Duration {
-        Phase::ALL.iter().map(|&p| self.get(p)).sum()
+        self.acc.total()
     }
 
     /// Snapshot all phases as (phase, duration) pairs.
     pub fn snapshot(&self) -> Vec<(Phase, Duration)> {
-        Phase::ALL.iter().map(|&p| (p, self.get(p))).collect()
+        self.acc.snapshot()
     }
 
     /// Zero every accumulator (used when an app section re-runs and the
     /// caller wants to rebook it, e.g. recompute after rollback).
     pub fn reset(&self) {
-        for n in &self.nanos {
-            n.store(0, Ordering::Relaxed);
-        }
+        self.acc.reset();
     }
 
     /// Merge another profile into this one (used when a relaunched job's
     /// profile is folded into the overall experiment record).
     pub fn merge_from(&self, other: &Profile) {
-        for &p in &Phase::ALL {
-            self.add(p, other.get(p));
-        }
+        self.acc.merge_from(&other.acc);
     }
 }
 
@@ -190,10 +160,28 @@ mod tests {
     }
 
     #[test]
-    fn phase_names_unique() {
-        let mut names: Vec<_> = Phase::ALL.iter().map(|p| p.name()).collect();
-        names.sort();
-        names.dedup();
-        assert_eq!(names.len(), Phase::COUNT);
+    fn attached_recorder_times_through_spans() {
+        use telemetry::{Telemetry, TelemetryConfig};
+        let tel = Telemetry::new(TelemetryConfig::default());
+        let p = Profile::new();
+        p.attach_recorder(tel.recorder(0, Arc::clone(p.accumulator())));
+        p.time(Phase::AppCompute, || {
+            std::thread::sleep(Duration::from_millis(2))
+        });
+        // Time landed in the shared accumulator exactly once.
+        assert!(p.get(Phase::AppCompute) >= Duration::from_millis(2));
+        assert!(p.get(Phase::AppCompute) < Duration::from_millis(500));
+        // And the span shows up in the trace.
+        let snap = tel.snapshot();
+        assert_eq!(snap.of_kind("span_begin").len(), 1);
+        assert_eq!(snap.of_kind("span_end").len(), 1);
+    }
+
+    #[test]
+    fn disabled_recorder_attachment_is_ignored() {
+        let p = Profile::new();
+        p.attach_recorder(Recorder::disabled());
+        assert!(!p.recorder().is_enabled());
+        p.time(Phase::AppMpi, || {});
     }
 }

@@ -170,18 +170,12 @@ impl Router {
                 .iter()
                 .all(|r| st.contribs.contains_key(r) || dead.contains(r));
             if complete {
-                let mut parts: Vec<(usize, Bytes)> = st
-                    .contribs
-                    .iter()
-                    .map(|(&r, b)| (r, b.clone()))
-                    .collect();
+                let mut parts: Vec<(usize, Bytes)> =
+                    st.contribs.iter().map(|(&r, b)| (r, b.clone())).collect();
                 parts.sort_by_key(|(r, _)| *r);
                 let value = combine(&parts);
-                let failures_observed = group
-                    .iter()
-                    .copied()
-                    .filter(|r| dead.contains(r))
-                    .collect();
+                let failures_observed =
+                    group.iter().copied().filter(|r| dead.contains(r)).collect();
                 st.result = Some(RendezvousOutcome {
                     value,
                     failures_observed,
@@ -201,10 +195,12 @@ mod tests {
     use cluster::{Cluster, ClusterConfig, TimeScale};
 
     fn router(n: usize) -> Arc<Router> {
-        let mut cfg = ClusterConfig::default();
-        cfg.nodes = n;
-        cfg.ranks_per_node = 1;
-        cfg.time_scale = TimeScale::instant();
+        let cfg = ClusterConfig {
+            nodes: n,
+            ranks_per_node: 1,
+            time_scale: TimeScale::instant(),
+            ..ClusterConfig::default()
+        };
         Router::new(Cluster::new(cfg))
     }
 
@@ -298,9 +294,7 @@ mod tests {
         let group = vec![0usize, 1];
         let r2 = Arc::clone(&r);
         let g2 = group.clone();
-        let h = std::thread::spawn(move || {
-            r2.rendezvous(key(4), 0, &g2, contrib(1), sum_combine)
-        });
+        let h = std::thread::spawn(move || r2.rendezvous(key(4), 0, &g2, contrib(1), sum_combine));
         std::thread::sleep(Duration::from_millis(20));
         r.kill(0);
         assert_eq!(h.join().unwrap(), Err(MpiError::Killed));
@@ -312,9 +306,7 @@ mod tests {
         let group = vec![0usize, 1];
         let r2 = Arc::clone(&r);
         let g2 = group.clone();
-        let h = std::thread::spawn(move || {
-            r2.rendezvous(key(5), 0, &g2, contrib(1), sum_combine)
-        });
+        let h = std::thread::spawn(move || r2.rendezvous(key(5), 0, &g2, contrib(1), sum_combine));
         std::thread::sleep(Duration::from_millis(20));
         r.abort();
         assert_eq!(h.join().unwrap(), Err(MpiError::Aborted));

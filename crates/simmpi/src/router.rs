@@ -27,6 +27,7 @@ use bytes::Bytes;
 use parking_lot::{Condvar, Mutex, RwLock};
 
 use cluster::Cluster;
+use telemetry::{Event, MpiOp, Recorder};
 
 use crate::error::{MpiError, MpiResult};
 use crate::rendezvous::RendezvousTable;
@@ -83,6 +84,10 @@ pub struct Router {
     aborted: AtomicBool,
     cluster: Cluster,
     pub(crate) rendezvous: RendezvousTable,
+    /// Per-rank telemetry recorders (disabled by default); set by
+    /// `Universe::launch` so ULFM/fault paths can emit events without
+    /// threading handles through every call signature.
+    recorders: RwLock<Vec<Recorder>>,
 }
 
 impl Router {
@@ -95,7 +100,32 @@ impl Router {
             aborted: AtomicBool::new(false),
             cluster,
             rendezvous: RendezvousTable::new(),
+            recorders: RwLock::new(vec![Recorder::disabled(); n]),
         })
+    }
+
+    /// Install `rank`'s telemetry recorder (see `UniverseConfig::telemetry`).
+    pub fn set_recorder(&self, rank: usize, rec: Recorder) {
+        if let Some(slot) = self.recorders.write().get_mut(rank) {
+            *slot = rec;
+        }
+    }
+
+    /// `rank`'s recorder (disabled when telemetry is off or out of range).
+    pub fn recorder(&self, rank: usize) -> Recorder {
+        self.recorders.read().get(rank).cloned().unwrap_or_default()
+    }
+
+    /// Record one simulated MPI entry point for `me`, if per-call events
+    /// were requested (they are off by default — see
+    /// `telemetry::TelemetryConfig::record_mpi_calls`).
+    pub(crate) fn record_mpi(&self, me: usize, op: MpiOp, peer: Option<u32>, bytes: u64) {
+        let recorders = self.recorders.read();
+        if let Some(rec) = recorders.get(me) {
+            if rec.wants_mpi_calls() {
+                rec.emit(Event::MpiCall { op, peer, bytes });
+            }
+        }
     }
 
     pub fn ranks(&self) -> usize {
@@ -132,6 +162,7 @@ impl Router {
                 return; // already dead
             }
         }
+        self.recorder(rank).emit(Event::RankKilled);
         self.cluster.fail_node_of(rank);
         self.wake_all();
     }
@@ -216,7 +247,9 @@ impl Router {
             return Err(MpiError::proc_failed(dst));
         }
         if !self.cluster.topology().same_node(env.src, dst) {
-            self.cluster.network().transfer(env.src, dst, env.payload.len());
+            self.cluster
+                .network()
+                .transfer(env.src, dst, env.payload.len());
         }
         // The destination may have died while the transfer was in flight.
         if self.is_dead(dst) {
@@ -239,7 +272,7 @@ impl Router {
                 e.comm == spec.comm
                     && e.epoch == spec.epoch
                     && e.tag == spec.tag
-                    && spec.src.map_or(true, |s| e.src == s)
+                    && spec.src.is_none_or(|s| e.src == s)
             }) {
                 return Ok(queue.remove(pos).expect("position just found"));
             }
@@ -287,7 +320,7 @@ impl Router {
             e.comm == spec.comm
                 && e.epoch == spec.epoch
                 && e.tag == spec.tag
-                && spec.src.map_or(true, |s| e.src == s)
+                && spec.src.is_none_or(|s| e.src == s)
         })
     }
 }
@@ -308,10 +341,12 @@ mod tests {
     use cluster::{ClusterConfig, TimeScale};
 
     fn router(n: usize) -> Arc<Router> {
-        let mut cfg = ClusterConfig::default();
-        cfg.nodes = n;
-        cfg.ranks_per_node = 1;
-        cfg.time_scale = TimeScale::instant();
+        let cfg = ClusterConfig {
+            nodes: n,
+            ranks_per_node: 1,
+            time_scale: TimeScale::instant(),
+            ..ClusterConfig::default()
+        };
         Router::new(Cluster::new(cfg))
     }
 
@@ -362,10 +397,7 @@ mod tests {
     fn send_to_dead_rank_fails() {
         let r = router(2);
         r.kill(1);
-        assert_eq!(
-            r.send(1, env(0, 0, b"")),
-            Err(MpiError::proc_failed(1))
-        );
+        assert_eq!(r.send(1, env(0, 0, b"")), Err(MpiError::proc_failed(1)));
     }
 
     #[test]

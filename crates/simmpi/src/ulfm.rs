@@ -19,6 +19,7 @@
 use std::sync::Arc;
 
 use bytes::Bytes;
+use telemetry::Event;
 
 use crate::comm::Comm;
 use crate::error::MpiResult;
@@ -39,6 +40,7 @@ impl Comm {
     /// on it wakes with `Revoked`, and all future operations fail likewise.
     /// Idempotent; any rank may call it at any time.
     pub fn revoke(&self) {
+        self.router().recorder(self.my_global()).emit(Event::Revoke);
         self.router().revoke(self.id(), self.epoch());
     }
 
@@ -83,10 +85,15 @@ impl Comm {
                 Bytes::copy_from_slice(&agreed.to_le_bytes())
             },
         )?;
-        Ok(AgreeOutcome {
+        let agreed = AgreeOutcome {
             flags: u64::from_le_bytes(outcome.value[..8].try_into().expect("u64 payload")),
             failed: outcome.failures_observed,
-        })
+        };
+        self.router().recorder(self.my_global()).emit(Event::Agree {
+            seq,
+            flags: agreed.flags,
+        });
+        Ok(agreed)
     }
 
     /// Fault-tolerant shrink (ULFM `MPI_Comm_shrink`): survivors collectively
@@ -117,6 +124,11 @@ impl Comm {
             .filter(|g| !dead.contains(g))
             .collect();
         let new_id = Router::derive_comm_id(self.id(), ((self.epoch() as u64) << 32) | seq);
+        self.router()
+            .recorder(self.my_global())
+            .emit(Event::Shrink {
+                survivors: survivors.len() as u64,
+            });
         Ok(Comm::from_group(
             Arc::clone(self.router()),
             new_id,

@@ -13,6 +13,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cluster::Cluster;
+use telemetry::{Event, Recorder, Telemetry};
 
 use crate::comm::Comm;
 use crate::error::{MpiError, MpiResult};
@@ -21,7 +22,7 @@ use crate::profile::Profile;
 use crate::router::Router;
 
 /// Launch-time options.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct UniverseConfig {
     /// If true, any rank failure aborts the whole job (plain MPI). If false,
     /// failures only surface as ULFM errors and a fault-tolerant layer
@@ -30,15 +31,11 @@ pub struct UniverseConfig {
     /// Whether to charge the modeled job-startup cost before running ranks
     /// (the harness accounts it under "Other").
     pub charge_startup: bool,
-}
-
-impl Default for UniverseConfig {
-    fn default() -> Self {
-        UniverseConfig {
-            abort_on_failure: false,
-            charge_startup: false,
-        }
-    }
+    /// Observability hub for this launch. When set, every rank gets a
+    /// recorder feeding the shared event rings/metrics and `fault_point`,
+    /// ULFM, and kill paths emit structured events. `None` (the default)
+    /// records nothing.
+    pub telemetry: Option<Telemetry>,
 }
 
 /// Per-rank execution context handed to the application closure.
@@ -48,6 +45,7 @@ pub struct RankCtx {
     router: Arc<Router>,
     fault: Arc<FaultPlan>,
     profile: Arc<Profile>,
+    recorder: Recorder,
 }
 
 impl RankCtx {
@@ -77,10 +75,19 @@ impl RankCtx {
         &self.fault
     }
 
+    /// This rank's telemetry recorder (disabled when telemetry is off).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
     /// Application fault point: dies here if the fault plan says so.
     /// The returned error must be propagated (`?`) so the rank unwinds.
     pub fn fault_point(&self, label: &str, count: u64) -> MpiResult<()> {
         if self.fault.check(self.rank, label, count) {
+            self.recorder.emit_with(|| Event::FaultInjected {
+                site: label.to_string(),
+                count,
+            });
             self.router.kill(self.rank);
             return Err(MpiError::Killed);
         }
@@ -185,12 +192,22 @@ impl Universe {
                 let config = &config;
                 handles.push(scope.spawn(move || {
                     let profile = Arc::new(Profile::new());
+                    let recorder = match &config.telemetry {
+                        Some(tel) => {
+                            let rec = tel.recorder(rank, Arc::clone(profile.accumulator()));
+                            profile.attach_recorder(rec.clone());
+                            router.set_recorder(rank, rec.clone());
+                            rec
+                        }
+                        None => Recorder::disabled(),
+                    };
                     let mut ctx = RankCtx {
                         rank,
                         world: Comm::world(Arc::clone(&router), rank),
                         router: Arc::clone(&router),
                         fault,
                         profile: Arc::clone(&profile),
+                        recorder,
                     };
                     let result = match std::panic::catch_unwind(AssertUnwindSafe(|| f(&mut ctx))) {
                         Ok(r) => r,

@@ -6,10 +6,12 @@ use cluster::{Cluster, ClusterConfig, TimeScale};
 use simmpi::{FaultPlan, MpiResult, RankCtx, ReduceOp, Universe, UniverseConfig};
 
 fn cluster(n: usize) -> Cluster {
-    let mut cfg = ClusterConfig::default();
-    cfg.nodes = n;
-    cfg.ranks_per_node = 1;
-    cfg.time_scale = TimeScale::instant();
+    let cfg = ClusterConfig {
+        nodes: n,
+        ranks_per_node: 1,
+        time_scale: TimeScale::instant(),
+        ..ClusterConfig::default()
+    };
     Cluster::new(cfg)
 }
 
@@ -65,14 +67,7 @@ fn sendrecv_halo_exchange() {
         let right = (me + 1) % n;
         let left = (me + n - 1) % n;
         let mut from_left = [0.0f64; 3];
-        w.sendrecv(
-            right,
-            7,
-            &[me as f64; 3],
-            left,
-            7,
-            &mut from_left,
-        )?;
+        w.sendrecv(right, 7, &[me as f64; 3], left, 7, &mut from_left)?;
         assert_eq!(from_left, [left as f64; 3]);
         Ok(())
     });

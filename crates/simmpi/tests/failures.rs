@@ -8,10 +8,12 @@ use cluster::{Cluster, ClusterConfig, TimeScale};
 use simmpi::{FaultPlan, MpiError, MpiResult, RankCtx, ReduceOp, Universe, UniverseConfig};
 
 fn cluster(n: usize) -> Cluster {
-    let mut cfg = ClusterConfig::default();
-    cfg.nodes = n;
-    cfg.ranks_per_node = 1;
-    cfg.time_scale = TimeScale::instant();
+    let cfg = ClusterConfig {
+        nodes: n,
+        ranks_per_node: 1,
+        time_scale: TimeScale::instant(),
+        ..ClusterConfig::default()
+    };
     Cluster::new(cfg)
 }
 
@@ -152,31 +154,27 @@ fn abort_on_failure_tears_down_job() {
     let cfg = UniverseConfig {
         abort_on_failure: true,
         charge_startup: false,
+        telemetry: None,
     };
-    let report = run_with_faults(
-        3,
-        FaultPlan::kill_at(1, "boom", 0),
-        cfg,
-        |ctx| {
-            let w = ctx.world();
-            match ctx.rank() {
-                1 => ctx.fault_point("boom", 0).map(|_| ()),
-                0 => {
-                    let mut b = [0u8];
-                    let e = w.recv_into(Some(2), 5, &mut b).unwrap_err();
-                    assert_eq!(e, MpiError::Aborted);
-                    Err(e)
-                }
-                _ => {
-                    let mut b = [0u8];
-                    // Rank 2 blocks on rank 0 and is also unblocked by abort.
-                    let e = w.recv_into(Some(0), 6, &mut b).unwrap_err();
-                    assert_eq!(e, MpiError::Aborted);
-                    Err(e)
-                }
+    let report = run_with_faults(3, FaultPlan::kill_at(1, "boom", 0), cfg, |ctx| {
+        let w = ctx.world();
+        match ctx.rank() {
+            1 => ctx.fault_point("boom", 0).map(|_| ()),
+            0 => {
+                let mut b = [0u8];
+                let e = w.recv_into(Some(2), 5, &mut b).unwrap_err();
+                assert_eq!(e, MpiError::Aborted);
+                Err(e)
             }
-        },
-    );
+            _ => {
+                let mut b = [0u8];
+                // Rank 2 blocks on rank 0 and is also unblocked by abort.
+                let e = w.recv_into(Some(0), 6, &mut b).unwrap_err();
+                assert_eq!(e, MpiError::Aborted);
+                Err(e)
+            }
+        }
+    });
     assert!(report.aborted);
     assert_eq!(report.killed_ranks(), vec![1]);
 }
@@ -207,7 +205,12 @@ fn collective_reports_failure_not_hang() {
     assert_eq!(report.killed_ranks(), vec![2]);
     for o in &report.outcomes {
         if o.rank != 2 {
-            assert!(o.result.is_ok(), "rank {} hung or failed: {:?}", o.rank, o.result);
+            assert!(
+                o.result.is_ok(),
+                "rank {} hung or failed: {:?}",
+                o.rank,
+                o.result
+            );
         }
     }
 }

@@ -1,0 +1,201 @@
+//! Minimal JSON document model used by the exporters and the harness.
+//!
+//! The workspace builds offline, so instead of `serde_json` this module
+//! provides the small subset the repo needs: constructing values and
+//! printing them compactly or pretty. Numbers are `f64` (integers up to
+//! 2^53 print without a fractional part, matching JSON's number model).
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object builder from `(key, value)` pairs (order preserved).
+    pub fn obj(pairs: impl IntoIterator<Item = (impl Into<String>, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// Compact single-line rendering.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Indented rendering (two spaces per level).
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, level: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => write_num(out, *x),
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(items) => write_seq(out, indent, level, '[', ']', items.len(), |out, i| {
+                items[i].write(out, indent, level + 1)
+            }),
+            Json::Obj(pairs) => write_seq(out, indent, level, '{', '}', pairs.len(), |out, i| {
+                write_str(out, &pairs[i].0);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                pairs[i].1.write(out, indent, level + 1);
+            }),
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    level: usize,
+    open: char,
+    close: char,
+    n: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if n == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..n {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', step * (level + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', step * level));
+    }
+    out.push(close);
+}
+
+fn write_num(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        // JSON has no NaN/inf; null is the conventional fallback.
+        out.push_str("null");
+    } else if x == x.trunc() && x.abs() < 9.0e15 {
+        let _ = write!(out, "{}", x as i64);
+    } else {
+        let _ = write!(out, "{x}");
+    }
+}
+
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+macro_rules! json_from_num {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Json {
+            fn from(x: $t) -> Json {
+                Json::Num(x as f64)
+            }
+        }
+    )*};
+}
+
+json_from_num!(f64, f32, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        let v = Json::obj([
+            ("name", Json::from("heatdis")),
+            ("ok", Json::from(true)),
+            ("versions", Json::arr([Json::from(1u64), Json::from(2u64)])),
+            ("none", Json::Null),
+        ]);
+        assert_eq!(
+            v.to_json(),
+            r#"{"name":"heatdis","ok":true,"versions":[1,2],"none":null}"#
+        );
+    }
+
+    #[test]
+    fn integers_print_without_fraction() {
+        assert_eq!(Json::from(3u64).to_json(), "3");
+        assert_eq!(Json::from(-7i64).to_json(), "-7");
+        assert_eq!(Json::from(0.5f64).to_json(), "0.5");
+        assert_eq!(Json::Num(f64::NAN).to_json(), "null");
+    }
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(
+            Json::from("a\"b\\c\nd\u{1}").to_json(),
+            r#""a\"b\\c\nd\u0001""#
+        );
+    }
+
+    #[test]
+    fn pretty_rendering_indents() {
+        let v = Json::obj([("xs", Json::arr([Json::from(1u64)]))]);
+        assert_eq!(v.to_json_pretty(), "{\n  \"xs\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn empty_containers_stay_inline() {
+        assert_eq!(Json::arr([]).to_json_pretty(), "[]");
+        assert_eq!(Json::Obj(vec![]).to_json_pretty(), "{}");
+    }
+}

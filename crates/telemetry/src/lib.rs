@@ -1,0 +1,391 @@
+//! Unified observability for the layered-resilience stack.
+//!
+//! One [`Telemetry`] instance covers one experiment (a `Universe` launch or
+//! a whole relaunch sequence). Each rank gets a cheap [`Recorder`] handle
+//! that feeds three sinks:
+//!
+//! - a **structured event log** — typed [`Event`]s in a bounded lock-free
+//!   per-rank ring ([`ring::EventRing`]) with overwrite-oldest eviction and
+//!   drop counting;
+//! - **span timers** ([`span::SpanGuard`]) booking inclusive time into the
+//!   rank's [`PhaseAccumulator`] (the storage behind `simmpi::Profile`) and
+//!   exclusive/self time into a parallel accumulator;
+//! - a **metrics registry** ([`metrics::Metrics`]) of named counters,
+//!   gauges, and histograms shared across ranks.
+//!
+//! [`Telemetry::snapshot`] merges every ring into a time-sorted
+//! [`TraceSnapshot`] which the exporters ([`export`]) turn into JSONL,
+//! Chrome `trace_event` JSON, or a human-readable failure timeline.
+//!
+//! Overhead control: a defaulted [`Recorder`] (`Recorder::disabled()`) is a
+//! `None` and every operation on it is a branch on an `Option` — layers can
+//! therefore thread recorders unconditionally. Compiling without the
+//! `events` feature removes event recording entirely (spans still
+//! accumulate phase time, which the cost model needs).
+
+pub mod event;
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod phase;
+pub mod ring;
+pub mod span;
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+pub use event::{Event, Interner, MpiOp};
+pub use json::Json;
+pub use metrics::{Counter, Gauge, HistogramHandle, Metrics, MetricsSnapshot};
+pub use phase::{Phase, PhaseAccumulator};
+pub use ring::EventRing;
+pub use span::SpanGuard;
+
+/// Tuning for one [`Telemetry`] instance.
+#[derive(Clone, Debug)]
+pub struct TelemetryConfig {
+    /// Per-rank ring capacity in records (64 bytes each). When a rank
+    /// outruns its ring the oldest records are evicted and counted.
+    pub ring_capacity: usize,
+    /// Record an [`Event::MpiCall`] for every simulated MPI entry point.
+    /// Off by default: calls are the highest-volume event class and the
+    /// failure chain is observable without them.
+    pub record_mpi_calls: bool,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            ring_capacity: 16 * 1024,
+            record_mpi_calls: false,
+        }
+    }
+}
+
+struct RankSlot {
+    rank: u32,
+    ring: EventRing,
+    exclusive: PhaseAccumulator,
+}
+
+struct TelemetryInner {
+    epoch: Instant,
+    config: TelemetryConfig,
+    interner: Interner,
+    metrics: Metrics,
+    slots: Mutex<Vec<Arc<RankSlot>>>,
+}
+
+/// Experiment-wide telemetry hub. Clones share state.
+#[derive(Clone)]
+pub struct Telemetry {
+    inner: Arc<TelemetryInner>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("ranks", &self.inner.slots.lock().len())
+            .field("config", &self.inner.config)
+            .finish()
+    }
+}
+
+impl Telemetry {
+    pub fn new(config: TelemetryConfig) -> Telemetry {
+        Telemetry {
+            inner: Arc::new(TelemetryInner {
+                epoch: Instant::now(),
+                config,
+                interner: Interner::new(),
+                metrics: Metrics::new(),
+                slots: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    pub fn config(&self) -> &TelemetryConfig {
+        &self.inner.config
+    }
+
+    /// Nanoseconds since this telemetry instance was created.
+    pub fn now_ns(&self) -> u64 {
+        self.inner.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// The shared metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.inner.metrics
+    }
+
+    /// Create a recorder for `rank`, booking inclusive span time into
+    /// `phases` (share the accumulator with the rank's `Profile` so both
+    /// views agree). Each call registers a fresh ring; a relaunched rank
+    /// simply registers again and its events merge by timestamp.
+    pub fn recorder(&self, rank: usize, phases: Arc<PhaseAccumulator>) -> Recorder {
+        let slot = Arc::new(RankSlot {
+            rank: rank as u32,
+            ring: EventRing::new(self.inner.config.ring_capacity),
+            exclusive: PhaseAccumulator::new(),
+        });
+        self.inner.slots.lock().push(Arc::clone(&slot));
+        Recorder {
+            inner: Some(Arc::new(RecorderInner {
+                tel: Arc::clone(&self.inner),
+                slot,
+                phases,
+            })),
+        }
+    }
+
+    /// Merge every rank ring into one time-ordered snapshot.
+    pub fn snapshot(&self) -> TraceSnapshot {
+        let slots: Vec<Arc<RankSlot>> = self.inner.slots.lock().clone();
+        let mut events = Vec::new();
+        let mut dropped = 0;
+        let mut pushed = 0;
+        for slot in &slots {
+            dropped += slot.ring.dropped();
+            pushed += slot.ring.pushed();
+            for words in slot.ring.snapshot() {
+                if let Some((t_ns, event)) = Event::decode(&words, &self.inner.interner) {
+                    events.push(TimedEvent {
+                        t_ns,
+                        rank: slot.rank,
+                        event,
+                    });
+                }
+            }
+        }
+        events.sort_by_key(|e| (e.t_ns, e.rank));
+        TraceSnapshot {
+            events,
+            dropped,
+            pushed,
+        }
+    }
+
+    /// Per-rank exclusive (self) span time, registration order.
+    pub fn exclusive_phases(&self) -> Vec<(u32, Vec<(Phase, Duration)>)> {
+        self.inner
+            .slots
+            .lock()
+            .iter()
+            .map(|s| (s.rank, s.exclusive.snapshot()))
+            .collect()
+    }
+}
+
+/// All surviving events of a run, merged across ranks and sorted by time.
+#[derive(Clone, Debug, Default)]
+pub struct TraceSnapshot {
+    pub events: Vec<TimedEvent>,
+    /// Records evicted from rings before they could be read.
+    pub dropped: u64,
+    /// Records ever pushed (including evicted ones).
+    pub pushed: u64,
+}
+
+impl TraceSnapshot {
+    /// Events of one kind, in time order.
+    pub fn of_kind(&self, kind: &str) -> Vec<&TimedEvent> {
+        self.events
+            .iter()
+            .filter(|e| e.event.kind() == kind)
+            .collect()
+    }
+
+    /// Timestamp of the first event of `kind`, if any.
+    pub fn first_ns(&self, kind: &str) -> Option<u64> {
+        self.events
+            .iter()
+            .find(|e| e.event.kind() == kind)
+            .map(|e| e.t_ns)
+    }
+}
+
+/// One decoded event with its timestamp and originating rank.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimedEvent {
+    pub t_ns: u64,
+    pub rank: u32,
+    pub event: Event,
+}
+
+struct RecorderInner {
+    tel: Arc<TelemetryInner>,
+    slot: Arc<RankSlot>,
+    phases: Arc<PhaseAccumulator>,
+}
+
+/// Per-rank recording handle. `Default`/[`Recorder::disabled`] is a no-op
+/// recorder: every operation short-circuits on one branch, so layers hold a
+/// `Recorder` unconditionally instead of an `Option<..>` forest.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<RecorderInner>>,
+}
+
+impl Recorder {
+    /// The no-op recorder.
+    pub fn disabled() -> Recorder {
+        Recorder { inner: None }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Rank this recorder was registered for (`None` when disabled).
+    pub fn rank(&self) -> Option<usize> {
+        self.inner.as_ref().map(|i| i.slot.rank as usize)
+    }
+
+    /// Whether per-MPI-call events were requested (checked by `simmpi` so
+    /// the highest-volume class can stay off by default).
+    pub fn wants_mpi_calls(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|i| i.tel.config.record_mpi_calls)
+    }
+
+    /// The inclusive phase accumulator this recorder books spans into.
+    pub fn phases(&self) -> Option<&Arc<PhaseAccumulator>> {
+        self.inner.as_ref().map(|i| &i.phases)
+    }
+
+    /// Exclusive (self) span times booked so far.
+    pub fn exclusive(&self) -> Option<&PhaseAccumulator> {
+        self.inner.as_ref().map(|i| &i.slot.exclusive)
+    }
+
+    /// Record `event` now. Free when disabled; with the `events` feature
+    /// off this compiles to the disabled path unconditionally.
+    #[inline]
+    pub fn emit(&self, event: Event) {
+        #[cfg(feature = "events")]
+        if let Some(inner) = &self.inner {
+            let words = event.encode(
+                inner.tel.epoch.elapsed().as_nanos() as u64,
+                &inner.tel.interner,
+            );
+            inner.slot.ring.push(words);
+        }
+        #[cfg(not(feature = "events"))]
+        let _ = event;
+    }
+
+    /// Like [`Recorder::emit`] but the event is only constructed when it
+    /// will actually be recorded — use when building it allocates.
+    #[inline]
+    pub fn emit_with(&self, f: impl FnOnce() -> Event) {
+        #[cfg(feature = "events")]
+        if self.inner.is_some() {
+            self.emit(f());
+        }
+        #[cfg(not(feature = "events"))]
+        let _ = f;
+    }
+
+    /// Open a phase span; time books when the guard drops.
+    pub fn span(&self, phase: Phase) -> SpanGuard {
+        SpanGuard::begin(self.clone(), phase)
+    }
+
+    /// Time a closure under `phase` (span-based `Profile::time`).
+    pub fn time<T>(&self, phase: Phase, f: impl FnOnce() -> T) -> T {
+        let _guard = self.span(phase);
+        f()
+    }
+
+    /// Metrics registry of the owning telemetry (`None` when disabled).
+    pub fn metrics(&self) -> Option<&Metrics> {
+        self.inner.as_ref().map(|i| &i.tel.metrics)
+    }
+
+    pub(crate) fn book_span(&self, phase: Phase, inclusive: Duration, exclusive: Duration) {
+        if let Some(inner) = &self.inner {
+            inner.phases.add(phase, inclusive);
+            inner.slot.exclusive.add(phase, exclusive);
+        }
+    }
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            Some(i) => write!(f, "Recorder(rank {})", i.slot.rank),
+            None => write!(f, "Recorder(disabled)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let rec = Recorder::disabled();
+        assert!(!rec.is_enabled());
+        rec.emit(Event::Revoke);
+        rec.emit_with(|| panic!("must not be constructed"));
+        let out = rec.time(Phase::AppCompute, || 7);
+        assert_eq!(out, 7);
+    }
+
+    #[cfg(feature = "events")]
+    #[test]
+    fn snapshot_merges_ranks_in_time_order() {
+        let tel = Telemetry::new(TelemetryConfig::default());
+        let r0 = tel.recorder(0, Arc::new(PhaseAccumulator::new()));
+        let r1 = tel.recorder(1, Arc::new(PhaseAccumulator::new()));
+        r0.emit(Event::Revoke);
+        r1.emit(Event::RankKilled);
+        r0.emit(Event::Agree { seq: 1, flags: 0 });
+        let snap = tel.snapshot();
+        assert_eq!(snap.events.len(), 3);
+        assert!(snap.events.windows(2).all(|w| w[0].t_ns <= w[1].t_ns));
+        assert_eq!(snap.pushed, 3);
+        assert_eq!(snap.dropped, 0);
+    }
+
+    #[cfg(feature = "events")]
+    #[test]
+    fn overflow_counts_drops_in_snapshot() {
+        let tel = Telemetry::new(TelemetryConfig {
+            ring_capacity: 4,
+            ..Default::default()
+        });
+        let rec = tel.recorder(0, Arc::new(PhaseAccumulator::new()));
+        for i in 0..10 {
+            rec.emit(Event::Agree { seq: i, flags: 0 });
+        }
+        let snap = tel.snapshot();
+        assert_eq!(snap.events.len(), 4);
+        assert_eq!(snap.dropped, 6);
+        // The survivors are the newest pushes.
+        let seqs: Vec<u64> = snap
+            .events
+            .iter()
+            .map(|e| match &e.event {
+                Event::Agree { seq, .. } => *seq,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn metrics_reachable_through_recorder() {
+        let tel = Telemetry::new(TelemetryConfig::default());
+        let rec = tel.recorder(2, Arc::new(PhaseAccumulator::new()));
+        rec.metrics().unwrap().counter("repairs").inc();
+        assert_eq!(
+            tel.metrics().snapshot().counters,
+            vec![("repairs".into(), 1)]
+        );
+    }
+}

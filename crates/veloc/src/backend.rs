@@ -14,9 +14,16 @@ use bytes::Bytes;
 use cluster::Cluster;
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::{Condvar, Mutex};
+use telemetry::{Event, Recorder};
 
 enum Job {
-    Flush { path: String, blob: Bytes },
+    Flush {
+        path: String,
+        blob: Bytes,
+        name: String,
+        version: u64,
+        rec: Recorder,
+    },
     Stop,
 }
 
@@ -46,12 +53,24 @@ impl ActiveBackend {
             .spawn(move || {
                 while let Ok(job) = rx.recv() {
                     match job {
-                        Job::Flush { path, blob } => {
+                        Job::Flush {
+                            path,
+                            blob,
+                            name,
+                            version,
+                            rec,
+                        } => {
                             // Egress from the rank's NIC, then filesystem
                             // ingest: this is the traffic that congests
                             // application MPI.
+                            let bytes = blob.len() as u64;
                             cluster.network().egress(rank, blob.len());
                             cluster.pfs().write(&path, blob);
+                            rec.emit(Event::FlushDone {
+                                name,
+                                version,
+                                bytes,
+                            });
                             let mut c = pending2.count.lock();
                             *c -= 1;
                             pending2.cv.notify_all();
@@ -69,13 +88,28 @@ impl ActiveBackend {
     }
 
     /// Enqueue an asynchronous flush of `blob` to `path` on the PFS.
-    pub fn enqueue_flush(&self, path: String, blob: Bytes) {
+    /// `rec` lets the flush thread stamp the completion ([`Event::FlushDone`])
+    /// at the time the blob actually lands on the PFS.
+    pub fn enqueue_flush(
+        &self,
+        path: String,
+        blob: Bytes,
+        name: String,
+        version: u64,
+        rec: Recorder,
+    ) {
         {
             let mut c = self.pending.count.lock();
             *c += 1;
         }
         self.tx
-            .send(Job::Flush { path, blob })
+            .send(Job::Flush {
+                path,
+                blob,
+                name,
+                version,
+                rec,
+            })
             .expect("backend thread alive");
     }
 
@@ -112,9 +146,11 @@ mod tests {
     use cluster::{ClusterConfig, TimeScale};
 
     fn cluster() -> Cluster {
-        let mut cfg = ClusterConfig::default();
-        cfg.nodes = 2;
-        cfg.time_scale = TimeScale::instant();
+        let cfg = ClusterConfig {
+            nodes: 2,
+            time_scale: TimeScale::instant(),
+            ..ClusterConfig::default()
+        };
         Cluster::new(cfg)
     }
 
@@ -122,7 +158,13 @@ mod tests {
     fn flush_lands_on_pfs() {
         let c = cluster();
         let b = ActiveBackend::spawn(c.clone(), 0);
-        b.enqueue_flush("ck/v1/r0".into(), Bytes::from_static(b"data"));
+        b.enqueue_flush(
+            "ck/v1/r0".into(),
+            Bytes::from_static(b"data"),
+            "ck".into(),
+            1,
+            Recorder::disabled(),
+        );
         b.wait();
         assert_eq!(&c.pfs().read("ck/v1/r0").unwrap().0[..], b"data");
     }
@@ -132,7 +174,13 @@ mod tests {
         let c = cluster();
         let b = ActiveBackend::spawn(c.clone(), 0);
         for v in 0..10 {
-            b.enqueue_flush(format!("ck/v{v}/r0"), Bytes::from(vec![0u8; 100]));
+            b.enqueue_flush(
+                format!("ck/v{v}/r0"),
+                Bytes::from(vec![0u8; 100]),
+                "ck".into(),
+                v,
+                Recorder::disabled(),
+            );
         }
         b.wait();
         assert_eq!(b.outstanding(), 0);
@@ -144,7 +192,13 @@ mod tests {
         let c = cluster();
         {
             let b = ActiveBackend::spawn(c.clone(), 1);
-            b.enqueue_flush("ck/v1/r1".into(), Bytes::from_static(b"x"));
+            b.enqueue_flush(
+                "ck/v1/r1".into(),
+                Bytes::from_static(b"x"),
+                "ck".into(),
+                1,
+                Recorder::disabled(),
+            );
         }
         assert!(c.pfs().exists("ck/v1/r1"), "drop must drain, not discard");
     }

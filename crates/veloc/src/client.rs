@@ -21,6 +21,7 @@ use bytes::Bytes;
 use cluster::Cluster;
 use parking_lot::Mutex;
 use simmpi::{Comm, MpiError, ReduceOp};
+use telemetry::{Event, Recorder};
 
 use crate::backend::ActiveBackend;
 use crate::region::Protected;
@@ -103,6 +104,7 @@ pub struct Client {
     async_flush: bool,
     regions: Mutex<BTreeMap<u32, Arc<dyn Protected>>>,
     backend: ActiveBackend,
+    recorder: Mutex<Recorder>,
 }
 
 impl Client {
@@ -118,7 +120,18 @@ impl Client {
             async_flush: config.async_flush,
             regions: Mutex::new(BTreeMap::new()),
             backend,
+            recorder: Mutex::new(Recorder::disabled()),
         }
+    }
+
+    /// Attach a telemetry recorder; checkpoint/restart lifecycle events go
+    /// through it (including [`Event::FlushDone`] from the backend thread).
+    pub fn set_recorder(&self, rec: Recorder) {
+        *self.recorder.lock() = rec;
+    }
+
+    fn recorder(&self) -> Recorder {
+        self.recorder.lock().clone()
     }
 
     pub fn mode(&self) -> Mode {
@@ -152,6 +165,10 @@ impl Client {
     /// Register a memory region under `id` (VeloC `mem_protect`). Replaces
     /// any previous region with the same id.
     pub fn protect(&self, id: u32, region: Arc<dyn Protected>) {
+        self.recorder().emit_with(|| Event::Protect {
+            name: id.to_string(),
+            bytes: region.byte_len() as u64,
+        });
         self.regions.lock().insert(id, region);
     }
 
@@ -187,24 +204,45 @@ impl Client {
     /// paper books as "Checkpoint Function" — is everything this method does
     /// before returning.
     pub fn checkpoint(&self, name: &str, version: u64) -> Result<(), VelocError> {
+        let rec = self.recorder();
+        rec.emit_with(|| Event::CheckpointBegin {
+            name: name.to_owned(),
+            version,
+        });
         self.backend.wait();
         let blob = {
             let regions = self.regions.lock();
-            let parts: Vec<(u32, Bytes)> = regions
-                .iter()
-                .map(|(&id, r)| (id, r.snapshot()))
-                .collect();
+            let parts: Vec<(u32, Bytes)> =
+                regions.iter().map(|(&id, r)| (id, r.snapshot())).collect();
             serial::pack(&parts)
         };
         let path = self.path(name, version);
         self.cluster
             .scratch()
             .write(self.node(), &path, blob.clone());
+        rec.emit_with(|| Event::CheckpointLocal {
+            name: name.to_owned(),
+            version,
+            bytes: blob.len() as u64,
+        });
         if self.async_flush {
-            self.backend.enqueue_flush(path, blob);
+            rec.emit_with(|| Event::FlushEnqueued {
+                name: name.to_owned(),
+                version,
+            });
+            self.backend
+                .enqueue_flush(path, blob, name.to_owned(), version, rec);
         } else {
-            self.cluster.network().egress(self.physical_rank, blob.len());
+            self.cluster
+                .network()
+                .egress(self.physical_rank, blob.len());
+            let bytes = blob.len() as u64;
             self.cluster.pfs().write(&path, blob);
+            rec.emit_with(|| Event::FlushDone {
+                name: name.to_owned(),
+                version,
+                bytes,
+            });
         }
         Ok(())
     }
@@ -254,11 +292,7 @@ impl Client {
     /// on the newest version available everywhere (min over ranks of each
     /// rank's latest). Collective mode *requires* a communicator — this is
     /// precisely the coupling the paper had to break for Fenix integration.
-    pub fn restart_test(
-        &self,
-        name: &str,
-        comm: Option<&Comm>,
-    ) -> Result<Option<u64>, VelocError> {
+    pub fn restart_test(&self, name: &str, comm: Option<&Comm>) -> Result<Option<u64>, VelocError> {
         match self.mode {
             Mode::Single => Ok(self.latest_version(name)),
             Mode::Collective => {
@@ -277,6 +311,21 @@ impl Client {
     /// the parallel filesystem (recovered replacement ranks). Returns the
     /// number of regions restored.
     pub fn restart(&self, name: &str, version: u64) -> Result<usize, VelocError> {
+        let rec = self.recorder();
+        rec.emit_with(|| Event::RestartBegin {
+            name: name.to_owned(),
+            version,
+        });
+        let out = self.restart_inner(name, version);
+        rec.emit_with(|| Event::RestartEnd {
+            name: name.to_owned(),
+            version,
+            ok: out.is_ok(),
+        });
+        out
+    }
+
+    fn restart_inner(&self, name: &str, version: u64) -> Result<usize, VelocError> {
         let path = self.path(name, version);
         let blob = match self.cluster.scratch().read(self.node(), &path) {
             Some((blob, _)) => blob,
@@ -294,9 +343,7 @@ impl Client {
         let regions = self.regions.lock();
         let mut restored = 0;
         for (id, payload) in parts {
-            let region = regions
-                .get(&id)
-                .ok_or(VelocError::UnknownRegion { id })?;
+            let region = regions.get(&id).ok_or(VelocError::UnknownRegion { id })?;
             region.restore(&payload);
             restored += 1;
         }
@@ -367,10 +414,12 @@ mod tests {
     use cluster::{ClusterConfig, TimeScale};
 
     fn cluster(n: usize) -> Cluster {
-        let mut cfg = ClusterConfig::default();
-        cfg.nodes = n;
-        cfg.ranks_per_node = 1;
-        cfg.time_scale = TimeScale::instant();
+        let cfg = ClusterConfig {
+            nodes: n,
+            ranks_per_node: 1,
+            time_scale: TimeScale::instant(),
+            ..ClusterConfig::default()
+        };
         Cluster::new(cfg)
     }
 
@@ -462,7 +511,10 @@ mod tests {
         cl.checkpoint("ck", 1).unwrap();
         cl.clear_protected();
         cl.protect(6, Arc::new(VecRegion::new(vec![1u8])));
-        assert_eq!(cl.restart("ck", 1), Err(VelocError::UnknownRegion { id: 5 }));
+        assert_eq!(
+            cl.restart("ck", 1),
+            Err(VelocError::UnknownRegion { id: 5 })
+        );
     }
 
     #[test]

@@ -43,6 +43,7 @@ fn main() {
         max_relaunches: 4,
         imr_policy: None,
         fresh_storage: true,
+        telemetry: None,
     };
 
     println!("Heatdis: {per_rank_mb} MB/rank, {iterations} iterations, 6 checkpoints\n");
@@ -52,12 +53,23 @@ fn main() {
         Strategy::FenixKokkosResilience,
         Strategy::FenixImr,
     ] {
-        let (nodes, spares) = if strategy.uses_fenix() { (5, 1) } else { (4, 0) };
-        let mut ccfg = ClusterConfig::default();
-        ccfg.nodes = nodes;
+        let (nodes, spares) = if strategy.uses_fenix() {
+            (5, 1)
+        } else {
+            (4, 0)
+        };
+        let ccfg = ClusterConfig {
+            nodes,
+            ..ClusterConfig::default()
+        };
         let cluster = Cluster::new(ccfg);
 
-        let free = run_experiment(&cluster, &app, &cfg(strategy, spares), Arc::new(FaultPlan::none()));
+        let free = run_experiment(
+            &cluster,
+            &app,
+            &cfg(strategy, spares),
+            Arc::new(FaultPlan::none()),
+        );
         print_record(&format!("{strategy} — no failure"), &free);
 
         // Fail rank 2 at ~95% of the 4th checkpoint interval.
@@ -69,7 +81,10 @@ fn main() {
             &cfg(strategy, spares),
             Arc::new(FaultPlan::kill_at(2, "iter", kill_at)),
         );
-        print_record(&format!("{strategy} — one failure @ iter {kill_at}"), &failed);
+        print_record(
+            &format!("{strategy} — one failure @ iter {kill_at}"),
+            &failed,
+        );
         println!(
             "   failure cost: {:+.4} s\n",
             failed.wall.as_secs_f64() - free.wall.as_secs_f64()

@@ -11,67 +11,70 @@ use layered_resilience::cluster::{Cluster, ClusterConfig, TimeScale};
 use layered_resilience::fenix::ExhaustPolicy;
 use layered_resilience::kokkos::View;
 use layered_resilience::kokkos_resilience::CheckpointFilter;
-use layered_resilience::resilience::{
-    resilient_main, IntegratedBackend, IntegratedConfig,
-};
-use layered_resilience::simmpi::{
-    FaultPlan, MpiResult, ReduceOp, Universe, UniverseConfig,
-};
+use layered_resilience::resilience::{resilient_main, IntegratedBackend, IntegratedConfig};
+use layered_resilience::simmpi::{FaultPlan, MpiResult, ReduceOp, Universe, UniverseConfig};
 
 fn main() {
-    let mut ccfg = ClusterConfig::default();
-    ccfg.nodes = 5; // 4 active + 1 spare
-    ccfg.time_scale = TimeScale::instant();
+    let ccfg = ClusterConfig {
+        nodes: 5, // 4 active + 1 spare
+        time_scale: TimeScale::instant(),
+        ..ClusterConfig::default()
+    };
     let cluster = Cluster::new(ccfg);
 
     // Kill rank 2 at iteration 13, after the v11 checkpoint.
     let plan = Arc::new(FaultPlan::kill_at(2, "iter", 13));
 
-    let report = Universe::launch(&cluster, UniverseConfig::default(), plan, |ctx| -> MpiResult<()> {
-        let field: View<f64> = View::new_1d("field", 4096);
-        let cfg = IntegratedConfig {
-            name: "demo".into(),
-            spares: 1,
-            filter: CheckpointFilter::EveryN(4),
-            backend: IntegratedBackend::Imr { policy: None },
-            aliases: vec![],
-            on_exhaustion: ExhaustPolicy::Abort,
-            partial_rollback: false,
-        };
-        let ctx = &*ctx;
-        let summary = resilient_main(ctx, cfg, |scope| {
-            let start = scope.latest_version("loop")?.map_or(0, |v| v + 1);
-            println!(
-                "rank {} role {:?}: starting at iteration {start} (repairs so far: {})",
-                scope.comm().rank(),
-                scope.role(),
-                scope.repair_count()
-            );
-            for i in start..20 {
-                ctx.fault_point("iter", i)?;
-                scope.checkpoint("loop", i, || {
-                    {
-                        let mut f = field.write();
-                        for x in f.iter_mut() {
-                            *x = 0.9 * *x + 0.1 * (i as f64);
+    let report = Universe::launch(
+        &cluster,
+        UniverseConfig::default(),
+        plan,
+        |ctx| -> MpiResult<()> {
+            let field: View<f64> = View::new_1d("field", 4096);
+            let cfg = IntegratedConfig {
+                name: "demo".into(),
+                spares: 1,
+                filter: CheckpointFilter::EveryN(4),
+                backend: IntegratedBackend::Imr { policy: None },
+                aliases: vec![],
+                on_exhaustion: ExhaustPolicy::Abort,
+                partial_rollback: false,
+            };
+            let ctx = &*ctx;
+            let summary = resilient_main(ctx, cfg, |scope| {
+                let start = scope.latest_version("loop")?.map_or(0, |v| v + 1);
+                println!(
+                    "rank {} role {:?}: starting at iteration {start} (repairs so far: {})",
+                    scope.comm().rank(),
+                    scope.role(),
+                    scope.repair_count()
+                );
+                for i in start..20 {
+                    ctx.fault_point("iter", i)?;
+                    scope.checkpoint("loop", i, || {
+                        {
+                            let mut f = field.write();
+                            for x in f.iter_mut() {
+                                *x = 0.9 * *x + 0.1 * (i as f64);
+                            }
                         }
-                    }
-                    let norm = field.read()[0];
-                    let _ = scope.comm().allreduce_scalar(norm, ReduceOp::Max)?;
-                    Ok(())
-                })?;
+                        let norm = field.read()[0];
+                        let _ = scope.comm().allreduce_scalar(norm, ReduceOp::Max)?;
+                        Ok(())
+                    })?;
+                }
+                Ok(())
+            })?;
+            if summary.executed_body {
+                println!(
+                    "rank {} finished: {} repair(s), no filesystem touched",
+                    ctx.rank(),
+                    summary.repairs
+                );
             }
             Ok(())
-        })?;
-        if summary.executed_body {
-            println!(
-                "rank {} finished: {} repair(s), no filesystem touched",
-                ctx.rank(),
-                summary.repairs
-            );
-        }
-        Ok(())
-    });
+        },
+    );
 
     println!(
         "\nvictims: {:?}; PFS blobs written: {}",

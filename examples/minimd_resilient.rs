@@ -29,9 +29,12 @@ fn main() {
         max_relaunches: 4,
         imr_policy: None,
         fresh_storage: true,
+        telemetry: None,
     };
-    let mut ccfg = ClusterConfig::default();
-    ccfg.nodes = 5; // 4 active + 1 spare
+    let ccfg = ClusterConfig {
+        nodes: 5, // 4 active + 1 spare
+        ..ClusterConfig::default()
+    };
     let cluster = Cluster::new(ccfg);
 
     println!(
@@ -53,7 +56,10 @@ fn main() {
         &cfg,
         Arc::new(FaultPlan::kill_at(2, "iter", 30)),
     );
-    println!("── with one failure at step 30 (repairs: {})", failed.repairs);
+    println!(
+        "── with one failure at step 30 (repairs: {})",
+        failed.repairs
+    );
     for (name, secs) in failed.breakdown.rows() {
         if secs > 1e-6 {
             println!("   {name:<28} {secs:>9.4} s");
@@ -99,7 +105,11 @@ fn main() {
             kr.checkpoint("loop", 0, || st.step(&solo, 0, &bk))?;
             let stats = kr.region_stats("loop").unwrap();
             println!("── view inventory (Figure 7 statistics)");
-            for class in [ViewClass::Checkpointed, ViewClass::Alias, ViewClass::Skipped] {
+            for class in [
+                ViewClass::Checkpointed,
+                ViewClass::Alias,
+                ViewClass::Skipped,
+            ] {
                 println!(
                     "   {class:?}: {:>2} views, {:>9} bytes ({:>5.1}% of total)",
                     stats.count(class),

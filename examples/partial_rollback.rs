@@ -18,8 +18,10 @@ use layered_resilience::simmpi::FaultPlan;
 fn main() {
     // Small grid (convergence is O(N²) Jacobi sweeps).
     let app = Heatdis::converging(2 * 8 * 32 * 16, 32, 8000).with_eps(0.2);
-    let mut ccfg = ClusterConfig::default();
-    ccfg.nodes = 5; // 4 active + 1 spare
+    let ccfg = ClusterConfig {
+        nodes: 5, // 4 active + 1 spare
+        ..ClusterConfig::default()
+    };
     let cluster = Cluster::new(ccfg);
 
     let cfg = |strategy: Strategy| ExperimentConfig {
@@ -29,6 +31,7 @@ fn main() {
         max_relaunches: 4,
         imr_policy: None,
         fresh_storage: true,
+        telemetry: None,
     };
 
     let free = run_experiment(
@@ -80,8 +83,6 @@ fn main() {
             full_extra as f64 / partial_extra as f64
         );
     } else {
-        println!(
-            "\nextra iterations to recover: full {full_extra} vs partial {partial_extra}"
-        );
+        println!("\nextra iterations to recover: full {full_extra} vs partial {partial_extra}");
     }
 }

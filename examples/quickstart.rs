@@ -15,15 +15,15 @@ use layered_resilience::kokkos::View;
 use layered_resilience::kokkos_resilience::{
     BackendKind, CheckpointFilter, Context, ContextConfig,
 };
-use layered_resilience::simmpi::{
-    FaultPlan, MpiResult, ReduceOp, Universe, UniverseConfig,
-};
+use layered_resilience::simmpi::{FaultPlan, MpiResult, ReduceOp, Universe, UniverseConfig};
 
 fn main() {
     // A modeled 5-node cluster (4 active ranks + 1 spare).
-    let mut cfg = ClusterConfig::default();
-    cfg.nodes = 5;
-    cfg.time_scale = TimeScale::instant();
+    let cfg = ClusterConfig {
+        nodes: 5,
+        time_scale: TimeScale::instant(),
+        ..ClusterConfig::default()
+    };
     let cluster = Cluster::new(cfg);
 
     // Kill world rank 1 at iteration 13 — ~95% of the way between the

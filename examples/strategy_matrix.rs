@@ -32,9 +32,15 @@ fn main() {
         Strategy::FenixKokkosResilience,
         Strategy::FenixImr,
     ] {
-        let (nodes, spares) = if strategy.uses_fenix() { (5, 1) } else { (4, 0) };
-        let mut ccfg = ClusterConfig::default();
-        ccfg.nodes = nodes;
+        let (nodes, spares) = if strategy.uses_fenix() {
+            (5, 1)
+        } else {
+            (4, 0)
+        };
+        let ccfg = ClusterConfig {
+            nodes,
+            ..ClusterConfig::default()
+        };
         let cluster = Cluster::new(ccfg);
         let cfg = ExperimentConfig {
             strategy,
@@ -43,6 +49,7 @@ fn main() {
             max_relaunches: 4,
             imr_policy: None,
             fresh_storage: true,
+            telemetry: None,
         };
         let free = run_experiment(&cluster, &app, &cfg, Arc::new(FaultPlan::none()));
         let failed = run_experiment(
@@ -64,7 +71,9 @@ fn main() {
     }
 
     println!("\nreading guide (paper's qualitative results):");
-    println!(" * relaunch strategies pay multi-second failure costs (teardown + restart + reinit);");
+    println!(
+        " * relaunch strategies pay multi-second failure costs (teardown + restart + reinit);"
+    );
     println!(" * Fenix strategies recover in place for a fraction of that;");
     println!(" * IMR's checkpoint function is cheap at small data and scales with size;");
     println!(" * checkpointing overhead itself is small next to recovery savings.");

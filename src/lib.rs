@@ -27,6 +27,9 @@
 //!   with real contention via bandwidth governors.
 //! * [`kokkos`] — labelled views and parallel patterns.
 //! * [`apps`] — the paper's two evaluation applications, Heatdis and MiniMD.
+//! * [`telemetry`] — cross-layer observability: structured event log,
+//!   span timers backing the cost categories, metrics, and trace exporters
+//!   (JSONL / Chrome `trace_event` / failure timeline).
 //!
 //! ## Quickstart
 //!
@@ -40,6 +43,7 @@ pub use kokkos;
 pub use kokkos_resilience;
 pub use resilience;
 pub use simmpi;
+pub use telemetry;
 pub use veloc;
 
 /// Crate version, for reports.

@@ -11,16 +11,16 @@ use layered_resilience::kokkos_resilience::{
     BackendKind, CheckpointFilter, Context, ContextConfig,
 };
 use layered_resilience::resilience::{run_experiment, ExperimentConfig, Strategy};
-use layered_resilience::simmpi::{
-    FaultPlan, MpiResult, ReduceOp, Universe, UniverseConfig,
-};
+use layered_resilience::simmpi::{FaultPlan, MpiResult, ReduceOp, Universe, UniverseConfig};
 
 fn cluster(n: usize) -> Cluster {
-    let mut cfg = ClusterConfig::default();
-    cfg.nodes = n;
-    cfg.ranks_per_node = 1;
-    cfg.time_scale = TimeScale::instant();
-    cfg.relaunch = RelaunchModel::free();
+    let cfg = ClusterConfig {
+        nodes: n,
+        ranks_per_node: 1,
+        time_scale: TimeScale::instant(),
+        relaunch: RelaunchModel::free(),
+        ..ClusterConfig::default()
+    };
     Cluster::new(cfg)
 }
 
@@ -29,60 +29,63 @@ fn cluster(n: usize) -> Cluster {
 #[test]
 fn figure4_pattern_survives_two_failures() {
     let c = cluster(6); // 4 active + 2 spares
-    let plan = Arc::new(
-        FaultPlan::kill_at(1, "iter", 7).and_kill(2, "iter", 13),
+    let plan = Arc::new(FaultPlan::kill_at(1, "iter", 7).and_kill(2, "iter", 13));
+    let report = Universe::launch(
+        &c,
+        UniverseConfig::default(),
+        plan,
+        |ctx| -> MpiResult<()> {
+            let data: View<f64> = View::new_1d("state", 256);
+            let kr: std::cell::RefCell<Option<Context>> = std::cell::RefCell::new(None);
+            let ctx = &*ctx;
+            fenix::run(
+                ctx.world(),
+                FenixConfig {
+                    spares: 2,
+                    on_exhaustion: ExhaustPolicy::Abort,
+                },
+                |_fx, comm, role| {
+                    if kr.borrow().is_none() {
+                        *kr.borrow_mut() = Some(Context::new(
+                            ctx.cluster(),
+                            comm.clone(),
+                            ContextConfig {
+                                name: "fig4".into(),
+                                filter: CheckpointFilter::EveryN(4),
+                                backend: BackendKind::VelocSingle,
+                                aliases: vec![],
+                            },
+                        ));
+                    } else {
+                        kr.borrow().as_ref().unwrap().reset(comm.clone());
+                    }
+                    let kr_ref = kr.borrow();
+                    let kr = kr_ref.as_ref().unwrap();
+                    let latest = kr.latest_version("loop")?;
+                    let start = latest.map_or(0, |v| v + 1);
+                    if role != Role::Initial {
+                        assert!(latest.is_some(), "checkpoints must exist by the failures");
+                    }
+                    for i in start..20 {
+                        ctx.fault_point("iter", i)?;
+                        kr.checkpoint("loop", i, || {
+                            data.write()[0] = i as f64;
+                            let s = comm.allreduce_scalar(1u64, ReduceOp::Sum)?;
+                            assert_eq!(s, 4, "resilient communicator keeps its size");
+                            Ok(())
+                        })?;
+                    }
+                    kr.checkpoint_wait();
+                    Ok(())
+                },
+            )
+            .map(|summary| {
+                if summary.executed_body {
+                    assert!(summary.repairs >= 1);
+                }
+            })
+        },
     );
-    let report = Universe::launch(&c, UniverseConfig::default(), plan, |ctx| -> MpiResult<()> {
-        let data: View<f64> = View::new_1d("state", 256);
-        let kr: std::cell::RefCell<Option<Context>> = std::cell::RefCell::new(None);
-        let ctx = &*ctx;
-        fenix::run(
-            ctx.world(),
-            FenixConfig {
-                spares: 2,
-                on_exhaustion: ExhaustPolicy::Abort,
-            },
-            |_fx, comm, role| {
-                if kr.borrow().is_none() {
-                    *kr.borrow_mut() = Some(Context::new(
-                        ctx.cluster(),
-                        comm.clone(),
-                        ContextConfig {
-                            name: "fig4".into(),
-                            filter: CheckpointFilter::EveryN(4),
-                            backend: BackendKind::VelocSingle,
-                            aliases: vec![],
-                        },
-                    ));
-                } else {
-                    kr.borrow().as_ref().unwrap().reset(comm.clone());
-                }
-                let kr_ref = kr.borrow();
-                let kr = kr_ref.as_ref().unwrap();
-                let latest = kr.latest_version("loop")?;
-                let start = latest.map_or(0, |v| v + 1);
-                if role != Role::Initial {
-                    assert!(latest.is_some(), "checkpoints must exist by the failures");
-                }
-                for i in start..20 {
-                    ctx.fault_point("iter", i)?;
-                    kr.checkpoint("loop", i, || {
-                        data.write()[0] = i as f64;
-                        let s = comm.allreduce_scalar(1u64, ReduceOp::Sum)?;
-                        assert_eq!(s, 4, "resilient communicator keeps its size");
-                        Ok(())
-                    })?;
-                }
-                kr.checkpoint_wait();
-                Ok(())
-            },
-        )
-        .map(|summary| {
-            if summary.executed_body {
-                assert!(summary.repairs >= 1);
-            }
-        })
-    });
     let mut killed = report.killed_ranks();
     killed.sort_unstable();
     assert_eq!(killed, vec![1, 2]);
@@ -110,6 +113,7 @@ fn spare_exhaustion_aborts_cleanly() {
                 max_relaunches: 2,
                 imr_policy: None,
                 fresh_storage: true,
+                telemetry: None,
             },
             plan,
         )
@@ -144,6 +148,7 @@ fn strategy_matrix_shares_a_cluster() {
                 max_relaunches: 2,
                 imr_policy: None,
                 fresh_storage: true,
+                telemetry: None,
             },
             Arc::new(FaultPlan::none()),
         );
@@ -170,7 +175,8 @@ fn strategy_matrix_shares_a_cluster() {
 #[test]
 fn storage_survives_relaunch_but_not_node_failure() {
     let c = cluster(2);
-    c.pfs().write("persist/x", bytes::Bytes::from_static(b"pfs"));
+    c.pfs()
+        .write("persist/x", bytes::Bytes::from_static(b"pfs"));
     c.scratch()
         .write(0, "persist/x", bytes::Bytes::from_static(b"scratch"));
 
@@ -197,5 +203,8 @@ fn storage_survives_relaunch_but_not_node_failure() {
     );
     assert_eq!(report.killed_ranks(), vec![0]);
     assert!(c.pfs().exists("persist/x"), "PFS survives node failure");
-    assert!(!c.scratch().exists(0, "persist/x"), "scratch lost with node");
+    assert!(
+        !c.scratch().exists(0, "persist/x"),
+        "scratch lost with node"
+    );
 }
