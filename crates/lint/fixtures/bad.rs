@@ -1,0 +1,25 @@
+//! Deliberately violating fixture for `cargo run -p lint -- --self-check`.
+//! Every lint rule must fire at least once on this file; the self-check
+//! fails (and so does CI) if a rule rots and stops detecting its pattern.
+//! This file is never compiled or scanned by the normal lint walk.
+
+// R1: unsafe with no justifying comment anywhere nearby.
+pub fn deref(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+// R2: Relaxed ordering on a sync-critical atomic name.
+pub fn publish(seq: &std::sync::atomic::AtomicU64) {
+    seq.store(2, std::sync::atomic::Ordering::Relaxed);
+}
+
+// R3: panicking on a cross-thread handoff result.
+pub fn enqueue(tx: &std::sync::mpsc::Sender<u32>) {
+    tx.send(1).unwrap();
+}
+
+// R4: raw std::thread spawn, invisible to the modelcheck explorer.
+pub fn start() {
+    let h = std::thread::spawn(|| ());
+    let _ = h.join();
+}

@@ -1,0 +1,45 @@
+//! Clean fixture for `cargo run -p lint -- --self-check`: near-misses of
+//! every rule that must NOT be flagged. A false positive here fails the
+//! self-check. This file is never compiled or scanned by the normal walk.
+
+/// # Safety
+/// `p` must point to a valid, initialized byte.
+pub unsafe fn deref(p: *const u8) -> u8 {
+    // SAFETY: contract forwarded to the caller per the doc above.
+    unsafe { *p }
+}
+
+// Relaxed on a plain statistics counter is fine.
+pub fn counter(hits: &std::sync::atomic::AtomicU64) {
+    hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+}
+
+// Word boundary: `stop_requested` is not the sync-critical name `stop`.
+pub fn stop_requested(flag: &std::sync::atomic::AtomicBool) -> bool {
+    flag.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+// Handling the handoff error instead of panicking.
+pub fn degrade(tx: &std::sync::mpsc::Sender<u32>) {
+    if tx.send(1).is_err() {
+        // peer gone: fall back synchronously
+    }
+}
+
+// A path join is not a thread join.
+pub fn artifact(dir: &std::path::Path) -> String {
+    dir.join("ck").to_string_lossy().into_owned()
+}
+
+// Spawning through the loom shim, joining without panicking.
+pub fn spawn_checked() {
+    let h = loom::thread::spawn(|| ());
+    let _ = h.join();
+}
+
+// Structured scoped threads are allowed even in model-checked crates.
+pub fn scoped() {
+    std::thread::scope(|s| {
+        s.spawn(|| ());
+    });
+}

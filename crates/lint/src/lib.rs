@@ -1,0 +1,585 @@
+//! Resilience-invariant lints for the workspace's lock-free/multi-threaded
+//! core. These are project-specific rules that `clippy` cannot express:
+//!
+//! - **R1 `unsafe-needs-safety-comment`** — every `unsafe` token (block,
+//!   fn, trait, impl) must have a `SAFETY:` (or `# Safety`) comment within
+//!   the preceding ten lines. Complements the workspace-wide
+//!   `clippy::undocumented_unsafe_blocks` deny, which only covers blocks.
+//! - **R2 `relaxed-on-sync-atomic`** — `Ordering::Relaxed` may not appear
+//!   on a line naming a synchronization-critical atomic (`seq`, `head`,
+//!   `stop`, `abort`, `pending`, `dead`, `revoked`) outside the audited
+//!   modules listed in [`AUDITED_RELAXED`]. Those modules carry per-site
+//!   "Relaxed is sufficient (audited)" justifications and are covered by
+//!   the modelcheck suite.
+//! - **R3 `unwrap-on-cross-thread-result`** — recovery-path code (the
+//!   veloc / simmpi / fenix / resilience crates) may not `.unwrap()` or
+//!   `.expect(...)` the result of a cross-thread handoff (`.send(...)`,
+//!   `.recv()`, `.join()`): a dead peer must degrade, not panic. Test code
+//!   is exempt.
+//! - **R4 `raw-thread-spawn`** — the model-checked crates (telemetry,
+//!   veloc, simmpi) must spawn threads through the loom shim
+//!   (`loom::thread::spawn`), never `std::thread::spawn` or
+//!   `std::thread::Builder`, so the modelcheck explorer can intercept
+//!   them. `std::thread::scope` is allowed (structured, join-on-exit).
+//!   Test code is exempt.
+//!
+//! Run as `cargo run -p lint` from the workspace root (exit 1 on any
+//! violation), or `cargo run -p lint -- --self-check` to verify every rule
+//! still fires on the fixtures under `crates/lint/fixtures/`.
+//!
+//! Implementation notes: the scanner is a line-oriented lexer that strips
+//! comments and string literals before matching (so prose about, say, a
+//! relaxed ordering never trips a rule), and tracks `#[cfg(test)]` regions
+//! by brace depth so inline test modules are classified as test code.
+//! Pattern strings are assembled by concatenation so this file would not
+//! flag itself even if it were in scope (it is excluded from the walk).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Files allowed to use `Ordering::Relaxed` on sync-critical atomic names.
+/// Every entry must justify each Relaxed site in a comment and be covered
+/// by the modelcheck suite.
+pub const AUDITED_RELAXED: &[&str] = &["crates/telemetry/src/ring.rs"];
+
+/// Atomic names that participate in cross-thread synchronization protocols
+/// somewhere in the workspace; a Relaxed access to one of these is almost
+/// always a bug (or needs an audit entry).
+pub const SYNC_ATOMIC_NAMES: &[&str] =
+    &["seq", "head", "stop", "abort", "pending", "dead", "revoked"];
+
+/// Crates whose `src/` trees are recovery-path code for rule R3.
+pub const RECOVERY_PATH_SCOPES: &[&str] = &[
+    "crates/veloc/src/",
+    "crates/simmpi/src/",
+    "crates/fenix/src/",
+    "crates/resilience/src/",
+];
+
+/// Crates whose `src/` trees are model-checked and must use the loom shim
+/// for thread spawning (rule R4).
+pub const MODEL_CHECKED_SCOPES: &[&str] = &[
+    "crates/telemetry/src/",
+    "crates/veloc/src/",
+    "crates/simmpi/src/",
+];
+
+/// How many preceding lines rule R1 searches for a SAFETY comment.
+const SAFETY_LOOKBACK: usize = 10;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub path: String,
+    pub line: usize,
+    pub rule: &'static str,
+    pub msg: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// Carry-over lexer state between lines of one file.
+#[derive(Default)]
+struct StripState {
+    in_block_comment: bool,
+    in_string: bool,
+}
+
+/// Return `raw` with comments removed and string-literal contents blanked,
+/// updating `st` for constructs that span lines.
+fn strip_line(raw: &str, st: &mut StripState) -> String {
+    let b: Vec<char> = raw.chars().collect();
+    let mut out = String::with_capacity(raw.len());
+    let mut i = 0;
+    while i < b.len() {
+        if st.in_block_comment {
+            if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
+                st.in_block_comment = false;
+                i += 2;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        if st.in_string {
+            if b[i] == '\\' {
+                i += 2;
+            } else if b[i] == '"' {
+                st.in_string = false;
+                i += 1;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        match b[i] {
+            '/' if i + 1 < b.len() && b[i + 1] == '/' => break,
+            '/' if i + 1 < b.len() && b[i + 1] == '*' => {
+                st.in_block_comment = true;
+                i += 2;
+            }
+            '"' => {
+                out.push(' ');
+                st.in_string = true;
+                i += 1;
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn is_ident(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphanumeric()
+}
+
+/// `hay` contains `word` delimited by non-identifier characters.
+fn contains_word(hay: &str, word: &str) -> bool {
+    let bytes = hay.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = hay[start..].find(word) {
+        let i = start + pos;
+        let j = i + word.len();
+        let before_ok = i == 0 || !is_ident(bytes[i - 1]);
+        let after_ok = j >= bytes.len() || !is_ident(bytes[j]);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = i + 1;
+    }
+    false
+}
+
+struct Patterns {
+    unsafe_kw: String,
+    safety_upper: String,
+    safety_doc: String,
+    relaxed: String,
+    send: String,
+    recv: String,
+    join: String,
+    unwrap: String,
+    expect: String,
+    std_spawn: String,
+    std_builder: String,
+}
+
+impl Patterns {
+    fn new() -> Self {
+        // Concatenation keeps the literal patterns out of this source file.
+        Patterns {
+            unsafe_kw: ["un", "safe"].concat(),
+            safety_upper: ["SAF", "ETY"].concat(),
+            safety_doc: ["# Saf", "ety"].concat(),
+            relaxed: ["Ordering::", "Relaxed"].concat(),
+            send: [".se", "nd("].concat(),
+            recv: [".re", "cv("].concat(),
+            join: [".jo", "in()"].concat(),
+            unwrap: [".unw", "rap()"].concat(),
+            expect: [".exp", "ect("].concat(),
+            std_spawn: ["std::thread::", "spawn"].concat(),
+            std_builder: ["std::thread::", "Builder"].concat(),
+        }
+    }
+}
+
+/// Per-file rule applicability, derived from the workspace-relative path
+/// (or forced wholesale for fixture self-checks).
+#[derive(Clone, Copy)]
+struct Scope {
+    relaxed_audited: bool,
+    recovery_path: bool,
+    model_checked: bool,
+    whole_file_is_test: bool,
+}
+
+impl Scope {
+    fn for_path(rel: &str) -> Self {
+        Scope {
+            relaxed_audited: AUDITED_RELAXED.contains(&rel),
+            recovery_path: RECOVERY_PATH_SCOPES.iter().any(|p| rel.starts_with(p)),
+            model_checked: MODEL_CHECKED_SCOPES.iter().any(|p| rel.starts_with(p)),
+            whole_file_is_test: rel.contains("/tests/")
+                || rel.starts_with("tests/")
+                || rel.contains("/benches/"),
+        }
+    }
+
+    fn forced() -> Self {
+        Scope {
+            relaxed_audited: false,
+            recovery_path: true,
+            model_checked: true,
+            whole_file_is_test: false,
+        }
+    }
+}
+
+/// Scan one file's contents and return every rule violation in it.
+fn scan_file(rel: &str, content: &str, scope: Scope, pats: &Patterns) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut strip = StripState::default();
+    let raw_lines: Vec<&str> = content.lines().collect();
+
+    // #[cfg(test)] region tracking: `armed` after the attribute, a region
+    // starts at the next opening brace and ends when depth returns to the
+    // level it started at.
+    let mut depth: i64 = 0;
+    let mut armed = false;
+    let mut test_region_floor: Vec<i64> = Vec::new();
+
+    for (idx, raw) in raw_lines.iter().enumerate() {
+        let line_no = idx + 1;
+        let stripped = strip_line(raw, &mut strip);
+        let in_test = scope.whole_file_is_test || !test_region_floor.is_empty();
+
+        // R1: unsafe needs a nearby SAFETY comment. Applies everywhere,
+        // test code included — tests reach into unsafe code too.
+        if contains_word(&stripped, &pats.unsafe_kw) {
+            let from = idx.saturating_sub(SAFETY_LOOKBACK);
+            let documented = raw_lines[from..=idx]
+                .iter()
+                .any(|l| l.contains(&pats.safety_upper) || l.contains(&pats.safety_doc));
+            if !documented {
+                findings.push(Finding {
+                    path: rel.to_string(),
+                    line: line_no,
+                    rule: "unsafe-needs-safety-comment",
+                    msg: format!(
+                        "`unsafe` without a SAFETY comment in the previous {SAFETY_LOOKBACK} lines"
+                    ),
+                });
+            }
+        }
+
+        // R2: Relaxed ordering on a sync-critical atomic name, outside the
+        // audited modules. Applies in test code too — a test that reads a
+        // protocol atomic with Relaxed is asserting on unsynchronized data.
+        if !scope.relaxed_audited && stripped.contains(&pats.relaxed) {
+            if let Some(name) = SYNC_ATOMIC_NAMES
+                .iter()
+                .find(|n| contains_word(&stripped, n))
+            {
+                findings.push(Finding {
+                    path: rel.to_string(),
+                    line: line_no,
+                    rule: "relaxed-on-sync-atomic",
+                    msg: format!(
+                        "Ordering::Relaxed on sync-critical atomic `{name}` \
+                         (audit the module in lint::AUDITED_RELAXED or strengthen the ordering)"
+                    ),
+                });
+            }
+        }
+
+        // R3: unwrap/expect on a cross-thread handoff in recovery-path
+        // production code.
+        if scope.recovery_path && !in_test {
+            let handoff = stripped.contains(&pats.send)
+                || stripped.contains(&pats.recv)
+                || stripped.contains(&pats.join);
+            let panics = stripped.contains(&pats.unwrap) || stripped.contains(&pats.expect);
+            if handoff && panics {
+                findings.push(Finding {
+                    path: rel.to_string(),
+                    line: line_no,
+                    rule: "unwrap-on-cross-thread-result",
+                    msg: "panicking on a cross-thread send/recv/join result in \
+                          recovery-path code; a dead peer must degrade, not panic"
+                        .to_string(),
+                });
+            }
+        }
+
+        // R4: raw std::thread spawn in a model-checked crate's production
+        // code (invisible to the modelcheck explorer).
+        if scope.model_checked
+            && !in_test
+            && (stripped.contains(&pats.std_spawn) || stripped.contains(&pats.std_builder))
+        {
+            findings.push(Finding {
+                path: rel.to_string(),
+                line: line_no,
+                rule: "raw-thread-spawn",
+                msg: "std::thread spawn in a model-checked crate; use \
+                      loom::thread so the modelcheck explorer can intercept it"
+                    .to_string(),
+            });
+        }
+
+        // Maintain the cfg(test) region state *after* classifying this
+        // line, so the `mod tests {` line itself is production code.
+        if stripped.contains("#[cfg(test)]") {
+            armed = true;
+        } else if armed && stripped.contains('{') {
+            test_region_floor.push(depth);
+            armed = false;
+        }
+        for c in stripped.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        while matches!(test_region_floor.last(), Some(&f) if depth <= f) {
+            test_region_floor.pop();
+        }
+    }
+    findings
+}
+
+/// Recursively collect `.rs` files under `dir`, skipping build output, VCS
+/// metadata, and lint fixtures.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return,
+    };
+    for entry in entries.flatten() {
+        let p = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if p.is_dir() {
+            if name == "target" || name == ".git" || name == "fixtures" {
+                continue;
+            }
+            collect_rs(&p, out);
+        } else if name.ends_with(".rs") {
+            out.push(p);
+        }
+    }
+}
+
+fn rel_path(root: &Path, p: &Path) -> String {
+    p.strip_prefix(root)
+        .unwrap_or(p)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Lint every Rust source file under `root` (a workspace checkout).
+/// Returns the findings plus the number of files scanned.
+pub fn lint_workspace(root: &Path) -> (Vec<Finding>, usize) {
+    let pats = Patterns::new();
+    let mut files = Vec::new();
+    collect_rs(root, &mut files);
+    files.sort();
+    let mut findings = Vec::new();
+    let mut scanned = 0;
+    for p in &files {
+        let rel = rel_path(root, p);
+        // The linter does not lint itself: its source necessarily names
+        // the very patterns it hunts for.
+        if rel.starts_with("crates/lint/") {
+            continue;
+        }
+        let Ok(content) = fs::read_to_string(p) else {
+            continue;
+        };
+        scanned += 1;
+        findings.extend(scan_file(&rel, &content, Scope::for_path(&rel), &pats));
+    }
+    (findings, scanned)
+}
+
+/// Run every rule over the fixtures: each rule must fire on `bad.rs` and
+/// nothing may fire on `clean.rs`. Returns human-readable failures.
+pub fn self_check(fixtures: &Path) -> Result<(), Vec<String>> {
+    let pats = Patterns::new();
+    let mut errors = Vec::new();
+
+    let read = |name: &str| -> Option<String> { fs::read_to_string(fixtures.join(name)).ok() };
+
+    match read("bad.rs") {
+        Some(bad) => {
+            let findings = scan_file("fixtures/bad.rs", &bad, Scope::forced(), &pats);
+            for rule in [
+                "unsafe-needs-safety-comment",
+                "relaxed-on-sync-atomic",
+                "unwrap-on-cross-thread-result",
+                "raw-thread-spawn",
+            ] {
+                if !findings.iter().any(|f| f.rule == rule) {
+                    errors.push(format!("rule `{rule}` did not fire on fixtures/bad.rs"));
+                }
+            }
+        }
+        None => errors.push("missing fixture fixtures/bad.rs".to_string()),
+    }
+
+    match read("clean.rs") {
+        Some(clean) => {
+            for f in scan_file("fixtures/clean.rs", &clean, Scope::forced(), &pats) {
+                errors.push(format!("false positive on clean fixture: {f}"));
+            }
+        }
+        None => errors.push("missing fixture fixtures/clean.rs".to_string()),
+    }
+
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+/// CLI entry point: `lint [--root <dir>] [--self-check]`.
+pub fn cli_main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.iter().any(|a| a == "--self-check") {
+        let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+        match self_check(&fixtures) {
+            Ok(()) => {
+                println!("lint self-check: all rules fire on fixtures, clean fixture passes");
+            }
+            Err(errors) => {
+                for e in &errors {
+                    eprintln!("lint self-check: {e}");
+                }
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let root = args
+        .iter()
+        .position(|a| a == "--root")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+
+    let (findings, scanned) = lint_workspace(&root);
+    if findings.is_empty() {
+        println!("lint: OK ({scanned} files scanned, 0 violations)");
+        return;
+    }
+    for f in &findings {
+        eprintln!("{f}");
+    }
+    eprintln!("lint: {} violation(s) in {scanned} files", findings.len());
+    std::process::exit(1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(rel: &str, src: &str) -> Vec<Finding> {
+        scan_file(rel, src, Scope::for_path(rel), &Patterns::new())
+    }
+
+    #[test]
+    fn undocumented_unsafe_is_flagged_and_documented_is_not() {
+        let bad = "fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+        let fs = scan("crates/x/src/lib.rs", bad);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].rule, "unsafe-needs-safety-comment");
+        assert_eq!(fs[0].line, 2);
+
+        let good =
+            "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees validity.\n    unsafe { *p }\n}\n";
+        assert!(scan("crates/x/src/lib.rs", good).is_empty());
+    }
+
+    #[test]
+    fn unsafe_in_comments_and_strings_is_ignored() {
+        let src = "// this mentions unsafe code\nlet s = \"unsafe\";\n";
+        assert!(scan("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn relaxed_on_sync_name_flagged_outside_audit() {
+        let src = "let v = self.seq.load(Ordering::Relaxed);\n";
+        let fs = scan("crates/x/src/lib.rs", src);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].rule, "relaxed-on-sync-atomic");
+        assert!(scan("crates/telemetry/src/ring.rs", src).is_empty());
+        // Non-sync names are fine anywhere.
+        let counter = "self.hits.fetch_add(1, Ordering::Relaxed);\n";
+        assert!(scan("crates/x/src/lib.rs", counter).is_empty());
+        // Word boundaries: `stop_requested` is not `stop`.
+        let near = "self.stop_requested.load(Ordering::Relaxed);\n";
+        assert!(scan("crates/x/src/lib.rs", near).is_empty());
+    }
+
+    #[test]
+    fn cross_thread_unwrap_flagged_only_in_recovery_production_code() {
+        let src = "tx.send(job).unwrap();\n";
+        let fs = scan("crates/veloc/src/backend.rs", src);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].rule, "unwrap-on-cross-thread-result");
+        // Out-of-scope crate: allowed.
+        assert!(scan("crates/cluster/src/net.rs", src).is_empty());
+        // Test module in scope: allowed.
+        let tested =
+            "#[cfg(test)]\nmod tests {\n    fn t() {\n        tx.send(1).unwrap();\n    }\n}\n";
+        assert!(scan("crates/veloc/src/backend.rs", tested).is_empty());
+        // Integration test dir: allowed.
+        assert!(scan("crates/simmpi/tests/failures.rs", src).is_empty());
+        // Path joins don't look like thread joins.
+        let path_join = "let p = dir.join(\"ck\").to_str().unwrap();\n";
+        assert!(scan("crates/veloc/src/client.rs", path_join).is_empty());
+    }
+
+    #[test]
+    fn raw_spawn_flagged_in_model_checked_crates() {
+        let src = "let h = std::thread::spawn(move || run());\n";
+        let fs = scan("crates/telemetry/src/ring.rs", src);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].rule, "raw-thread-spawn");
+        // The loom shim itself may use std::thread.
+        assert!(scan("shims/loom/src/thread.rs", src).is_empty());
+        // scoped threads are fine.
+        let scoped = "std::thread::scope(|s| { s.spawn(|| {}); });\n";
+        assert!(scan("crates/telemetry/src/ring.rs", scoped).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_region_tracking_handles_nesting_and_exit() {
+        let src = concat!(
+            "fn prod() {\n",
+            "    tx.send(1).unwrap();\n",
+            "}\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn inner() {\n",
+            "        tx.send(1).unwrap();\n",
+            "    }\n",
+            "}\n",
+            "fn prod2() {\n",
+            "    rx.recv().expect(\"peer\");\n",
+            "}\n",
+        );
+        let fs = scan("crates/fenix/src/lib.rs", src);
+        assert_eq!(fs.len(), 2, "{fs:?}");
+        assert_eq!(fs[0].line, 2);
+        assert_eq!(fs[1].line, 11);
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let src = "/* start\n   unsafe mention inside\n*/\nlet x = 1;\n";
+        assert!(scan("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn self_check_passes_on_shipped_fixtures() {
+        let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+        if let Err(errors) = self_check(&fixtures) {
+            panic!("self-check failed: {errors:?}");
+        }
+    }
+}

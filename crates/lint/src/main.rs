@@ -1,0 +1,3 @@
+fn main() {
+    lint::cli_main();
+}

@@ -1,0 +1,45 @@
+//! Negative control for the seqlock suite: a deliberately broken push
+//! (publish the even "write complete" sequence *before* filling the words,
+//! behind the `mc-mutants` feature) must be caught by the explorer.
+//!
+//! This is the demonstration the ISSUE asks for — if the ordering in
+//! `EventRing::push` ever regressed this way, `tests/seqlock.rs` would fail
+//! the same way this test expects its mutant twin to fail.
+
+use std::sync::Arc;
+
+use modelcheck::Explorer;
+use telemetry::event::RECORD_WORDS;
+use telemetry::EventRing;
+
+#[test]
+fn publish_before_fill_mutant_is_caught() {
+    let failure =
+        Explorer::with_bound(2)
+            .from_env()
+            .explore_expect_failure("seqlock mutant", || {
+                let ring = Arc::new(EventRing::new(2));
+                let r2 = Arc::clone(&ring);
+                let t = loom::thread::spawn(move || {
+                    r2.push_publish_before_fill([7; RECORD_WORDS]);
+                });
+                for w in ring.snapshot() {
+                    // Under the mutant a reader can validate the slot while the
+                    // words are stale (all zeros) or half-written — both are torn
+                    // reads the real protocol excludes.
+                    assert!(
+                        w.iter().all(|&x| x == 7),
+                        "torn record: {w:?} (validated before the words were filled)"
+                    );
+                }
+                t.join().unwrap();
+            });
+    assert!(
+        failure.message.contains("torn record"),
+        "expected a torn-read assertion, got: {}",
+        failure.message
+    );
+    // The failing schedule preempts the writer mid-publish: it exists and
+    // replays deterministically (Failure::render shows it on a real failure).
+    assert!(!failure.schedule.is_empty());
+}

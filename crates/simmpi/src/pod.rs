@@ -16,16 +16,32 @@ use bytes::Bytes;
 /// mutability, and every bit pattern must be a valid value.
 pub unsafe trait Pod: Copy + Send + Sync + 'static {}
 
+// SAFETY: (this comment applies to every impl below, which cite it) each
+// type is a primitive numeric —
+// `Copy`, exactly `size_of` bytes with no padding, no interior mutability,
+// no pointers/references, and every bit pattern is a valid value (for the
+// floats, any bit pattern is some f32/f64, NaNs included).
 unsafe impl Pod for u8 {}
+// SAFETY: see the block comment above the u8 impl.
 unsafe impl Pod for i8 {}
+// SAFETY: see the block comment above the u8 impl.
 unsafe impl Pod for u16 {}
+// SAFETY: see the block comment above the u8 impl.
 unsafe impl Pod for i16 {}
+// SAFETY: see the block comment above the u8 impl.
 unsafe impl Pod for u32 {}
+// SAFETY: see the block comment above the u8 impl.
 unsafe impl Pod for i32 {}
+// SAFETY: see the block comment above the u8 impl.
 unsafe impl Pod for u64 {}
+// SAFETY: see the block comment above the u8 impl.
 unsafe impl Pod for i64 {}
+// SAFETY: usize is a fixed-width integer (platform word) with no padding;
+// every bit pattern is a valid value.
 unsafe impl Pod for usize {}
+// SAFETY: see the block comment above the u8 impl.
 unsafe impl Pod for f32 {}
+// SAFETY: see the block comment above the u8 impl.
 unsafe impl Pod for f64 {}
 
 /// View a typed slice as its underlying bytes (zero copy).

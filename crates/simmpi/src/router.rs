@@ -19,9 +19,12 @@
 //! * Killing a rank wakes all blocked ranks so they can re-evaluate.
 
 use std::collections::{HashSet, VecDeque};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+// loom facade: std atomics in production, schedule points under modelcheck
+// (crates/modelcheck/tests/rendezvous.rs drives this fabric).
+use loom::sync::atomic::{AtomicBool, Ordering};
 
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex, RwLock};
@@ -312,6 +315,12 @@ impl Router {
             // belt-and-braces re-check.
             mb.cv.wait_for(&mut queue, Duration::from_millis(250));
         }
+    }
+
+    /// Number of agreement operations currently in flight in the rendezvous
+    /// table (observability for tests and the modelcheck suite).
+    pub fn agreements_in_flight(&self) -> usize {
+        self.rendezvous.in_flight()
     }
 
     /// Non-blocking probe: is a matching message queued?

@@ -9,13 +9,22 @@
 //!
 //! Protocol: `head` is the count of records ever claimed. A writer claims
 //! index `h = head.fetch_add(1)`, giving slot `h % capacity` and generation
-//! `g = h / capacity`. It stores the slot's sequence as `2g + 1` (write in
-//! progress), fills the words, then publishes `2g + 2`. A snapshot reader
-//! accepts a slot only when the sequence reads `2g + 2` for the generation
-//! it expects both before and after copying the words; anything else means
-//! the slot was mid-write or already recycled, and the record is skipped.
+//! `g = h / capacity`. It then claims the slot itself by CAS-ing its
+//! sequence from `2g` (the previous generation's published value) to
+//! `2g + 1` (write in progress), fills the words, and publishes `2g + 2`.
+//! A failed claim means a writer from an adjacent generation is mid-flight
+//! on the slot; the push abandons the record rather than interleave two
+//! generations' words (see [`EventRing::push`]). A snapshot reader accepts
+//! a slot only when the sequence reads `2g + 2` for the generation it
+//! expects both before and after copying the words; anything else means the
+//! slot was mid-write, abandoned, or already recycled, and the record is
+//! skipped.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+// loom facade: identical to std::sync::atomic in production; every access
+// becomes a schedule point under the modelcheck explorer. The seqlock is
+// model-checked by crates/modelcheck/tests/seqlock.rs (including wraparound
+// and generation reuse) and its mutant twin in tests/mutant.rs.
+use loom::sync::atomic::{fence, AtomicU64, Ordering};
 
 use crate::event::RECORD_WORDS;
 
@@ -63,15 +72,53 @@ impl EventRing {
         self.pushed().saturating_sub(self.slots.len() as u64)
     }
 
-    /// Publish one record. Never blocks, never fails; evicts the oldest
-    /// record when full.
+    /// Publish one record. Never blocks; evicts the oldest record when full.
+    ///
+    /// A push can *abandon* its slot (the claim CAS below fails) when a
+    /// writer from an adjacent generation is still active on it — i.e. a
+    /// writer lagging one full capacity lap behind, or racing one lap ahead.
+    /// The record is then silently lost (it still counts in [`pushed`]); the
+    /// alternative, writing anyway, interleaves two generations' words under
+    /// a valid sequence, which the modelcheck seqlock suite demonstrates as
+    /// a torn read. With realistic capacities a full-lap lag is pathological;
+    /// losing that record keeps push wait-free and readers safe.
+    ///
+    /// [`pushed`]: EventRing::pushed
     pub fn push(&self, words: [u64; RECORD_WORDS]) {
         let h = self.head.fetch_add(1, Ordering::AcqRel);
         let cap = self.slots.len() as u64;
         let generation = h / cap;
         let slot = &self.slots[(h % cap) as usize];
-        slot.seq.store(2 * generation + 1, Ordering::Release);
+        // Claim the slot for this generation: its sequence must still be the
+        // previous generation's "published" value (2*generation, which is
+        // also the initial 0 for generation 0). Anything else means another
+        // generation's writer is mid-flight on this slot — abandon (see
+        // above). Relaxed on failure is sufficient (audited): the value is
+        // discarded.
+        if slot
+            .seq
+            .compare_exchange(
+                2 * generation,
+                2 * generation + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            )
+            .is_err()
+        {
+            return;
+        }
+        // The odd ("write in progress") sequence must become visible before
+        // any word store. The AcqRel claim above only orders *earlier*
+        // operations before it; this fence orders it before the Relaxed word
+        // stores that follow. Without it, a word store could be reordered
+        // ahead of the odd mark and a reader of the *previous* generation
+        // could validate a half-overwritten record.
+        fence(Ordering::Release);
         for (w, v) in slot.words.iter().zip(words) {
+            // Relaxed is sufficient (audited): the words are ordered after
+            // the odd mark by the fence above, and before the even mark by
+            // the Release store below. Readers never use word values unless
+            // both seq checks pass.
             w.store(v, Ordering::Relaxed);
         }
         slot.seq.store(2 * generation + 2, Ordering::Release);
@@ -94,14 +141,41 @@ impl EventRing {
             if slot.seq.load(Ordering::Acquire) != expect {
                 continue;
             }
+            // Relaxed is sufficient (audited): the Acquire load above orders
+            // the word loads after the first validation, and the Acquire
+            // fence below orders them before the second one. A concurrent
+            // overwrite therefore cannot produce a torn record that passes
+            // both checks — it flips seq to odd (or a later generation)
+            // before touching the words.
             let words: [u64; RECORD_WORDS] =
                 std::array::from_fn(|i| slot.words[i].load(Ordering::Relaxed));
-            if slot.seq.load(Ordering::Acquire) != expect {
+            fence(Ordering::Acquire);
+            if slot.seq.load(Ordering::Relaxed) != expect {
                 continue;
             }
             out.push(words);
         }
         out
+    }
+
+    /// Deliberately broken push for the modelcheck suite: publishes the
+    /// "write complete" sequence *before* filling the words, so a reader
+    /// can validate a half-written record. `crates/modelcheck/tests/mutant.rs`
+    /// proves the explorer finds the torn read this admits; it is the
+    /// demonstration that the suite would catch a real regression of the
+    /// protocol in [`EventRing::push`].
+    #[cfg(feature = "mc-mutants")]
+    #[doc(hidden)]
+    pub fn push_publish_before_fill(&self, words: [u64; RECORD_WORDS]) {
+        let h = self.head.fetch_add(1, Ordering::AcqRel);
+        let cap = self.slots.len() as u64;
+        let generation = h / cap;
+        let slot = &self.slots[(h % cap) as usize];
+        // BUG (on purpose): even mark first, then the words.
+        slot.seq.store(2 * generation + 2, Ordering::Release);
+        for (w, v) in slot.words.iter().zip(words) {
+            w.store(v, Ordering::Relaxed);
+        }
     }
 }
 

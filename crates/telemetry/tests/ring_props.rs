@@ -1,0 +1,69 @@
+//! Property tests for the event-ring wraparound arithmetic (ISSUE
+//! satellite): for any capacity and push count, the drop count is exact,
+//! the survivors are precisely the newest `capacity` records in push
+//! order, and no record is duplicated or torn across the capacity
+//! boundary. Single-threaded, so every slot claim succeeds and the
+//! overwrite-oldest bookkeeping must be *exact* — the concurrent
+//! (claim-abandonment) cases are covered by the modelcheck seqlock suite
+//! and the threaded tests in `src/ring.rs`.
+
+use proptest::prelude::*;
+use telemetry::event::RECORD_WORDS;
+use telemetry::ring::EventRing;
+
+/// A record whose words all carry `v`, so tearing is detectable.
+fn rec(v: u64) -> [u64; RECORD_WORDS] {
+    [v; RECORD_WORDS]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Exact drop accounting and survivor set for any (capacity, count),
+    /// including counts that land exactly on, just before, and far past
+    /// the capacity boundary.
+    #[test]
+    fn wraparound_keeps_exactly_the_newest_records(cap in 2usize..17, n in 0usize..120) {
+        let r = EventRing::new(cap);
+        let cap = r.capacity() as u64; // new() may round up
+        for v in 0..n as u64 {
+            r.push(rec(v));
+        }
+        let n = n as u64;
+        prop_assert_eq!(r.pushed(), n);
+        prop_assert_eq!(r.dropped(), n.saturating_sub(cap));
+
+        let snap = r.snapshot();
+        let survivors: Vec<u64> = snap.iter().map(|w| w[0]).collect();
+        let expect: Vec<u64> = (n.saturating_sub(cap)..n).collect();
+        prop_assert_eq!(survivors, expect, "survivors must be the newest {} in order", cap);
+        for w in &snap {
+            prop_assert!(w.iter().all(|&x| x == w[0]), "torn record: {:?}", w);
+        }
+    }
+
+    /// Pushing in bursts (arbitrary split points) is indistinguishable
+    /// from pushing the same sequence at once: snapshots taken between
+    /// bursts never show duplicates or out-of-order records.
+    #[test]
+    fn interleaved_snapshots_never_duplicate_or_reorder(
+        cap in 2usize..9,
+        bursts in proptest::collection::vec(0usize..20, 1..6),
+    ) {
+        let r = EventRing::new(cap);
+        let mut next = 0u64;
+        for burst in bursts {
+            for _ in 0..burst {
+                r.push(rec(next));
+                next += 1;
+            }
+            let vals: Vec<u64> = r.snapshot().iter().map(|w| w[0]).collect();
+            // Strictly increasing => no duplicates, no reordering.
+            prop_assert!(vals.windows(2).all(|p| p[0] < p[1]), "unordered: {:?}", vals);
+            // And it is a suffix of what was pushed so far.
+            let start = next.saturating_sub(r.capacity() as u64);
+            let expect: Vec<u64> = (start..next).collect();
+            prop_assert_eq!(vals, expect);
+        }
+    }
+}

@@ -6,24 +6,40 @@
 //! filesystem ingest costs while the application keeps computing. The
 //! application only blocks on the backend in `checkpoint_wait` (at the next
 //! checkpoint call) and at finalize — exactly VeloC's contract.
+//!
+//! Failure posture: the backend is an *optimization*, never a correctness
+//! dependency. If the worker thread cannot be spawned, [`ActiveBackend::spawn`]
+//! reports a recoverable [`VelocError::BackendSpawn`] and the client degrades
+//! to synchronous flushing; if the worker disappears mid-run, an enqueued
+//! flush is performed inline on the caller. A checkpoint acknowledged to the
+//! application is flushed eventually in every one of those paths.
+//!
+//! Concurrency: thread creation goes through `loom::thread` and the queue /
+//! pending-count / condvar through the model-aware shims, so the whole
+//! enqueue → flush → wait → drop lifecycle is explored by
+//! `crates/modelcheck/tests/veloc_flush.rs`.
 
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
 use bytes::Bytes;
 use cluster::Cluster;
 use crossbeam::channel::{unbounded, Sender};
+use loom::thread::JoinHandle;
 use parking_lot::{Condvar, Mutex};
 use telemetry::{Event, Recorder};
 
+use crate::client::VelocError;
+
+struct FlushJob {
+    path: String,
+    blob: Bytes,
+    name: String,
+    version: u64,
+    rec: Recorder,
+}
+
 enum Job {
-    Flush {
-        path: String,
-        blob: Bytes,
-        name: String,
-        version: u64,
-        rec: Recorder,
-    },
+    Flush(FlushJob),
     Stop,
 }
 
@@ -32,8 +48,29 @@ struct PendingCount {
     cv: Condvar,
 }
 
+/// Move one blob scratch→PFS and retire it from the pending count. Shared
+/// by the worker thread and the synchronous fallback paths so every flush
+/// pays the same modeled costs and emits the same completion event.
+fn run_flush(cluster: &Cluster, rank: usize, job: FlushJob, pending: &PendingCount) {
+    // Egress from the rank's NIC, then filesystem ingest: this is the
+    // traffic that congests application MPI.
+    let bytes = job.blob.len() as u64;
+    cluster.network().egress(rank, job.blob.len());
+    cluster.pfs().write(&job.path, job.blob);
+    job.rec.emit(Event::FlushDone {
+        name: job.name,
+        version: job.version,
+        bytes,
+    });
+    let mut c = pending.count.lock();
+    *c -= 1;
+    pending.cv.notify_all();
+}
+
 /// Handle to the background flush thread.
 pub struct ActiveBackend {
+    cluster: Cluster,
+    rank: usize,
     tx: Sender<Job>,
     pending: Arc<PendingCount>,
     handle: Option<JoinHandle<()>>,
@@ -41,55 +78,47 @@ pub struct ActiveBackend {
 
 impl ActiveBackend {
     /// Spawn a backend for the client of global rank `rank`.
-    pub fn spawn(cluster: Cluster, rank: usize) -> Self {
+    ///
+    /// Thread creation can fail (resource exhaustion — exactly the regime a
+    /// resilience stack operates in); the error is recoverable and the
+    /// caller is expected to fall back to synchronous flushing.
+    pub fn spawn(cluster: Cluster, rank: usize) -> Result<Self, VelocError> {
         let (tx, rx) = unbounded::<Job>();
         let pending = Arc::new(PendingCount {
             count: Mutex::new(0),
             cv: Condvar::new(),
         });
         let pending2 = Arc::clone(&pending);
-        let handle = std::thread::Builder::new()
+        let cluster2 = cluster.clone();
+        let handle = loom::thread::Builder::new()
             .name(format!("veloc-backend-{rank}"))
             .spawn(move || {
                 while let Ok(job) = rx.recv() {
                     match job {
-                        Job::Flush {
-                            path,
-                            blob,
-                            name,
-                            version,
-                            rec,
-                        } => {
-                            // Egress from the rank's NIC, then filesystem
-                            // ingest: this is the traffic that congests
-                            // application MPI.
-                            let bytes = blob.len() as u64;
-                            cluster.network().egress(rank, blob.len());
-                            cluster.pfs().write(&path, blob);
-                            rec.emit(Event::FlushDone {
-                                name,
-                                version,
-                                bytes,
-                            });
-                            let mut c = pending2.count.lock();
-                            *c -= 1;
-                            pending2.cv.notify_all();
-                        }
+                        Job::Flush(job) => run_flush(&cluster2, rank, job, &pending2),
                         Job::Stop => break,
                     }
                 }
             })
-            .expect("spawn veloc backend");
-        ActiveBackend {
+            .map_err(|e| VelocError::BackendSpawn {
+                reason: e.to_string(),
+            })?;
+        Ok(ActiveBackend {
+            cluster,
+            rank,
             tx,
             pending,
             handle: Some(handle),
-        }
+        })
     }
 
     /// Enqueue an asynchronous flush of `blob` to `path` on the PFS.
     /// `rec` lets the flush thread stamp the completion ([`Event::FlushDone`])
     /// at the time the blob actually lands on the PFS.
+    ///
+    /// If the worker thread is gone (it can only have exited; it is never
+    /// detached), the flush runs inline here instead — degraded latency,
+    /// never a lost checkpoint.
     pub fn enqueue_flush(
         &self,
         path: String,
@@ -102,15 +131,17 @@ impl ActiveBackend {
             let mut c = self.pending.count.lock();
             *c += 1;
         }
-        self.tx
-            .send(Job::Flush {
+        if let Err(crossbeam::channel::SendError(Job::Flush(job))) =
+            self.tx.send(Job::Flush(FlushJob {
                 path,
                 blob,
                 name,
                 version,
                 rec,
-            })
-            .expect("backend thread alive");
+            }))
+        {
+            run_flush(&self.cluster, self.rank, job, &self.pending);
+        }
     }
 
     /// Number of flushes not yet completed.
@@ -157,7 +188,7 @@ mod tests {
     #[test]
     fn flush_lands_on_pfs() {
         let c = cluster();
-        let b = ActiveBackend::spawn(c.clone(), 0);
+        let b = ActiveBackend::spawn(c.clone(), 0).unwrap();
         b.enqueue_flush(
             "ck/v1/r0".into(),
             Bytes::from_static(b"data"),
@@ -172,7 +203,7 @@ mod tests {
     #[test]
     fn wait_blocks_until_drained() {
         let c = cluster();
-        let b = ActiveBackend::spawn(c.clone(), 0);
+        let b = ActiveBackend::spawn(c.clone(), 0).unwrap();
         for v in 0..10 {
             b.enqueue_flush(
                 format!("ck/v{v}/r0"),
@@ -191,7 +222,7 @@ mod tests {
     fn drop_drains_outstanding_flushes() {
         let c = cluster();
         {
-            let b = ActiveBackend::spawn(c.clone(), 1);
+            let b = ActiveBackend::spawn(c.clone(), 1).unwrap();
             b.enqueue_flush(
                 "ck/v1/r1".into(),
                 Bytes::from_static(b"x"),
@@ -201,5 +232,16 @@ mod tests {
             );
         }
         assert!(c.pfs().exists("ck/v1/r1"), "drop must drain, not discard");
+    }
+
+    #[test]
+    fn spawn_failure_is_recoverable() {
+        loom::thread::fail_next_spawn();
+        match ActiveBackend::spawn(cluster(), 0) {
+            Err(VelocError::BackendSpawn { reason }) => {
+                assert!(reason.contains("injected"), "got: {reason}");
+            }
+            other => panic!("expected BackendSpawn error, got {:?}", other.map(|_| ())),
+        }
     }
 }

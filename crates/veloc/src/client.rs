@@ -70,6 +70,9 @@ pub enum VelocError {
     UnknownRegion { id: u32 },
     /// An MPI error during collective agreement.
     Mpi(MpiError),
+    /// The asynchronous flush backend thread could not be spawned. This is
+    /// recoverable: the client degrades to synchronous flushing.
+    BackendSpawn { reason: String },
 }
 
 impl std::fmt::Display for VelocError {
@@ -81,6 +84,12 @@ impl std::fmt::Display for VelocError {
             VelocError::Corrupt { path } => write!(f, "corrupt checkpoint blob at {path}"),
             VelocError::UnknownRegion { id } => write!(f, "no protected region with id {id}"),
             VelocError::Mpi(e) => write!(f, "MPI error during restart agreement: {e}"),
+            VelocError::BackendSpawn { reason } => {
+                write!(
+                    f,
+                    "could not spawn flush backend ({reason}); flushing synchronously"
+                )
+            }
         }
     }
 }
@@ -103,15 +112,31 @@ pub struct Client {
     mode: Mode,
     async_flush: bool,
     regions: Mutex<BTreeMap<u32, Arc<dyn Protected>>>,
-    backend: ActiveBackend,
+    /// `None` when flushing synchronously — either by configuration or
+    /// because the backend thread could not be spawned (see `spawn_error`).
+    backend: Option<ActiveBackend>,
+    /// Why async flushing was degraded to synchronous, if it was.
+    spawn_error: Option<VelocError>,
     recorder: Mutex<Recorder>,
 }
 
 impl Client {
     /// Initialize a client for `physical_rank` (which is also the initial
     /// logical rank).
+    ///
+    /// If the asynchronous flush backend cannot be spawned the client does
+    /// not fail: it degrades to synchronous flushing (every checkpoint pays
+    /// the scratch→PFS transfer inline) and records the reason, observable
+    /// via [`Client::spawn_error`] / [`Client::async_flush_active`].
     pub fn init(cluster: Cluster, physical_rank: usize, config: Config) -> Self {
-        let backend = ActiveBackend::spawn(cluster.clone(), physical_rank);
+        let (backend, spawn_error) = if config.async_flush {
+            match ActiveBackend::spawn(cluster.clone(), physical_rank) {
+                Ok(b) => (Some(b), None),
+                Err(e) => (None, Some(e)),
+            }
+        } else {
+            (None, None)
+        };
         Client {
             cluster,
             physical_rank,
@@ -120,8 +145,26 @@ impl Client {
             async_flush: config.async_flush,
             regions: Mutex::new(BTreeMap::new()),
             backend,
+            spawn_error,
             recorder: Mutex::new(Recorder::disabled()),
         }
+    }
+
+    /// Whether async flushing was requested by configuration (it may still
+    /// have degraded; compare with [`Client::async_flush_active`]).
+    pub fn async_flush_requested(&self) -> bool {
+        self.async_flush
+    }
+
+    /// Whether flushes actually run on the background thread. False in sync
+    /// mode and when async mode degraded because the backend failed to spawn.
+    pub fn async_flush_active(&self) -> bool {
+        self.backend.is_some()
+    }
+
+    /// The spawn failure that degraded async flushing, if any.
+    pub fn spawn_error(&self) -> Option<&VelocError> {
+        self.spawn_error.as_ref()
     }
 
     /// Attach a telemetry recorder; checkpoint/restart lifecycle events go
@@ -209,7 +252,7 @@ impl Client {
             name: name.to_owned(),
             version,
         });
-        self.backend.wait();
+        self.checkpoint_wait();
         let blob = {
             let regions = self.regions.lock();
             let parts: Vec<(u32, Bytes)> =
@@ -225,13 +268,12 @@ impl Client {
             version,
             bytes: blob.len() as u64,
         });
-        if self.async_flush {
+        if let Some(backend) = &self.backend {
             rec.emit_with(|| Event::FlushEnqueued {
                 name: name.to_owned(),
                 version,
             });
-            self.backend
-                .enqueue_flush(path, blob, name.to_owned(), version, rec);
+            backend.enqueue_flush(path, blob, name.to_owned(), version, rec);
         } else {
             self.cluster
                 .network()
@@ -247,9 +289,12 @@ impl Client {
         Ok(())
     }
 
-    /// Block until all asynchronous flushes complete.
+    /// Block until all asynchronous flushes complete. A no-op when flushing
+    /// synchronously (nothing is ever outstanding).
     pub fn checkpoint_wait(&self) {
-        self.backend.wait();
+        if let Some(backend) = &self.backend {
+            backend.wait();
+        }
     }
 
     // ---- restart ----------------------------------------------------------
@@ -354,7 +399,7 @@ impl Client {
     /// this rank, from both storage tiers (VeloC's bounded checkpoint
     /// history). Returns how many versions were removed.
     pub fn prune(&self, name: &str, keep_last: usize) -> usize {
-        self.backend.wait();
+        self.checkpoint_wait();
         let r = self.logical_rank();
         let suffix = format!("/r{r}");
         let parse = |p: &str| -> Option<u64> {
@@ -392,7 +437,7 @@ impl Client {
 
     /// Finalize: drain outstanding flushes. (Also happens on drop.)
     pub fn finalize(&self) {
-        self.backend.wait();
+        self.checkpoint_wait();
     }
 }
 
@@ -590,8 +635,33 @@ mod tests {
             },
         );
         cl.protect(0, Arc::new(VecRegion::new(vec![5u8])));
+        assert!(!cl.async_flush_active());
+        assert!(cl.spawn_error().is_none());
         cl.checkpoint("ck", 1).unwrap();
         // No wait needed: already on the PFS.
         assert!(c.pfs().exists("ck/v1/r0"));
+    }
+
+    #[test]
+    fn backend_spawn_failure_degrades_to_sync_flush() {
+        let c = cluster(1);
+        loom::thread::fail_next_spawn();
+        let cl = client(&c, 0);
+        // Async was requested but the backend could not start: the client
+        // comes up anyway, reports why, and flushes inline from now on.
+        assert!(!cl.async_flush_active());
+        assert!(matches!(
+            cl.spawn_error(),
+            Some(VelocError::BackendSpawn { .. })
+        ));
+        let r = VecRegion::new(vec![3.5f32; 8]);
+        cl.protect(0, Arc::new(r.clone()));
+        cl.checkpoint("deg", 1).unwrap();
+        // Synchronous semantics: on the PFS before any wait.
+        assert!(c.pfs().exists("deg/v1/r0"));
+        r.lock().iter_mut().for_each(|x| *x = 0.0);
+        assert_eq!(cl.restart("deg", 1).unwrap(), 1);
+        assert_eq!(*r.lock(), vec![3.5f32; 8]);
+        cl.finalize();
     }
 }

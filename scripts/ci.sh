@@ -10,10 +10,33 @@ cargo fmt --all -- --check
 echo "== cargo clippy (-D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== resilience-invariant lints (crates/lint) =="
+# Self-check first: proves every rule still fires on the fixtures, so a
+# clean workspace scan means "no violations", not "linter rotted".
+cargo run -q -p lint -- --self-check
+cargo run -q -p lint
+
 echo "== tier-1: cargo build --release =="
 cargo build --release
 
 echo "== tier-1: cargo test -q =="
 cargo test -q
+
+echo "== modelcheck: bounded interleaving exploration =="
+# The protocol suites (telemetry seqlock, veloc flush, simmpi rendezvous)
+# honour env overrides for deeper sweeps than the in-tree defaults, e.g.:
+#   MC_PREEMPTION_BOUND=3 MC_DFS_CAP=500000 MC_RANDOM_EXECUTIONS=2000 scripts/ci.sh
+# (raise MC_DFS_CAP alongside the bound or the exhaustiveness assertions
+# will rightly fail on truncation).
+cargo test -q -p modelcheck --tests
+
+echo "== miri: UB check on the lock-free core (optional) =="
+if cargo miri --version >/dev/null 2>&1; then
+  # Miri runs the seqlock/pod/router tests under the interpreter's memory
+  # model; slow, so scoped to the crates with unsafe code or raw atomics.
+  cargo miri test -p telemetry -p simmpi
+else
+  echo "cargo-miri not installed; skipping (rustup +nightly component add miri)"
+fi
 
 echo "CI OK"

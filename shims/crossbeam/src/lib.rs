@@ -1,37 +1,92 @@
-//! Offline stand-in for the `crossbeam` crate (channel subset only),
-//! implemented on `std::sync::mpsc`.
+//! Offline stand-in for the `crossbeam` crate (channel subset only).
+//!
+//! Built on the workspace's model-aware `parking_lot` shim rather than
+//! `std::sync::mpsc`, so channel sends and receives are schedule points for
+//! the deterministic model checker (`shims/loom` + `crates/modelcheck`) —
+//! the VeloC flush backend's job queue is explored without the production
+//! code knowing anything about the model.
 
 pub mod channel {
-    use std::sync::mpsc;
+    use std::collections::VecDeque;
+    use std::sync::Arc;
+
+    use parking_lot::{Condvar, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receiver_alive: bool,
+    }
+
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        cv: Condvar,
+    }
 
     /// Sending half of an unbounded channel.
-    pub struct Sender<T>(mpsc::Sender<T>);
+    pub struct Sender<T>(Arc<Chan<T>>);
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Sender(self.0.clone())
+            self.0.state.lock().senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.state.lock();
+            st.senders -= 1;
+            if st.senders == 0 {
+                // Wake a receiver blocked on an empty queue so it can
+                // observe disconnection.
+                self.0.cv.notify_all();
+            }
         }
     }
 
     impl<T> Sender<T> {
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.0.send(value).map_err(|e| SendError(e.0))
+            let mut st = self.0.state.lock();
+            if !st.receiver_alive {
+                return Err(SendError(value));
+            }
+            st.queue.push_back(value);
+            self.0.cv.notify_all();
+            Ok(())
         }
     }
 
     /// Receiving half of an unbounded channel.
-    pub struct Receiver<T>(mpsc::Receiver<T>);
+    pub struct Receiver<T>(Arc<Chan<T>>);
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.0.state.lock().receiver_alive = false;
+        }
+    }
 
     impl<T> Receiver<T> {
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.0.recv().map_err(|_| RecvError)
+            let mut st = self.0.state.lock();
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                self.0.cv.wait(&mut st);
+            }
         }
 
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            self.0.try_recv().map_err(|e| match e {
-                mpsc::TryRecvError::Empty => TryRecvError::Empty,
-                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
-            })
+            let mut st = self.0.state.lock();
+            match st.queue.pop_front() {
+                Some(v) => Ok(v),
+                None if st.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
         }
 
         pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
@@ -41,8 +96,15 @@ pub mod channel {
 
     /// An unbounded MPSC channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        let (tx, rx) = mpsc::channel();
-        (Sender(tx), Receiver(rx))
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receiver_alive: true,
+            }),
+            cv: Condvar::new(),
+        });
+        (Sender(Arc::clone(&chan)), Receiver(chan))
     }
 
     pub struct SendError<T>(pub T);
@@ -76,5 +138,23 @@ mod tests {
         assert_eq!(rx.recv(), Ok(42));
         drop(tx);
         assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_returns_payload() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        let SendError(v) = tx.send(7).unwrap_err();
+        assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn try_recv_reports_empty_then_disconnected() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(1).unwrap();
+        assert_eq!(rx.try_recv(), Ok(1));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
     }
 }
