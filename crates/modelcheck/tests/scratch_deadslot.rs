@@ -1,0 +1,33 @@
+//! Scratch review test: after a generation-collision abandon, does the slot
+//! ever accept records again?
+
+use std::sync::Arc;
+
+use modelcheck::Explorer;
+use telemetry::event::RECORD_WORDS;
+use telemetry::EventRing;
+
+#[test]
+fn slot_recovers_after_collision() {
+    let report = Explorer::with_bound(2).explore(|| {
+        let ring = Arc::new(EventRing::new(2));
+        let r2 = Arc::clone(&ring);
+        let t = loom::thread::spawn(move || r2.push([1; RECORD_WORDS]));
+        ring.push([2; RECORD_WORDS]);
+        ring.push([3; RECORD_WORDS]);
+        t.join().unwrap();
+        // Quiescent: 3 pushes happened (some may have been abandoned).
+        assert_eq!(ring.pushed(), 3);
+        // Now, with no concurrency at all, push three more records. The last
+        // two (h=4 -> slot 0, h=5 -> slot 1) are the newest; a healthy ring
+        // must retain both.
+        ring.push([7; RECORD_WORDS]);
+        ring.push([8; RECORD_WORDS]);
+        ring.push([9; RECORD_WORDS]);
+        let vals: Vec<u64> = ring.snapshot().iter().map(|w| w[0]).collect();
+        assert_eq!(vals, vec![8, 9], "newest records lost: {vals:?}");
+    });
+    if let Some(f) = &report.failure {
+        panic!("DEAD SLOT DEMONSTRATED:\n{}", f.render());
+    }
+}
