@@ -92,6 +92,22 @@ impl std::fmt::Display for ImrError {
 
 impl std::error::Error for ImrError {}
 
+/// Decode the 8-byte little-endian version prefix of a restore payload.
+///
+/// A short payload means the peer sent a malformed frame; that is a
+/// transport-level fault the recovering rank must survive, not panic on.
+fn version_header(payload: &[u8]) -> Result<u64, ImrError> {
+    if payload.len() < 8 {
+        return Err(ImrError::Mpi(MpiError::TypeMismatch {
+            expected: 8,
+            got: payload.len(),
+        }));
+    }
+    let mut head = [0u8; 8];
+    head.copy_from_slice(&payload[..8]);
+    Ok(u64::from_le_bytes(head))
+}
+
 #[derive(Clone, Debug)]
 struct Held {
     owner: usize,
@@ -189,9 +205,17 @@ impl<'a> DataGroup<'a> {
             Ok(buddy_data)
         })();
         match &exchange {
+            // This rank is going down or the job is aborting: unwind now —
+            // the agreement below would never complete.
             Err(MpiError::Killed) => return Err(MpiError::Killed),
             Err(MpiError::Aborted) => return Err(MpiError::Aborted),
-            _ => {}
+            // Recoverable failures and local argument errors still reach the
+            // agreement: every survivor must learn the commit is off.
+            Ok(_)
+            | Err(MpiError::ProcFailed { .. })
+            | Err(MpiError::Revoked)
+            | Err(MpiError::RankOutOfRange { .. })
+            | Err(MpiError::TypeMismatch { .. }) => {}
         }
 
         // Phase 2: agree on commit. The agreement value is identical on all
@@ -200,17 +224,24 @@ impl<'a> DataGroup<'a> {
         let seq = ((member as u64) << 48) | (version & 0xffff_ffff_ffff);
         let outcome = self.comm.agree(seq, exchange.is_ok() as u64)?;
         if outcome.flags & 1 == 1 && outcome.failed.is_empty() {
-            let buddy_data = exchange.expect("agreed flags imply local success");
-            self.store.own.lock().insert(member, (version, data));
-            self.store.held.lock().insert(
-                member,
-                Held {
-                    owner: from,
-                    version,
-                    data: buddy_data,
-                },
-            );
-            Ok(())
+            match exchange {
+                Ok(buddy_data) => {
+                    self.store.own.lock().insert(member, (version, data));
+                    self.store.held.lock().insert(
+                        member,
+                        Held {
+                            owner: from,
+                            version,
+                            data: buddy_data,
+                        },
+                    );
+                    Ok(())
+                }
+                // Agreed flags imply every rank's exchange succeeded; if ours
+                // did not, the agreement is stale — surface the failure it
+                // missed rather than panic the rank mid-commit.
+                Err(e) => Err(e),
+            }
         } else {
             match exchange {
                 Err(e) => Err(e),
@@ -280,7 +311,7 @@ impl<'a> DataGroup<'a> {
                 .comm
                 .recv_bytes(Some(holder), Self::tag(member, 1))
                 .map_err(ImrError::from)?;
-            let version = u64::from_le_bytes(payload[..8].try_into().expect("version header"));
+            let version = version_header(&payload)?;
             let data = payload.slice(8..);
             self.store
                 .own
@@ -292,7 +323,7 @@ impl<'a> DataGroup<'a> {
                 .comm
                 .recv_bytes(Some(source), Self::tag(member, 2))
                 .map_err(ImrError::from)?;
-            let sversion = u64::from_le_bytes(payload[..8].try_into().expect("version header"));
+            let sversion = version_header(&payload)?;
             self.store.held.lock().insert(
                 member,
                 Held {
@@ -318,6 +349,20 @@ impl<'a> DataGroup<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn version_header_decodes_and_rejects_short_frames() {
+        let mut payload = 7u64.to_le_bytes().to_vec();
+        payload.extend_from_slice(b"xyz");
+        assert_eq!(version_header(&payload).unwrap(), 7);
+        assert!(matches!(
+            version_header(&payload[..5]),
+            Err(ImrError::Mpi(MpiError::TypeMismatch {
+                expected: 8,
+                got: 5
+            }))
+        ));
+    }
 
     #[test]
     fn pair_policy_is_involutive() {

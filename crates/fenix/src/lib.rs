@@ -26,6 +26,7 @@
 //! its checkpoint and stores a remote copy in a partner rank's memory.
 
 pub mod imr;
+pub mod mutant;
 pub mod runtime;
 
 pub use imr::{DataGroup, ImrError, ImrPolicy, ImrStore};

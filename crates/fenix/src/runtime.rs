@@ -272,10 +272,10 @@ impl Fenix {
             spares.retain(|g| !dead.contains(g));
             let mut group = self.active_group.borrow_mut();
             let mut recovered = Vec::new();
-            for slot in 0..group.len() {
-                if dead.contains(&group[slot]) {
+            for (slot, member) in group.iter_mut().enumerate() {
+                if dead.contains(member) {
                     if let Some(spare) = spares.pop_front() {
-                        group[slot] = spare;
+                        *member = spare;
                         recovered.push(slot);
                     }
                 }
@@ -367,7 +367,7 @@ where
                     fenix.recorder().emit_with(|| Event::FailureDetected {
                         scope: e.to_string(),
                     });
-                    let _ = &res_comm.revoke();
+                    res_comm.revoke();
                     match fenix.repair_rendezvous(VOTE_REPAIR)? {
                         Some(dead) => {
                             fenix.apply_repair(&dead)?;

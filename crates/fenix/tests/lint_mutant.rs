@@ -1,0 +1,12 @@
+//! Built only under `lint-mutants` (CI: `cargo test -p fenix --features
+//! lint-mutants`): the seeded violation must compile and actually panic,
+//! so `crates/lint/tests/mutant.rs` is testing against a live bug, not a
+//! stale decoy.
+#![cfg(feature = "lint-mutants")]
+
+#[test]
+fn seeded_mutant_panics_on_empty_dead_list() {
+    assert_eq!(fenix::mutant::apply_repair(&[3, 1]), 3);
+    let caught = std::panic::catch_unwind(|| fenix::mutant::apply_repair(&[]));
+    assert!(caught.is_err(), "the seeded violation must actually panic");
+}

@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use cluster::Cluster;
 use kokkos::capture::Checkpointable;
-use simmpi::{Comm, MpiResult};
+use simmpi::{Comm, MpiError, MpiResult};
 use telemetry::Recorder;
 use veloc::{Client, Config as VelocConfig, Mode, Protected, VelocError};
 
@@ -125,7 +125,14 @@ impl VelocBackend {
     fn unwrap_veloc<T>(r: Result<T, VelocError>) -> MpiResult<T> {
         r.map_err(|e| match e {
             VelocError::Mpi(m) => m,
-            other => panic!("unrecoverable VeloC failure: {other}"),
+            // Local, non-MPI failures: no recovery layer can claim these, so
+            // the job aborts — through the error channel, not a panic that
+            // would strand the surviving ranks in their collectives.
+            VelocError::NotFound { .. }
+            | VelocError::Corrupt { .. }
+            | VelocError::UnknownRegion { .. }
+            | VelocError::NoCommunicator
+            | VelocError::BackendSpawn { .. } => MpiError::Aborted,
         })
     }
 }
@@ -205,6 +212,19 @@ mod tests {
 
     fn views(v: &View<u64>) -> Vec<(u32, Arc<dyn Checkpointable>)> {
         vec![(0, Arc::new(v.clone()))]
+    }
+
+    #[test]
+    fn unwrap_veloc_forwards_mpi_and_aborts_local_failures() {
+        assert!(matches!(
+            VelocBackend::unwrap_veloc::<()>(Err(VelocError::Mpi(MpiError::Revoked))),
+            Err(MpiError::Revoked)
+        ));
+        assert!(matches!(
+            VelocBackend::unwrap_veloc::<()>(Err(VelocError::Corrupt { path: "p".into() })),
+            Err(MpiError::Aborted)
+        ));
+        assert_eq!(VelocBackend::unwrap_veloc(Ok(1)).unwrap(), 1);
     }
 
     #[test]

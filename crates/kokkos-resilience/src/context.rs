@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use cluster::Cluster;
 use kokkos::capture::{CaptureSession, Checkpointable};
-use simmpi::{Comm, MpiResult, Phase, Profile};
+use simmpi::{Comm, MpiError, MpiResult, Phase, Profile};
 use telemetry::{Event, Recorder};
 use veloc::Mode;
 
@@ -342,17 +342,21 @@ impl Context {
         let pending = self.pending_recovery.borrow_mut().remove(label);
         let mut restored = false;
         if pending {
-            let version = self
-                .agreed_latest
-                .borrow()
-                .get(label)
-                .copied()
-                .flatten()
-                .expect("pending recovery implies an agreed version");
+            // Pending recovery implies an agreed version; both facts come
+            // from the same collective agreement, so a mismatch is a
+            // protocol violation — identical on every rank, and surfaced
+            // through the error channel rather than a panic.
+            let Some(version) = self.agreed_latest.borrow().get(label).copied().flatten() else {
+                return Err(MpiError::Aborted);
+            };
             if self.scope.borrow().includes(self.comm.borrow().rank()) {
                 let name = self.qualified(label);
                 let regions = self.regions.borrow();
-                let meta = regions.get(label).expect("region detected before restore");
+                // Detection precedes restore on every path; a missing region
+                // here is the same class of protocol violation as above.
+                let Some(meta) = regions.get(label) else {
+                    return Err(MpiError::Aborted);
+                };
                 let comm = self.comm.borrow();
                 let recovering = self.recovering_ranks.borrow().clone();
                 self.book(Phase::DataRecovery, || {
@@ -378,9 +382,10 @@ impl Context {
         if self.filter.should_checkpoint(iteration) {
             let name = self.qualified(label);
             let regions = self.regions.borrow();
-            let meta = regions
-                .get(label)
-                .expect("region detected before checkpoint");
+            let Some(meta) = regions.get(label) else {
+                // Detection precedes checkpoint; see the restore arm above.
+                return Err(MpiError::Aborted);
+            };
             let comm = self.comm.borrow();
             self.book(Phase::CheckpointFn, || {
                 self.data

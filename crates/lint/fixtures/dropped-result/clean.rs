@@ -1,0 +1,26 @@
+//! CLEAN: every `Result` produced on the commit path is either propagated
+//! with `?` or explicitly inspected — a failed checkpoint is someone's
+//! decision, never a silent default.
+
+pub struct Client;
+
+impl Client {
+    pub fn checkpoint(&self, _name: &str, _version: u64) -> Result<(), CkError> {
+        Ok(())
+    }
+}
+
+pub fn commit(client: &Client, version: u64) -> Result<(), CkError> {
+    // Propagated: the caller decides what a failed commit means.
+    client.checkpoint("loop", version)?;
+    Ok(())
+}
+
+pub fn commit_logged(client: &Client, version: u64) {
+    // Inspected: a failure is at least recorded.
+    if client.checkpoint("loop", version).is_err() {
+        log_failure(version);
+    }
+}
+
+fn log_failure(_version: u64) {}

@@ -1,0 +1,16 @@
+//! FIRE: the checkpoint's `Result` is bound to `_` and dropped. An `Err`
+//! here means the commit never landed, but the loop sails on believing it
+//! has a restart point — silent data loss at the next failure.
+
+pub struct Client;
+
+impl Client {
+    pub fn checkpoint(&self, _name: &str, _version: u64) -> Result<(), CkError> {
+        Ok(())
+    }
+}
+
+pub fn commit(client: &Client, version: u64) {
+    // Swallowed failure: nothing observes an Err.
+    let _ = client.checkpoint("loop", version);
+}

@@ -1,0 +1,11 @@
+//! CLEAN: the repair path is panic-free — missing state becomes a typed
+//! error that flows back through the resilience layers, where the run
+//! loop decides whether to retry the repair or abort collectively.
+
+pub fn apply_repair(state: Option<u32>) -> Result<u32, RepairError> {
+    rebuild(state)
+}
+
+fn rebuild(state: Option<u32>) -> Result<u32, RepairError> {
+    state.ok_or(RepairError::MissingState)
+}

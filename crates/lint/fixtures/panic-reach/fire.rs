@@ -1,0 +1,12 @@
+//! FIRE: `apply_repair` is a recovery entry point; the helper it calls
+//! unwraps an `Option`. A panic on the repair path kills the rank that
+//! was supposed to be recovering — the fault becomes unsurvivable.
+
+pub fn apply_repair(state: Option<u32>) -> u32 {
+    rebuild(state)
+}
+
+fn rebuild(state: Option<u32>) -> u32 {
+    // Transitively reachable from the entry point.
+    state.unwrap()
+}

@@ -1,0 +1,18 @@
+//! FIRE: regions are registered with `protect` but nothing in this file
+//! (or anything it calls) ever commits them with `checkpoint`/`restart` —
+//! the data layer never persists a byte and the first failure loses
+//! everything "protected" here.
+
+pub fn register_views(client: &Client, views: &[View]) {
+    for (i, v) in views.iter().enumerate() {
+        client.protect(i as u32, v.region());
+    }
+}
+
+pub fn run_loop(client: &Client, iters: u64) {
+    for i in 0..iters {
+        compute(client, i);
+    }
+}
+
+fn compute(_client: &Client, _i: u64) {}

@@ -1,0 +1,15 @@
+//! FIRE: `Ordering::Relaxed` on the sequence word of a seqlock. The
+//! `seq` atomic *is* the synchronization protocol — Relaxed here lets a
+//! reader observe torn data with a stable sequence number.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct SeqLock {
+    seq: AtomicU64,
+}
+
+impl SeqLock {
+    pub fn publish(&self) {
+        self.seq.fetch_add(1, Ordering::Relaxed);
+    }
+}

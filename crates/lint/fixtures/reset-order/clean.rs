@@ -1,0 +1,14 @@
+//! CLEAN: `reset(new_comm)` clears the checkpoint-metadata cache first;
+//! only then is the latest agreed version re-derived over the repaired
+//! communicator (the paper's reset contract, Fig. 4).
+
+pub fn recover(kr: &mut Context, comm: &Comm) -> Result<(), ()> {
+    kr.reset(comm.clone());
+    // Fresh read: re-agreed over the repaired communicator.
+    let latest = kr.latest_version("loop")?;
+    resume(latest)
+}
+
+fn resume(_version: Option<u64>) -> Result<(), ()> {
+    Ok(())
+}

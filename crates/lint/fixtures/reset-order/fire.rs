@@ -1,0 +1,14 @@
+//! FIRE: the agreed checkpoint version is read *before*
+//! `reset(new_comm)` clears the metadata cache — the rank resumes from a
+//! version the repaired communicator may no longer agree on.
+
+pub fn recover(kr: &mut Context, comm: &Comm) -> Result<(), ()> {
+    // Stale read: this consults the pre-failure cache.
+    let stale = kr.latest_version("loop")?;
+    kr.reset(comm.clone());
+    resume(stale)
+}
+
+fn resume(_version: Option<u64>) -> Result<(), ()> {
+    Ok(())
+}

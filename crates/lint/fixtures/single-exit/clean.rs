@@ -1,0 +1,42 @@
+//! CLEAN: every failure inside the loop body flows back as an `Err` and
+//! leaves through the `fenix::run` return. The process-level exit lives in
+//! `main`, *after* the loop has returned — the root of the resilient
+//! region is exempt by design.
+
+pub fn resilient_main() -> Result<(), ()> {
+    let summary = fenix::run(world(), cfg(), |_fx, _comm, _role| body())?;
+    report(summary);
+    Ok(())
+}
+
+pub fn main() {
+    if resilient_main().is_err() {
+        // Exiting after the resilient region has completed is fine.
+        std::process::exit(1);
+    }
+}
+
+fn body() -> Result<(), ()> {
+    step()
+}
+
+fn step() -> Result<(), ()> {
+    if failed() {
+        return Err(());
+    }
+    Ok(())
+}
+
+fn failed() -> bool {
+    false
+}
+
+fn report(_summary: Summary) {}
+
+fn world() -> World {
+    World
+}
+
+fn cfg() -> Config {
+    Config
+}

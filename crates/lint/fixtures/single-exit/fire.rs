@@ -1,0 +1,32 @@
+//! FIRE: a helper transitively reachable from the `fenix::run` loop
+//! terminates the process. Recovery must return through the single exit
+//! point (the run loop), never bypass rank-state agreement with an exit.
+
+pub fn resilient_main() -> Result<(), ()> {
+    fenix::run(world(), cfg(), |_fx, _comm, _role| body())?;
+    Ok(())
+}
+
+fn body() -> Result<(), ()> {
+    step()
+}
+
+fn step() -> Result<(), ()> {
+    if failed() {
+        // Secondary exit: the other ranks never learn this rank is gone.
+        std::process::exit(3);
+    }
+    Ok(())
+}
+
+fn failed() -> bool {
+    false
+}
+
+fn world() -> World {
+    World
+}
+
+fn cfg() -> Config {
+    Config
+}

@@ -1,0 +1,8 @@
+//! CLEAN: threads in model-checked crates go through the loom-aware shim,
+//! so the model checker can schedule (and fail) them deliberately.
+
+pub fn start_router() -> loom::thread::JoinHandle<()> {
+    loom::thread::spawn(route_messages)
+}
+
+fn route_messages() {}

@@ -1,0 +1,9 @@
+//! FIRE: a raw `std::thread::spawn` in a model-checked crate. The model
+//! checker cannot intercept this thread, so every interleaving involving
+//! it goes unexplored.
+
+pub fn start_router() -> std::thread::JoinHandle<()> {
+    std::thread::spawn(route_messages)
+}
+
+fn route_messages() {}

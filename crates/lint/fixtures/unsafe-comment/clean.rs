@@ -1,0 +1,10 @@
+//! CLEAN: the same transmute, but the invariant that makes it sound is
+//! written down where the reviewer (and this lint) can see it.
+
+pub fn read_peer_state(buf: &[u8]) -> u64 {
+    let mut out = [0u8; 8];
+    out.copy_from_slice(&buf[..8]);
+    // SAFETY: `out` is an 8-byte POD copy; every bit pattern is a valid
+    // u64, and the transmute neither extends lifetimes nor aliases.
+    unsafe { core::mem::transmute(out) }
+}

@@ -1,0 +1,8 @@
+//! FIRE: an `unsafe` block with no justification comment anywhere in the
+//! ten preceding lines — the written rationale is the price of admission.
+
+pub fn read_peer_state(buf: &[u8]) -> u64 {
+    let mut out = [0u8; 8];
+    out.copy_from_slice(&buf[..8]);
+    unsafe { core::mem::transmute(out) }
+}

@@ -1,0 +1,13 @@
+//! FIRE: a match over `MpiError` with a `_` wildcard. When the failure
+//! taxonomy grows (the paper's evolution added communicator revocation on
+//! top of process failure), new classes silently fall into `Retry`
+//! instead of forcing a decision at this site.
+
+pub fn classify(e: &MpiError) -> Action {
+    match e {
+        MpiError::ProcFailed { rank } => Action::Repair { rank: *rank },
+        // Everything else — including failure classes that do not exist
+        // yet — silently becomes a retry.
+        _ => Action::Retry,
+    }
+}

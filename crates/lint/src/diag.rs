@@ -1,0 +1,219 @@
+//! Diagnostics: findings, human/JSON rendering, and the audited baseline.
+//!
+//! A baseline file lists findings that have been audited and accepted.
+//! Each entry must carry a justification comment — the loader rejects a
+//! baseline entry with no preceding `#` comment, so exceptions cannot be
+//! silently accumulated. Keys are `rule-id @ path # function` (no line
+//! numbers, so entries survive unrelated edits).
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// One finding from one rule.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Stable rule identifier, e.g. `panic-reach`.
+    pub rule: &'static str,
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    pub line: u32,
+    /// Qualified function name the finding is in (`""` for file-level).
+    pub func: String,
+    pub msg: String,
+}
+
+impl Diagnostic {
+    /// Baseline key: stable across unrelated line churn.
+    pub fn key(&self) -> String {
+        format!("{} @ {} # {}", self.rule, self.file, self.func)
+    }
+
+    pub fn render_human(&self) -> String {
+        format!(
+            "[{}] {}:{} ({}) {}",
+            self.rule,
+            self.file,
+            self.line,
+            if self.func.is_empty() {
+                "-"
+            } else {
+                &self.func
+            },
+            self.msg
+        )
+    }
+}
+
+/// Render all diagnostics plus per-rule counts as a JSON report.
+pub fn render_json(diags: &[Diagnostic], baselined: usize) -> String {
+    let mut counts: HashMap<&str, usize> = HashMap::new();
+    for d in diags {
+        *counts.entry(d.rule).or_insert(0) += 1;
+    }
+    let mut counts: Vec<(&str, usize)> = counts.into_iter().collect();
+    counts.sort_unstable();
+
+    let mut out = String::from("{\n  \"findings\": [\n");
+    for (i, d) in diags.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"function\": {}, \"message\": {}}}",
+            json_str(d.rule),
+            json_str(&d.file),
+            d.line,
+            json_str(&d.func),
+            json_str(&d.msg)
+        );
+        out.push_str(if i + 1 < diags.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n  \"counts\": {");
+    for (i, (rule, n)) in counts.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{}: {}", json_str(rule), n);
+    }
+    let _ = write!(
+        out,
+        "}},\n  \"total\": {},\n  \"baselined\": {}\n}}\n",
+        diags.len(),
+        baselined
+    );
+    out
+}
+
+/// Minimal JSON string escaping (ASCII control chars, quote, backslash).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A parsed baseline: audited finding keys with justifications.
+#[derive(Default)]
+pub struct Baseline {
+    entries: HashMap<String, String>,
+}
+
+impl Baseline {
+    /// Parse baseline text. Returns an error for an entry with no
+    /// justification comment directly above it.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = HashMap::new();
+        let mut pending_comment: Vec<String> = Vec::new();
+        for (ln, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() {
+                pending_comment.clear();
+                continue;
+            }
+            if let Some(c) = line.strip_prefix('#') {
+                pending_comment.push(c.trim().to_owned());
+                continue;
+            }
+            if pending_comment.is_empty() {
+                return Err(format!(
+                    "baseline line {}: entry `{line}` has no justification comment above it",
+                    ln + 1
+                ));
+            }
+            entries.insert(line.to_owned(), pending_comment.join(" "));
+            pending_comment.clear();
+        }
+        Ok(Baseline { entries })
+    }
+
+    pub fn contains(&self, d: &Diagnostic) -> bool {
+        self.entries.contains_key(&d.key())
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries that matched no finding (stale — should be removed).
+    pub fn stale<'a>(&'a self, diags: &[Diagnostic]) -> Vec<&'a str> {
+        let seen: std::collections::HashSet<String> = diags.iter().map(|d| d.key()).collect();
+        let mut out: Vec<&str> = self
+            .entries
+            .keys()
+            .filter(|k| !seen.contains(*k))
+            .map(String::as_str)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag() -> Diagnostic {
+        Diagnostic {
+            rule: "panic-reach",
+            file: "crates/x/src/lib.rs".into(),
+            line: 7,
+            func: "X::go".into(),
+            msg: "reachable unwrap".into(),
+        }
+    }
+
+    #[test]
+    fn baseline_requires_justification() {
+        let ok = Baseline::parse(
+            "# audited 2026-08: cold path, covered by test_x\npanic-reach @ crates/x/src/lib.rs # X::go\n",
+        )
+        .unwrap();
+        assert!(ok.contains(&diag()));
+        let err = Baseline::parse("panic-reach @ crates/x/src/lib.rs # X::go\n");
+        assert!(err.is_err(), "entry without comment must be rejected");
+    }
+
+    #[test]
+    fn baseline_key_ignores_lines() {
+        let mut d = diag();
+        let b = Baseline::parse(&format!("# why\n{}\n", d.key())).unwrap();
+        d.line = 99;
+        assert!(b.contains(&d), "key is line-independent");
+    }
+
+    #[test]
+    fn stale_entries_are_reported() {
+        let b = Baseline::parse("# old\npanic-reach @ crates/gone.rs # f\n").unwrap();
+        let stale = b.stale(&[diag()]);
+        assert_eq!(stale, vec!["panic-reach @ crates/gone.rs # f"]);
+    }
+
+    #[test]
+    fn json_report_escapes_and_counts() {
+        let d = Diagnostic {
+            msg: "say \"hi\"\nline2".into(),
+            ..diag()
+        };
+        let j = render_json(&[d.clone(), diag()], 1);
+        assert!(j.contains("\\\"hi\\\""));
+        assert!(j.contains("\\n"));
+        assert!(j.contains("\"panic-reach\": 2"));
+        assert!(j.contains("\"total\": 2"));
+        assert!(j.contains("\"baselined\": 1"));
+    }
+}

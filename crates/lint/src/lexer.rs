@@ -1,0 +1,464 @@
+//! A lossless Rust lexer.
+//!
+//! Produces a token stream that concatenates back to the input byte-for-byte
+//! (comments and whitespace are tokens too), which is what the round-trip
+//! property test in `tests/lexer_props.rs` checks. Handles the constructs a
+//! line-oriented scanner cannot: raw strings with arbitrary hash counts,
+//! nested block comments, lifetimes vs. char literals (`'a` vs `'a'`),
+//! byte/raw-byte strings, raw identifiers (`r#match`), and shebang lines.
+//!
+//! The lexer never fails: unexpected bytes become one-byte [`TokKind::Punct`]
+//! tokens and unterminated literals run to end-of-file, so the analyzer can
+//! always make progress on in-development source.
+
+/// Token classification. `Punct` is one punctuation character; multi-char
+/// operators are left to consumers (the parser matches sequences).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers, `r#match`).
+    Ident,
+    /// A lifetime or loop label: `'a`, `'static` (no closing quote).
+    Lifetime,
+    /// Character literal, `'x'` (escapes included).
+    Char,
+    /// String literal `"…"`, byte string `b"…"`.
+    Str,
+    /// Raw (byte) string literal `r#"…"#` / `br##"…"##`.
+    RawStr,
+    /// Numeric literal (including suffixed and float forms).
+    Num,
+    /// `// …` including doc line comments; excludes the newline.
+    LineComment,
+    /// `/* … */` including doc block comments; nesting handled.
+    BlockComment,
+    /// Horizontal/vertical whitespace run.
+    Whitespace,
+    /// The `#!/…` interpreter line (only at byte 0).
+    Shebang,
+    /// Single punctuation character.
+    Punct,
+}
+
+/// One token: classification plus byte extent and 1-based start line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub start: usize,
+    pub end: usize,
+    pub line: u32,
+}
+
+/// A lexed source file: the text plus its loss-free token list.
+#[derive(Clone, Debug)]
+pub struct Lexed {
+    pub src: String,
+    pub toks: Vec<Tok>,
+}
+
+impl Lexed {
+    pub fn new(src: &str) -> Lexed {
+        Lexed {
+            src: src.to_owned(),
+            toks: lex(src),
+        }
+    }
+
+    /// Text of token `i`.
+    pub fn text(&self, i: usize) -> &str {
+        let t = &self.toks[i];
+        &self.src[t.start..t.end]
+    }
+
+    /// Indexes of the significant tokens (everything except whitespace,
+    /// comments, and the shebang) — the stream the parser consumes.
+    pub fn significant(&self) -> Vec<usize> {
+        (0..self.toks.len())
+            .filter(|&i| {
+                !matches!(
+                    self.toks[i].kind,
+                    TokKind::Whitespace
+                        | TokKind::LineComment
+                        | TokKind::BlockComment
+                        | TokKind::Shebang
+                )
+            })
+            .collect()
+    }
+}
+
+struct Cursor<'a> {
+    b: &'a [u8],
+    i: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.b.get(self.i + ahead).copied()
+    }
+
+    /// Advance one byte, counting newlines.
+    fn bump(&mut self) {
+        if self.peek(0) == Some(b'\n') {
+            self.line += 1;
+        }
+        self.i += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphabetic() || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80
+}
+
+/// Lex `src` into a loss-free token stream.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut cur = Cursor {
+        b: src.as_bytes(),
+        i: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+
+    // Shebang: only at the very start, and `#!` must not begin an inner
+    // attribute (`#![…]` is an attribute, not a shebang).
+    if cur.peek(0) == Some(b'#') && cur.peek(1) == Some(b'!') && cur.peek(2) != Some(b'[') {
+        let start = 0;
+        while cur.peek(0).is_some_and(|c| c != b'\n') {
+            cur.bump();
+        }
+        out.push(Tok {
+            kind: TokKind::Shebang,
+            start,
+            end: cur.i,
+            line: 1,
+        });
+    }
+
+    while let Some(c) = cur.peek(0) {
+        let start = cur.i;
+        let line = cur.line;
+        let kind = match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                while cur
+                    .peek(0)
+                    .is_some_and(|c| matches!(c, b' ' | b'\t' | b'\r' | b'\n'))
+                {
+                    cur.bump();
+                }
+                TokKind::Whitespace
+            }
+            b'/' if cur.peek(1) == Some(b'/') => {
+                while cur.peek(0).is_some_and(|c| c != b'\n') {
+                    cur.bump();
+                }
+                TokKind::LineComment
+            }
+            b'/' if cur.peek(1) == Some(b'*') => {
+                cur.bump_n(2);
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (cur.peek(0), cur.peek(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            cur.bump_n(2);
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            cur.bump_n(2);
+                        }
+                        (Some(_), _) => cur.bump(),
+                        (None, _) => break,
+                    }
+                }
+                TokKind::BlockComment
+            }
+            b'r' | b'b' if raw_str_lookahead(&cur).is_some() => {
+                let (prefix, hashes) = raw_str_lookahead(&cur).expect("checked above");
+                cur.bump_n(prefix + hashes + 1); // prefix + hashes + opening quote
+                lex_raw_str_body(&mut cur, hashes);
+                TokKind::RawStr
+            }
+            b'b' if cur.peek(1) == Some(b'"') => {
+                cur.bump(); // b
+                lex_str_body(&mut cur);
+                TokKind::Str
+            }
+            b'b' if cur.peek(1) == Some(b'\'') => {
+                cur.bump(); // b
+                lex_char_body(&mut cur);
+                TokKind::Char
+            }
+            b'r' if cur.peek(1) == Some(b'#') && cur.peek(2).is_some_and(is_ident_start) => {
+                // Raw identifier r#name.
+                cur.bump_n(2);
+                while cur.peek(0).is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                TokKind::Ident
+            }
+            b'"' => {
+                lex_str_body(&mut cur);
+                TokKind::Str
+            }
+            b'\'' => lex_quote(&mut cur),
+            c if c.is_ascii_digit() => {
+                lex_number(&mut cur);
+                TokKind::Num
+            }
+            c if is_ident_start(c) => {
+                while cur.peek(0).is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                TokKind::Ident
+            }
+            _ => {
+                cur.bump();
+                TokKind::Punct
+            }
+        };
+        out.push(Tok {
+            kind,
+            start,
+            end: cur.i,
+            line,
+        });
+    }
+    out
+}
+
+/// If the cursor sits on `r"`, `r#…#"`, `br"`, or `br#…#"`, return
+/// `(prefix_len, hash_count)`.
+fn raw_str_lookahead(cur: &Cursor<'_>) -> Option<(usize, usize)> {
+    let prefix = match (cur.peek(0), cur.peek(1)) {
+        (Some(b'r'), _) => 1,
+        (Some(b'b'), Some(b'r')) => 2,
+        _ => return None,
+    };
+    let mut hashes = 0;
+    while cur.peek(prefix + hashes) == Some(b'#') {
+        hashes += 1;
+    }
+    (cur.peek(prefix + hashes) == Some(b'"')).then_some((prefix, hashes))
+}
+
+/// Consume a raw-string body after the opening quote, until `"` followed by
+/// `hashes` hash characters (or end of input).
+fn lex_raw_str_body(cur: &mut Cursor<'_>, hashes: usize) {
+    while let Some(c) = cur.peek(0) {
+        if c == b'"' {
+            let closed = (0..hashes).all(|k| cur.peek(1 + k) == Some(b'#'));
+            if closed {
+                cur.bump_n(1 + hashes);
+                return;
+            }
+        }
+        cur.bump();
+    }
+}
+
+/// Consume a `"…"` body (cursor on the opening quote), honoring escapes.
+fn lex_str_body(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.peek(0) {
+        match c {
+            b'\\' => cur.bump_n(2),
+            b'"' => {
+                cur.bump();
+                return;
+            }
+            _ => cur.bump(),
+        }
+    }
+}
+
+/// Consume a `'…'` body (cursor on the opening quote), honoring escapes.
+fn lex_char_body(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.peek(0) {
+        match c {
+            b'\\' => cur.bump_n(2),
+            b'\'' => {
+                cur.bump();
+                return;
+            }
+            _ => cur.bump(),
+        }
+    }
+}
+
+/// Disambiguate `'` between a char literal and a lifetime/label.
+///
+/// `'a'` and `'\n'` are chars; `'a`, `'static`, `'_` are lifetimes. The
+/// decisive test: after the quote comes an identifier; if the char after
+/// that identifier is another quote it was a (single-char-identifier) char
+/// literal like `'a'`, otherwise a lifetime.
+fn lex_quote(cur: &mut Cursor<'_>) -> TokKind {
+    if cur.peek(1) == Some(b'\\') {
+        lex_char_body(cur);
+        return TokKind::Char;
+    }
+    if cur.peek(1).is_some_and(is_ident_start) {
+        let mut k = 2;
+        while cur.peek(k).is_some_and(is_ident_continue) {
+            k += 1;
+        }
+        if cur.peek(k) == Some(b'\'') && k == 2 {
+            // 'x' — single-character char literal.
+            cur.bump_n(k + 1);
+            return TokKind::Char;
+        }
+        // Lifetime: quote + identifier, no closing quote consumed.
+        cur.bump_n(k);
+        return TokKind::Lifetime;
+    }
+    // `'…'` with a non-identifier payload, e.g. '(' or '0'.
+    lex_char_body(cur);
+    TokKind::Char
+}
+
+/// Consume a numeric literal (ints, floats, radix prefixes, suffixes).
+/// Deliberately permissive: `1.method()` must not swallow the dot, so a
+/// `.` is only consumed when followed by a digit.
+fn lex_number(cur: &mut Cursor<'_>) {
+    cur.bump();
+    while let Some(c) = cur.peek(0) {
+        if c.is_ascii_alphanumeric()
+            || c == b'_'
+            || (c == b'.' && cur.peek(1).is_some_and(|d| d.is_ascii_digit()))
+        {
+            cur.bump();
+        } else if (c == b'+' || c == b'-')
+            && matches!(cur.b.get(cur.i.wrapping_sub(1)), Some(b'e') | Some(b'E'))
+            && cur.peek(1).is_some_and(|d| d.is_ascii_digit())
+        {
+            // Float exponent sign: 1e-9.
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(src: &str) -> Vec<Tok> {
+        let toks = lex(src);
+        let rebuilt: String = toks.iter().map(|t| &src[t.start..t.end]).collect();
+        assert_eq!(rebuilt, src, "lossless round-trip");
+        toks
+    }
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        roundtrip(src)
+            .into_iter()
+            .map(|t| t.kind)
+            .filter(|k| *k != TokKind::Whitespace)
+            .collect()
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r####"let s = r#"quote " inside"#;"####);
+        assert!(toks.contains(&TokKind::RawStr));
+        let toks = kinds("let s = br##\"bytes \"# still\"##;");
+        assert!(toks.contains(&TokKind::RawStr));
+        // A raw string containing what looks like a comment opener.
+        let toks = kinds("r\"/* not a comment\"");
+        assert_eq!(toks, vec![TokKind::RawStr]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* a /* b */ c */ x");
+        assert_eq!(toks, vec![TokKind::BlockComment, TokKind::Ident]);
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        assert_eq!(kinds("'a'"), vec![TokKind::Char]);
+        assert_eq!(kinds("'\\n'"), vec![TokKind::Char]);
+        let v = kinds("&'a str");
+        assert_eq!(v, vec![TokKind::Punct, TokKind::Lifetime, TokKind::Ident]);
+        assert_eq!(kinds("'static"), vec![TokKind::Lifetime]);
+        // Label in a loop.
+        let v = kinds("'outer: loop {}");
+        assert_eq!(v[0], TokKind::Lifetime);
+    }
+
+    #[test]
+    fn shebang_only_at_start() {
+        let toks = roundtrip("#!/usr/bin/env run\nfn main() {}\n");
+        assert_eq!(toks[0].kind, TokKind::Shebang);
+        // #![attr] is not a shebang.
+        let toks = roundtrip("#![allow(dead_code)]\n");
+        assert_eq!(toks[0].kind, TokKind::Punct);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        assert_eq!(kinds("r#match"), vec![TokKind::Ident]);
+        // `r#"` is a raw string, not a raw ident.
+        assert_eq!(kinds("r#\"s\"#"), vec![TokKind::RawStr]);
+    }
+
+    #[test]
+    fn strings_swallow_code_chars() {
+        let toks = kinds("let s = \"unsafe { } // not code\";");
+        assert_eq!(
+            toks,
+            vec![
+                TokKind::Ident,
+                TokKind::Ident,
+                TokKind::Punct,
+                TokKind::Str,
+                TokKind::Punct
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_do_not_eat_method_dots() {
+        let toks = kinds("1.max(2)");
+        assert_eq!(toks[0], TokKind::Num);
+        assert_eq!(toks[1], TokKind::Punct); // the dot
+        assert!(kinds("1.5e-9f64") == vec![TokKind::Num]);
+        assert!(kinds("0xFF_u8") == vec![TokKind::Num]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n  c");
+        let idents: Vec<(String, u32)> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| ("a\nb\n  c"[t.start..t.end].to_owned(), t.line))
+            .collect();
+        assert_eq!(
+            idents,
+            vec![
+                ("a".to_owned(), 1),
+                ("b".to_owned(), 2),
+                ("c".to_owned(), 3)
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_constructs_run_to_eof() {
+        roundtrip("\"never closed");
+        roundtrip("/* never closed");
+        roundtrip("r##\"never closed");
+    }
+}

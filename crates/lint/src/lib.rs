@@ -1,585 +1,429 @@
-//! Resilience-invariant lints for the workspace's lock-free/multi-threaded
-//! core. These are project-specific rules that `clippy` cannot express:
+//! Protocol-aware static analysis for the layered-resilience workspace.
 //!
-//! - **R1 `unsafe-needs-safety-comment`** — every `unsafe` token (block,
-//!   fn, trait, impl) must have a `SAFETY:` (or `# Safety`) comment within
-//!   the preceding ten lines. Complements the workspace-wide
-//!   `clippy::undocumented_unsafe_blocks` deny, which only covers blocks.
-//! - **R2 `relaxed-on-sync-atomic`** — `Ordering::Relaxed` may not appear
-//!   on a line naming a synchronization-critical atomic (`seq`, `head`,
-//!   `stop`, `abort`, `pending`, `dead`, `revoked`) outside the audited
-//!   modules listed in [`AUDITED_RELAXED`]. Those modules carry per-site
-//!   "Relaxed is sufficient (audited)" justifications and are covered by
-//!   the modelcheck suite.
-//! - **R3 `unwrap-on-cross-thread-result`** — recovery-path code (the
-//!   veloc / simmpi / fenix / resilience crates) may not `.unwrap()` or
-//!   `.expect(...)` the result of a cross-thread handoff (`.send(...)`,
-//!   `.recv()`, `.join()`): a dead peer must degrade, not panic. Test code
-//!   is exempt.
-//! - **R4 `raw-thread-spawn`** — the model-checked crates (telemetry,
-//!   veloc, simmpi) must spawn threads through the loom shim
-//!   (`loom::thread::spawn`), never `std::thread::spawn` or
-//!   `std::thread::Builder`, so the modelcheck explorer can intercept
-//!   them. `std::thread::scope` is allowed (structured, join-on-exit).
-//!   Test code is exempt.
+//! PR 2 shipped this crate as a line-regex scanner; it is now a real
+//! analysis engine:
 //!
-//! Run as `cargo run -p lint` from the workspace root (exit 1 on any
-//! violation), or `cargo run -p lint -- --self-check` to verify every rule
-//! still fires on the fixtures under `crates/lint/fixtures/`.
+//! - [`lexer`] — a lossless in-tree Rust lexer (raw strings with arbitrary
+//!   hash counts, nested block comments, lifetime vs. char-literal
+//!   disambiguation, shebang lines);
+//! - [`parser`] — a lightweight item/expression parser producing function
+//!   items with their calls, `let` bindings, `match` arms, and panic
+//!   sites;
+//! - [`callgraph`] — a workspace-wide call graph with heuristic name
+//!   resolution and reachability;
+//! - [`rules`] — the lint rules: six protocol lints encoding the paper's
+//!   resilience invariants plus the three token rules carried over from
+//!   PR 2 (the regex `unwrap-on-recovery-path` rule is superseded by
+//!   `panic-reach` + `dropped-result` and removed);
+//! - [`diag`] — human/JSON diagnostics and the justified-baseline format.
 //!
-//! Implementation notes: the scanner is a line-oriented lexer that strips
-//! comments and string literals before matching (so prose about, say, a
-//! relaxed ordering never trips a rule), and tracks `#[cfg(test)]` regions
-//! by brace depth so inline test modules are classified as test code.
-//! Pattern strings are assembled by concatenation so this file would not
-//! flag itself even if it were in scope (it is excluded from the walk).
+//! The binary (`cargo run -p lint`) scans the workspace and exits
+//! non-zero on any non-baselined finding; `--self-check` proves every
+//! rule still fires on its fixture and stays quiet on the clean twin.
+//!
+//! The analyzer never scans `crates/lint` itself (its sources and
+//! fixtures deliberately contain every pattern the rules hunt for).
 
-use std::fs;
+pub mod callgraph;
+pub mod diag;
+pub mod lexer;
+pub mod parser;
+pub mod rules;
+
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
-/// Files allowed to use `Ordering::Relaxed` on sync-critical atomic names.
-/// Every entry must justify each Relaxed site in a comment and be covered
-/// by the modelcheck suite.
-pub const AUDITED_RELAXED: &[&str] = &["crates/telemetry/src/ring.rs"];
+pub use callgraph::{CallGraph, GraphOpts, Resolver, Workspace};
+pub use diag::{Baseline, Diagnostic};
+use parser::ParsedFile;
 
-/// Atomic names that participate in cross-thread synchronization protocols
-/// somewhere in the workspace; a Relaxed access to one of these is almost
-/// always a bug (or needs an audit entry).
-pub const SYNC_ATOMIC_NAMES: &[&str] =
-    &["seq", "head", "stop", "abort", "pending", "dead", "revoked"];
-
-/// Crates whose `src/` trees are recovery-path code for rule R3.
-pub const RECOVERY_PATH_SCOPES: &[&str] = &[
-    "crates/veloc/src/",
-    "crates/simmpi/src/",
-    "crates/fenix/src/",
-    "crates/resilience/src/",
-];
-
-/// Crates whose `src/` trees are model-checked and must use the loom shim
-/// for thread spawning (rule R4).
-pub const MODEL_CHECKED_SCOPES: &[&str] = &[
-    "crates/telemetry/src/",
-    "crates/veloc/src/",
-    "crates/simmpi/src/",
-];
-
-/// How many preceding lines rule R1 searches for a SAFETY comment.
-const SAFETY_LOOKBACK: usize = 10;
-
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Finding {
-    pub path: String,
-    pub line: usize,
-    pub rule: &'static str,
-    pub msg: String,
-}
-
-impl std::fmt::Display for Finding {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}] {}",
-            self.path, self.line, self.rule, self.msg
-        )
+/// Classify a workspace-relative path: `Some((crate_name, is_test_file))`
+/// for files the analyzer should read, `None` for files outside its
+/// scope.
+pub fn classify(rel: &str) -> Option<(String, bool)> {
+    if !rel.ends_with(".rs") {
+        return None;
+    }
+    if rel
+        .split('/')
+        .any(|part| matches!(part, "target" | ".git" | "fixtures" | "node_modules"))
+    {
+        return None;
+    }
+    if rel.starts_with("crates/lint/") {
+        return None;
+    }
+    let parts: Vec<&str> = rel.split('/').collect();
+    match parts.as_slice() {
+        ["crates", krate, kind, ..] => {
+            let is_test = matches!(*kind, "tests" | "benches");
+            Some(((*krate).to_owned(), is_test))
+        }
+        ["shims", shim, ..] => Some(((*shim).to_owned(), false)),
+        ["examples", ..] => Some(("examples".to_owned(), false)),
+        ["tests", ..] | ["benches", ..] => Some(("layered-resilience".to_owned(), true)),
+        ["src", ..] => Some(("layered-resilience".to_owned(), false)),
+        _ => None,
     }
 }
 
-/// Carry-over lexer state between lines of one file.
-#[derive(Default)]
-struct StripState {
-    in_block_comment: bool,
-    in_string: bool,
-}
-
-/// Return `raw` with comments removed and string-literal contents blanked,
-/// updating `st` for constructs that span lines.
-fn strip_line(raw: &str, st: &mut StripState) -> String {
-    let b: Vec<char> = raw.chars().collect();
-    let mut out = String::with_capacity(raw.len());
-    let mut i = 0;
-    while i < b.len() {
-        if st.in_block_comment {
-            if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
-                st.in_block_comment = false;
-                i += 2;
-            } else {
-                i += 1;
-            }
-            continue;
-        }
-        if st.in_string {
-            if b[i] == '\\' {
-                i += 2;
-            } else if b[i] == '"' {
-                st.in_string = false;
-                i += 1;
-            } else {
-                i += 1;
-            }
-            continue;
-        }
-        match b[i] {
-            '/' if i + 1 < b.len() && b[i + 1] == '/' => break,
-            '/' if i + 1 < b.len() && b[i + 1] == '*' => {
-                st.in_block_comment = true;
-                i += 2;
-            }
-            '"' => {
-                out.push(' ');
-                st.in_string = true;
-                i += 1;
-            }
-            c => {
-                out.push(c);
-                i += 1;
-            }
-        }
-    }
-    out
-}
-
-fn is_ident(c: u8) -> bool {
-    c == b'_' || c.is_ascii_alphanumeric()
-}
-
-/// `hay` contains `word` delimited by non-identifier characters.
-fn contains_word(hay: &str, word: &str) -> bool {
-    let bytes = hay.as_bytes();
-    let mut start = 0;
-    while let Some(pos) = hay[start..].find(word) {
-        let i = start + pos;
-        let j = i + word.len();
-        let before_ok = i == 0 || !is_ident(bytes[i - 1]);
-        let after_ok = j >= bytes.len() || !is_ident(bytes[j]);
-        if before_ok && after_ok {
-            return true;
-        }
-        start = i + 1;
-    }
-    false
-}
-
-struct Patterns {
-    unsafe_kw: String,
-    safety_upper: String,
-    safety_doc: String,
-    relaxed: String,
-    send: String,
-    recv: String,
-    join: String,
-    unwrap: String,
-    expect: String,
-    std_spawn: String,
-    std_builder: String,
-}
-
-impl Patterns {
-    fn new() -> Self {
-        // Concatenation keeps the literal patterns out of this source file.
-        Patterns {
-            unsafe_kw: ["un", "safe"].concat(),
-            safety_upper: ["SAF", "ETY"].concat(),
-            safety_doc: ["# Saf", "ety"].concat(),
-            relaxed: ["Ordering::", "Relaxed"].concat(),
-            send: [".se", "nd("].concat(),
-            recv: [".re", "cv("].concat(),
-            join: [".jo", "in()"].concat(),
-            unwrap: [".unw", "rap()"].concat(),
-            expect: [".exp", "ect("].concat(),
-            std_spawn: ["std::thread::", "spawn"].concat(),
-            std_builder: ["std::thread::", "Builder"].concat(),
-        }
-    }
-}
-
-/// Per-file rule applicability, derived from the workspace-relative path
-/// (or forced wholesale for fixture self-checks).
-#[derive(Clone, Copy)]
-struct Scope {
-    relaxed_audited: bool,
-    recovery_path: bool,
-    model_checked: bool,
-    whole_file_is_test: bool,
-}
-
-impl Scope {
-    fn for_path(rel: &str) -> Self {
-        Scope {
-            relaxed_audited: AUDITED_RELAXED.contains(&rel),
-            recovery_path: RECOVERY_PATH_SCOPES.iter().any(|p| rel.starts_with(p)),
-            model_checked: MODEL_CHECKED_SCOPES.iter().any(|p| rel.starts_with(p)),
-            whole_file_is_test: rel.contains("/tests/")
-                || rel.starts_with("tests/")
-                || rel.contains("/benches/"),
-        }
-    }
-
-    fn forced() -> Self {
-        Scope {
-            relaxed_audited: false,
-            recovery_path: true,
-            model_checked: true,
-            whole_file_is_test: false,
-        }
-    }
-}
-
-/// Scan one file's contents and return every rule violation in it.
-fn scan_file(rel: &str, content: &str, scope: Scope, pats: &Patterns) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    let mut strip = StripState::default();
-    let raw_lines: Vec<&str> = content.lines().collect();
-
-    // #[cfg(test)] region tracking: `armed` after the attribute, a region
-    // starts at the next opening brace and ends when depth returns to the
-    // level it started at.
-    let mut depth: i64 = 0;
-    let mut armed = false;
-    let mut test_region_floor: Vec<i64> = Vec::new();
-
-    for (idx, raw) in raw_lines.iter().enumerate() {
-        let line_no = idx + 1;
-        let stripped = strip_line(raw, &mut strip);
-        let in_test = scope.whole_file_is_test || !test_region_floor.is_empty();
-
-        // R1: unsafe needs a nearby SAFETY comment. Applies everywhere,
-        // test code included — tests reach into unsafe code too.
-        if contains_word(&stripped, &pats.unsafe_kw) {
-            let from = idx.saturating_sub(SAFETY_LOOKBACK);
-            let documented = raw_lines[from..=idx]
-                .iter()
-                .any(|l| l.contains(&pats.safety_upper) || l.contains(&pats.safety_doc));
-            if !documented {
-                findings.push(Finding {
-                    path: rel.to_string(),
-                    line: line_no,
-                    rule: "unsafe-needs-safety-comment",
-                    msg: format!(
-                        "`unsafe` without a SAFETY comment in the previous {SAFETY_LOOKBACK} lines"
-                    ),
-                });
-            }
-        }
-
-        // R2: Relaxed ordering on a sync-critical atomic name, outside the
-        // audited modules. Applies in test code too — a test that reads a
-        // protocol atomic with Relaxed is asserting on unsynchronized data.
-        if !scope.relaxed_audited && stripped.contains(&pats.relaxed) {
-            if let Some(name) = SYNC_ATOMIC_NAMES
-                .iter()
-                .find(|n| contains_word(&stripped, n))
-            {
-                findings.push(Finding {
-                    path: rel.to_string(),
-                    line: line_no,
-                    rule: "relaxed-on-sync-atomic",
-                    msg: format!(
-                        "Ordering::Relaxed on sync-critical atomic `{name}` \
-                         (audit the module in lint::AUDITED_RELAXED or strengthen the ordering)"
-                    ),
-                });
-            }
-        }
-
-        // R3: unwrap/expect on a cross-thread handoff in recovery-path
-        // production code.
-        if scope.recovery_path && !in_test {
-            let handoff = stripped.contains(&pats.send)
-                || stripped.contains(&pats.recv)
-                || stripped.contains(&pats.join);
-            let panics = stripped.contains(&pats.unwrap) || stripped.contains(&pats.expect);
-            if handoff && panics {
-                findings.push(Finding {
-                    path: rel.to_string(),
-                    line: line_no,
-                    rule: "unwrap-on-cross-thread-result",
-                    msg: "panicking on a cross-thread send/recv/join result in \
-                          recovery-path code; a dead peer must degrade, not panic"
-                        .to_string(),
-                });
-            }
-        }
-
-        // R4: raw std::thread spawn in a model-checked crate's production
-        // code (invisible to the modelcheck explorer).
-        if scope.model_checked
-            && !in_test
-            && (stripped.contains(&pats.std_spawn) || stripped.contains(&pats.std_builder))
-        {
-            findings.push(Finding {
-                path: rel.to_string(),
-                line: line_no,
-                rule: "raw-thread-spawn",
-                msg: "std::thread spawn in a model-checked crate; use \
-                      loom::thread so the modelcheck explorer can intercept it"
-                    .to_string(),
-            });
-        }
-
-        // Maintain the cfg(test) region state *after* classifying this
-        // line, so the `mod tests {` line itself is production code.
-        if stripped.contains("#[cfg(test)]") {
-            armed = true;
-        } else if armed && stripped.contains('{') {
-            test_region_floor.push(depth);
-            armed = false;
-        }
-        for c in stripped.chars() {
-            match c {
-                '{' => depth += 1,
-                '}' => depth -= 1,
-                _ => {}
-            }
-        }
-        while matches!(test_region_floor.last(), Some(&f) if depth <= f) {
-            test_region_floor.pop();
-        }
-    }
-    findings
-}
-
-/// Recursively collect `.rs` files under `dir`, skipping build output, VCS
-/// metadata, and lint fixtures.
-fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
-    let entries = match fs::read_dir(dir) {
+fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<(String, PathBuf)>) {
+    let entries = match std::fs::read_dir(dir) {
         Ok(e) => e,
         Err(_) => return,
     };
     for entry in entries.flatten() {
-        let p = entry.path();
+        let path = entry.path();
         let name = entry.file_name();
         let name = name.to_string_lossy();
-        if p.is_dir() {
-            if name == "target" || name == ".git" || name == "fixtures" {
+        if path.is_dir() {
+            if matches!(
+                name.as_ref(),
+                "target" | ".git" | "fixtures" | "node_modules"
+            ) {
                 continue;
             }
-            collect_rs(&p, out);
+            collect_rs(&path, root, out);
         } else if name.ends_with(".rs") {
-            out.push(p);
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push((rel, path));
         }
     }
 }
 
-fn rel_path(root: &Path, p: &Path) -> String {
-    p.strip_prefix(root)
-        .unwrap_or(p)
-        .to_string_lossy()
-        .replace('\\', "/")
-}
-
-/// Lint every Rust source file under `root` (a workspace checkout).
-/// Returns the findings plus the number of files scanned.
-pub fn lint_workspace(root: &Path) -> (Vec<Finding>, usize) {
-    let pats = Patterns::new();
+/// Read and parse every in-scope `.rs` file under `root`.
+pub fn load_workspace(root: &Path) -> std::io::Result<Workspace> {
+    let mut paths = Vec::new();
+    collect_rs(root, root, &mut paths);
+    paths.sort();
     let mut files = Vec::new();
-    collect_rs(root, &mut files);
-    files.sort();
-    let mut findings = Vec::new();
-    let mut scanned = 0;
-    for p in &files {
-        let rel = rel_path(root, p);
-        // The linter does not lint itself: its source necessarily names
-        // the very patterns it hunts for.
-        if rel.starts_with("crates/lint/") {
-            continue;
-        }
-        let Ok(content) = fs::read_to_string(p) else {
+    for (rel, path) in paths {
+        let Some((krate, is_test)) = classify(&rel) else {
             continue;
         };
-        scanned += 1;
-        findings.extend(scan_file(&rel, &content, Scope::for_path(&rel), &pats));
+        let src = std::fs::read_to_string(&path)?;
+        files.push(ParsedFile::parse(&rel, &krate, &src, is_test));
     }
-    (findings, scanned)
+    Ok(Workspace { files })
 }
 
-/// Run every rule over the fixtures: each rule must fire on `bad.rs` and
-/// nothing may fire on `clean.rs`. Returns human-readable failures.
-pub fn self_check(fixtures: &Path) -> Result<(), Vec<String>> {
-    let pats = Patterns::new();
-    let mut errors = Vec::new();
+/// Run every rule over an already-loaded workspace.
+pub fn analyze(ws: &Workspace, opts: GraphOpts) -> Vec<Diagnostic> {
+    rules::run_all(ws, opts)
+}
 
-    let read = |name: &str| -> Option<String> { fs::read_to_string(fixtures.join(name)).ok() };
+/// Pseudo-path a rule's fixtures are analyzed under, placing them in a
+/// crate where the rule's scope applies.
+fn fixture_rel(rule: &str) -> &'static str {
+    match rule {
+        "dropped-result" => "crates/veloc/src/__fixture__.rs",
+        "panic-reach" | "wildcard-match" => "crates/fenix/src/__fixture__.rs",
+        "relaxed-sync" => "crates/telemetry/src/__fixture__.rs",
+        "thread-spawn" => "crates/simmpi/src/__fixture__.rs",
+        // single-exit, protect-pairing, reset-order, unsafe-comment.
+        _ => "crates/resilience/src/__fixture__.rs",
+    }
+}
 
-    match read("bad.rs") {
-        Some(bad) => {
-            let findings = scan_file("fixtures/bad.rs", &bad, Scope::forced(), &pats);
-            for rule in [
-                "unsafe-needs-safety-comment",
-                "relaxed-on-sync-atomic",
-                "unwrap-on-cross-thread-result",
-                "raw-thread-spawn",
-            ] {
-                if !findings.iter().any(|f| f.rule == rule) {
-                    errors.push(format!("rule `{rule}` did not fire on fixtures/bad.rs"));
+/// Analyze one fixture file as a single-file workspace under `rule`'s
+/// scope.
+pub fn analyze_fixture(rule: &str, src: &str) -> Vec<Diagnostic> {
+    let rel = fixture_rel(rule);
+    let krate = classify(rel).map(|(c, _)| c).unwrap_or_default();
+    let ws = Workspace {
+        files: vec![ParsedFile::parse(rel, &krate, src, false)],
+    };
+    analyze(&ws, GraphOpts::default())
+}
+
+/// Verify every rule against its checked-in fixtures: `fire.rs` must
+/// trigger the rule, `clean.rs` must produce no findings at all. Returns
+/// per-rule fire counts.
+pub fn self_check(fixture_root: &Path) -> Result<Vec<(&'static str, usize)>, String> {
+    if !fixture_root.is_dir() {
+        return Err(format!(
+            "fixture directory {} does not exist",
+            fixture_root.display()
+        ));
+    }
+    let mut counts = Vec::new();
+    for &rule in rules::ALL_RULES {
+        let dir = fixture_root.join(rule);
+        let fire = std::fs::read_to_string(dir.join("fire.rs"))
+            .map_err(|e| format!("{rule}: missing fire fixture: {e}"))?;
+        let clean = std::fs::read_to_string(dir.join("clean.rs"))
+            .map_err(|e| format!("{rule}: missing clean fixture: {e}"))?;
+        let fire_diags = analyze_fixture(rule, &fire);
+        let hits = fire_diags.iter().filter(|d| d.rule == rule).count();
+        if hits == 0 {
+            return Err(format!(
+                "{rule}: fire fixture produced no `{rule}` finding (got: {:?})",
+                fire_diags.iter().map(|d| d.rule).collect::<Vec<_>>()
+            ));
+        }
+        let clean_diags = analyze_fixture(rule, &clean);
+        if !clean_diags.is_empty() {
+            return Err(format!(
+                "{rule}: clean fixture is not clean: {}",
+                clean_diags
+                    .iter()
+                    .map(|d| d.render_human())
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            ));
+        }
+        counts.push((rule, hits));
+    }
+    Ok(counts)
+}
+
+struct CliOpts {
+    root: PathBuf,
+    format_json: bool,
+    report: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    trace: Option<PathBuf>,
+    deep: bool,
+    mutants: bool,
+    self_check: bool,
+}
+
+fn parse_args() -> Result<CliOpts, String> {
+    let mut opts = CliOpts {
+        root: PathBuf::from("."),
+        format_json: false,
+        report: None,
+        baseline: None,
+        trace: None,
+        deep: std::env::var("LINT_DEEP")
+            .map(|v| v == "1")
+            .unwrap_or(false),
+        mutants: false,
+        self_check: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--root" => opts.root = PathBuf::from(value("--root")?),
+            "--format" => {
+                opts.format_json = match value("--format")?.as_str() {
+                    "json" => true,
+                    "human" => false,
+                    other => return Err(format!("unknown format `{other}`")),
                 }
             }
+            "--report" => opts.report = Some(PathBuf::from(value("--report")?)),
+            "--baseline" => opts.baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--trace" => opts.trace = Some(PathBuf::from(value("--trace")?)),
+            "--deep" => opts.deep = true,
+            "--mutants" => opts.mutants = true,
+            "--self-check" => opts.self_check = true,
+            other => return Err(format!("unknown argument `{other}`")),
         }
-        None => errors.push("missing fixture fixtures/bad.rs".to_string()),
     }
-
-    match read("clean.rs") {
-        Some(clean) => {
-            for f in scan_file("fixtures/clean.rs", &clean, Scope::forced(), &pats) {
-                errors.push(format!("false positive on clean fixture: {f}"));
-            }
-        }
-        None => errors.push("missing fixture fixtures/clean.rs".to_string()),
-    }
-
-    if errors.is_empty() {
-        Ok(())
-    } else {
-        Err(errors)
-    }
+    Ok(opts)
 }
 
-/// CLI entry point: `lint [--root <dir>] [--self-check]`.
+/// Entry point for the `lint` binary. Exit codes: 0 clean, 1 findings or
+/// self-check failure, 2 usage/IO error.
 pub fn cli_main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("lint: {e}");
+            eprintln!(
+                "usage: lint [--root DIR] [--format human|json] [--report PATH] \
+                 [--baseline PATH] [--trace PATH] [--deep] [--mutants] [--self-check]"
+            );
+            std::process::exit(2);
+        }
+    };
 
-    if args.iter().any(|a| a == "--self-check") {
-        let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    if opts.self_check {
+        let fixtures = opts.root.join("crates/lint/fixtures");
         match self_check(&fixtures) {
-            Ok(()) => {
-                println!("lint self-check: all rules fire on fixtures, clean fixture passes");
-            }
-            Err(errors) => {
-                for e in &errors {
-                    eprintln!("lint self-check: {e}");
+            Ok(counts) => {
+                for (rule, n) in counts {
+                    println!("self-check: {rule} fires ({n} finding(s)), clean twin passes");
                 }
+                println!("self-check: all {} rules verified", rules::ALL_RULES.len());
+            }
+            Err(e) => {
+                eprintln!("self-check FAILED: {e}");
                 std::process::exit(1);
             }
         }
         return;
     }
 
-    let root = args
-        .iter()
-        .position(|a| a == "--root")
-        .and_then(|i| args.get(i + 1))
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("."));
+    // Telemetry: the analysis runs under a StaticAnalysis span and books
+    // per-rule finding counts, so lint cost shows up in the same trace
+    // tooling as the runtime layers.
+    let tel = telemetry::Telemetry::new(telemetry::TelemetryConfig::default());
+    let acc = Arc::new(telemetry::PhaseAccumulator::new());
+    let rec = tel.recorder(0, Arc::clone(&acc));
 
-    let (findings, scanned) = lint_workspace(&root);
-    if findings.is_empty() {
-        println!("lint: OK ({scanned} files scanned, 0 violations)");
-        return;
+    let graph_opts = GraphOpts {
+        deep: opts.deep,
+        include_mutants: opts.mutants,
+    };
+    let outcome = rec.time(telemetry::Phase::StaticAnalysis, || {
+        let ws = load_workspace(&opts.root)?;
+        let diags = analyze(&ws, graph_opts);
+        Ok::<_, std::io::Error>((ws.files.len(), diags))
+    });
+    let (files_scanned, diags) = match outcome {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("lint: failed to read workspace: {e}");
+            std::process::exit(2);
+        }
+    };
+    for &rule in rules::ALL_RULES {
+        let n = diags.iter().filter(|d| d.rule == rule).count() as u64;
+        tel.metrics().counter(&format!("lint.{rule}")).add(n);
     }
-    for f in &findings {
-        eprintln!("{f}");
+    tel.metrics()
+        .counter("lint.files_scanned")
+        .add(files_scanned as u64);
+
+    let baseline_path = opts
+        .baseline
+        .clone()
+        .unwrap_or_else(|| opts.root.join("lint-baseline.txt"));
+    let baseline = if baseline_path.is_file() {
+        match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => match Baseline::parse(&text) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("lint: bad baseline {}: {e}", baseline_path.display());
+                    std::process::exit(2);
+                }
+            },
+            Err(e) => {
+                eprintln!("lint: cannot read baseline: {e}");
+                std::process::exit(2);
+            }
+        }
+    } else {
+        Baseline::default()
+    };
+
+    let (baselined, active): (Vec<_>, Vec<_>) =
+        diags.into_iter().partition(|d| baseline.contains(d));
+    for stale in baseline.stale(&baselined) {
+        eprintln!("lint: warning: stale baseline entry: {stale}");
     }
-    eprintln!("lint: {} violation(s) in {scanned} files", findings.len());
-    std::process::exit(1);
+
+    if let Some(report) = &opts.report {
+        if let Some(parent) = report.parent() {
+            let _unused = std::fs::create_dir_all(parent);
+        }
+        let json = diag::render_json(&active, baselined.len());
+        if let Err(e) = std::fs::write(report, json) {
+            eprintln!("lint: cannot write report {}: {e}", report.display());
+            std::process::exit(2);
+        }
+        println!("lint: report written to {}", report.display());
+    }
+    if let Some(trace) = &opts.trace {
+        let snap = tel.snapshot();
+        if let Err(e) = telemetry::export::write_jsonl(trace, &snap) {
+            eprintln!("lint: cannot write trace {}: {e}", trace.display());
+        }
+    }
+
+    if opts.format_json {
+        print!("{}", diag::render_json(&active, baselined.len()));
+    } else {
+        for d in &active {
+            println!("{}", d.render_human());
+        }
+        let spent = acc.get(telemetry::Phase::StaticAnalysis);
+        println!(
+            "lint: {} finding(s), {} baselined, {} files scanned in {:?}{}{}",
+            active.len(),
+            baselined.len(),
+            files_scanned,
+            spent,
+            if opts.deep { " [deep]" } else { "" },
+            if opts.mutants { " [mutants]" } else { "" },
+        );
+    }
+    if !active.is_empty() {
+        std::process::exit(1);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn scan(rel: &str, src: &str) -> Vec<Finding> {
-        scan_file(rel, src, Scope::for_path(rel), &Patterns::new())
-    }
-
     #[test]
-    fn undocumented_unsafe_is_flagged_and_documented_is_not() {
-        let bad = "fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
-        let fs = scan("crates/x/src/lib.rs", bad);
-        assert_eq!(fs.len(), 1);
-        assert_eq!(fs[0].rule, "unsafe-needs-safety-comment");
-        assert_eq!(fs[0].line, 2);
-
-        let good =
-            "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees validity.\n    unsafe { *p }\n}\n";
-        assert!(scan("crates/x/src/lib.rs", good).is_empty());
-    }
-
-    #[test]
-    fn unsafe_in_comments_and_strings_is_ignored() {
-        let src = "// this mentions unsafe code\nlet s = \"unsafe\";\n";
-        assert!(scan("crates/x/src/lib.rs", src).is_empty());
-    }
-
-    #[test]
-    fn relaxed_on_sync_name_flagged_outside_audit() {
-        let src = "let v = self.seq.load(Ordering::Relaxed);\n";
-        let fs = scan("crates/x/src/lib.rs", src);
-        assert_eq!(fs.len(), 1);
-        assert_eq!(fs[0].rule, "relaxed-on-sync-atomic");
-        assert!(scan("crates/telemetry/src/ring.rs", src).is_empty());
-        // Non-sync names are fine anywhere.
-        let counter = "self.hits.fetch_add(1, Ordering::Relaxed);\n";
-        assert!(scan("crates/x/src/lib.rs", counter).is_empty());
-        // Word boundaries: `stop_requested` is not `stop`.
-        let near = "self.stop_requested.load(Ordering::Relaxed);\n";
-        assert!(scan("crates/x/src/lib.rs", near).is_empty());
-    }
-
-    #[test]
-    fn cross_thread_unwrap_flagged_only_in_recovery_production_code() {
-        let src = "tx.send(job).unwrap();\n";
-        let fs = scan("crates/veloc/src/backend.rs", src);
-        assert_eq!(fs.len(), 1);
-        assert_eq!(fs[0].rule, "unwrap-on-cross-thread-result");
-        // Out-of-scope crate: allowed.
-        assert!(scan("crates/cluster/src/net.rs", src).is_empty());
-        // Test module in scope: allowed.
-        let tested =
-            "#[cfg(test)]\nmod tests {\n    fn t() {\n        tx.send(1).unwrap();\n    }\n}\n";
-        assert!(scan("crates/veloc/src/backend.rs", tested).is_empty());
-        // Integration test dir: allowed.
-        assert!(scan("crates/simmpi/tests/failures.rs", src).is_empty());
-        // Path joins don't look like thread joins.
-        let path_join = "let p = dir.join(\"ck\").to_str().unwrap();\n";
-        assert!(scan("crates/veloc/src/client.rs", path_join).is_empty());
-    }
-
-    #[test]
-    fn raw_spawn_flagged_in_model_checked_crates() {
-        let src = "let h = std::thread::spawn(move || run());\n";
-        let fs = scan("crates/telemetry/src/ring.rs", src);
-        assert_eq!(fs.len(), 1);
-        assert_eq!(fs[0].rule, "raw-thread-spawn");
-        // The loom shim itself may use std::thread.
-        assert!(scan("shims/loom/src/thread.rs", src).is_empty());
-        // scoped threads are fine.
-        let scoped = "std::thread::scope(|s| { s.spawn(|| {}); });\n";
-        assert!(scan("crates/telemetry/src/ring.rs", scoped).is_empty());
-    }
-
-    #[test]
-    fn cfg_test_region_tracking_handles_nesting_and_exit() {
-        let src = concat!(
-            "fn prod() {\n",
-            "    tx.send(1).unwrap();\n",
-            "}\n",
-            "#[cfg(test)]\n",
-            "mod tests {\n",
-            "    fn inner() {\n",
-            "        tx.send(1).unwrap();\n",
-            "    }\n",
-            "}\n",
-            "fn prod2() {\n",
-            "    rx.recv().expect(\"peer\");\n",
-            "}\n",
+    fn classify_scopes_paths() {
+        assert_eq!(
+            classify("crates/fenix/src/runtime.rs"),
+            Some(("fenix".into(), false))
         );
-        let fs = scan("crates/fenix/src/lib.rs", src);
-        assert_eq!(fs.len(), 2, "{fs:?}");
-        assert_eq!(fs[0].line, 2);
-        assert_eq!(fs[1].line, 11);
+        assert_eq!(
+            classify("crates/fenix/tests/run_loop.rs"),
+            Some(("fenix".into(), true))
+        );
+        assert_eq!(
+            classify("crates/bench/benches/fig5_heatdis.rs"),
+            Some(("bench".into(), true))
+        );
+        assert_eq!(
+            classify("shims/loom/src/thread.rs"),
+            Some(("loom".into(), false))
+        );
+        assert_eq!(
+            classify("examples/quickstart.rs"),
+            Some(("examples".into(), false))
+        );
+        assert_eq!(
+            classify("tests/integration.rs"),
+            Some(("layered-resilience".into(), true))
+        );
+        assert_eq!(
+            classify("src/lib.rs"),
+            Some(("layered-resilience".into(), false))
+        );
+        // Out of scope: the lint crate itself, fixtures, non-Rust files.
+        assert_eq!(classify("crates/lint/src/lib.rs"), None);
+        assert_eq!(classify("crates/lint/fixtures/panic-reach/fire.rs"), None);
+        assert_eq!(classify("scripts/ci.sh"), None);
     }
 
     #[test]
-    fn block_comments_span_lines() {
-        let src = "/* start\n   unsafe mention inside\n*/\nlet x = 1;\n";
-        assert!(scan("crates/x/src/lib.rs", src).is_empty());
-    }
-
-    #[test]
-    fn self_check_passes_on_shipped_fixtures() {
-        let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
-        if let Err(errors) = self_check(&fixtures) {
-            panic!("self-check failed: {errors:?}");
+    fn fixture_dir_exists_for_every_rule() {
+        // The fixture-dedupe satellite: exactly one canonical fixture
+        // tree, and the binary's --self-check path must really exist.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+        assert!(root.is_dir(), "canonical fixture dir missing: {root:?}");
+        for &rule in rules::ALL_RULES {
+            for file in ["fire.rs", "clean.rs"] {
+                let p = root.join(rule).join(file);
+                assert!(p.is_file(), "missing fixture {p:?}");
+            }
         }
+        // The old duplicate location must stay gone.
+        let dup = Path::new(env!("CARGO_MANIFEST_DIR")).join("src/fixtures");
+        assert!(!dup.exists(), "duplicate fixture dir resurrected: {dup:?}");
+    }
+
+    #[test]
+    fn self_check_passes_on_checked_in_fixtures() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+        let counts = self_check(&root).expect("self-check must pass");
+        assert_eq!(counts.len(), rules::ALL_RULES.len());
     }
 }

@@ -1,0 +1,141 @@
+//! The lint rules and their shared scope policy.
+//!
+//! Rules come in two generations:
+//!
+//! - **token rules** ([`tokens`]): `unsafe-comment`, `relaxed-sync`, and
+//!   `thread-spawn`, ported from the PR 2 regex scanner onto the lossless
+//!   token stream;
+//! - **protocol rules**: the paper's resilience invariants, checked over
+//!   the parsed items, the workspace call graph, and an intra-procedural
+//!   dataflow pass — [`single_exit`], [`pairing`], [`reset_order`],
+//!   [`dropped_result`], [`panic_reach`], [`wildcard`].
+//!
+//! The old `unwrap-on-recovery-path` regex rule is gone: `panic-reach`
+//! (transitive, call-graph-precise) and `dropped-result` supersede it.
+
+pub mod dropped_result;
+pub mod pairing;
+pub mod panic_reach;
+pub mod reset_order;
+pub mod single_exit;
+pub mod tokens;
+pub mod wildcard;
+
+use crate::callgraph::{CallGraph, GraphOpts, Resolver, Workspace};
+use crate::diag::Diagnostic;
+
+/// Crates whose recovery entry points must not reach a panic site
+/// (paper layers: process = fenix, data = veloc, control-flow/data glue =
+/// kokkos-resilience).
+pub const RECOVERY_CRATES: &[&str] = &["fenix", "veloc", "kokkos-resilience"];
+
+/// Crates where failure-enum matches must be exhaustive and `Result`s on
+/// recovery paths must not be silently dropped (the recovery crates plus
+/// the integration layer that routes their errors).
+pub const STRICT_FAILURE_CRATES: &[&str] = &["fenix", "veloc", "kokkos-resilience", "resilience"];
+
+/// The workspace's failure enums. The paper's `FenixEvent` maps to
+/// `MpiError` here: Fenix surfaces process failure as ULFM error classes
+/// (`ProcFailed`/`Revoked`), not a separate event enum.
+pub const FAILURE_ENUMS: &[&str] = &["MpiError", "VelocError", "ImrError"];
+
+/// Recovery entry points per crate: the functions a rank executes on the
+/// re-entry path after a failure (paper Fig. 4). `panic-reach` roots its
+/// traversal here.
+pub const RECOVERY_ENTRY_FNS: &[(&str, &[&str])] = &[
+    (
+        "fenix",
+        &[
+            "run",
+            "apply_repair",
+            "repair_rendezvous",
+            "fire_callbacks",
+            "restore",
+        ],
+    ),
+    (
+        "veloc",
+        &["restart", "restart_inner", "restart_test", "latest_version"],
+    ),
+    (
+        "kokkos-resilience",
+        &[
+            "reset",
+            "latest_version",
+            "latest_agreed",
+            "checkpoint",
+            "restore",
+        ],
+    ),
+];
+
+/// Crates whose panic sites `panic-reach` may report. Deep-mode traversal
+/// follows calls anywhere (including vendored shims), but a diagnostic is
+/// only actionable where the code participates in the recovery protocol:
+/// the recovery crates, the ULFM transport whose `revoke`/`agree`/`shrink`
+/// *are* the recovery protocol, and the integration layer. Infrastructure
+/// crates (telemetry, cluster, modelcheck) and vendored shims stay out —
+/// a panic there is an internal bug, not a resilience-protocol violation.
+pub const PANIC_SITE_CRATES: &[&str] = &[
+    "fenix",
+    "veloc",
+    "kokkos-resilience",
+    "simmpi",
+    "resilience",
+];
+
+/// Crates whose threading must go through the loom-aware shims so the
+/// model checker can explore it (`thread-spawn` scope, from PR 2).
+pub const MODEL_CHECKED_CRATES: &[&str] = &["telemetry", "veloc", "simmpi"];
+
+/// Files audited for `Ordering::Relaxed` on synchronization-adjacent
+/// atomics (`relaxed-sync` rule): the seqlock ring orders via `seq`'s
+/// Acquire/Release pair and uses Relaxed only where the protocol proves it.
+pub const AUDITED_RELAXED: &[&str] = &["crates/telemetry/src/ring.rs"];
+
+/// Identifier fragments that mark an atomic as synchronization-carrying.
+pub const SYNC_ATOMIC_NAMES: &[&str] =
+    &["seq", "head", "stop", "abort", "pending", "dead", "revoked"];
+
+/// Metadata reads that go stale across `Context::reset(new_comm)`.
+pub const STALE_METADATA_READS: &[&str] = &[
+    "latest_version",
+    "latest_agreed",
+    "region_stats",
+    "checkpoint_bytes",
+];
+
+/// All rule identifiers, in report order.
+pub const ALL_RULES: &[&str] = &[
+    "single-exit",
+    "protect-pairing",
+    "reset-order",
+    "dropped-result",
+    "panic-reach",
+    "wildcard-match",
+    "unsafe-comment",
+    "relaxed-sync",
+    "thread-spawn",
+];
+
+pub fn in_crates(krate: &str, list: &[&str]) -> bool {
+    list.contains(&krate)
+}
+
+/// Run every rule over the workspace. `deep` widens method/free-call
+/// resolution across crate boundaries (`LINT_DEEP=1`); `include_mutants`
+/// lets the seeded `lint-mutants` violations into the call graph.
+pub fn run_all(ws: &Workspace, opts: GraphOpts) -> Vec<Diagnostic> {
+    let graph = CallGraph::build(ws, opts);
+    let resolver = Resolver::new(ws, opts);
+    let mut diags = Vec::new();
+    diags.extend(single_exit::check(ws, opts));
+    diags.extend(pairing::check(ws, &graph));
+    diags.extend(reset_order::check(ws));
+    diags.extend(dropped_result::check(ws, &resolver));
+    diags.extend(panic_reach::check(ws, &graph, opts));
+    diags.extend(wildcard::check(ws));
+    diags.extend(tokens::check(ws));
+    diags.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    diags
+}

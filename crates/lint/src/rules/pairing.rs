@@ -1,0 +1,90 @@
+//! `protect-pairing`: a VeloC-style `protect(id, region)` registration
+//! with no covering `checkpoint`/`restart` call, or a `restart` into a
+//! file that never protects anything, is a protocol error — the paper's
+//! data layer only persists regions that are both registered *and*
+//! committed, and only restores into regions that were re-registered
+//! after the repair (Fig. 4's "protect → restart/checkpoint" sequence).
+//!
+//! Granularity: the "region" is the source file, refined by the call
+//! graph — a `protect` caller is also clean when a `checkpoint`/`restart`
+//! call appears in one of its transitive callees. This keeps backend
+//! plumbing (where protect and checkpoint live in different methods of
+//! one file) and app runners (protect in a helper, checkpoint in the
+//! loop) clean without type information.
+
+use std::collections::HashSet;
+
+use crate::callgraph::{CallGraph, FnId, Workspace};
+use crate::diag::Diagnostic;
+use crate::parser::CallKind;
+
+fn method_call_named(ws: &Workspace, id: FnId, names: &[&str]) -> bool {
+    ws.fn_item(id)
+        .calls
+        .iter()
+        .any(|c| c.kind == CallKind::Method && names.contains(&c.name()))
+}
+
+fn file_has(ws: &Workspace, fi: usize, names: &[&str]) -> bool {
+    ws.files[fi].fns.iter().filter(|f| !f.is_test).any(|f| {
+        f.calls
+            .iter()
+            .any(|c| c.kind == CallKind::Method && names.contains(&c.name()))
+    })
+}
+
+pub fn check(ws: &Workspace, graph: &CallGraph) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (id, f) in ws.fns() {
+        if f.is_test || ws.file(id).file_is_test {
+            continue;
+        }
+        let has_protect = method_call_named(ws, id, &["protect"]);
+        let has_restart = method_call_named(ws, id, &["restart"]);
+        if !has_protect && !has_restart {
+            continue;
+        }
+        // File-level co-occurrence first, then the call-graph closure.
+        let covers = |names: &[&str]| -> bool {
+            if file_has(ws, id.0, names) {
+                return true;
+            }
+            let reach: HashSet<FnId> = graph.reachable(&[id]);
+            reach.iter().any(|&r| method_call_named(ws, r, names))
+        };
+        if has_protect && !covers(&["checkpoint", "restart"]) {
+            let site = f
+                .calls
+                .iter()
+                .find(|c| c.kind == CallKind::Method && c.name() == "protect")
+                .expect("has_protect implies a protect call");
+            out.push(Diagnostic {
+                rule: "protect-pairing",
+                file: ws.file(id).rel.clone(),
+                line: site.line,
+                func: f.qual(),
+                msg: "protect() registers a region but no checkpoint()/restart() covers it \
+                      in this file or its callees; the region is never persisted"
+                    .into(),
+            });
+        }
+        if has_restart && !covers(&["protect"]) {
+            let site = f
+                .calls
+                .iter()
+                .find(|c| c.kind == CallKind::Method && c.name() == "restart")
+                .expect("has_restart implies a restart call");
+            out.push(Diagnostic {
+                rule: "protect-pairing",
+                file: ws.file(id).rel.clone(),
+                line: site.line,
+                func: f.qual(),
+                msg: "restart() restores checkpoint data but nothing here protect()s a \
+                      region; restore into unregistered regions fails at runtime \
+                      (UnknownRegion)"
+                    .into(),
+            });
+        }
+    }
+    out
+}

@@ -1,0 +1,83 @@
+//! `panic-reach`: no `panic!`/`todo!`/`unimplemented!`, `.unwrap()`,
+//! `.expect(…)`, or non-range `[…]`-indexing may be reachable through the
+//! call graph from a recovery entry point in `fenix`, `veloc`, or
+//! `kokkos-resilience`. A panic on the re-entry path after a failure kills
+//! the rank that was supposed to be recovering — turning a survivable
+//! fault into a second, unsurvivable one.
+//!
+//! This upgrades PR 2's per-file `unwrap-on-recovery-path` text rule to
+//! transitive call-graph precision: the entry set is the functions a rank
+//! executes on the post-failure path (see
+//! [`crate::rules::RECOVERY_ENTRY_FNS`]), and every function reachable
+//! from them is checked.
+//!
+//! Deliberately *not* sites: `assert!`/`debug_assert!` (stated invariants)
+//! and `unreachable!` (documented impossible states) — the paper's
+//! runtime keeps those as contract documentation, and the model checker
+//! exercises them.
+//!
+//! Default mode keeps name resolution within each recovery crate;
+//! `LINT_DEEP=1` follows method calls workspace-wide (slower, noisier —
+//! run by CI as an advisory pass).
+
+use crate::callgraph::{CallGraph, FnId, GraphOpts, Workspace};
+use crate::diag::Diagnostic;
+use crate::parser::PanicKind;
+use crate::rules::{in_crates, PANIC_SITE_CRATES, RECOVERY_CRATES, RECOVERY_ENTRY_FNS};
+
+pub fn check(ws: &Workspace, graph: &CallGraph, opts: GraphOpts) -> Vec<Diagnostic> {
+    let entries: Vec<FnId> = ws
+        .fns()
+        .filter(|(id, f)| {
+            if f.is_test || ws.file(*id).file_is_test {
+                return false;
+            }
+            if f.mutant_gated && !opts.include_mutants {
+                return false;
+            }
+            let krate = ws.file(*id).crate_name.as_str();
+            RECOVERY_ENTRY_FNS
+                .iter()
+                .any(|(c, names)| *c == krate && names.contains(&f.name.as_str()))
+        })
+        .map(|(id, _)| id)
+        .collect();
+    let reach = graph.reachable(&entries);
+    let mut out = Vec::new();
+    for id in reach {
+        let f = ws.fn_item(id);
+        let file = ws.file(id);
+        // In default mode only the recovery crates are in scope; deep mode
+        // follows the traversal further (e.g. into simmpi), but still only
+        // reports sites in protocol-participating crates — see
+        // [`PANIC_SITE_CRATES`].
+        let scope = if opts.deep {
+            PANIC_SITE_CRATES
+        } else {
+            RECOVERY_CRATES
+        };
+        if !in_crates(&file.crate_name, scope) {
+            continue;
+        }
+        for site in &f.panics {
+            let what = match &site.kind {
+                PanicKind::Macro(m) => format!("{m}!"),
+                PanicKind::Unwrap => ".unwrap()".into(),
+                PanicKind::Expect => ".expect(…)".into(),
+                PanicKind::Index => "[…]-indexing".into(),
+            };
+            out.push(Diagnostic {
+                rule: "panic-reach",
+                file: file.rel.clone(),
+                line: site.line,
+                func: f.qual(),
+                msg: format!(
+                    "{what} is reachable from a recovery entry point; a panic here kills \
+                     the recovering rank — return the error through the resilience layers \
+                     instead"
+                ),
+            });
+        }
+    }
+    out
+}

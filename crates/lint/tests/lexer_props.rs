@@ -1,0 +1,114 @@
+//! Property tests for the lossless lexer (ISSUE satellite): for arbitrary
+//! compositions of the trickiest constructs — raw strings with hash
+//! guards, nested block comments, lifetimes vs. char literals, shebang
+//! lines — every byte of the source lands in exactly one token, so the
+//! token stream concatenates back to the source without loss. That
+//! property is what lets every downstream rule report exact `file:line`
+//! spans and lets `Lexed::text` slice the original text safely.
+
+use lint::lexer::lex;
+use proptest::prelude::*;
+
+/// Self-contained lexemes the generator splices together. Concatenation
+/// may merge neighbours into different tokens (e.g. a trailing `'` meeting
+/// an ident) — the round-trip property must hold regardless.
+const SNIPPETS: &[&str] = &[
+    "ident",
+    "r#match",
+    "'a",
+    "'static",
+    "'a'",
+    "'\\n'",
+    "'\\''",
+    "\"str \\\" esc\"",
+    "r\"raw\"",
+    "r#\"quote \" inside\"#",
+    "r##\"hash# \"# guard\"##",
+    "b\"bytes\"",
+    "br#\"raw bytes\"#",
+    "// line comment\n",
+    "/* block */",
+    "/* nested /* deeper /* third */ */ still */",
+    "123",
+    "1_000u64",
+    "0xff",
+    "1.5e3",
+    "7.clone()",
+    "::",
+    "->",
+    "=>",
+    "..=",
+    "{",
+    "}",
+    "(",
+    ")",
+    "[",
+    "]",
+    ";",
+    ",",
+    "#",
+    "!",
+    "&&",
+    "\n",
+    "    ",
+];
+
+/// Assert the token list tiles `src` exactly: contiguous, in order,
+/// covering every byte, with nondecreasing line numbers.
+fn assert_lossless(src: &str) {
+    let toks = lex(src);
+    let mut pos = 0usize;
+    let mut line = 1u32;
+    let mut rebuilt = String::new();
+    for t in &toks {
+        assert_eq!(t.start, pos, "gap or overlap at byte {pos} in {src:?}");
+        assert!(t.end > t.start, "empty token at byte {pos} in {src:?}");
+        assert!(t.line >= line, "line went backwards in {src:?}");
+        line = t.line;
+        rebuilt.push_str(&src[t.start..t.end]);
+        pos = t.end;
+    }
+    assert_eq!(pos, src.len(), "trailing bytes uncovered in {src:?}");
+    assert_eq!(rebuilt, src);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Random splices from the snippet pool, with and without separating
+    /// space, round-trip without loss.
+    #[test]
+    fn spliced_snippets_roundtrip(picks in proptest::collection::vec((0usize..SNIPPETS.len(), any::<bool>()), 0..24)) {
+        let mut src = String::new();
+        for (i, spaced) in picks {
+            src.push_str(SNIPPETS[i]);
+            if spaced {
+                src.push(' ');
+            }
+        }
+        assert_lossless(&src);
+    }
+
+    /// Arbitrary ASCII noise — including unterminated quotes and stray
+    /// hashes — must never panic the lexer or lose bytes.
+    #[test]
+    fn ascii_noise_roundtrips(bytes in proptest::collection::vec(0x20u8..0x7f, 0..64)) {
+        let src = String::from_utf8(bytes).unwrap();
+        assert_lossless(&src);
+    }
+}
+
+#[test]
+fn named_tricky_cases_roundtrip() {
+    for src in [
+        "#!/usr/bin/env run\nfn main() {}",
+        "#![allow(dead_code)]\nfn f<'a>(x: &'a str) -> char { 'a' }",
+        "let s = r#\"a \"quoted\" part\"#; /* t /* u */ v */ let c = '\\\\';",
+        "// unterminated /* in a line comment\nlet x = 1;",
+        "r\"", // unterminated raw string: consumed to EOF, not panicked on
+        "'",
+        "\"",
+    ] {
+        assert_lossless(src);
+    }
+}

@@ -1,0 +1,53 @@
+//! Negative control for the analyzer, mirroring `modelcheck/tests/mutant.rs`:
+//! the seeded `lint-mutants` violation in `crates/fenix/src/mutant.rs` must
+//! be caught by `panic-reach` exactly when mutants are opted in — and must
+//! stay invisible to the default scan, which is required to be clean.
+//!
+//! The violation is deliberately *transitive*: the entry point is clean and
+//! only its helper panics, so a per-file text rule could never catch it.
+
+use std::path::Path;
+
+use lint::{analyze, load_workspace, GraphOpts};
+
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("lint crate lives two levels below the workspace root")
+}
+
+#[test]
+fn seeded_mutant_is_caught_only_with_opt_in() {
+    let ws = load_workspace(repo_root()).expect("workspace sources readable");
+
+    let without = analyze(
+        &ws,
+        GraphOpts {
+            deep: false,
+            include_mutants: false,
+        },
+    );
+    assert!(
+        !without.iter().any(|d| d.file.contains("mutant.rs")),
+        "default scan must not see the gated mutant: {without:?}"
+    );
+
+    let with = analyze(
+        &ws,
+        GraphOpts {
+            deep: false,
+            include_mutants: true,
+        },
+    );
+    let hit = with
+        .iter()
+        .find(|d| d.rule == "panic-reach" && d.file == "crates/fenix/src/mutant.rs")
+        .expect("panic-reach must flag the seeded mutant transitively");
+    assert!(
+        hit.func.contains("rebuild_group"),
+        "the finding must land on the helper holding the panic site, got {}",
+        hit.func
+    );
+    assert!(hit.msg.contains("unwrap"));
+}

@@ -40,7 +40,10 @@ impl Bookkeeper {
     fn override_get(&self) -> Option<Phase> {
         match self.override_phase.load(Ordering::Relaxed) {
             0 => None,
-            n => Some(Phase::ALL[(n - 1) as usize]),
+            // `set_phase_override` only stores `phase as u8 + 1`, so the
+            // index is in range by construction; an out-of-range byte decodes
+            // as "no override" rather than indexing past `ALL`.
+            n => Phase::ALL.get((n - 1) as usize).copied(),
         }
     }
 
@@ -87,6 +90,25 @@ impl Bookkeeper {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn phase_override_reroutes_and_ignores_corrupt_encodings() {
+        let bk = Bookkeeper::new(Arc::new(Profile::new()));
+        bk.set_phase_override(Some(Phase::DataRecovery));
+        bk.add(Phase::AppCompute, Duration::from_millis(2));
+        assert_eq!(
+            bk.profile().get(Phase::DataRecovery),
+            Duration::from_millis(2)
+        );
+        // A corrupt encoding decodes as "no override", not an out-of-range
+        // index into `Phase::ALL`.
+        bk.override_phase.store(200, Ordering::Relaxed);
+        bk.add(Phase::AppCompute, Duration::from_millis(1));
+        assert_eq!(
+            bk.profile().get(Phase::AppCompute),
+            Duration::from_millis(1)
+        );
+    }
 
     #[test]
     fn books_to_named_phase_by_default() {

@@ -74,7 +74,10 @@ impl ImrBackend {
     fn imr_err(e: ImrError) -> MpiError {
         match e {
             ImrError::Mpi(m) => m,
-            other => panic!("unrecoverable IMR data loss: {other}"),
+            // Both replicas gone: no layer below can recover this, so the
+            // job aborts — through the error channel, keeping the surviving
+            // ranks' collectives matched instead of panicking one rank.
+            ImrError::DataLost { .. } => MpiError::Aborted,
         }
     }
 }

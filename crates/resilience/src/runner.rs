@@ -47,14 +47,22 @@ const IMR_MEMBER: u32 = 0;
 fn veloc_err(e: VelocError) -> MpiError {
     match e {
         VelocError::Mpi(e) => e,
-        other => panic!("unrecoverable data-layer failure: {other}"),
+        // Local data-layer failures have no recovery layer to claim them;
+        // abort via the error channel so collectives stay matched.
+        VelocError::NotFound { .. }
+        | VelocError::Corrupt { .. }
+        | VelocError::UnknownRegion { .. }
+        | VelocError::NoCommunicator
+        | VelocError::BackendSpawn { .. } => MpiError::Aborted,
     }
 }
 
 fn imr_err(e: ImrError) -> MpiError {
     match e {
         ImrError::Mpi(e) => e,
-        other => panic!("unrecoverable IMR data loss: {other}"),
+        // Both replicas gone: unrecoverable, so the job aborts — through
+        // the error channel, not a panic that strands surviving ranks.
+        ImrError::DataLost { .. } => MpiError::Aborted,
     }
 }
 
@@ -605,4 +613,29 @@ fn fenix_imr_body(
         },
     )?;
     finish(comm, st, shared, done)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_layer_failures_abort_through_the_error_channel() {
+        assert!(matches!(
+            veloc_err(VelocError::Mpi(MpiError::Revoked)),
+            MpiError::Revoked
+        ));
+        assert!(matches!(
+            veloc_err(VelocError::NoCommunicator),
+            MpiError::Aborted
+        ));
+        assert!(matches!(
+            imr_err(ImrError::Mpi(MpiError::Killed)),
+            MpiError::Killed
+        ));
+        assert!(matches!(
+            imr_err(ImrError::DataLost { member: 0, rank: 1 }),
+            MpiError::Aborted
+        ));
+    }
 }

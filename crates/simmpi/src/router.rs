@@ -246,6 +246,11 @@ impl Router {
     /// charging the modeled network (intra-node messages skip the NIC).
     pub fn send(&self, dst: usize, env: Envelope) -> MpiResult<()> {
         self.preflight(env.src, env.comm, env.epoch)?;
+        // Validate before the topology/network model touches `dst`.
+        let mb = self.mailboxes.get(dst).ok_or(MpiError::RankOutOfRange {
+            rank: dst,
+            size: self.mailboxes.len(),
+        })?;
         if self.is_dead(dst) {
             return Err(MpiError::proc_failed(dst));
         }
@@ -258,7 +263,6 @@ impl Router {
         if self.is_dead(dst) {
             return Err(MpiError::proc_failed(dst));
         }
-        let mb = &self.mailboxes[dst];
         mb.queue.lock().push_back(env);
         mb.cv.notify_all();
         Ok(())
@@ -266,7 +270,13 @@ impl Router {
 
     /// Blocking receive. Returns the matched envelope.
     pub fn recv(&self, spec: MatchSpec<'_>) -> MpiResult<Envelope> {
-        let mb = &self.mailboxes[spec.me];
+        let mb = self
+            .mailboxes
+            .get(spec.me)
+            .ok_or(MpiError::RankOutOfRange {
+                rank: spec.me,
+                size: self.mailboxes.len(),
+            })?;
         let mut queue = mb.queue.lock();
         loop {
             // Deliver queued matches first: in-flight data from a
@@ -277,7 +287,9 @@ impl Router {
                     && e.tag == spec.tag
                     && spec.src.is_none_or(|s| e.src == s)
             }) {
-                return Ok(queue.remove(pos).expect("position just found"));
+                if let Some(env) = queue.remove(pos) {
+                    return Ok(env);
+                }
             }
 
             if self.is_aborted() {
@@ -378,6 +390,20 @@ mod tests {
             group,
             me,
         }
+    }
+
+    #[test]
+    fn out_of_range_ranks_error_instead_of_panicking() {
+        let r = router(2);
+        assert!(matches!(
+            r.send(9, env(0, 7, b"hi")),
+            Err(MpiError::RankOutOfRange { rank: 9, size: 2 })
+        ));
+        let group = [0, 1];
+        assert!(matches!(
+            r.recv(spec(9, None, 7, &group)),
+            Err(MpiError::RankOutOfRange { rank: 9, size: 2 })
+        ));
     }
 
     #[test]

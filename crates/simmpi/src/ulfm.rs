@@ -22,7 +22,7 @@ use bytes::Bytes;
 use telemetry::Event;
 
 use crate::comm::Comm;
-use crate::error::MpiResult;
+use crate::error::{MpiError, MpiResult};
 use crate::rendezvous::{purpose, RendezvousKey};
 use crate::router::Router;
 
@@ -33,6 +33,16 @@ pub struct AgreeOutcome {
     pub flags: u64,
     /// Global ranks of group members observed dead during the agreement.
     pub failed: Vec<usize>,
+}
+
+/// Decode a little-endian `u64` agreement contribution; `None` when the
+/// payload is short. Peers always send exactly 8 bytes, but the recovery
+/// path must degrade on a malformed frame, not panic on it.
+fn u64_contribution(b: &[u8]) -> Option<u64> {
+    let head = b.get(..8)?;
+    let mut word = [0u8; 8];
+    word.copy_from_slice(head);
+    Some(u64::from_le_bytes(word))
 }
 
 impl Comm {
@@ -78,15 +88,22 @@ impl Comm {
             self.group(),
             Bytes::copy_from_slice(&flags.to_le_bytes()),
             |parts| {
+                // Every `agree` peer contributes exactly 8 bytes; a short
+                // contribution is excluded from the AND rather than
+                // panicking the combiner on the recovery path.
                 let agreed = parts
                     .iter()
-                    .map(|(_, b)| u64::from_le_bytes(b[..8].try_into().expect("u64 payload")))
+                    .filter_map(|(_, b)| u64_contribution(b))
                     .fold(u64::MAX, |a, b| a & b);
                 Bytes::copy_from_slice(&agreed.to_le_bytes())
             },
         )?;
+        let flags = u64_contribution(&outcome.value).ok_or(MpiError::TypeMismatch {
+            expected: 8,
+            got: outcome.value.len(),
+        })?;
         let agreed = AgreeOutcome {
-            flags: u64::from_le_bytes(outcome.value[..8].try_into().expect("u64 payload")),
+            flags,
             failed: outcome.failures_observed,
         };
         self.router().recorder(self.my_global()).emit(Event::Agree {
@@ -136,5 +153,19 @@ impl Comm {
             Arc::new(survivors),
             self.my_global(),
         ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_contribution_decodes_and_rejects_short_frames() {
+        assert_eq!(u64_contribution(&42u64.to_le_bytes()), Some(42));
+        let mut long = 7u64.to_le_bytes().to_vec();
+        long.push(0xff);
+        assert_eq!(u64_contribution(&long), Some(7));
+        assert_eq!(u64_contribution(&[1, 2, 3]), None);
     }
 }

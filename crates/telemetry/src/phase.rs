@@ -39,10 +39,14 @@ pub enum Phase {
     Communicator,
     /// Application initialization (counted toward "Other" on relaunch).
     AppInit,
+    /// Offline static-analysis passes (`crates/lint`); never booked inside
+    /// an experiment, but carried here so analyzer runs share the span /
+    /// trace tooling.
+    StaticAnalysis,
 }
 
 impl Phase {
-    pub const COUNT: usize = 10;
+    pub const COUNT: usize = 11;
 
     pub const ALL: [Phase; Phase::COUNT] = [
         Phase::AppCompute,
@@ -55,6 +59,7 @@ impl Phase {
         Phase::Neighboring,
         Phase::Communicator,
         Phase::AppInit,
+        Phase::StaticAnalysis,
     ];
 
     pub fn name(self) -> &'static str {
@@ -69,6 +74,7 @@ impl Phase {
             Phase::Neighboring => "Neighboring",
             Phase::Communicator => "Communicator",
             Phase::AppInit => "App Init",
+            Phase::StaticAnalysis => "Static Analysis",
         }
     }
 

@@ -70,6 +70,8 @@ pub enum VelocError {
     UnknownRegion { id: u32 },
     /// An MPI error during collective agreement.
     Mpi(MpiError),
+    /// `Collective` mode was asked to agree without a communicator.
+    NoCommunicator,
     /// The asynchronous flush backend thread could not be spawned. This is
     /// recoverable: the client degrades to synchronous flushing.
     BackendSpawn { reason: String },
@@ -84,6 +86,9 @@ impl std::fmt::Display for VelocError {
             VelocError::Corrupt { path } => write!(f, "corrupt checkpoint blob at {path}"),
             VelocError::UnknownRegion { id } => write!(f, "no protected region with id {id}"),
             VelocError::Mpi(e) => write!(f, "MPI error during restart agreement: {e}"),
+            VelocError::NoCommunicator => {
+                write!(f, "collective restart agreement requires a communicator")
+            }
             VelocError::BackendSpawn { reason } => {
                 write!(
                     f,
@@ -341,7 +346,12 @@ impl Client {
         match self.mode {
             Mode::Single => Ok(self.latest_version(name)),
             Mode::Collective => {
-                let comm = comm.expect("Collective-mode restart_test requires a communicator");
+                // The Fenix integration owns the communicator lifecycle; a
+                // missing one here is a wiring error the caller must see,
+                // not a panic on the restart path.
+                let Some(comm) = comm else {
+                    return Err(VelocError::NoCommunicator);
+                };
                 // Encode None as i64 -1 so min() finds the weakest rank.
                 let local = self.latest_version(name).map_or(-1i64, |v| v as i64);
                 let agreed = comm.allreduce_scalar(local, ReduceOp::Min)?;
@@ -470,6 +480,23 @@ mod tests {
 
     fn client(c: &Cluster, rank: usize) -> Client {
         Client::init(c.clone(), rank, Config::default())
+    }
+
+    #[test]
+    fn collective_restart_test_without_comm_is_an_error() {
+        let c = cluster(1);
+        let cl = Client::init(
+            c.clone(),
+            0,
+            Config {
+                mode: Mode::Collective,
+                ..Config::default()
+            },
+        );
+        assert!(matches!(
+            cl.restart_test("ck", None),
+            Err(VelocError::NoCommunicator)
+        ));
     }
 
     #[test]
