@@ -1,0 +1,360 @@
+//! The differential oracle: what a resilient run is allowed to do.
+//!
+//! For every chaos schedule the oracle runs the same application twice on
+//! identically-shaped clusters — once uninterrupted (the baseline, cached
+//! per strategy) and once under the schedule — and accepts exactly two
+//! outcomes:
+//!
+//! 1. the run completes and its digest is bitwise-equal to the baseline;
+//! 2. the run ends in a typed [`resilience::ExperimentError`].
+//!
+//! Everything else is a violation: a digest divergence (silent data
+//! corruption survived the stack), a panic (a layer gave up instead of
+//! unwinding through the error channel), a hang past the watchdog (a
+//! collective deadlock), or a causally-impossible telemetry timeline.
+
+use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use apps::Heatdis;
+use cluster::{Cluster, ClusterConfig, RelaunchModel, TimeScale};
+use parking_lot::Mutex;
+use resilience::{try_run_experiment, ExperimentConfig, Strategy};
+use telemetry::{Event, Telemetry, TelemetryConfig, TraceSnapshot};
+
+use crate::schedule::{ChaosSchedule, ACTIVE_RANKS, CHECKPOINTS, ITERATIONS};
+
+/// Accepted terminal states of a chaotic run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Run completed; digest matched the baseline.
+    Completed { digest: u64 },
+    /// Run ended in a typed experiment error (spare exhaustion, data
+    /// unrecoverable, relaunch budget) — clean by contract.
+    TypedError(String),
+}
+
+/// Oracle violations, most severe first.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// Completed with a different answer than the uninterrupted run.
+    Divergence { expected: u64, got: u64 },
+    /// A panic escaped the resilience stack.
+    Panic(String),
+    /// No terminal state within the watchdog window: collective deadlock.
+    Hang,
+    /// Telemetry failure timeline is causally impossible.
+    Timeline(String),
+    /// The *uninterrupted* baseline failed — a harness bug, reported
+    /// distinctly so it is never read as a chaos finding.
+    Baseline(String),
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::Divergence { expected, got } => {
+                write!(
+                    f,
+                    "digest divergence: baseline {expected:#018x}, got {got:#018x}"
+                )
+            }
+            Violation::Panic(msg) => write!(f, "panic escaped the stack: {msg}"),
+            Violation::Hang => write!(f, "no terminal state before watchdog timeout"),
+            Violation::Timeline(msg) => write!(f, "timeline violation: {msg}"),
+            Violation::Baseline(msg) => write!(f, "baseline run failed: {msg}"),
+        }
+    }
+}
+
+/// Verdict plus the evidence (telemetry of the chaotic run).
+pub struct CaseReport {
+    pub verdict: Result<RunOutcome, Violation>,
+    pub snapshot: TraceSnapshot,
+}
+
+/// Differential oracle with a per-strategy baseline cache.
+pub struct Oracle {
+    baselines: Mutex<HashMap<(Strategy, usize), u64>>,
+    /// Watchdog window for one chaotic run (simulated time is instant, so
+    /// this is pure wall slack; anything near it is a deadlock).
+    pub watchdog: Duration,
+}
+
+impl Default for Oracle {
+    fn default() -> Self {
+        Oracle::new()
+    }
+}
+
+fn campaign_cluster(nodes: usize) -> Cluster {
+    Cluster::new(ClusterConfig {
+        nodes,
+        ranks_per_node: 1,
+        time_scale: TimeScale::instant(),
+        relaunch: RelaunchModel::free(),
+        ..ClusterConfig::default()
+    })
+}
+
+fn campaign_app() -> Heatdis {
+    Heatdis::fixed(2 * 8 * 16 * 8, 16, ITERATIONS)
+}
+
+fn experiment_config(sched: &ChaosSchedule, telemetry: Option<Telemetry>) -> ExperimentConfig {
+    ExperimentConfig {
+        strategy: sched.strategy,
+        spares: sched.spares,
+        checkpoints: CHECKPOINTS,
+        max_relaunches: 8,
+        imr_policy: None,
+        fresh_storage: true,
+        telemetry,
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+impl Oracle {
+    pub fn new() -> Oracle {
+        Oracle {
+            baselines: Mutex::new(HashMap::new()),
+            watchdog: Duration::from_secs(30),
+        }
+    }
+
+    /// Digest of the uninterrupted run (cached).
+    fn baseline(&self, strategy: Strategy, spares: usize) -> Result<u64, Violation> {
+        if let Some(d) = self.baselines.lock().get(&(strategy, spares)) {
+            return Ok(*d);
+        }
+        let sched = ChaosSchedule {
+            strategy,
+            spares,
+            events: Vec::new(),
+        };
+        let digest = match self.launch(&sched, None)? {
+            Ok(d) => d,
+            Err(e) => return Err(Violation::Baseline(e)),
+        };
+        self.baselines.lock().insert((strategy, spares), digest);
+        Ok(digest)
+    }
+
+    /// Run one schedule under the watchdog. `Ok(Ok(digest))` = completed,
+    /// `Ok(Err(msg))` = typed error, `Err` = panic or hang.
+    fn launch(
+        &self,
+        sched: &ChaosSchedule,
+        telemetry: Option<Telemetry>,
+    ) -> Result<Result<u64, String>, Violation> {
+        let cluster = campaign_cluster(sched.nodes());
+        let cfg = experiment_config(sched, telemetry);
+        let plan = Arc::new(sched.build_plan());
+        let (tx, rx) = mpsc::channel();
+        // The worker is detached on purpose: if the run deadlocks we report
+        // Hang and leak the stuck threads rather than joining forever.
+        std::thread::spawn(move || {
+            let app = campaign_app();
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                try_run_experiment(&cluster, &app, &cfg, plan)
+            }));
+            let _ = tx.send(result);
+        });
+        match rx.recv_timeout(self.watchdog) {
+            Err(_) => Err(Violation::Hang),
+            Ok(Err(payload)) => Err(Violation::Panic(panic_message(payload))),
+            Ok(Ok(Ok(record))) => Ok(Ok(record.digest)),
+            Ok(Ok(Err(e))) => Ok(Err(e.to_string())),
+        }
+    }
+
+    /// Full differential check of one schedule, with evidence.
+    pub fn run(&self, sched: &ChaosSchedule) -> CaseReport {
+        let expected = match self.baseline(sched.strategy, sched.spares) {
+            Ok(d) => d,
+            Err(v) => {
+                return CaseReport {
+                    verdict: Err(v),
+                    snapshot: TraceSnapshot::default(),
+                }
+            }
+        };
+        let tel = Telemetry::new(TelemetryConfig::default());
+        let outcome = self.launch(sched, Some(tel.clone()));
+        let snapshot = tel.snapshot();
+        let verdict = match outcome {
+            Err(v) => Err(v),
+            Ok(terminal) => match check_timeline(&snapshot) {
+                Err(v) => Err(v),
+                Ok(()) => match terminal {
+                    Ok(digest) if digest == expected => Ok(RunOutcome::Completed { digest }),
+                    Ok(got) => Err(Violation::Divergence { expected, got }),
+                    Err(msg) => Ok(RunOutcome::TypedError(msg)),
+                },
+            },
+        };
+        CaseReport { verdict, snapshot }
+    }
+
+    /// Verdict only.
+    pub fn check(&self, sched: &ChaosSchedule) -> Result<RunOutcome, Violation> {
+        self.run(sched).verdict
+    }
+}
+
+/// Causal-order checks over the merged failure timeline.
+///
+/// Only positive evidence fails a run: when the rings dropped records the
+/// timeline is incomplete and the checks are skipped rather than guessed.
+pub fn check_timeline(snap: &TraceSnapshot) -> Result<(), Violation> {
+    if snap.dropped > 0 {
+        return Ok(());
+    }
+
+    // 1. Injection precedes death: a rank with both kinds of event must
+    //    have been marked for injection no later than its first death.
+    for rank in 0..ACTIVE_RANKS as u32 {
+        let injected = snap
+            .events
+            .iter()
+            .find(|e| e.rank == rank && e.event.kind() == "fault_injected");
+        let killed = snap
+            .events
+            .iter()
+            .find(|e| e.rank == rank && e.event.kind() == "rank_killed");
+        if let (Some(i), Some(k)) = (injected, killed) {
+            if i.t_ns > k.t_ns {
+                return Err(Violation::Timeline(format!(
+                    "rank {rank} died at {} before its fault injection at {}",
+                    k.t_ns, i.t_ns
+                )));
+            }
+        }
+    }
+
+    // 2. Repair epochs pair up: a repair that ended must have begun no
+    //    later than it ended. Fenix stamps RepairBegin with the pre-repair
+    //    count and RepairEnd with the post-repair count, hence the -1.
+    for e in &snap.events {
+        if let Event::RepairEnd { epoch, .. } = &e.event {
+            let begun = snap.events.iter().any(|b| {
+                matches!(&b.event, Event::RepairBegin { epoch: be } if *be + 1 == *epoch)
+                    && b.t_ns <= e.t_ns
+            });
+            if !begun {
+                return Err(Violation::Timeline(format!(
+                    "repair_end epoch {epoch} at {} with no earlier repair_begin",
+                    e.t_ns
+                )));
+            }
+        }
+    }
+
+    // 3. Restarts open before they close, per rank.
+    for rank in 0..=snap.events.iter().map(|e| e.rank).max().unwrap_or(0) {
+        let first_begin = snap
+            .events
+            .iter()
+            .find(|e| e.rank == rank && e.event.kind() == "restart_begin")
+            .map(|e| e.t_ns);
+        let first_end = snap
+            .events
+            .iter()
+            .find(|e| e.rank == rank && e.event.kind() == "restart_end")
+            .map(|e| e.t_ns);
+        if let (Some(b), Some(e)) = (first_begin, first_end) {
+            if b > e {
+                return Err(Violation::Timeline(format!(
+                    "rank {rank} restart_end at {e} precedes restart_begin at {b}"
+                )));
+            }
+        }
+    }
+
+    // 4. A flush lands only after its checkpoint began (same rank, same
+    //    name/version coordinates).
+    for e in &snap.events {
+        let Event::FlushDone { name, version, .. } = &e.event else {
+            continue;
+        };
+        let begun = snap.events.iter().any(|b| {
+            b.rank == e.rank
+                && b.t_ns <= e.t_ns
+                && matches!(&b.event,
+                    Event::CheckpointBegin { name: bn, version: bv } if bn == name && bv == version)
+        });
+        if !begun {
+            return Err(Violation::Timeline(format!(
+                "flush_done {name}/v{version} on rank {} with no earlier checkpoint_begin",
+                e.rank
+            )));
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::DEFAULT_SEED;
+    use crate::Rng;
+
+    #[test]
+    fn empty_schedule_passes_for_every_pooled_strategy() {
+        let oracle = Oracle::new();
+        for strategy in crate::schedule::STRATEGY_POOL {
+            let sched = ChaosSchedule {
+                strategy,
+                spares: if strategy.uses_fenix() { 1 } else { 0 },
+                events: Vec::new(),
+            };
+            match oracle.check(&sched) {
+                Ok(RunOutcome::Completed { .. }) => {}
+                other => panic!("{strategy:?}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn single_kill_recovers_with_equal_digest() {
+        let oracle = Oracle::new();
+        let sched = ChaosSchedule::parse(
+            "strategy=FenixKokkosResilience spares=1 kill(rank=1,site=iter,at=5)",
+        )
+        .expect("spec parses");
+        match oracle.check(&sched) {
+            Ok(RunOutcome::Completed { .. }) => {}
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oracle_is_deterministic_across_replays() {
+        let oracle = Oracle::new();
+        let mut rng = Rng::new(DEFAULT_SEED ^ 0x55);
+        for _ in 0..4 {
+            let sched = ChaosSchedule::generate(&mut rng);
+            let a = oracle.check(&sched);
+            let b = oracle.check(&sched);
+            assert_eq!(
+                a.is_ok(),
+                b.is_ok(),
+                "replay disagreed on {}",
+                sched.to_spec()
+            );
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Greedy delta-debugging of failing schedules.
+//!
+//! A campaign finding is only useful if a human can replay it in one
+//! sitting, so every failure is shrunk to a local minimum before it is
+//! reported: drop each event, then simplify the survivors (advance kills
+//! toward iteration 0, shrink corruption offsets and truncation lengths),
+//! repeating to a fixpoint. Every candidate is re-checked against the
+//! oracle, so the result still fails for the same class of reason.
+
+use simmpi::CorruptKind;
+
+use crate::oracle::Oracle;
+use crate::schedule::{ChaosEvent, ChaosSchedule};
+
+/// Strictly-simpler variants of one event (each candidate reduces a
+/// numeric measure, so the simplify pass terminates).
+fn simplify(ev: &ChaosEvent) -> Vec<ChaosEvent> {
+    let mut out = Vec::new();
+    match ev {
+        ChaosEvent::Kill { rank, site, at } if *at > 0 => {
+            for cand in [0, *at / 2, *at - 1] {
+                if cand < *at {
+                    out.push(ChaosEvent::Kill {
+                        rank: *rank,
+                        site: site.clone(),
+                        at: cand,
+                    });
+                }
+            }
+        }
+        ChaosEvent::Corrupt {
+            tier,
+            version,
+            rank,
+            kind,
+        } => match kind {
+            CorruptKind::FlipBack { back } if *back > 0 => {
+                for cand in [0, *back / 2] {
+                    if cand < *back {
+                        out.push(ChaosEvent::Corrupt {
+                            tier: *tier,
+                            version: *version,
+                            rank: *rank,
+                            kind: CorruptKind::FlipBack { back: cand },
+                        });
+                    }
+                }
+            }
+            CorruptKind::Truncate { keep } if *keep > 0 => out.push(ChaosEvent::Corrupt {
+                tier: *tier,
+                version: *version,
+                rank: *rank,
+                kind: CorruptKind::Truncate { keep: keep / 2 },
+            }),
+            _ => {}
+        },
+        ChaosEvent::WorkerDeath { rank, after } if *after > 1 => {
+            out.push(ChaosEvent::WorkerDeath {
+                rank: *rank,
+                after: after - 1,
+            });
+        }
+        _ => {}
+    }
+    out
+}
+
+/// Shrink `failing` to a locally-minimal schedule that still fails.
+///
+/// `failing` must fail the oracle when passed in; the return value is
+/// guaranteed to fail as well (it is only ever replaced by a re-checked
+/// failing candidate).
+pub fn shrink(oracle: &Oracle, failing: &ChaosSchedule) -> ChaosSchedule {
+    let fails = |s: &ChaosSchedule| oracle.check(s).is_err();
+    let mut cur = failing.clone();
+    loop {
+        let mut progressed = false;
+
+        // Pass 1: drop events, one at a time.
+        let mut i = 0;
+        while i < cur.events.len() {
+            let mut cand = cur.clone();
+            cand.events.remove(i);
+            if fails(&cand) {
+                cur = cand;
+                progressed = true;
+            } else {
+                i += 1;
+            }
+        }
+
+        // Pass 2: simplify surviving events in place.
+        for i in 0..cur.events.len() {
+            for ev in simplify(&cur.events[i]) {
+                let mut cand = cur.clone();
+                cand.events[i] = ev;
+                if fails(&cand) {
+                    cur = cand;
+                    progressed = true;
+                }
+            }
+        }
+
+        // Pass 3: shed surplus spares.
+        while cur.spares > 1 {
+            let mut cand = cur.clone();
+            cand.spares -= 1;
+            if fails(&cand) {
+                cur = cand;
+                progressed = true;
+            } else {
+                break;
+            }
+        }
+
+        if !progressed {
+            return cur;
+        }
+    }
+}

@@ -26,6 +26,7 @@
 //! whole experiments finish in seconds.
 
 pub mod bandwidth;
+pub mod inject;
 pub mod net;
 pub mod pfs;
 pub mod relaunch;
@@ -35,7 +36,10 @@ pub mod topology;
 use std::sync::Arc;
 use std::time::Duration;
 
+use parking_lot::RwLock;
+
 pub use bandwidth::Governor;
+pub use inject::{FaultInjector, StorageTier};
 pub use net::Network;
 pub use pfs::ParallelFileSystem;
 pub use relaunch::RelaunchModel;
@@ -152,6 +156,9 @@ pub struct Cluster {
     network: Arc<Network>,
     pfs: Arc<ParallelFileSystem>,
     scratch: Arc<NodeScratch>,
+    /// Storage-path fault hooks (chaos injection). Shared by every clone so
+    /// an injector installed at launch is seen by all layers.
+    injector: Arc<RwLock<Option<Arc<dyn FaultInjector>>>>,
 }
 
 impl Cluster {
@@ -181,6 +188,7 @@ impl Cluster {
             network,
             pfs,
             scratch,
+            injector: Arc::new(RwLock::new(None)),
         }
     }
 
@@ -206,6 +214,17 @@ impl Cluster {
 
     pub fn time_scale(&self) -> TimeScale {
         self.config.time_scale
+    }
+
+    /// Install (or replace) the storage-path fault injector. The slot is
+    /// shared by every clone of this cluster; pass `None` to clear it.
+    pub fn set_injector(&self, injector: Option<Arc<dyn FaultInjector>>) {
+        *self.injector.write() = injector;
+    }
+
+    /// The currently installed fault injector, if any.
+    pub fn injector(&self) -> Option<Arc<dyn FaultInjector>> {
+        self.injector.read().clone()
     }
 
     /// Simulate the failure of the node hosting `rank`: its scratch space is

@@ -152,6 +152,25 @@ impl ImrStore {
         self.own.lock().clear();
         self.held.lock().clear();
     }
+
+    /// Chaos hook: silently flip the last byte of the buddy copy this rank
+    /// holds for `member`, as a bit-rotted partner store would. Returns
+    /// `false` when nothing is held. IMR itself ships bytes verbatim —
+    /// integrity is the payload framing's job — so the damage must surface
+    /// at restore-unpack on the recovering rank, never as a panic.
+    pub fn tamper_held(&self, member: u32) -> bool {
+        let mut held = self.held.lock();
+        match held.get_mut(&member) {
+            Some(h) if !h.data.is_empty() => {
+                let mut out = h.data.to_vec();
+                let last = out.len() - 1;
+                out[last] ^= 0xFF;
+                h.data = Bytes::from(out);
+                true
+            }
+            _ => false,
+        }
+    }
 }
 
 const IMR_TAG_BASE: u64 = 0x0100_0000;
@@ -402,5 +421,22 @@ mod tests {
         assert_eq!(s.resident_bytes(), 3);
         s.clear();
         assert_eq!(s.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn tamper_held_flips_exactly_one_byte() {
+        let s = ImrStore::new();
+        assert!(!s.tamper_held(0), "nothing held yet");
+        s.held.lock().insert(
+            0,
+            Held {
+                owner: 1,
+                version: 2,
+                data: Bytes::from_static(b"abc"),
+            },
+        );
+        assert!(s.tamper_held(0));
+        let got = s.held.lock().get(&0).cloned().map(|h| h.data);
+        assert_eq!(got.as_deref(), Some(&[b'a', b'b', b'c' ^ 0xFF][..]));
     }
 }

@@ -46,7 +46,20 @@ pub trait DataBackend: Send {
     /// agrees internally; peer-memory IMR takes the max, because a
     /// replacement rank (with no local copy) restores from its buddy.
     fn latest_agreed(&self, comm: &Comm, name: &str) -> MpiResult<Option<u64>> {
-        let local = self.latest_local(name).map_or(-1i64, |v| v as i64);
+        self.latest_agreed_below(comm, name, u64::MAX)
+    }
+
+    /// [`Self::latest_agreed`] restricted to versions `<= bound`. Restart
+    /// logic uses this when the newest agreed version leaves no iterations
+    /// to replay (a kill at the final commit), so the lazy region-scoped
+    /// restore would never fire: re-agreeing below the final version lands
+    /// recovery inside the iteration space. The default bounds the
+    /// min-reduction; backends with richer version indexes override it.
+    fn latest_agreed_below(&self, comm: &Comm, name: &str, bound: u64) -> MpiResult<Option<u64>> {
+        let local = self
+            .latest_local(name)
+            .filter(|&v| v <= bound)
+            .map_or(-1i64, |v| v as i64);
         let min = comm.allreduce_scalar(local, simmpi::ReduceOp::Min)?;
         Ok((min >= 0).then_some(min as u64))
     }
@@ -96,7 +109,6 @@ impl Protected for ViewRegion {
 /// The VeloC-based backend (both agreement modes).
 pub struct VelocBackend {
     client: Client,
-    mode: Mode,
 }
 
 impl VelocBackend {
@@ -110,7 +122,6 @@ impl VelocBackend {
                     async_flush: true,
                 },
             ),
-            mode,
         }
     }
 
@@ -157,16 +168,15 @@ impl DataBackend for VelocBackend {
         self.client.latest_version(name)
     }
 
-    fn latest_agreed(&self, comm: &Comm, name: &str) -> MpiResult<Option<u64>> {
-        match self.mode {
-            // The paper's single-mode pattern: manual reduction.
-            Mode::Single => {
-                let local = self.latest_local(name).map_or(-1i64, |v| v as i64);
-                let min = comm.allreduce_scalar(local, simmpi::ReduceOp::Min)?;
-                Ok((min >= 0).then_some(min as u64))
-            }
-            Mode::Collective => Self::unwrap_veloc(self.client.restart_test(name, Some(comm))),
-        }
+    fn latest_agreed_below(&self, comm: &Comm, name: &str, bound: u64) -> MpiResult<Option<u64>> {
+        // Both modes agree on the newest *intact* version: the paper's
+        // manual min-reduction picks the newest version available
+        // everywhere, but an agreed-and-corrupt blob would wedge restart —
+        // the hardened agreement degrades to an older verified version.
+        Self::unwrap_veloc(
+            self.client
+                .agree_intact_version_below(name, bound, Some(comm)),
+        )
     }
 
     fn restore(

@@ -233,14 +233,29 @@ impl Context {
     /// mode VeloC itself agrees. A `Some` result arms recovery: the next
     /// `checkpoint` call for this label restores the data.
     pub fn latest_version(&self, label: &str) -> MpiResult<Option<u64>> {
+        self.latest_version_below(label, u64::MAX)
+    }
+
+    /// [`Self::latest_version`] restricted to versions `<= bound`.
+    ///
+    /// Recovery in this model is *lazy*: an armed restore only fires when
+    /// the region next executes. A restart agreement that lands on the
+    /// final iteration's version leaves no region execution to carry it,
+    /// so callers re-agree bounded below that version — recovery then
+    /// replays at least one iteration and the restore is guaranteed to
+    /// run. Collective, like [`Self::latest_version`]; overwrites any
+    /// previously armed recovery version for `label`.
+    pub fn latest_version_below(&self, label: &str, bound: u64) -> MpiResult<Option<u64>> {
         let name = self.qualified(label);
         let comm = self.comm.borrow();
-        let agreed = self.data.latest_agreed(&comm, &name)?;
+        let agreed = self.data.latest_agreed_below(&comm, &name, bound)?;
         self.agreed_latest
             .borrow_mut()
             .insert(label.to_owned(), agreed);
         if agreed.is_some() {
             self.pending_recovery.borrow_mut().insert(label.to_owned());
+        } else {
+            self.pending_recovery.borrow_mut().remove(label);
         }
         Ok(agreed)
     }

@@ -54,18 +54,74 @@ impl Default for ExperimentConfig {
     }
 }
 
+/// Typed terminal failures of an experiment run.
+///
+/// These are the clean outcomes the chaos oracle accepts in lieu of a
+/// completed run: the job ended, every rank unwound, and the reason is
+/// machine-readable — never a panic, never a hang.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExperimentError {
+    /// A rank ended with an error no recovery layer claimed (e.g. spare
+    /// pool exhausted, data unrecoverable).
+    RankFailed {
+        rank: usize,
+        strategy: Strategy,
+        error: MpiError,
+    },
+    /// A relaunch-based strategy exceeded its relaunch budget.
+    RelaunchLimit { limit: usize, strategy: Strategy },
+}
+
+impl std::fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExperimentError::RankFailed {
+                rank,
+                strategy,
+                error,
+            } => write!(
+                f,
+                "rank {rank} failed unrecoverably under {strategy:?}: {error}"
+            ),
+            ExperimentError::RelaunchLimit { limit, strategy } => {
+                write!(f, "exceeded {limit} relaunches under {strategy:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
 /// Run `app` on `cluster` under the configured strategy, injecting the
 /// failures in `plan`. Returns the paper-style cost record.
 ///
-/// For Fenix strategies the job is launched once and recovers in place.
-/// For plain-MPI strategies a failure aborts the job; the driver pays the
-/// modeled teardown+startup and relaunches until the run completes.
+/// Panics on unrecoverable outcomes — the historical harness behavior.
+/// Callers that must observe failure as data (the chaos oracle) use
+/// [`try_run_experiment`] instead.
 pub fn run_experiment(
     cluster: &Cluster,
     app: &dyn IterativeApp,
     cfg: &ExperimentConfig,
     plan: Arc<FaultPlan>,
 ) -> RunRecord {
+    match try_run_experiment(cluster, app, cfg, plan) {
+        Ok(record) => record,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Like [`run_experiment`], but unrecoverable outcomes surface as a typed
+/// [`ExperimentError`] instead of a panic.
+///
+/// For Fenix strategies the job is launched once and recovers in place.
+/// For plain-MPI strategies a failure aborts the job; the driver pays the
+/// modeled teardown+startup and relaunches until the run completes.
+pub fn try_run_experiment(
+    cluster: &Cluster,
+    app: &dyn IterativeApp,
+    cfg: &ExperimentConfig,
+    plan: Arc<FaultPlan>,
+) -> Result<RunRecord, ExperimentError> {
     if cfg.fresh_storage {
         cluster.pfs().clear();
         cluster.scratch().clear();
@@ -103,10 +159,13 @@ pub fn run_experiment(
             match &o.result {
                 Ok(()) => {}
                 Err(MpiError::Killed) => {} // injected victim
-                Err(e) => panic!(
-                    "rank {} failed unrecoverably under {:?}: {e}",
-                    o.rank, cfg.strategy
-                ),
+                Err(e) => {
+                    return Err(ExperimentError::RankFailed {
+                        rank: o.rank,
+                        strategy: cfg.strategy,
+                        error: e.clone(),
+                    })
+                }
             }
         }
     } else {
@@ -126,12 +185,12 @@ pub fn run_experiment(
                 break;
             }
             relaunches += 1;
-            assert!(
-                relaunches <= cfg.max_relaunches,
-                "exceeded {} relaunches under {:?}",
-                cfg.max_relaunches,
-                cfg.strategy
-            );
+            if relaunches > cfg.max_relaunches {
+                return Err(ExperimentError::RelaunchLimit {
+                    limit: cfg.max_relaunches,
+                    strategy: cfg.strategy,
+                });
+            }
             // The failed job must be fully torn down before the next launch.
             cluster
                 .time_scale()
@@ -140,7 +199,7 @@ pub fn run_experiment(
     }
 
     let wall = t0.elapsed();
-    RunRecord {
+    Ok(RunRecord {
         strategy: cfg.strategy,
         ranks: n,
         wall,
@@ -150,5 +209,5 @@ pub fn run_experiment(
         failures,
         digest: shared.digest.load(Ordering::Relaxed),
         iterations: shared.iterations.load(Ordering::Relaxed),
-    }
+    })
 }

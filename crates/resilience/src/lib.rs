@@ -34,7 +34,7 @@ mod runner;
 
 pub use app::{IterativeApp, RankApp, RunMode};
 pub use bookkeeper::Bookkeeper;
-pub use driver::{run_experiment, ExperimentConfig};
+pub use driver::{run_experiment, try_run_experiment, ExperimentConfig, ExperimentError};
 pub use imr_backend::ImrBackend;
 pub use integrated::{resilient_main, IntegratedBackend, IntegratedConfig, ResilientScope};
 pub use record::{CostBreakdown, RunRecord};

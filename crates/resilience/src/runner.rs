@@ -100,12 +100,27 @@ fn pack_views(state: &dyn RankApp) -> Bytes {
     veloc::serial::pack(&parts)
 }
 
-fn unpack_views(state: &dyn RankApp, blob: &Bytes) {
+/// Restore captured views from an IMR blob. A blob that fails the
+/// integrity frame (a corrupted partner copy) is a data loss, not a panic:
+/// the caller aborts through the error channel like any other DataLost.
+fn unpack_views(state: &dyn RankApp, blob: &Bytes, rank: usize) -> MpiResult<()> {
     let views = state.checkpoint_views();
-    let parts = veloc::serial::unpack(blob).expect("IMR blob intact");
+    let Some(parts) = veloc::serial::unpack(blob) else {
+        return Err(imr_err(ImrError::DataLost {
+            member: IMR_MEMBER,
+            rank,
+        }));
+    };
     for (i, payload) in parts {
-        views[i as usize].restore(&payload);
+        let Some(view) = views.get(i as usize) else {
+            return Err(imr_err(ImrError::DataLost {
+                member: IMR_MEMBER,
+                rank,
+            }));
+        };
+        view.restore(&payload);
     }
+    Ok(())
 }
 
 /// The shared iteration loop. `checkpoint_hook` runs after iterations the
@@ -136,7 +151,12 @@ fn iteration_loop(
         ctx.fault_point("iter", i)?;
         step(ctx, comm, state, i, bk)?;
         if filter.should_checkpoint(i) {
+            // Chaos fault points bracketing the checkpoint: a kill can land
+            // right before the data is saved ("ckpt") or right after local
+            // commit, while the flush is still in flight ("commit").
+            ctx.fault_point("ckpt", i)?;
             checkpoint_hook(i, state)?;
+            ctx.fault_point("commit", i)?;
         }
         shared.progress.fetch_max(i + 1, Ordering::Relaxed);
         i += 1;
@@ -213,7 +233,11 @@ pub fn relaunch_rank(
             client.set_recorder(ctx.recorder().clone());
             let mut state = bk.book(Phase::AppInit, || app.init_rank(ctx, &comm));
             protect_views(&client, state.as_ref());
-            let version = client.restart_test(&name, Some(&comm)).map_err(veloc_err)?;
+            // Intact-version agreement: restart selection degrades to the
+            // newest checkpoint whose blob verifies on every rank.
+            let version = client
+                .agree_intact_version(&name, Some(&comm))
+                .map_err(veloc_err)?;
             let start = match version {
                 Some(v) => {
                     bk.book(Phase::DataRecovery, || client.restart(&name, v))
@@ -259,7 +283,7 @@ pub fn relaunch_rank(
             kr.set_profile(Arc::clone(ctx.profile()));
             kr.set_recorder(ctx.recorder().clone());
             let mut state = bk.book(Phase::AppInit, || app.init_rank(ctx, &comm));
-            let latest = kr.latest_version(LOOP_LABEL)?;
+            let latest = kr_restart_version(&kr, mode.max_iterations())?;
             let start = latest.map_or(0, |v| v + 1);
             let done = iteration_loop(
                 ctx,
@@ -271,12 +295,14 @@ pub fn relaunch_rank(
                 // The KR context applies the filter itself.
                 &CheckpointFilter::Never,
                 shared,
-                |_c, comm, st, i, bk| {
+                |c, comm, st, i, bk| {
                     // KR checkpoints every view the region touches, so a
                     // restore reinstates *complete* state — no post_restore
                     // (rebuilding derived state would be redundant work and
                     // perturb float summation order).
+                    c.fault_point("ckpt", i)?;
                     kr.checkpoint(LOOP_LABEL, i, || st.step(comm, i, bk))?;
+                    c.fault_point("commit", i)?;
                     Ok(())
                 },
                 |_i, _st| Ok(()),
@@ -286,6 +312,28 @@ pub fn relaunch_rank(
             Ok(())
         }
         other => panic!("{other:?} is not a relaunch strategy"),
+    }
+}
+
+/// Agree on the KR restart version, guaranteeing the lazy restore can fire.
+///
+/// KR recovery is region-scoped: an armed restore only runs when the
+/// checkpoint region next *executes*. If the agreement lands on the final
+/// iteration's version (a kill at the last commit, after the checkpoint
+/// completed), `start == max_iterations` and no region ever executes — the
+/// job would silently finish on unrestored state. Re-agree bounded at
+/// `max - 2` so at least one iteration replays and carries the restore;
+/// if nothing intact remains below the bound, restart cold. Collective:
+/// every rank reaches the same decision from the same agreed inputs.
+fn kr_restart_version(kr: &Context, max: u64) -> MpiResult<Option<u64>> {
+    let Some(bound) = max.checked_sub(2) else {
+        // 0- or 1-iteration runs: any restorable version would be the
+        // final one, whose restore could never fire. Cold restart.
+        return Ok(None);
+    };
+    match kr.latest_version(LOOP_LABEL)? {
+        Some(v) if v + 1 >= max => kr.latest_version_below(LOOP_LABEL, bound),
+        other => Ok(other),
     }
 }
 
@@ -324,6 +372,12 @@ pub fn fenix_rank(
         shared
             .repairs
             .fetch_max(fx.repair_count(), Ordering::Relaxed);
+        // Chaos fault point *inside* recovery: a re-entered body can be
+        // killed again before it restores, cascading failures into the
+        // repair path itself (counted by recovery epoch).
+        if role != Role::Initial {
+            ctx.fault_point("recovery", fx.repair_count())?;
+        }
         match strategy {
             Strategy::FenixVeloc => fenix_veloc_body(
                 ctx,
@@ -354,8 +408,7 @@ pub fn fenix_rank(
                 strategy == Strategy::PartialRollback,
             ),
             Strategy::FenixImr => fenix_imr_body(
-                ctx, app, comm, role, fx, &bk, &filter, mode, shared, &state, &imr_store,
-                imr_policy,
+                ctx, app, comm, role, &bk, &filter, mode, shared, &state, &imr_store, imr_policy,
             ),
             other => panic!("{other:?} is not a Fenix strategy"),
         }
@@ -411,9 +464,13 @@ fn fenix_veloc_body(
     let st = state_ref.as_mut().expect("state initialized");
     protect_views(client, st.as_ref());
 
-    // Manual best-version reduction (the paper's non-collective pattern).
-    let local = client.latest_version(name).map_or(-1i64, |v| v as i64);
-    let agreed = comm.allreduce_scalar(local, ReduceOp::Min)?;
+    // Manual best-version reduction (the paper's non-collective pattern),
+    // hardened to agree only on versions intact everywhere: a corrupted
+    // newest checkpoint degrades the restart instead of wedging it.
+    let agreed = client
+        .agree_intact_version(name, Some(comm))
+        .map_err(veloc_err)?
+        .map_or(-1i64, |v| v as i64);
     let start = if role != Role::Initial && agreed >= 0 {
         let v = agreed as u64;
         bk.book(Phase::DataRecovery, || client.restart(name, v))
@@ -506,7 +563,7 @@ fn fenix_kr_body(
         *state.borrow_mut() = Some(bk.book(Phase::AppInit, || app.init_rank(ctx, comm)));
     }
 
-    let latest = kr.latest_version(LOOP_LABEL)?;
+    let latest = kr_restart_version(kr, mode.max_iterations())?;
     let start = match latest {
         Some(v) => v + 1,
         None if role != Role::Initial => {
@@ -529,9 +586,11 @@ fn fenix_kr_body(
         // KR applies the filter internally.
         &CheckpointFilter::Never,
         shared,
-        |_c, comm, st, i, bk| {
+        |c, comm, st, i, bk| {
             // Complete-state restore: no post_restore (see relaunch_rank).
+            c.fault_point("ckpt", i)?;
             kr.checkpoint(LOOP_LABEL, i, || st.step(comm, i, bk))?;
+            c.fault_point("commit", i)?;
             Ok(())
         },
         |_i, _st| Ok(()),
@@ -546,7 +605,6 @@ fn fenix_imr_body(
     app: &dyn IterativeApp,
     comm: &Comm,
     role: Role,
-    fx: &Fenix,
     bk: &Bookkeeper,
     filter: &CheckpointFilter,
     mode: RunMode,
@@ -567,23 +625,35 @@ fn fenix_imr_body(
     }
 
     let start = if role != Role::Initial {
-        // Agree whether a committed version exists anywhere. Committed
-        // versions are consistent across survivors (two-phase store), so a
-        // Max reduction finds it; a recovered rank contributes -1.
-        let committed = comm.allreduce_scalar(
-            store.latest_version(IMR_MEMBER).map_or(-1i64, |v| v as i64),
-            ReduceOp::Max,
-        )?;
+        // Agree who actually holds the committed version. The last repair's
+        // replacement list (`Fenix::recovered_ranks`) is not enough: when a
+        // failure cascades into recovery itself, an *earlier* replacement
+        // whose restore was interrupted holds nothing, and treating it as a
+        // survivor strands the job — it aborts on its empty store while the
+        // true survivors enter the iteration loop and wait on it forever.
+        // Possession is the agreement: committed versions are consistent
+        // across holders (two-phase store), so the max over the gathered
+        // locals is the committed version and every rank below it — every
+        // replacement, however many repairs ago — is recovering.
+        let local = store.latest_version(IMR_MEMBER).map_or(-1i64, |v| v as i64);
+        let locals = comm.allgather(&[local])?;
+        let committed = locals.iter().copied().max().unwrap_or(-1);
         if committed >= 0 {
+            let recovering: Vec<usize> = locals
+                .iter()
+                .enumerate()
+                .filter(|&(_, &v)| v != committed)
+                .map(|(r, _)| r)
+                .collect();
             let (version, blob) = bk
                 .book(Phase::DataRecovery, || {
-                    group.restore(IMR_MEMBER, &fx.recovered_ranks())
+                    group.restore(IMR_MEMBER, &recovering)
                 })
                 .map_err(imr_err)?;
             debug_assert_eq!(version as i64, committed, "commit protocol consistency");
             let mut sref = state.borrow_mut();
             let st = sref.as_mut().expect("state initialized");
-            unpack_views(st.as_ref(), &blob);
+            unpack_views(st.as_ref(), &blob, comm.rank())?;
             st.post_restore(comm, bk)?;
             version + 1
         } else {

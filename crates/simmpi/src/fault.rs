@@ -1,13 +1,29 @@
 //! Deterministic fault injection.
 //!
 //! The paper simulates failures "through a rank exiting early, approximately
-//! 95% of the way between two checkpoints". A [`FaultPlan`] encodes exactly
-//! that: named application fault points (e.g. `"iter"`) fire when a chosen
-//! rank reaches a chosen count. Each kill fires at most once, even across
-//! simulated job relaunches — the plan is shared by reference between
-//! launches so a recovered run does not re-kill itself at the same spot.
+//! 95% of the way between two checkpoints". A [`FaultSchedule`] generalizes
+//! that single shape into a cross-layer schedule:
+//!
+//! * **Process faults** ([`Kill`]) — named application fault points (e.g.
+//!   `"iter"`, `"ckpt"`, `"recovery"`) fire when a chosen rank reaches a
+//!   chosen count. Each kill fires at most once, even across simulated job
+//!   relaunches — the schedule is shared by reference between launches so a
+//!   recovered run does not re-kill itself at the same spot.
+//! * **Data faults** ([`Corruption`]) — checkpoint blobs are corrupted or
+//!   truncated as they are written to node-local scratch or the parallel
+//!   filesystem, via the [`cluster::FaultInjector`] hook the storage layer
+//!   consults.
+//! * **Backend faults** ([`BackendFault`]) — the asynchronous flush worker
+//!   of a rank fails to spawn, or dies after completing a given number of
+//!   flushes.
+//!
+//! [`FaultPlan`] remains as an alias for the kills-only usage every existing
+//! call site was written against; all old constructors still apply.
 
 use std::sync::atomic::{AtomicBool, Ordering};
+
+use bytes::Bytes;
+use cluster::{FaultInjector, StorageTier};
 
 /// One scheduled failure.
 #[derive(Debug)]
@@ -36,22 +52,161 @@ impl Kill {
     }
 }
 
-/// A set of scheduled failures, shared between (re)launches.
-#[derive(Debug, Default)]
-pub struct FaultPlan {
-    kills: Vec<Kill>,
+/// How a matched checkpoint blob is damaged.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CorruptKind {
+    /// XOR the byte at `blob.len() - 1 - back` with 0xFF (offset from the
+    /// end, where region payload lives — the header is at the front).
+    FlipBack { back: usize },
+    /// Keep only the first `keep` bytes.
+    Truncate { keep: usize },
 }
 
-impl FaultPlan {
+/// Which storage tier(s) a corruption applies to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CorruptTier {
+    Scratch,
+    Pfs,
+    /// Corrupt the write on both tiers (the version becomes unrecoverable
+    /// on the matched rank, forcing fallback to an older intact version).
+    Both,
+}
+
+impl CorruptTier {
+    fn matches(self, tier: StorageTier) -> bool {
+        match self {
+            CorruptTier::Scratch => tier == StorageTier::Scratch,
+            CorruptTier::Pfs => tier == StorageTier::Pfs,
+            CorruptTier::Both => true,
+        }
+    }
+}
+
+/// One scheduled checkpoint-blob corruption.
+///
+/// Checkpoint paths have the shape `"{name}/v{version}/r{rank}"` on both
+/// tiers; a corruption matches on the `(version, rank)` coordinates so it
+/// is independent of the region naming a particular strategy uses. Each
+/// entry fires at most once per tier.
+#[derive(Debug)]
+pub struct Corruption {
+    pub tier: CorruptTier,
+    /// Checkpoint version to damage (`/v{version}/` path segment).
+    pub version: u64,
+    /// Logical rank whose blob is damaged (`/r{rank}` path suffix).
+    pub rank: usize,
+    pub kind: CorruptKind,
+    fired_scratch: AtomicBool,
+    fired_pfs: AtomicBool,
+}
+
+impl Corruption {
+    pub fn new(tier: CorruptTier, version: u64, rank: usize, kind: CorruptKind) -> Self {
+        Corruption {
+            tier,
+            version,
+            rank,
+            kind,
+            fired_scratch: AtomicBool::new(false),
+            fired_pfs: AtomicBool::new(false),
+        }
+    }
+
+    fn fired_slot(&self, tier: StorageTier) -> &AtomicBool {
+        match tier {
+            StorageTier::Scratch => &self.fired_scratch,
+            StorageTier::Pfs => &self.fired_pfs,
+        }
+    }
+
+    pub fn has_fired(&self) -> bool {
+        self.fired_scratch.load(Ordering::Acquire) || self.fired_pfs.load(Ordering::Acquire)
+    }
+
+    fn matches_path(&self, path: &str) -> bool {
+        let vseg = format!("/v{}/", self.version);
+        let rsuffix = format!("/r{}", self.rank);
+        path.contains(&vseg) && path.ends_with(&rsuffix)
+    }
+
+    fn apply(&self, blob: &Bytes) -> Bytes {
+        match self.kind {
+            CorruptKind::FlipBack { back } => {
+                if blob.is_empty() {
+                    return blob.clone();
+                }
+                let idx = blob.len().saturating_sub(1 + back.min(blob.len() - 1));
+                let mut out = blob.to_vec();
+                out[idx] ^= 0xFF;
+                Bytes::from(out)
+            }
+            CorruptKind::Truncate { keep } => blob.slice(0..keep.min(blob.len())),
+        }
+    }
+}
+
+/// One scheduled flush-backend fault.
+#[derive(Debug)]
+pub enum BackendFault {
+    /// The backend worker thread of `rank` fails to spawn; the VeloC client
+    /// degrades to synchronous flushing.
+    SpawnFail { rank: usize, fired: AtomicBool },
+    /// The backend worker of `rank` dies after completing `after` flushes;
+    /// later flushes run inline on the caller.
+    WorkerDeath {
+        rank: usize,
+        after: u64,
+        fired: AtomicBool,
+    },
+}
+
+impl BackendFault {
+    pub fn spawn_fail(rank: usize) -> Self {
+        BackendFault::SpawnFail {
+            rank,
+            fired: AtomicBool::new(false),
+        }
+    }
+
+    pub fn worker_death(rank: usize, after: u64) -> Self {
+        BackendFault::WorkerDeath {
+            rank,
+            after,
+            fired: AtomicBool::new(false),
+        }
+    }
+
+    pub fn has_fired(&self) -> bool {
+        match self {
+            BackendFault::SpawnFail { fired, .. } | BackendFault::WorkerDeath { fired, .. } => {
+                fired.load(Ordering::Acquire)
+            }
+        }
+    }
+}
+
+/// A cross-layer set of scheduled faults, shared between (re)launches.
+#[derive(Debug, Default)]
+pub struct FaultSchedule {
+    kills: Vec<Kill>,
+    corruptions: Vec<Corruption>,
+    backend_faults: Vec<BackendFault>,
+}
+
+/// The kills-only view every pre-chaos call site was written against.
+pub type FaultPlan = FaultSchedule;
+
+impl FaultSchedule {
     /// No failures.
     pub fn none() -> Self {
-        FaultPlan::default()
+        FaultSchedule::default()
     }
 
     /// Plan a single kill.
     pub fn kill_at(rank: usize, label: impl Into<String>, at: u64) -> Self {
-        FaultPlan {
+        FaultSchedule {
             kills: vec![Kill::new(rank, label, at)],
+            ..FaultSchedule::default()
         }
     }
 
@@ -61,12 +216,45 @@ impl FaultPlan {
         self
     }
 
+    /// Builder-style: add a checkpoint-blob corruption.
+    pub fn and_corrupt(
+        mut self,
+        tier: CorruptTier,
+        version: u64,
+        rank: usize,
+        kind: CorruptKind,
+    ) -> Self {
+        self.corruptions
+            .push(Corruption::new(tier, version, rank, kind));
+        self
+    }
+
+    /// Builder-style: add a flush-backend fault.
+    pub fn and_backend(mut self, fault: BackendFault) -> Self {
+        self.backend_faults.push(fault);
+        self
+    }
+
     pub fn kills(&self) -> &[Kill] {
         &self.kills
     }
 
+    pub fn corruptions(&self) -> &[Corruption] {
+        &self.corruptions
+    }
+
+    pub fn backend_faults(&self) -> &[BackendFault] {
+        &self.backend_faults
+    }
+
     pub fn is_empty(&self) -> bool {
-        self.kills.is_empty()
+        self.kills.is_empty() && !self.has_injections()
+    }
+
+    /// Whether this schedule carries storage/backend faults that need the
+    /// cluster-level injector hook installed.
+    pub fn has_injections(&self) -> bool {
+        !self.corruptions.is_empty() || !self.backend_faults.is_empty()
     }
 
     /// Should `rank` die now at fault point `label` with counter `count`?
@@ -89,6 +277,60 @@ impl FaultPlan {
     /// How many kills have fired so far.
     pub fn fired_count(&self) -> usize {
         self.kills.iter().filter(|k| k.has_fired()).count()
+    }
+}
+
+impl FaultInjector for FaultSchedule {
+    fn corrupt_write(&self, tier: StorageTier, path: &str, blob: &Bytes) -> Option<Bytes> {
+        let mut out: Option<Bytes> = None;
+        for c in &self.corruptions {
+            if c.tier.matches(tier)
+                && c.matches_path(path)
+                && c.fired_slot(tier)
+                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+            {
+                let base = out.as_ref().unwrap_or(blob);
+                out = Some(c.apply(base));
+            }
+        }
+        out
+    }
+
+    fn backend_spawn_fails(&self, rank: usize) -> bool {
+        for f in &self.backend_faults {
+            if let BackendFault::SpawnFail { rank: r, fired } = f {
+                if *r == rank
+                    && fired
+                        .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn flush_worker_dies(&self, rank: usize, completed: u64) -> bool {
+        for f in &self.backend_faults {
+            if let BackendFault::WorkerDeath {
+                rank: r,
+                after,
+                fired,
+            } = f
+            {
+                if *r == rank
+                    && completed >= *after
+                    && fired
+                        .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                {
+                    return true;
+                }
+            }
+        }
+        false
     }
 }
 
@@ -121,5 +363,83 @@ mod tests {
         let plan = FaultPlan::none();
         assert!(plan.is_empty());
         assert!(!plan.check(0, "iter", 0));
+    }
+
+    #[test]
+    fn duplicate_kills_at_same_site_both_fire() {
+        // Two kills at the same (rank, label, at): the first check fires
+        // one, and — across a simulated relaunch that replays the fault
+        // point — the second check fires the other. A third never fires.
+        let plan = FaultPlan::kill_at(0, "iter", 3).and_kill(0, "iter", 3);
+        assert!(plan.check(0, "iter", 3), "first duplicate fires");
+        assert!(plan.check(0, "iter", 3), "second duplicate fires");
+        assert!(!plan.check(0, "iter", 3), "no third kill exists");
+        assert_eq!(plan.fired_count(), 2);
+    }
+
+    #[test]
+    fn corruption_matches_version_and_rank_once_per_tier() {
+        let plan = FaultSchedule::none().and_corrupt(
+            CorruptTier::Both,
+            4,
+            1,
+            CorruptKind::FlipBack { back: 0 },
+        );
+        let blob = Bytes::from_static(b"hello");
+        // Wrong coordinates: untouched.
+        assert!(plan
+            .corrupt_write(StorageTier::Scratch, "ck/v3/r1", &blob)
+            .is_none());
+        assert!(plan
+            .corrupt_write(StorageTier::Scratch, "ck/v4/r2", &blob)
+            .is_none());
+        // First matching write on each tier is corrupted, later ones not.
+        let c = plan
+            .corrupt_write(StorageTier::Scratch, "ck/v4/r1", &blob)
+            .expect("matched");
+        assert_eq!(c[4], b'o' ^ 0xFF);
+        assert!(plan
+            .corrupt_write(StorageTier::Scratch, "ck/v4/r1", &blob)
+            .is_none());
+        assert!(plan
+            .corrupt_write(StorageTier::Pfs, "ck/v4/r1", &blob)
+            .is_some());
+        assert!(plan
+            .corrupt_write(StorageTier::Pfs, "ck/v4/r1", &blob)
+            .is_none());
+        assert!(plan.corruptions()[0].has_fired());
+    }
+
+    #[test]
+    fn truncation_keeps_prefix() {
+        let plan = FaultSchedule::none().and_corrupt(
+            CorruptTier::Pfs,
+            1,
+            0,
+            CorruptKind::Truncate { keep: 2 },
+        );
+        let blob = Bytes::from_static(b"abcdef");
+        let c = plan
+            .corrupt_write(StorageTier::Pfs, "ck/v1/r0", &blob)
+            .expect("matched");
+        assert_eq!(&c[..], b"ab");
+        // Scratch tier was not requested.
+        assert!(plan
+            .corrupt_write(StorageTier::Scratch, "ck/v1/r0", &blob)
+            .is_none());
+    }
+
+    #[test]
+    fn backend_faults_fire_once() {
+        let plan = FaultSchedule::none()
+            .and_backend(BackendFault::spawn_fail(2))
+            .and_backend(BackendFault::worker_death(1, 2));
+        assert!(!plan.backend_spawn_fails(1));
+        assert!(plan.backend_spawn_fails(2));
+        assert!(!plan.backend_spawn_fails(2), "spawn fault is one-shot");
+        assert!(!plan.flush_worker_dies(1, 1), "not enough flushes yet");
+        assert!(plan.flush_worker_dies(1, 2));
+        assert!(!plan.flush_worker_dies(1, 3), "death is one-shot");
+        assert!(plan.backend_faults().iter().all(BackendFault::has_fired));
     }
 }

@@ -36,7 +36,9 @@ pub mod universe;
 
 pub use comm::{Comm, ReduceOp, Tag};
 pub use error::{MpiError, MpiResult};
-pub use fault::{FaultPlan, Kill};
+pub use fault::{
+    BackendFault, CorruptKind, CorruptTier, Corruption, FaultPlan, FaultSchedule, Kill,
+};
 pub use pod::Pod;
 pub use profile::{Phase, Profile};
 pub use universe::{LaunchReport, RankCtx, RankOutcome, Universe, UniverseConfig};

@@ -174,6 +174,15 @@ impl Universe {
         let n = cluster.topology().total_ranks();
         let router = Router::new(cluster.clone());
 
+        // Storage/backend faults in the schedule are delivered through the
+        // cluster's injector hook, which the VeloC storage path consults.
+        // Installed only when present so launches with a kills-only plan
+        // leave any externally installed injector alone.
+        if fault.has_injections() {
+            let injector: Arc<dyn cluster::FaultInjector> = Arc::clone(&fault) as _;
+            cluster.set_injector(Some(injector));
+        }
+
         if config.charge_startup {
             let startup = cluster.config().relaunch.startup(n);
             cluster.time_scale().sleep(startup);

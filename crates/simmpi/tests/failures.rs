@@ -250,6 +250,60 @@ fn fault_plan_does_not_refire_on_relaunch() {
 }
 
 #[test]
+fn schedule_kill_fires_at_most_once_across_many_relaunches() {
+    // Regression for the chaos campaign's relaunch loop: a Kill is consumed
+    // by its first firing and stays consumed across *every* later launch of
+    // the same schedule — if it re-fired, any run with a finite relaunch
+    // budget would be killed at the same site forever and could never
+    // complete.
+    let plan = Arc::new(FaultPlan::kill_at(0, "iter", 1));
+    let c = cluster(2);
+    let app = |ctx: &mut RankCtx| -> MpiResult<()> {
+        for i in 0..3 {
+            ctx.fault_point("iter", i)?;
+        }
+        Ok(())
+    };
+    let first = Universe::launch(&c, UniverseConfig::default(), Arc::clone(&plan), app);
+    assert_eq!(first.killed_ranks(), vec![0]);
+    assert_eq!(plan.fired_count(), 1);
+    for relaunch in 0..3 {
+        let again = Universe::launch(&c, UniverseConfig::default(), Arc::clone(&plan), app);
+        assert!(again.all_ok(), "kill re-fired on relaunch {relaunch}");
+        assert_eq!(plan.fired_count(), 1);
+    }
+}
+
+#[test]
+fn duplicate_kills_at_same_site_fire_on_successive_launches() {
+    // Two schedule entries at the identical (rank, site, count) triple are
+    // two distinct faults: the first launch consumes one, the relaunch
+    // consumes the other, and only the third launch runs clean. This is how
+    // a chaos schedule expresses "kill the recovered job at the same place
+    // again".
+    let plan = Arc::new(FaultPlan::kill_at(0, "iter", 1).and_kill(0, "iter", 1));
+    let c = cluster(2);
+    let app = |ctx: &mut RankCtx| -> MpiResult<()> {
+        for i in 0..3 {
+            ctx.fault_point("iter", i)?;
+        }
+        Ok(())
+    };
+    let first = Universe::launch(&c, UniverseConfig::default(), Arc::clone(&plan), app);
+    assert_eq!(first.killed_ranks(), vec![0]);
+    assert_eq!(plan.fired_count(), 1);
+    let second = Universe::launch(&c, UniverseConfig::default(), Arc::clone(&plan), app);
+    assert_eq!(
+        second.killed_ranks(),
+        vec![0],
+        "duplicate kill must also fire"
+    );
+    assert_eq!(plan.fired_count(), 2);
+    let third = Universe::launch(&c, UniverseConfig::default(), Arc::clone(&plan), app);
+    assert!(third.all_ok());
+}
+
+#[test]
 fn multiple_failures_shrink_twice() {
     // Two failures at different times; survivors shrink, lose another rank,
     // and shrink again.

@@ -12,13 +12,16 @@
 //! `g = h / capacity`. It then claims the slot itself by CAS-ing its
 //! sequence from `2g` (the previous generation's published value) to
 //! `2g + 1` (write in progress), fills the words, and publishes `2g + 2`.
-//! A failed claim means a writer from an adjacent generation is mid-flight
-//! on the slot; the push abandons the record rather than interleave two
-//! generations' words (see [`EventRing::push`]). A snapshot reader accepts
-//! a slot only when the sequence reads `2g + 2` for the generation it
-//! expects both before and after copying the words; anything else means the
-//! slot was mid-write, abandoned, or already recycled, and the record is
-//! skipped.
+//! When the claim observes an odd sequence (a writer from an adjacent
+//! generation is mid-flight) or one at/past `2g` (this writer is a full lap
+//! behind), the push abandons the record rather than interleave two
+//! generations' words; a *stale even* sequence — the residue of an earlier
+//! abandoned generation — is reclaimed instead, so one abandonment never
+//! leaves the slot permanently dead (see [`EventRing::push`]). A snapshot
+//! reader accepts a slot only when the sequence reads `2g + 2` for the
+//! generation it expects both before and after copying the words; anything
+//! else means the slot was mid-write, abandoned, or already recycled, and
+//! the record is skipped.
 
 // loom facade: identical to std::sync::atomic in production; every access
 // becomes a schedule point under the modelcheck explorer. The seqlock is
@@ -74,14 +77,19 @@ impl EventRing {
 
     /// Publish one record. Never blocks; evicts the oldest record when full.
     ///
-    /// A push can *abandon* its slot (the claim CAS below fails) when a
-    /// writer from an adjacent generation is still active on it — i.e. a
-    /// writer lagging one full capacity lap behind, or racing one lap ahead.
+    /// A push can *abandon* its slot when a writer from an adjacent
+    /// generation is still active on it (odd sequence) or this writer is a
+    /// full capacity lap behind (sequence already at/past its generation).
     /// The record is then silently lost (it still counts in [`pushed`]); the
     /// alternative, writing anyway, interleaves two generations' words under
     /// a valid sequence, which the modelcheck seqlock suite demonstrates as
     /// a torn read. With realistic capacities a full-lap lag is pathological;
-    /// losing that record keeps push wait-free and readers safe.
+    /// losing that record keeps push effectively wait-free and readers safe.
+    /// A *stale even* sequence — left behind when an earlier generation's
+    /// push abandoned — is reclaimed rather than treated as a conflict:
+    /// abandoning on it would make the slot reject every later generation
+    /// forever (the dead-slot bug pinned by
+    /// `crates/modelcheck/tests/scratch_deadslot.rs`).
     ///
     /// [`pushed`]: EventRing::pushed
     pub fn push(&self, words: [u64; RECORD_WORDS]) {
@@ -89,23 +97,31 @@ impl EventRing {
         let cap = self.slots.len() as u64;
         let generation = h / cap;
         let slot = &self.slots[(h % cap) as usize];
-        // Claim the slot for this generation: its sequence must still be the
+        // Claim the slot for this generation. The expected sequence is the
         // previous generation's "published" value (2*generation, which is
-        // also the initial 0 for generation 0). Anything else means another
-        // generation's writer is mid-flight on this slot — abandon (see
-        // above). Relaxed on failure is sufficient (audited): the value is
-        // discarded.
-        if slot
-            .seq
-            .compare_exchange(
-                2 * generation,
+        // also the initial 0 for generation 0) — but an abandoned push from
+        // an intermediate generation leaves the sequence at an even value
+        // *behind* that, and treating it as a conflict would kill the slot
+        // for every generation after (the dead-slot interleaving pinned by
+        // crates/modelcheck/tests/scratch_deadslot.rs). A stale even value
+        // means no writer is active on the slot, so reclaim from it instead;
+        // only an odd sequence (writer mid-flight) or one at/past our own
+        // generation (we are the lagging writer) abandons. The sequence is
+        // monotonic, so each retry observes a strictly larger value and the
+        // loop is bounded. Acquire on failure (audited): the observed value
+        // seeds the next claim attempt.
+        let mut expect = 2 * generation;
+        loop {
+            match slot.seq.compare_exchange(
+                expect,
                 2 * generation + 1,
                 Ordering::AcqRel,
-                Ordering::Relaxed,
-            )
-            .is_err()
-        {
-            return;
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(seen) if seen % 2 == 0 && seen < 2 * generation => expect = seen,
+                Err(_) => return,
+            }
         }
         // The odd ("write in progress") sequence must become visible before
         // any word store. The AcqRel claim above only orders *earlier*

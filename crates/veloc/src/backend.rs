@@ -19,10 +19,11 @@
 //! enqueue → flush → wait → drop lifecycle is explored by
 //! `crates/modelcheck/tests/veloc_flush.rs`.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
-use cluster::Cluster;
+use cluster::{Cluster, StorageTier};
 use crossbeam::channel::{unbounded, Sender};
 use loom::thread::JoinHandle;
 use parking_lot::{Condvar, Mutex};
@@ -56,7 +57,14 @@ fn run_flush(cluster: &Cluster, rank: usize, job: FlushJob, pending: &PendingCou
     // traffic that congests application MPI.
     let bytes = job.blob.len() as u64;
     cluster.network().egress(rank, job.blob.len());
-    cluster.pfs().write(&job.path, job.blob);
+    // Chaos corruption hook: the blob may be damaged on its way to the PFS.
+    let blob = match cluster.injector() {
+        Some(inj) => inj
+            .corrupt_write(StorageTier::Pfs, &job.path, &job.blob)
+            .unwrap_or(job.blob),
+        None => job.blob,
+    };
+    cluster.pfs().write(&job.path, blob);
     job.rec.emit(Event::FlushDone {
         name: job.name,
         version: job.version,
@@ -74,28 +82,60 @@ pub struct ActiveBackend {
     tx: Sender<Job>,
     pending: Arc<PendingCount>,
     handle: Option<JoinHandle<()>>,
+    /// Set by the worker when an injected fault kills it mid-run; tells the
+    /// teardown invariant that the early exit was scheduled, not a bug.
+    worker_died: Arc<AtomicBool>,
 }
 
 impl ActiveBackend {
     /// Spawn a backend for the client of global rank `rank`.
     ///
     /// Thread creation can fail (resource exhaustion — exactly the regime a
-    /// resilience stack operates in); the error is recoverable and the
-    /// caller is expected to fall back to synchronous flushing.
+    /// resilience stack operates in, and a fault the chaos injector
+    /// schedules deliberately); the error is recoverable and the caller is
+    /// expected to fall back to synchronous flushing.
     pub fn spawn(cluster: Cluster, rank: usize) -> Result<Self, VelocError> {
+        if let Some(inj) = cluster.injector() {
+            if inj.backend_spawn_fails(rank) {
+                return Err(VelocError::BackendSpawn {
+                    reason: "spawn failure injected by fault schedule".to_owned(),
+                });
+            }
+        }
         let (tx, rx) = unbounded::<Job>();
         let pending = Arc::new(PendingCount {
             count: Mutex::new(0),
             cv: Condvar::new(),
         });
+        let worker_died = Arc::new(AtomicBool::new(false));
         let pending2 = Arc::clone(&pending);
+        let died2 = Arc::clone(&worker_died);
         let cluster2 = cluster.clone();
         let handle = loom::thread::Builder::new()
             .name(format!("veloc-backend-{rank}"))
             .spawn(move || {
+                let mut completed = 0u64;
                 while let Ok(job) = rx.recv() {
                     match job {
-                        Job::Flush(job) => run_flush(&cluster2, rank, job, &pending2),
+                        Job::Flush(job) => {
+                            run_flush(&cluster2, rank, job, &pending2);
+                            completed += 1;
+                            // Chaos worker-death hook, consulted between
+                            // jobs only: an acknowledged flush always
+                            // completes. Any backlog is drained first —
+                            // the worker "dies" having lost nothing, and
+                            // later enqueues degrade to inline flushing.
+                            let dies = cluster2
+                                .injector()
+                                .is_some_and(|inj| inj.flush_worker_dies(rank, completed));
+                            if dies {
+                                while let Ok(Job::Flush(job)) = rx.try_recv() {
+                                    run_flush(&cluster2, rank, job, &pending2);
+                                }
+                                died2.store(true, Ordering::Release);
+                                break;
+                            }
+                        }
                         Job::Stop => break,
                     }
                 }
@@ -109,6 +149,7 @@ impl ActiveBackend {
             tx,
             pending,
             handle: Some(handle),
+            worker_died,
         })
     }
 
@@ -170,8 +211,9 @@ impl Drop for ActiveBackend {
         // still a bug, stated as an invariant instead of silently swallowed.
         let stop_received = self.tx.send(Job::Stop).is_ok();
         let join_ok = self.handle.take().is_none_or(|h| h.join().is_ok());
+        let scheduled_death = self.worker_died.load(Ordering::Acquire);
         debug_assert!(
-            stop_received && join_ok,
+            (stop_received && join_ok) || scheduled_death,
             "flush worker died abnormally (panic or early exit)"
         );
     }

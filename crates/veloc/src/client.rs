@@ -208,6 +208,20 @@ impl Client {
         format!("{name}/v{version}/r{}", self.logical_rank())
     }
 
+    /// Offer a blob about to be written to the installed fault injector
+    /// (chaos corruption hook); identity when no injector is installed.
+    fn offer_to_injector(
+        cluster: &Cluster,
+        tier: cluster::StorageTier,
+        path: &str,
+        blob: Bytes,
+    ) -> Bytes {
+        match cluster.injector() {
+            Some(inj) => inj.corrupt_write(tier, path, &blob).unwrap_or(blob),
+            None => blob,
+        }
+    }
+
     // ---- protection -------------------------------------------------------
 
     /// Register a memory region under `id` (VeloC `mem_protect`). Replaces
@@ -265,9 +279,15 @@ impl Client {
             serial::pack(&parts)
         };
         let path = self.path(name, version);
+        let scratch_blob = Self::offer_to_injector(
+            &self.cluster,
+            cluster::StorageTier::Scratch,
+            &path,
+            blob.clone(),
+        );
         self.cluster
             .scratch()
-            .write(self.node(), &path, blob.clone());
+            .write(self.node(), &path, scratch_blob);
         rec.emit_with(|| Event::CheckpointLocal {
             name: name.to_owned(),
             version,
@@ -284,7 +304,9 @@ impl Client {
                 .network()
                 .egress(self.physical_rank, blob.len());
             let bytes = blob.len() as u64;
-            self.cluster.pfs().write(&path, blob);
+            let pfs_blob =
+                Self::offer_to_injector(&self.cluster, cluster::StorageTier::Pfs, &path, blob);
+            self.cluster.pfs().write(&path, pfs_blob);
             rec.emit_with(|| Event::FlushDone {
                 name: name.to_owned(),
                 version,
@@ -336,6 +358,106 @@ impl Client {
         self.cluster.scratch().exists(self.node(), &path) || self.cluster.pfs().exists(&path)
     }
 
+    /// Whether this rank holds an *intact* (checksum-verified) copy of
+    /// checkpoint `name`/`version` on either tier. A corrupted scratch copy
+    /// with an intact PFS copy counts — restart falls back tier by tier.
+    pub fn version_intact(&self, name: &str, version: u64) -> bool {
+        let path = self.path(name, version);
+        if let Some((blob, _)) = self.cluster.scratch().read(self.node(), &path) {
+            if serial::verify(&blob) {
+                return true;
+            }
+        }
+        match self.cluster.pfs().read(&path) {
+            Some((blob, _)) => serial::verify(&blob),
+            None => false,
+        }
+    }
+
+    /// Newest version of `name` at or below `bound` for which this rank
+    /// holds an intact copy. This is the local half of the degraded
+    /// agreement: a corrupt newest version must not wedge restart.
+    pub fn latest_intact_version(&self, name: &str, bound: u64) -> Option<u64> {
+        let r = self.logical_rank();
+        let suffix = format!("/r{r}");
+        let parse = |p: &str| -> Option<u64> {
+            let rest = p.strip_prefix(name)?.strip_prefix("/v")?;
+            rest.strip_suffix(&suffix)?.parse().ok()
+        };
+        let mut versions: Vec<u64> = self
+            .cluster
+            .scratch()
+            .list(self.node(), &format!("{name}/"))
+            .iter()
+            .chain(self.cluster.pfs().list(&format!("{name}/")).iter())
+            .filter_map(|p| parse(p))
+            .filter(|&v| v <= bound)
+            .collect();
+        versions.sort_unstable();
+        versions.dedup();
+        versions
+            .into_iter()
+            .rev()
+            .find(|&v| self.version_intact(name, v))
+    }
+
+    /// Agree on the newest version of `name` that is intact on *every* rank
+    /// of `comm` — the degraded-but-correct replacement for the paper's
+    /// plain min-reduction, which fails on an agreed-but-corrupt version.
+    ///
+    /// The agreement is iterative: each round proposes the min over ranks of
+    /// each rank's newest intact version below the current bound, then every
+    /// rank verifies it holds that exact version intact; on any miss the
+    /// bound drops below the proposal and the loop repeats. Rounds strictly
+    /// decrease the bound, so the loop terminates within the version count.
+    /// With `comm == None` the answer is local-only (`Single`-mode restart
+    /// on a sole rank, tests).
+    pub fn agree_intact_version(
+        &self,
+        name: &str,
+        comm: Option<&Comm>,
+    ) -> Result<Option<u64>, VelocError> {
+        self.agree_intact_version_below(name, u64::MAX, comm)
+    }
+
+    /// [`Self::agree_intact_version`] restricted to versions `<= bound`.
+    ///
+    /// Restart logic needs this when the newest agreed version leaves no
+    /// work to replay (a kill at the final commit): the job re-agrees on an
+    /// older version so recovery lands inside the iteration space.
+    pub fn agree_intact_version_below(
+        &self,
+        name: &str,
+        bound: u64,
+        comm: Option<&Comm>,
+    ) -> Result<Option<u64>, VelocError> {
+        let Some(comm) = comm else {
+            return Ok(self.latest_intact_version(name, bound));
+        };
+        let mut bound = bound;
+        loop {
+            let local = self
+                .latest_intact_version(name, bound)
+                .map_or(-1i64, |v| v as i64);
+            let proposed = comm.allreduce_scalar(local, ReduceOp::Min)?;
+            if proposed < 0 {
+                return Ok(None);
+            }
+            let v = proposed as u64;
+            let ok_here = self.version_intact(name, v) as i64;
+            let all_ok = comm.allreduce_scalar(ok_here, ReduceOp::Min)?;
+            if all_ok == 1 {
+                return Ok(Some(v));
+            }
+            // Some rank's copy of `v` is corrupt or missing: every rank
+            // lowers the bound identically and proposes again.
+            if v == 0 {
+                return Ok(None);
+            }
+            bound = v - 1;
+        }
+    }
+
     /// Find the best restartable version.
     ///
     /// `Single` mode answers locally; `Collective` mode agrees over `comm`
@@ -382,19 +504,27 @@ impl Client {
 
     fn restart_inner(&self, name: &str, version: u64) -> Result<usize, VelocError> {
         let path = self.path(name, version);
-        let blob = match self.cluster.scratch().read(self.node(), &path) {
-            Some((blob, _)) => blob,
-            None => match self.cluster.pfs().read(&path) {
-                Some((blob, _)) => blob,
-                None => {
-                    return Err(VelocError::NotFound {
-                        name: name.to_owned(),
-                        version,
-                    })
-                }
-            },
-        };
-        let parts = serial::unpack(&blob).ok_or(VelocError::Corrupt { path })?;
+        // Prefer scratch, but degrade tier by tier: a corrupt scratch copy
+        // must not mask an intact PFS copy of the same version.
+        let mut found = false;
+        let mut parts: Option<Vec<(u32, Bytes)>> = None;
+        if let Some((blob, _)) = self.cluster.scratch().read(self.node(), &path) {
+            found = true;
+            parts = serial::unpack(&blob);
+        }
+        if parts.is_none() {
+            if let Some((blob, _)) = self.cluster.pfs().read(&path) {
+                found = true;
+                parts = serial::unpack(&blob);
+            }
+        }
+        if !found {
+            return Err(VelocError::NotFound {
+                name: name.to_owned(),
+                version,
+            });
+        }
+        let parts = parts.ok_or(VelocError::Corrupt { path })?;
         let regions = self.regions.lock();
         let mut restored = 0;
         for (id, payload) in parts {

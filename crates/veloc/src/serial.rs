@@ -1,63 +1,125 @@
 //! Checkpoint blob format.
 //!
 //! One checkpoint = all protected regions of one rank, packed into a single
-//! blob:
+//! integrity-framed blob:
 //!
 //! ```text
-//! [u32 region_count]
-//! repeat region_count times:
-//!   [u32 region_id][u64 payload_len][payload bytes]
+//! [4  bytes magic "VCF1"]
+//! [u32 crc32(body)]            // IEEE 802.3 polynomial, over `body`
+//! body:
+//!   [u32 region_count]
+//!   repeat region_count times:
+//!     [u32 region_id][u64 payload_len][payload bytes]
 //! ```
 //!
 //! Restores match regions by id, so a restart can tolerate registration in
 //! a different order (Kokkos Resilience re-registers views after a context
 //! reset).
+//!
+//! The CRC frame exists because the structural checks alone cannot catch a
+//! flipped byte *inside* a region payload — without it, a corrupted blob
+//! would silently restore garbage application state. [`unpack`] rejects any
+//! blob whose checksum does not match, turning silent corruption into the
+//! typed [`crate::VelocError::Corrupt`] the restart path degrades on.
+//!
+//! The `chaos-mutants` feature re-enables the garbage-restore bug by
+//! skipping the checksum comparison (structure is still parsed). It exists
+//! only so the chaos campaign can prove it catches exactly this class of
+//! bug (`crates/chaos/tests/mutant.rs`); never enable it in normal builds.
 
 use bytes::{BufMut, Bytes, BytesMut};
 
+/// Leading magic of every checkpoint blob (format version 1).
+pub const MAGIC: [u8; 4] = *b"VCF1";
+
+/// CRC32 (IEEE 802.3, reflected) of `data`.
+///
+/// Bitwise rather than table-driven: checkpoint blobs here are small and
+/// the bit loop keeps the restart path free of any indexing a corrupted
+/// length could turn into a panic.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            crc = if crc & 1 == 1 {
+                0xEDB8_8320 ^ (crc >> 1)
+            } else {
+                crc >> 1
+            };
+        }
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
 /// Pack `(id, payload)` pairs into one checkpoint blob.
 pub fn pack(regions: &[(u32, Bytes)]) -> Bytes {
-    let total: usize = 4 + regions.iter().map(|(_, b)| 12 + b.len()).sum::<usize>();
-    let mut buf = BytesMut::with_capacity(total);
-    buf.put_u32_le(regions.len() as u32);
+    let body_len: usize = 4 + regions.iter().map(|(_, b)| 12 + b.len()).sum::<usize>();
+    let mut body = BytesMut::with_capacity(body_len);
+    body.put_u32_le(regions.len() as u32);
     for (id, payload) in regions {
-        buf.put_u32_le(*id);
-        buf.put_u64_le(payload.len() as u64);
-        buf.put_slice(payload);
+        body.put_u32_le(*id);
+        body.put_u64_le(payload.len() as u64);
+        body.put_slice(payload);
     }
+    let body = body.freeze();
+    let mut buf = BytesMut::with_capacity(8 + body.len());
+    buf.put_slice(&MAGIC);
+    buf.put_u32_le(crc32(&body));
+    buf.put_slice(&body);
     buf.freeze()
 }
 
 /// Unpack a checkpoint blob into `(id, payload)` pairs.
 ///
-/// Returns `None` on a malformed blob (truncation, bad counts) — a restart
-/// from a corrupt checkpoint must fail cleanly, not panic.
+/// Returns `None` on a malformed blob — wrong magic, checksum mismatch,
+/// truncation, bad counts — a restart from a corrupt checkpoint must fail
+/// cleanly, not panic, and must never silently return wrong data.
 pub fn unpack(blob: &Bytes) -> Option<Vec<(u32, Bytes)>> {
+    if blob.len() < 8 || blob[..4] != MAGIC {
+        return None;
+    }
+    let stored_crc = u32::from_le_bytes(blob[4..8].try_into().ok()?);
+    let body = blob.slice(8..);
+    // The seeded chaos mutant: skipping this verification re-enables the
+    // garbage-restore path the CRC frame exists to close.
+    #[cfg(not(feature = "chaos-mutants"))]
+    if crc32(&body) != stored_crc {
+        return None;
+    }
+    #[cfg(feature = "chaos-mutants")]
+    let _ = stored_crc;
+
     let mut off = 0usize;
     let take = |off: &mut usize, n: usize| -> Option<&[u8]> {
-        let s = blob.get(*off..*off + n)?;
+        let s = body.get(*off..*off + n)?;
         *off += n;
         Some(s)
     };
     let count = u32::from_le_bytes(take(&mut off, 4)?.try_into().ok()?) as usize;
     // Guard against absurd counts from corrupt headers.
-    if count > blob.len() {
+    if count > body.len() {
         return None;
     }
     let mut out = Vec::with_capacity(count);
     for _ in 0..count {
         let id = u32::from_le_bytes(take(&mut off, 4)?.try_into().ok()?);
         let len = u64::from_le_bytes(take(&mut off, 8)?.try_into().ok()?) as usize;
-        if off + len > blob.len() {
+        if off + len > body.len() {
             return None;
         }
-        out.push((id, blob.slice(off..off + len)));
+        out.push((id, body.slice(off..off + len)));
         off += len;
     }
-    if off != blob.len() {
+    if off != body.len() {
         return None; // trailing garbage
     }
     Some(out)
+}
+
+/// Whether `blob` is a well-formed, checksum-intact checkpoint blob.
+pub fn verify(blob: &Bytes) -> bool {
+    unpack(blob).is_some()
 }
 
 #[cfg(test)]
@@ -73,6 +135,7 @@ mod tests {
         ];
         let blob = pack(&regions);
         assert_eq!(unpack(&blob).unwrap(), regions);
+        assert!(verify(&blob));
     }
 
     #[test]
@@ -82,11 +145,19 @@ mod tests {
     }
 
     #[test]
+    fn crc32_matches_known_vector() {
+        // The classic IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
     fn truncated_blob_fails_cleanly() {
         let blob = pack(&[(1, Bytes::from_static(b"payload"))]);
-        for cut in [0, 3, 5, blob.len() - 1] {
+        for cut in [0, 3, 5, 9, blob.len() - 1] {
             let truncated = blob.slice(0..cut);
             assert!(unpack(&truncated).is_none(), "cut at {cut} should fail");
+            assert!(!verify(&truncated));
         }
     }
 
@@ -98,12 +169,34 @@ mod tests {
     }
 
     #[test]
+    fn bad_magic_fails() {
+        let mut raw = pack(&[(1, Bytes::from_static(b"x"))]).to_vec();
+        raw[0] = b'X';
+        assert!(unpack(&Bytes::from(raw)).is_none());
+    }
+
+    #[cfg(not(feature = "chaos-mutants"))]
+    #[test]
+    fn payload_byte_flip_is_detected() {
+        // A flip inside a region payload passes every structural check —
+        // only the CRC catches it. This is the exact bug class the chaos
+        // mutant re-introduces.
+        let blob = pack(&[(1, Bytes::from_static(b"payload"))]);
+        let mut raw = blob.to_vec();
+        let last = raw.len() - 1;
+        raw[last] ^= 0xFF;
+        assert!(unpack(&Bytes::from(raw)).is_none());
+    }
+
+    #[cfg(not(feature = "chaos-mutants"))]
+    #[test]
     fn corrupt_count_fails() {
         let mut raw = pack(&[]).to_vec();
-        raw[0] = 0xFF;
-        raw[1] = 0xFF;
-        raw[2] = 0xFF;
-        raw[3] = 0x7F;
+        // Body starts at offset 8; blow up the region count.
+        raw[8] = 0xFF;
+        raw[9] = 0xFF;
+        raw[10] = 0xFF;
+        raw[11] = 0x7F;
         assert!(unpack(&Bytes::from(raw)).is_none());
     }
 }

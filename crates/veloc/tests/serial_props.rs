@@ -1,0 +1,96 @@
+//! Property tests for the checkpoint blob format (`veloc::serial`).
+//!
+//! The format is the last line of defense between storage-tier corruption
+//! and silent wrong answers, so the properties are stated adversarially:
+//! every well-formed blob round-trips exactly, and every corrupted or
+//! truncated blob either fails *cleanly* (`None`) or is byte-identical to
+//! the original — `unpack` never panics and never returns wrong data.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use veloc::serial::{crc32, pack, unpack, verify};
+
+/// Region-list strategy: up to 5 regions with arbitrary ids and payloads
+/// of 0..64 arbitrary bytes (empty payloads and duplicate ids included —
+/// the format allows both, matching order and multiplicity on restore).
+fn regions_strategy() -> impl Strategy<Value = Vec<(u32, Vec<u8>)>> {
+    proptest::collection::vec(
+        (
+            any::<u32>(),
+            proptest::collection::vec(any::<u8>(), 0usize..64),
+        ),
+        0usize..5,
+    )
+}
+
+fn to_bytes(regions: &[(u32, Vec<u8>)]) -> Vec<(u32, Bytes)> {
+    regions
+        .iter()
+        .map(|(id, p)| (*id, Bytes::from(p.clone())))
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_is_exact(regions in regions_strategy()) {
+        let regions = to_bytes(&regions);
+        let blob = pack(&regions);
+        prop_assert!(verify(&blob));
+        prop_assert_eq!(unpack(&blob).expect("intact blob unpacks"), regions);
+    }
+
+    #[test]
+    fn truncation_fails_cleanly(regions in regions_strategy(), frac in 0.0f64..1.0) {
+        // Any strict prefix must be rejected — structurally, independent of
+        // the checksum (truncation is what a torn flush leaves behind).
+        let blob = pack(&to_bytes(&regions));
+        let cut = ((blob.len() as f64) * frac) as usize; // in 0..len
+        let truncated = blob.slice(0..cut.min(blob.len() - 1));
+        prop_assert!(unpack(&truncated).is_none());
+        prop_assert!(!verify(&truncated));
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(raw in proptest::collection::vec(any::<u8>(), 0usize..128)) {
+        // Fully adversarial input: unpack must return, not panic. When it
+        // does accept, re-packing must reproduce the input bit-for-bit —
+        // acceptance implies the blob really was well-formed.
+        let blob = Bytes::from(raw);
+        if let Some(regions) = unpack(&blob) {
+            prop_assert_eq!(pack(&regions), blob);
+        }
+    }
+}
+
+#[cfg(not(feature = "chaos-mutants"))]
+proptest! {
+    #[test]
+    fn single_byte_corruption_is_detected(
+        regions in regions_strategy(),
+        pos_frac in 0.0f64..1.0,
+        mask in 1u8..255,
+    ) {
+        // CRC32 detects every burst error of <= 32 bits, so a one-byte XOR
+        // anywhere in the blob (magic, checksum field, or body) must be
+        // caught — this is exactly the silent-garbage-restore bug class the
+        // frame exists to close, and the one the `chaos-mutants` feature
+        // re-seeds for the campaign self-test.
+        let blob = pack(&to_bytes(&regions));
+        let pos = ((blob.len() as f64) * pos_frac) as usize % blob.len();
+        let mut raw = blob.to_vec();
+        raw[pos] ^= mask;
+        prop_assert!(unpack(&Bytes::from(raw)).is_none(), "flip at {pos} undetected");
+    }
+
+    #[test]
+    fn crc_detects_any_single_byte_flip(
+        data in proptest::collection::vec(any::<u8>(), 1usize..256),
+        pos_frac in 0.0f64..1.0,
+        mask in 1u8..255,
+    ) {
+        let pos = ((data.len() as f64) * pos_frac) as usize % data.len();
+        let mut flipped = data.clone();
+        flipped[pos] ^= mask;
+        prop_assert_ne!(crc32(&data), crc32(&flipped));
+    }
+}

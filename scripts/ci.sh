@@ -32,6 +32,18 @@ cargo build --release
 echo "== tier-1: cargo test -q =="
 cargo test -q
 
+echo "== chaos: smoke campaign + seeded integrity mutant =="
+# A short seeded campaign across all three resilience layers: every
+# schedule must satisfy the differential oracle (bitwise-equal digest or a
+# clean typed error — never a hang, panic, or incoherent timeline). Env
+# knobs for deeper sweeps, e.g.:
+#   CHAOS_SCHEDULES=200 CHAOS_SEED=7 scripts/ci.sh
+cargo run -q --release -p harness --bin chaos -- \
+  --schedules "${CHAOS_SCHEDULES:-30}" ${CHAOS_SEED:+--seed "$CHAOS_SEED"}
+# The campaign must also catch the seeded checkpoint-integrity bug
+# (chaos-mutants skips the CRC check) and shrink it to <=2 events:
+cargo test -q -p chaos --features chaos-mutants
+
 echo "== modelcheck: bounded interleaving exploration =="
 # The protocol suites (telemetry seqlock, veloc flush, simmpi rendezvous)
 # honour env overrides for deeper sweeps than the in-tree defaults, e.g.:
