@@ -141,6 +141,7 @@ impl ChaosEvent {
             } => {
                 let kind = match kind {
                     CorruptKind::FlipBack { back } => format!("flip={back}"),
+                    CorruptKind::FlipFront { front } => format!("front={front}"),
                     CorruptKind::Truncate { keep } => format!("trunc={keep}"),
                 };
                 format!(
@@ -173,6 +174,10 @@ impl ChaosEvent {
                 let kind = if fields.iter().any(|(k, _)| *k == "flip") {
                     CorruptKind::FlipBack {
                         back: num(&fields, "flip", tok)? as usize,
+                    }
+                } else if fields.iter().any(|(k, _)| *k == "front") {
+                    CorruptKind::FlipFront {
+                        front: num(&fields, "front", tok)? as usize,
                     }
                 } else {
                     CorruptKind::Truncate {
@@ -234,13 +239,21 @@ impl ChaosSchedule {
                 } else {
                     CorruptTier::Both
                 };
-                let kind = if rng.chance(70) {
+                let kind = if rng.chance(60) {
                     // Offsets deep enough to reach *interior* grid rows:
                     // the last cols*8 bytes of a Heatdis blob are a halo
                     // row the next step overwrites, so a flip there heals
                     // on replay and falsifies nothing.
                     CorruptKind::FlipBack {
                         back: rng.below(512) as usize,
+                    }
+                } else if rng.chance(50) {
+                    // Front flips land in the VCF2 header/metadata — the
+                    // magic, meta CRC, counts, or id tables of the frame —
+                    // exercising delta-chain integrity rather than payload
+                    // integrity.
+                    CorruptKind::FlipFront {
+                        front: rng.below(64) as usize,
                     }
                 } else {
                     CorruptKind::Truncate {

@@ -16,7 +16,9 @@ use cluster::{Cluster, ClusterConfig, RelaunchModel, TimeScale};
 #[cfg(not(feature = "chaos-mutants"))]
 use fenix::{DataGroup, ExhaustPolicy, FenixConfig, ImrPolicy, ImrStore, Role};
 #[cfg(not(feature = "chaos-mutants"))]
-use simmpi::{FaultSchedule, MpiError, ReduceOp, Universe, UniverseConfig};
+use simmpi::{
+    CorruptKind, CorruptTier, FaultSchedule, MpiError, ReduceOp, Universe, UniverseConfig,
+};
 #[cfg(not(feature = "chaos-mutants"))]
 use veloc::serial;
 
@@ -153,4 +155,86 @@ fn imr_recovery_detects_corrupted_partner_store_and_aborts_cleanly() {
             o.result
         );
     }
+}
+
+/// Incremental-checkpoint chain integrity under injected corruption (ISSUE 5
+/// satellite): the *base* version of a delta chain is damaged through the
+/// chaos injection hook at write time, and a later delta frame must never be
+/// restored atop it. Detection has to be positive — `version_intact` turns
+/// false for the whole chain, agreement degrades past it, and a forced
+/// restart of the delta version fails with the typed `Corrupt` error, not
+/// stale or hybrid state.
+///
+/// Gated out of `chaos-mutants` builds: the mutant disables exactly the CRC
+/// rejection that makes base damage visible.
+#[cfg(not(feature = "chaos-mutants"))]
+#[test]
+fn corrupted_delta_base_is_never_restored_atop() {
+    let c = Cluster::new(ClusterConfig {
+        nodes: 1,
+        ranks_per_node: 1,
+        time_scale: TimeScale::instant(),
+        ..ClusterConfig::default()
+    });
+    // Flip a payload byte of version 1 on both tiers as it is written; the
+    // delta written on top of it at version 2 stays clean.
+    let plan = Arc::new(FaultSchedule::none().and_corrupt(
+        CorruptTier::Both,
+        1,
+        0,
+        CorruptKind::FlipBack { back: 0 },
+    ));
+    c.set_injector(Some(plan));
+
+    let client = veloc::Client::init(
+        c.clone(),
+        0,
+        veloc::Config {
+            mode: veloc::Mode::Single,
+            async_flush: false,
+        },
+    );
+    let hot = veloc::VecRegion::new(vec![1u8; 64]);
+    let cold = veloc::VecRegion::new(vec![9u8; 256]);
+    client.protect(0, Arc::new(hot.clone()));
+    client.protect(1, Arc::new(cold.clone()));
+
+    // v1: full frame — corrupted in flight by the injector.
+    client.checkpoint("chain", 1).expect("checkpoint v1");
+    // Only the hot region moves, so v2 is a delta referencing base v1.
+    hot.lock()[0] = 2;
+    client.checkpoint("chain", 2).expect("checkpoint v2");
+    let (v2, _) = c
+        .scratch()
+        .read(0, "chain/v2/r0")
+        .expect("v2 blob in scratch");
+    let frame = serial::unpack_any(&v2).expect("v2 parses");
+    assert_eq!(
+        frame.base_version,
+        Some(1),
+        "v2 should be a delta on base v1"
+    );
+
+    // The chain is broken at its base: nothing intact remains, and the
+    // single-mode agreement (no communicator: local knowledge) finds none.
+    assert!(!client.version_intact("chain", 2));
+    assert!(!client.version_intact("chain", 1));
+    assert_eq!(
+        client
+            .agree_intact_version_below("chain", u64::MAX, None)
+            .expect("local agreement"),
+        None
+    );
+
+    // Forcing a restart of the delta version must fail with the typed
+    // error and must not touch the protected regions.
+    hot.lock().fill(7);
+    cold.lock().fill(7);
+    let err = client.restart("chain", 2).expect_err("restart must fail");
+    assert!(
+        matches!(err, veloc::VelocError::Corrupt { .. }),
+        "expected Corrupt, got {err:?}"
+    );
+    assert_eq!(*hot.lock(), vec![7u8; 64], "no partial restore");
+    assert_eq!(*cold.lock(), vec![7u8; 256], "no partial restore");
 }

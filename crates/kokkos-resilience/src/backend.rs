@@ -104,6 +104,13 @@ impl Protected for ViewRegion {
     fn byte_len(&self) -> usize {
         self.0.meta().bytes
     }
+
+    fn generation(&self) -> Option<u64> {
+        // Forwarding the view's allocation stamp (rather than minting one
+        // per wrapper) is what lets delta chains survive the re-wrap that
+        // every checkpoint's `protect` performs.
+        self.0.generation()
+    }
 }
 
 /// The VeloC-based backend (both agreement modes).
@@ -126,11 +133,20 @@ impl VelocBackend {
     }
 
     fn protect(&self, views: &RegionViews) {
-        self.client.clear_protected();
-        for (id, handle) in views {
-            self.client
-                .protect(*id, Arc::new(ViewRegion(Arc::clone(handle))));
-        }
+        // Replace the whole protection table atomically; the fresh wrappers
+        // still forward each view's allocation stamp, so re-registering the
+        // same views keeps their delta chains alive.
+        self.client.protect_exact(
+            views
+                .iter()
+                .map(|(id, handle)| {
+                    (
+                        *id,
+                        Arc::new(ViewRegion(Arc::clone(handle))) as Arc<dyn Protected>,
+                    )
+                })
+                .collect(),
+        );
     }
 
     fn unwrap_veloc<T>(r: Result<T, VelocError>) -> MpiResult<T> {
@@ -198,6 +214,9 @@ impl DataBackend for VelocBackend {
     fn clear(&self) {
         self.client.checkpoint_wait();
         self.client.clear_protected();
+        // A context reset means recovery may roll this rank back; any
+        // remembered delta base is a base it can no longer assume it holds.
+        self.client.invalidate_deltas();
     }
 
     fn set_recorder(&self, rec: Recorder) {

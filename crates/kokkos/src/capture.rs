@@ -29,6 +29,12 @@ pub trait Checkpointable: Send + Sync {
     fn snapshot(&self) -> Bytes;
     /// Overwrite contents from serialized bytes.
     fn restore(&self, data: &[u8]);
+    /// Dirty-tracking stamp of the underlying allocation, if the handle
+    /// supports one. `None` means "assume dirty every checkpoint" — the
+    /// safe default for handles without write-path instrumentation.
+    fn generation(&self) -> Option<u64> {
+        None
+    }
 }
 
 impl<T: Pod> Checkpointable for View<T> {
@@ -42,6 +48,10 @@ impl<T: Pod> Checkpointable for View<T> {
 
     fn restore(&self, data: &[u8]) {
         self.restore_bytes(data);
+    }
+
+    fn generation(&self) -> Option<u64> {
+        Some(View::generation(self))
     }
 }
 

@@ -24,6 +24,22 @@ fn fresh_id() -> u64 {
     NEXT_ID.fetch_add(1, Ordering::Relaxed)
 }
 
+/// Globally-unique generation stamps for dirty-region tracking.
+///
+/// Every mutable access re-stamps the allocation with a fresh value from
+/// this counter, so stamp *equality* across two observations means "same
+/// allocation, no writes in between" — there is no per-allocation
+/// wraparound or reuse to reason about. Stamps from this counter keep the
+/// top bit clear; `veloc`'s own region stamps set it, so the two
+/// namespaces can never collide even though the crates share no code.
+static NEXT_GEN: AtomicU64 = AtomicU64::new(1);
+
+// Allocation-order only; stamps are compared for equality, never used to
+// publish data (snapshots synchronize through the storage RwLock).
+fn fresh_gen() -> u64 {
+    NEXT_GEN.fetch_add(1, Ordering::Relaxed)
+}
+
 /// Identity and shape of a view, carried into capture records and
 /// checkpoint metadata.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -53,6 +69,11 @@ impl ViewMeta {
 
 struct Storage<T> {
     data: RwLock<Vec<T>>,
+    /// Last write stamp. Re-stamped *before* the write lock is acquired,
+    /// so a concurrent checkpoint that reads the stamp first and the data
+    /// second can only err toward "dirty" (it re-sends an unchanged
+    /// region), never toward "clean" (skipping a changed one).
+    generation: AtomicU64,
 }
 
 struct Inner<T: Pod> {
@@ -131,6 +152,7 @@ impl<T: Pod> View<T> {
                 },
                 storage: Arc::new(Storage {
                     data: RwLock::new(data),
+                    generation: AtomicU64::new(fresh_gen()),
                 }),
             }),
         }
@@ -209,6 +231,10 @@ impl<T: Pod> View<T> {
     /// thread, the access is recorded (write mode).
     pub fn write(&self) -> parking_lot::RwLockWriteGuard<'_, Vec<T>> {
         capture::record_access(self, true);
+        self.inner
+            .storage
+            .generation
+            .store(fresh_gen(), Ordering::Relaxed);
         self.inner.storage.data.write()
     }
 
@@ -218,9 +244,23 @@ impl<T: Pod> View<T> {
         self.inner.storage.data.read()
     }
 
-    /// Write access that bypasses capture recording.
+    /// Write access that bypasses capture recording (still re-stamps the
+    /// generation — `restore_bytes` and `fill` mutate the allocation, so a
+    /// checkpoint after a rollback must treat the region as dirty).
     pub fn write_uncaptured(&self) -> parking_lot::RwLockWriteGuard<'_, Vec<T>> {
+        self.inner
+            .storage
+            .generation
+            .store(fresh_gen(), Ordering::Relaxed);
         self.inner.storage.data.write()
+    }
+
+    /// Current dirty-tracking stamp of the allocation (shared by every
+    /// view object over it). Equal stamps across two checkpoints mean no
+    /// write path touched the data in between; see [`fresh_gen`]'s
+    /// uniqueness note for why equality is sufficient.
+    pub fn generation(&self) -> u64 {
+        self.inner.storage.generation.load(Ordering::Relaxed)
     }
 
     /// Serialize the current contents (no capture recording).
@@ -359,6 +399,39 @@ mod tests {
         let a: View<u64> = View::new_1d("a", 3);
         let b: View<u64> = View::new_1d("b", 4);
         deep_copy(&b, &a);
+    }
+
+    #[test]
+    fn generation_moves_only_on_writes() {
+        let v: View<u64> = View::new_1d("g", 4);
+        let g0 = v.generation();
+        let _ = v.read();
+        let _ = v.read_uncaptured();
+        let _ = v.snapshot_bytes();
+        assert_eq!(v.generation(), g0, "reads must not dirty the view");
+        v.write()[0] = 1;
+        let g1 = v.generation();
+        assert_ne!(g1, g0);
+        v.fill(0);
+        let g2 = v.generation();
+        assert_ne!(g2, g1, "uncaptured writes must also re-stamp");
+        v.restore_bytes(&v.snapshot_bytes());
+        assert_ne!(v.generation(), g2, "restore must dirty the view");
+    }
+
+    #[test]
+    fn generation_is_per_allocation() {
+        let a: View<u64> = View::new_1d("a", 4);
+        let dup = a.duplicate_handle("dup");
+        let other: View<u64> = View::new_1d("other", 4);
+        assert_eq!(a.generation(), dup.generation());
+        assert_ne!(a.generation(), other.generation());
+        dup.write()[0] = 7;
+        assert_eq!(
+            a.generation(),
+            dup.generation(),
+            "duplicate handles share the allocation stamp"
+        );
     }
 
     #[test]

@@ -1,0 +1,27 @@
+//! CLEAN: tearing down the protection table on body re-entry also voids
+//! the delta-chain state (directly here; the real integration layer gets
+//! it transitively through `Context::reset` → backend `clear`), so the
+//! first checkpoint after recovery is a full frame.
+
+pub fn reenter_body(client: &Client, views: &[View]) {
+    client.clear_protected();
+    client.invalidate_deltas();
+    for (i, v) in views.iter().enumerate() {
+        client.protect(i as u32, v.region());
+    }
+    run_loop(client);
+}
+
+fn run_loop(client: &Client) {
+    let mut step = 0u64;
+    while step < 4 {
+        compute(client, step);
+        let committed = client.checkpoint("loop", step);
+        consume(committed);
+        step += 1;
+    }
+}
+
+fn compute(_client: &Client, _step: u64) {}
+
+fn consume(_r: Result<(), ()>) {}

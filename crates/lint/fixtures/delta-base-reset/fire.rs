@@ -1,0 +1,25 @@
+//! FIRE: the protection table is torn down on body re-entry, but the
+//! delta-chain state survives — the next checkpoint may be emitted as a
+//! delta against a base version this recovered rank no longer holds.
+
+pub fn reenter_body(client: &Client, views: &[View]) {
+    client.clear_protected();
+    for (i, v) in views.iter().enumerate() {
+        client.protect(i as u32, v.region());
+    }
+    run_loop(client);
+}
+
+fn run_loop(client: &Client) {
+    let mut step = 0u64;
+    while step < 4 {
+        compute(client, step);
+        let committed = client.checkpoint("loop", step);
+        consume(committed);
+        step += 1;
+    }
+}
+
+fn compute(_client: &Client, _step: u64) {}
+
+fn consume(_r: Result<(), ()>) {}

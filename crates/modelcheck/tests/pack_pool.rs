@@ -1,0 +1,38 @@
+//! Exploration of the parallel checkpoint-pack pool (`veloc::pool`): the
+//! caller thread drains the shared queue concurrently with its spawned
+//! workers, then joins them and unwraps the shared state. The queue and
+//! result locks plus the spawn/join protocol all run on the model-aware
+//! shims, so every interleaving of "who pops which item" is explored.
+
+use modelcheck::Explorer;
+use veloc::pool::map_parallel;
+
+/// Two workers (caller + one spawned) racing over three items: under every
+/// schedule each item is computed exactly once, lands in its own slot, and
+/// the join leaves the caller holding the only `Arc` reference.
+#[test]
+fn pack_pool_completes_under_all_schedules() {
+    let report = Explorer::with_bound(2)
+        .from_env()
+        .check("veloc pack pool fork/join", || {
+            let out = map_parallel(vec![10u64, 20, 30], 2, |x| x + 1);
+            assert_eq!(out, vec![Some(11), Some(21), Some(31)]);
+        });
+    assert!(report.exhaustive, "expected exhaustive DFS: {report:?}");
+    assert_eq!(report.truncated, 0);
+}
+
+/// A refused spawn shrinks the pool to the caller thread alone; the queue
+/// still drains completely under every schedule.
+#[test]
+fn pack_pool_degrades_when_spawn_is_refused() {
+    let report = Explorer::with_bound(2)
+        .from_env()
+        .check("veloc pack pool degraded", || {
+            loom::thread::fail_next_spawn();
+            let out = map_parallel(vec![1u32, 2, 3, 4], 2, |x| x * 3);
+            assert_eq!(out, vec![Some(3), Some(6), Some(9), Some(12)]);
+        });
+    assert!(report.exhaustive, "expected exhaustive DFS: {report:?}");
+    assert_eq!(report.truncated, 0);
+}

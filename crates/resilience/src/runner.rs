@@ -81,10 +81,17 @@ impl Protected for ViewRegion {
     fn byte_len(&self) -> usize {
         self.0.meta().bytes
     }
+
+    fn generation(&self) -> Option<u64> {
+        self.0.generation()
+    }
 }
 
 fn protect_views(client: &Client, state: &dyn RankApp) {
     client.clear_protected();
+    // Called once per body (re)entry: the rank may have just been rolled
+    // back or replaced, so any delta base remembered from before is void.
+    client.invalidate_deltas();
     for (i, v) in state.checkpoint_views().into_iter().enumerate() {
         client.protect(i as u32, Arc::new(ViewRegion(v)));
     }

@@ -58,6 +58,9 @@ pub enum CorruptKind {
     /// XOR the byte at `blob.len() - 1 - back` with 0xFF (offset from the
     /// end, where region payload lives — the header is at the front).
     FlipBack { back: usize },
+    /// XOR the byte at `front` with 0xFF (offset from the start, landing
+    /// in the frame header/metadata rather than payload bytes).
+    FlipFront { front: usize },
     /// Keep only the first `keep` bytes.
     Truncate { keep: usize },
 }
@@ -136,6 +139,15 @@ impl Corruption {
                     return blob.clone();
                 }
                 let idx = blob.len().saturating_sub(1 + back.min(blob.len() - 1));
+                let mut out = blob.to_vec();
+                out[idx] ^= 0xFF;
+                Bytes::from(out)
+            }
+            CorruptKind::FlipFront { front } => {
+                if blob.is_empty() {
+                    return blob.clone();
+                }
+                let idx = front.min(blob.len() - 1);
                 let mut out = blob.to_vec();
                 out[idx] ^= 0xFF;
                 Bytes::from(out)
@@ -427,6 +439,35 @@ mod tests {
         assert!(plan
             .corrupt_write(StorageTier::Scratch, "ck/v1/r0", &blob)
             .is_none());
+    }
+
+    #[test]
+    fn flip_front_hits_header_bytes() {
+        let plan = FaultSchedule::none().and_corrupt(
+            CorruptTier::Scratch,
+            2,
+            0,
+            CorruptKind::FlipFront { front: 1 },
+        );
+        let blob = Bytes::from_static(b"abcdef");
+        let c = plan
+            .corrupt_write(StorageTier::Scratch, "ck/v2/r0", &blob)
+            .expect("matched");
+        assert_eq!(c[0], b'a');
+        assert_eq!(c[1], b'b' ^ 0xFF);
+        assert_eq!(&c[2..], b"cdef");
+        // Offset past the end clamps to the last byte instead of panicking.
+        let plan = FaultSchedule::none().and_corrupt(
+            CorruptTier::Scratch,
+            3,
+            0,
+            CorruptKind::FlipFront { front: 100 },
+        );
+        let short = Bytes::from_static(b"xy");
+        let c = plan
+            .corrupt_write(StorageTier::Scratch, "ck/v3/r0", &short)
+            .expect("matched");
+        assert_eq!(c[1], b'y' ^ 0xFF);
     }
 
     #[test]

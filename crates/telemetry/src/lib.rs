@@ -38,7 +38,7 @@ use parking_lot::Mutex;
 
 pub use event::{Event, Interner, MpiOp};
 pub use json::Json;
-pub use metrics::{Counter, Gauge, HistogramHandle, Metrics, MetricsSnapshot};
+pub use metrics::{names, Counter, Gauge, HistogramHandle, Metrics, MetricsSnapshot};
 pub use phase::{Phase, PhaseAccumulator};
 pub use ring::EventRing;
 pub use span::SpanGuard;

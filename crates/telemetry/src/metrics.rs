@@ -11,6 +11,21 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+/// Well-known metric names shared across layers, so producers and the
+/// experiment harness agree on spelling without string literals scattered
+/// through the workspace.
+pub mod names {
+    /// Bytes the data layer was asked to protect, summed over checkpoint
+    /// calls (what a non-incremental pipeline would have written).
+    pub const VELOC_BYTES_PROTECTED: &str = "veloc.bytes_protected";
+    /// Bytes the data layer actually wrote to scratch, summed over
+    /// checkpoint calls. The gap to `VELOC_BYTES_PROTECTED` is what
+    /// incremental (VCF2 delta) checkpointing saved.
+    pub const VELOC_BYTES_WRITTEN: &str = "veloc.bytes_written";
+    /// Checkpoints emitted as delta frames rather than full frames.
+    pub const VELOC_DELTA_FRAMES: &str = "veloc.delta_frames";
+}
+
 /// Monotonic event count.
 #[derive(Clone, Default)]
 pub struct Counter(Arc<AtomicU64>);

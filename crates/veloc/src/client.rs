@@ -14,7 +14,7 @@
 //! pays a remote read while survivors restore from scratch. This asymmetry
 //! is central to the paper's recovery-cost results.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -24,8 +24,33 @@ use simmpi::{Comm, MpiError, ReduceOp};
 use telemetry::{Event, Recorder};
 
 use crate::backend::ActiveBackend;
+use crate::pool;
 use crate::region::Protected;
 use crate::serial;
+
+/// Longest delta chain the client will emit before forcing a full frame.
+/// Bounds both restart's chain walk and the blast radius of a lost base.
+pub const MAX_DELTA_DEPTH: usize = 8;
+
+/// Worker fan-out for the parallel pack (including the calling thread).
+const PACK_WORKERS: usize = 4;
+
+/// Changed-payload volume below which the pack stays on the calling thread
+/// (thread spawn costs more than serializing a few KiB).
+const PARALLEL_PACK_THRESHOLD: usize = 64 * 1024;
+
+/// Delta bookkeeping for one checkpoint name: what the last *committed*
+/// (acknowledged to the application) version looked like.
+#[derive(Clone, Debug)]
+struct ChainState {
+    /// Version the stamps below were committed under.
+    version: u64,
+    /// Region id → dirty-tracking stamp at commit time. `None` stamps mean
+    /// the region does not support tracking and is re-sent every time.
+    gens: BTreeMap<u32, Option<u64>>,
+    /// Delta-chain length ending at `version` (0 = full frame).
+    depth: usize,
+}
 
 /// How restart agreement is performed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -117,6 +142,11 @@ pub struct Client {
     mode: Mode,
     async_flush: bool,
     regions: Mutex<BTreeMap<u32, Arc<dyn Protected>>>,
+    /// Per-name delta bookkeeping ([`ChainState`]). Cleared by
+    /// [`Client::invalidate_deltas`] whenever the rank can no longer vouch
+    /// for the base a delta would reference (logical-rank change, context
+    /// reset).
+    chains: Mutex<HashMap<String, ChainState>>,
     /// `None` when flushing synchronously — either by configuration or
     /// because the backend thread could not be spawned (see `spawn_error`).
     backend: Option<ActiveBackend>,
@@ -149,6 +179,7 @@ impl Client {
             mode: config.mode,
             async_flush: config.async_flush,
             regions: Mutex::new(BTreeMap::new()),
+            chains: Mutex::new(HashMap::new()),
             backend,
             spawn_error,
             recorder: Mutex::new(Recorder::disabled()),
@@ -196,8 +227,25 @@ impl Client {
 
     /// Update the logical rank after a process-pool change (Fenix repair or
     /// shrunk-communicator continuation).
+    ///
+    /// Also invalidates delta bookkeeping: checkpoint paths embed the
+    /// logical rank, so any base version committed under the old identity
+    /// is not the file a delta written under the new identity would chain
+    /// to. A recovered rank must never emit a delta against a base it no
+    /// longer possesses — its first checkpoint after this call is a full
+    /// frame.
     pub fn set_rank(&self, logical_rank: usize) {
+        self.invalidate_deltas();
         *self.logical_rank.lock() = logical_rank;
+    }
+
+    /// Forget every committed delta base, forcing the next checkpoint of
+    /// every name to be a self-contained full frame. Called on any event
+    /// after which this rank can no longer vouch for its bases: a Fenix
+    /// repair / context reset ([`Self::set_rank`] calls this internally),
+    /// or an explicit backend clear.
+    pub fn invalidate_deltas(&self) {
+        self.chains.lock().clear();
     }
 
     fn node(&self) -> usize {
@@ -209,17 +257,17 @@ impl Client {
     }
 
     /// Offer a blob about to be written to the installed fault injector
-    /// (chaos corruption hook); identity when no injector is installed.
+    /// (chaos corruption hook). Borrows the blob: `Some(damaged)` only when
+    /// an injector actually fires, so the common path never copies.
     fn offer_to_injector(
         cluster: &Cluster,
         tier: cluster::StorageTier,
         path: &str,
-        blob: Bytes,
-    ) -> Bytes {
-        match cluster.injector() {
-            Some(inj) => inj.corrupt_write(tier, path, &blob).unwrap_or(blob),
-            None => blob,
-        }
+        blob: &Bytes,
+    ) -> Option<Bytes> {
+        cluster
+            .injector()
+            .and_then(|inj| inj.corrupt_write(tier, path, blob))
     }
 
     // ---- protection -------------------------------------------------------
@@ -241,8 +289,33 @@ impl Client {
 
     /// Drop every protected region (used by a Kokkos Resilience context
     /// reset, which re-registers views after a repair).
+    ///
+    /// Does *not* invalidate delta bookkeeping: generation stamps are
+    /// globally unique, so re-registering the same allocations later still
+    /// matches the committed stamps (delta resumes), while registering
+    /// different allocations under the same ids can never collide with
+    /// them (full frame follows). Reset paths that also lose the *files* a
+    /// delta would chain to call [`Self::invalidate_deltas`] explicitly.
     pub fn clear_protected(&self) {
         self.regions.lock().clear();
+    }
+
+    /// Replace the whole protection table in one call — equivalent to
+    /// [`Self::clear_protected`] followed by [`Self::protect`] for each
+    /// entry, in one lock acquisition. Kokkos Resilience re-registers
+    /// every captured view before each checkpoint; routing that through
+    /// here keeps re-registration cheap and delta-friendly.
+    pub fn protect_exact(&self, entries: Vec<(u32, Arc<dyn Protected>)>) {
+        let rec = self.recorder();
+        for (id, region) in &entries {
+            rec.emit_with(|| Event::Protect {
+                name: id.to_string(),
+                bytes: region.byte_len() as u64,
+            });
+        }
+        let mut regions = self.regions.lock();
+        regions.clear();
+        regions.extend(entries);
     }
 
     /// Number of protected regions.
@@ -265,6 +338,13 @@ impl Client {
     /// configured for synchronous flushing. The synchronous part — what the
     /// paper books as "Checkpoint Function" — is everything this method does
     /// before returning.
+    ///
+    /// The frame written is incremental where the dirty tracking allows:
+    /// regions whose generation stamp did not move since the last committed
+    /// version of `name` are referenced by id only (VCF2 delta), so the
+    /// synchronous cost scales with *changed* bytes, not protected bytes.
+    /// Changed-region serialization and CRC fan out across a small worker
+    /// pool when the payload volume warrants it.
     pub fn checkpoint(&self, name: &str, version: u64) -> Result<(), VelocError> {
         let rec = self.recorder();
         rec.emit_with(|| Event::CheckpointBegin {
@@ -272,22 +352,77 @@ impl Client {
             version,
         });
         self.checkpoint_wait();
-        let blob = {
+        // Snapshot the region *handles* under the lock and pack outside
+        // it, so a concurrent `protect` from another thread never stalls
+        // behind a large pack.
+        let handles: Vec<(u32, Arc<dyn Protected>)> = {
             let regions = self.regions.lock();
-            let parts: Vec<(u32, Bytes)> =
-                regions.iter().map(|(&id, r)| (id, r.snapshot())).collect();
-            serial::pack(&parts)
+            regions.iter().map(|(&id, r)| (id, Arc::clone(r))).collect()
         };
+        // Read stamps *before* snapshotting. Writers re-stamp before
+        // taking their data lock, so this order means a racing write is
+        // either fully visible in the snapshot or re-stamps afterwards and
+        // dirties the next checkpoint — never silently skipped.
+        let gens: Vec<(u32, Option<u64>)> = handles
+            .iter()
+            .map(|(id, r)| (*id, r.generation()))
+            .collect();
+        let (base, depth, unchanged) = self.plan_delta(name, version, &gens);
+        let unchanged_set: BTreeSet<u32> = unchanged.iter().copied().collect();
+        let changed: Vec<(u32, Arc<dyn Protected>)> = handles
+            .iter()
+            .filter(|(id, _)| !unchanged_set.contains(id))
+            .map(|(id, r)| (*id, Arc::clone(r)))
+            .collect();
+        let changed_bytes: usize = changed.iter().map(|(_, r)| r.byte_len()).sum();
+        let workers = if changed_bytes >= PARALLEL_PACK_THRESHOLD {
+            PACK_WORKERS
+        } else {
+            1
+        };
+        let work: Vec<(u32, Arc<dyn Protected>)> =
+            changed.iter().map(|(id, r)| (*id, Arc::clone(r))).collect();
+        let results = pool::map_parallel(work, workers, |(id, r)| {
+            serial::PackedRegion::new(id, r.snapshot())
+        });
+        let mut packed = Vec::with_capacity(changed.len());
+        for (i, (id, r)) in changed.iter().enumerate() {
+            match results.get(i).cloned().flatten() {
+                Some(p) => packed.push(p),
+                // A pool worker died mid-item: recompute inline.
+                None => packed.push(serial::PackedRegion::new(*id, r.snapshot())),
+            }
+        }
+        let blob = serial::pack_frame(base, &packed, &unchanged);
+        if let Some(metrics) = rec.metrics() {
+            let protected: usize = handles.iter().map(|(_, r)| r.byte_len()).sum();
+            metrics
+                .counter(telemetry::names::VELOC_BYTES_PROTECTED)
+                .add(protected as u64);
+            metrics
+                .counter(telemetry::names::VELOC_BYTES_WRITTEN)
+                .add(blob.len() as u64);
+            if base.is_some() {
+                metrics.counter(telemetry::names::VELOC_DELTA_FRAMES).inc();
+            }
+        }
         let path = self.path(name, version);
-        let scratch_blob = Self::offer_to_injector(
-            &self.cluster,
-            cluster::StorageTier::Scratch,
-            &path,
-            blob.clone(),
-        );
+        let scratch_blob =
+            Self::offer_to_injector(&self.cluster, cluster::StorageTier::Scratch, &path, &blob)
+                .unwrap_or_else(|| blob.clone());
         self.cluster
             .scratch()
             .write(self.node(), &path, scratch_blob);
+        // Commit the stamps only after the blob exists on scratch: this
+        // version is now a legitimate base for the next delta.
+        self.chains.lock().insert(
+            name.to_owned(),
+            ChainState {
+                version,
+                gens: gens.into_iter().collect(),
+                depth,
+            },
+        );
         rec.emit_with(|| Event::CheckpointLocal {
             name: name.to_owned(),
             version,
@@ -305,7 +440,8 @@ impl Client {
                 .egress(self.physical_rank, blob.len());
             let bytes = blob.len() as u64;
             let pfs_blob =
-                Self::offer_to_injector(&self.cluster, cluster::StorageTier::Pfs, &path, blob);
+                Self::offer_to_injector(&self.cluster, cluster::StorageTier::Pfs, &path, &blob)
+                    .unwrap_or(blob);
             self.cluster.pfs().write(&path, pfs_blob);
             rec.emit_with(|| Event::FlushDone {
                 name: name.to_owned(),
@@ -314,6 +450,45 @@ impl Client {
             });
         }
         Ok(())
+    }
+
+    /// Decide the delta plan for the next checkpoint of `name`: the base
+    /// version to reference (`None` = full frame), the resulting chain
+    /// depth, and the ids to carry as unchanged.
+    ///
+    /// A region counts as unchanged only under the strictest reading: the
+    /// committed state is for an older version of the same name, the region
+    /// id sets match exactly, and both stamps are `Some` and equal. Any
+    /// doubt — missing state, version reuse, membership drift, a `None`
+    /// stamp, chain at [`MAX_DELTA_DEPTH`] — degrades to a full frame.
+    fn plan_delta(
+        &self,
+        name: &str,
+        version: u64,
+        gens: &[(u32, Option<u64>)],
+    ) -> (Option<u64>, usize, Vec<u32>) {
+        let chains = self.chains.lock();
+        let Some(committed) = chains.get(name) else {
+            return (None, 0, Vec::new());
+        };
+        let ids_match = committed.gens.len() == gens.len()
+            && gens.iter().all(|(id, _)| committed.gens.contains_key(id));
+        if committed.version >= version || committed.depth >= MAX_DELTA_DEPTH || !ids_match {
+            return (None, 0, Vec::new());
+        }
+        let unchanged: Vec<u32> = gens
+            .iter()
+            .filter(|(id, g)| {
+                g.is_some() && committed.gens.get(id).map(|c| *c == *g).unwrap_or(false)
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        if unchanged.is_empty() {
+            // Nothing to reference: a delta frame would only add a chain
+            // dependency without saving a byte.
+            return (None, 0, Vec::new());
+        }
+        (Some(committed.version), committed.depth + 1, unchanged)
     }
 
     /// Block until all asynchronous flushes complete. A no-op when flushing
@@ -358,19 +533,40 @@ impl Client {
         self.cluster.scratch().exists(self.node(), &path) || self.cluster.pfs().exists(&path)
     }
 
+    /// Read and decode an intact frame of `name`/`version`, preferring
+    /// node-local scratch and degrading to the PFS — a corrupted scratch
+    /// copy must not mask an intact PFS copy of the same version.
+    fn read_frame(&self, name: &str, version: u64) -> Option<serial::Frame> {
+        let path = self.path(name, version);
+        if let Some((blob, _)) = self.cluster.scratch().read(self.node(), &path) {
+            if let Some(frame) = serial::unpack_any(&blob) {
+                return Some(frame);
+            }
+        }
+        let (blob, _) = self.cluster.pfs().read(&path)?;
+        serial::unpack_any(&blob)
+    }
+
     /// Whether this rank holds an *intact* (checksum-verified) copy of
     /// checkpoint `name`/`version` on either tier. A corrupted scratch copy
     /// with an intact PFS copy counts — restart falls back tier by tier.
+    ///
+    /// For an incremental (VCF2 delta) frame this walks the whole base
+    /// chain: a delta is only as restorable as every frame beneath it, on
+    /// whichever tier each happens to survive. Base references must
+    /// strictly decrease, so a corrupt forward/self reference terminates
+    /// the walk as not-intact instead of looping.
     pub fn version_intact(&self, name: &str, version: u64) -> bool {
-        let path = self.path(name, version);
-        if let Some((blob, _)) = self.cluster.scratch().read(self.node(), &path) {
-            if serial::verify(&blob) {
-                return true;
+        let mut v = version;
+        loop {
+            let Some(frame) = self.read_frame(name, v) else {
+                return false;
+            };
+            match frame.base_version {
+                None => return true,
+                Some(base) if base < v => v = base,
+                Some(_) => return false,
             }
-        }
-        match self.cluster.pfs().read(&path) {
-            Some((blob, _)) => serial::verify(&blob),
-            None => false,
         }
     }
 
@@ -503,31 +699,76 @@ impl Client {
     }
 
     fn restart_inner(&self, name: &str, version: u64) -> Result<usize, VelocError> {
-        let path = self.path(name, version);
-        // Prefer scratch, but degrade tier by tier: a corrupt scratch copy
-        // must not mask an intact PFS copy of the same version.
-        let mut found = false;
-        let mut parts: Option<Vec<(u32, Bytes)>> = None;
-        if let Some((blob, _)) = self.cluster.scratch().read(self.node(), &path) {
-            found = true;
-            parts = serial::unpack(&blob);
-        }
-        if parts.is_none() {
-            if let Some((blob, _)) = self.cluster.pfs().read(&path) {
-                found = true;
-                parts = serial::unpack(&blob);
+        // Walk the delta chain newest→oldest, collecting each region's
+        // *newest* payload (first occurrence wins). Every frame degrades
+        // tier by tier independently: a corrupt scratch copy must not mask
+        // an intact PFS copy of the same version.
+        let mut payloads: BTreeMap<u32, Bytes> = BTreeMap::new();
+        let mut expected: Option<BTreeSet<u32>> = None;
+        let mut v = version;
+        let mut walked_any = false;
+        loop {
+            let path = self.path(name, v);
+            let mut present = false;
+            let mut frame: Option<serial::Frame> = None;
+            if let Some((blob, _)) = self.cluster.scratch().read(self.node(), &path) {
+                present = true;
+                frame = serial::unpack_any(&blob);
+            }
+            if frame.is_none() {
+                if let Some((blob, _)) = self.cluster.pfs().read(&path) {
+                    present = true;
+                    frame = serial::unpack_any(&blob);
+                }
+            }
+            if !present && !walked_any {
+                return Err(VelocError::NotFound {
+                    name: name.to_owned(),
+                    version,
+                });
+            }
+            // A missing *base* of a chain already entered is corruption of
+            // the chain, not absence of the checkpoint.
+            let frame = frame.ok_or(VelocError::Corrupt { path })?;
+            walked_any = true;
+            // The requested version's frame defines which regions restart
+            // restores; older frames only supply payloads for them.
+            let expected = expected.get_or_insert_with(|| {
+                frame
+                    .changed
+                    .iter()
+                    .map(|(id, _)| *id)
+                    .chain(frame.unchanged.iter().copied())
+                    .collect()
+            });
+            for (id, payload) in frame.changed {
+                if expected.contains(&id) {
+                    payloads.entry(id).or_insert(payload);
+                }
+            }
+            match frame.base_version {
+                None => break,
+                Some(base) if base < v => v = base,
+                // A forward/self reference can only come from corruption;
+                // refuse rather than loop.
+                Some(_) => {
+                    return Err(VelocError::Corrupt {
+                        path: self.path(name, v),
+                    })
+                }
             }
         }
-        if !found {
-            return Err(VelocError::NotFound {
-                name: name.to_owned(),
-                version,
+        let expected = expected.unwrap_or_default();
+        if payloads.len() != expected.len() {
+            // An unchanged id whose payload never appeared anywhere down
+            // the chain: the chain is inconsistent.
+            return Err(VelocError::Corrupt {
+                path: self.path(name, version),
             });
         }
-        let parts = parts.ok_or(VelocError::Corrupt { path })?;
         let regions = self.regions.lock();
         let mut restored = 0;
-        for (id, payload) in parts {
+        for (id, payload) in payloads {
             let region = regions.get(&id).ok_or(VelocError::UnknownRegion { id })?;
             region.restore(&payload);
             restored += 1;
@@ -538,6 +779,11 @@ impl Client {
     /// Drop all but the newest `keep_last` versions of `name` reachable by
     /// this rank, from both storage tiers (VeloC's bounded checkpoint
     /// history). Returns how many versions were removed.
+    ///
+    /// Chain-aware: a version an incremental frame (transitively) chains to
+    /// is kept even when it falls below the cutoff — removing a base makes
+    /// every delta above it unrestorable. [`MAX_DELTA_DEPTH`] bounds how far
+    /// a kept version can pin history.
     pub fn prune(&self, name: &str, keep_last: usize) -> usize {
         self.checkpoint_wait();
         let r = self.logical_rank();
@@ -563,8 +809,25 @@ impl Client {
             return 0;
         }
         let cutoff = versions.len() - keep_last;
+        // Transitive bases of every kept version must survive the prune.
+        let mut needed: BTreeSet<u64> = versions[cutoff..].iter().copied().collect();
+        for &kept in &versions[cutoff..] {
+            let mut v = kept;
+            while let Some(frame) = self.read_frame(name, v) {
+                match frame.base_version {
+                    Some(base) if base < v => {
+                        needed.insert(base);
+                        v = base;
+                    }
+                    _ => break,
+                }
+            }
+        }
         let mut removed = 0;
         for &v in &versions[..cutoff] {
+            if needed.contains(&v) {
+                continue;
+            }
             let path = self.path(name, v);
             let s = self.cluster.scratch().remove(self.node(), &path);
             let p = self.cluster.pfs().remove(&path);
@@ -753,8 +1016,12 @@ mod tests {
     fn prune_keeps_newest_versions() {
         let c = cluster(1);
         let cl = client(&c, 0);
-        cl.protect(0, Arc::new(VecRegion::new(vec![1u8; 4])));
+        let r = VecRegion::new(vec![1u8; 4]);
+        cl.protect(0, Arc::new(r.clone()));
         for v in [1u64, 3, 5, 9] {
+            // Dirty the region so every frame is full and self-contained;
+            // chain-aware retention is covered separately below.
+            r.lock()[0] = v as u8;
             cl.checkpoint("pr", v).unwrap();
         }
         cl.checkpoint_wait();
@@ -766,6 +1033,180 @@ mod tests {
         assert_eq!(cl.latest_version("pr"), Some(9));
         // Pruning again removes nothing.
         assert_eq!(cl.prune("pr", 2), 0);
+    }
+
+    #[test]
+    fn prune_preserves_delta_bases() {
+        let c = cluster(1);
+        let cl = client(&c, 0);
+        let hot = VecRegion::new(vec![0u8; 8]);
+        cl.protect(0, Arc::new(hot.clone()));
+        cl.protect(1, Arc::new(VecRegion::new(vec![7u8; 8]))); // never written
+        for v in [1u64, 2, 3] {
+            hot.lock()[0] = v as u8;
+            cl.checkpoint("pr", v).unwrap();
+        }
+        cl.checkpoint_wait();
+        // v2 and v3 are deltas chaining back to the full frame at v1, so a
+        // keep-last-1 prune must keep the whole chain alive.
+        assert_eq!(cl.prune("pr", 1), 0);
+        assert!(cl.version_available("pr", 1));
+        hot.lock().iter_mut().for_each(|x| *x = 0);
+        assert_eq!(cl.restart("pr", 3).unwrap(), 2);
+        assert_eq!(hot.lock()[0], 3);
+    }
+
+    /// Decode the frame this rank's scratch holds for `name`/`version`.
+    fn scratch_frame(c: &Cluster, name: &str, version: u64) -> serial::Frame {
+        let (blob, _) = c
+            .scratch()
+            .read(0, &format!("{name}/v{version}/r0"))
+            .expect("scratch blob present");
+        serial::unpack_any(&blob).expect("intact frame")
+    }
+
+    #[test]
+    fn unwritten_regions_become_deltas() {
+        let c = cluster(1);
+        let cl = client(&c, 0);
+        let hot = VecRegion::new(vec![1u64; 64]);
+        let cold = VecRegion::new(vec![2u64; 1024]);
+        cl.protect(0, Arc::new(hot.clone()));
+        cl.protect(1, Arc::new(cold.clone()));
+        cl.checkpoint("inc", 1).unwrap();
+        assert!(scratch_frame(&c, "inc", 1).is_full());
+        hot.lock()[0] = 99;
+        cl.checkpoint("inc", 2).unwrap();
+        let f2 = scratch_frame(&c, "inc", 2);
+        assert_eq!(f2.base_version, Some(1));
+        assert_eq!(f2.unchanged, vec![1]);
+        assert_eq!(f2.changed.len(), 1);
+        cl.checkpoint_wait();
+        // The delta is materially smaller than the full frame.
+        let full = c.scratch().read(0, "inc/v1/r0").unwrap().0.len();
+        let delta = c.scratch().read(0, "inc/v2/r0").unwrap().0.len();
+        assert!(delta * 2 < full, "delta {delta} vs full {full}");
+        // And restores to the exact state.
+        hot.lock().iter_mut().for_each(|x| *x = 0);
+        cold.lock().iter_mut().for_each(|x| *x = 0);
+        assert_eq!(cl.restart("inc", 2).unwrap(), 2);
+        assert_eq!(hot.lock()[0], 99);
+        assert_eq!(*cold.lock(), vec![2u64; 1024]);
+    }
+
+    #[test]
+    fn invalidate_deltas_forces_full_frame() {
+        let c = cluster(1);
+        let cl = client(&c, 0);
+        let r = VecRegion::new(vec![5u8; 16]);
+        cl.protect(0, Arc::new(r.clone()));
+        cl.protect(1, Arc::new(VecRegion::new(vec![6u8; 16])));
+        cl.checkpoint("inv", 1).unwrap();
+        r.lock()[0] = 1;
+        cl.checkpoint("inv", 2).unwrap();
+        assert!(!scratch_frame(&c, "inv", 2).is_full());
+        cl.invalidate_deltas();
+        r.lock()[0] = 2;
+        cl.checkpoint("inv", 3).unwrap();
+        assert!(
+            scratch_frame(&c, "inv", 3).is_full(),
+            "first frame after invalidation must be self-contained"
+        );
+    }
+
+    #[test]
+    fn set_rank_invalidates_deltas() {
+        let c = cluster(1);
+        let cl = client(&c, 0);
+        cl.protect(0, Arc::new(VecRegion::new(vec![1u8; 8])));
+        cl.protect(1, Arc::new(VecRegion::new(vec![2u8; 8])));
+        cl.checkpoint("sr", 1).unwrap();
+        // Same logical rank re-asserted still counts as an identity event.
+        cl.set_rank(0);
+        cl.checkpoint("sr", 2).unwrap();
+        assert!(scratch_frame(&c, "sr", 2).is_full());
+    }
+
+    #[test]
+    fn delta_chain_depth_is_bounded() {
+        let c = cluster(1);
+        let cl = client(&c, 0);
+        let hot = VecRegion::new(vec![0u8; 8]);
+        cl.protect(0, Arc::new(hot.clone()));
+        cl.protect(1, Arc::new(VecRegion::new(vec![9u8; 8])));
+        let mut fulls = 0;
+        let n = 2 * MAX_DELTA_DEPTH as u64 + 3;
+        for v in 1..=n {
+            hot.lock()[0] = v as u8;
+            cl.checkpoint("cap", v).unwrap();
+            if scratch_frame(&c, "cap", v).is_full() {
+                fulls += 1;
+            }
+        }
+        assert!(
+            fulls >= 3,
+            "a full frame must recur at least every MAX_DELTA_DEPTH checkpoints (got {fulls})"
+        );
+        assert!(fulls < n, "deltas must still dominate the cadence");
+    }
+
+    #[test]
+    fn corrupt_base_breaks_the_chain() {
+        let c = cluster(1);
+        let cl = Client::init(
+            c.clone(),
+            0,
+            Config {
+                mode: Mode::Single,
+                async_flush: false,
+            },
+        );
+        let hot = VecRegion::new(vec![1u8; 32]);
+        cl.protect(0, Arc::new(hot.clone()));
+        cl.protect(1, Arc::new(VecRegion::new(vec![2u8; 32])));
+        cl.checkpoint("cb", 1).unwrap();
+        hot.lock()[0] = 9;
+        cl.checkpoint("cb", 2).unwrap();
+        assert!(cl.version_intact("cb", 2));
+        // Destroy the base on both tiers: the delta at v2 is now worthless
+        // even though its own bytes are pristine.
+        let path = "cb/v1/r0";
+        let (mut raw, _) = c.pfs().read(path).map(|(b, t)| (b.to_vec(), t)).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0xFF;
+        c.scratch().write(0, path, bytes::Bytes::from(raw.clone()));
+        c.pfs().write(path, bytes::Bytes::from(raw));
+        assert!(!cl.version_intact("cb", 1));
+        assert!(
+            !cl.version_intact("cb", 2),
+            "intactness must consider the whole chain"
+        );
+        assert_eq!(cl.latest_intact_version("cb", u64::MAX), None);
+        assert!(matches!(
+            cl.restart("cb", 2),
+            Err(VelocError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn protect_exact_replaces_table_and_keeps_deltas() {
+        let c = cluster(1);
+        let cl = client(&c, 0);
+        let a = VecRegion::new(vec![1u8; 16]);
+        let b = VecRegion::new(vec![2u8; 16]);
+        let table: Vec<(u32, Arc<dyn Protected>)> =
+            vec![(0, Arc::new(a.clone())), (1, Arc::new(b.clone()))];
+        cl.protect_exact(table.clone());
+        assert_eq!(cl.protected_count(), 2);
+        cl.checkpoint("pe", 1).unwrap();
+        a.lock()[0] = 7;
+        // Re-registering the same allocations (what Kokkos Resilience does
+        // before every checkpoint) must not break the delta chain.
+        cl.protect_exact(table);
+        cl.checkpoint("pe", 2).unwrap();
+        let f2 = scratch_frame(&c, "pe", 2);
+        assert_eq!(f2.base_version, Some(1));
+        assert_eq!(f2.unchanged, vec![1]);
     }
 
     #[test]

@@ -22,11 +22,20 @@
 //! using locally-available checkpoint files" while only the replacement
 //! rank pays a remote read.
 
+//!
+//! Checkpoints are *incremental* where the data layer's dirty tracking
+//! allows: regions whose generation stamp did not move since the last
+//! committed version are referenced by id in a VCF2 delta frame instead of
+//! re-serialized, so the synchronous phase scales with changed bytes (see
+//! [`serial`] for the frame formats and [`client::MAX_DELTA_DEPTH`] for the
+//! forced-full-frame cadence).
+
 pub mod backend;
 pub mod client;
+pub mod pool;
 pub mod region;
 pub mod serial;
 
 pub use backend::ActiveBackend;
-pub use client::{Client, Config, Mode, VelocError};
+pub use client::{Client, Config, Mode, VelocError, MAX_DELTA_DEPTH};
 pub use region::{Protected, VecRegion};

@@ -1,0 +1,136 @@
+//! Fork-join helper for the parallel checkpoint pack.
+//!
+//! [`map_parallel`] fans a per-item closure (snapshot + CRC in the
+//! checkpoint path) out across a few short-lived workers. Spawns go through
+//! the loom facade so `crates/modelcheck` can explore the join protocol, and
+//! every failure mode degrades instead of erroring:
+//!
+//! - a refused spawn (`fail_next_spawn`, resource exhaustion) just shrinks
+//!   the pool — the calling thread drains the queue regardless;
+//! - a worker that dies mid-item leaves that slot `None`, and the caller
+//!   recomputes it inline from its own handle.
+//!
+//! The pool is deliberately not persistent: checkpoint cadence is seconds,
+//! thread spawn is microseconds, and short-lived workers mean there is no
+//! idle-pool state for a Fenix repair to invalidate.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use loom::thread;
+use parking_lot::Mutex;
+
+/// Worker cap for [`map_parallel`], counting the calling thread.
+pub const MAX_WORKERS: usize = 4;
+
+struct Shared<T, R, F> {
+    queue: Mutex<VecDeque<(usize, T)>>,
+    results: Mutex<Vec<Option<R>>>,
+    f: F,
+}
+
+fn drain<T, R, F>(shared: &Shared<T, R, F>)
+where
+    F: Fn(T) -> R,
+{
+    loop {
+        let next = shared.queue.lock().pop_front();
+        let Some((idx, item)) = next else { break };
+        let r = (shared.f)(item);
+        if let Some(slot) = shared.results.lock().get_mut(idx) {
+            *slot = Some(r);
+        }
+    }
+}
+
+/// Apply `f` to every item, fanning out across up to `workers` threads
+/// (including the caller). Result order matches item order; a slot is
+/// `None` only if the worker computing it died, which the caller must
+/// treat as "recompute inline".
+pub fn map_parallel<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<Option<R>>
+where
+    T: Send + 'static,
+    R: Send + 'static,
+    F: Fn(T) -> R + Send + Sync + 'static,
+{
+    let n = items.len();
+    let fan_out = workers.clamp(1, MAX_WORKERS).min(n);
+    if fan_out <= 1 {
+        return items.into_iter().map(|t| Some(f(t))).collect();
+    }
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(items.into_iter().enumerate().collect::<VecDeque<_>>()),
+        results: Mutex::new((0..n).map(|_| None).collect()),
+        f,
+    });
+    let mut handles = Vec::with_capacity(fan_out - 1);
+    for i in 0..fan_out - 1 {
+        let shared = Arc::clone(&shared);
+        let spawned = thread::Builder::new()
+            .name(format!("veloc-pack-{i}"))
+            .spawn(move || drain(&shared));
+        match spawned {
+            Ok(h) => handles.push(h),
+            // Degraded mode: the caller's own drain below still completes
+            // every queued item, just with less parallelism.
+            Err(_) => break,
+        }
+    }
+    drain(&shared);
+    for h in handles {
+        // An Err means the worker panicked; its in-flight slot stays
+        // `None` and the caller recomputes it.
+        let _ = h.join();
+    }
+    // All workers joined (even a panicking worker drops its clone while
+    // unwinding), so this Arc is the last one; the empty-vec arm is
+    // unreachable but panic-free, and the caller's recompute path covers
+    // it like any other missing slot.
+    match Arc::try_unwrap(shared).ok() {
+        Some(s) => s.results.into_inner(),
+        None => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_order() {
+        let out = map_parallel((0..100u64).collect(), 4, |x| x * 2);
+        assert_eq!(out.len(), 100);
+        for (i, r) in out.iter().enumerate() {
+            assert_eq!(*r, Some(i as u64 * 2));
+        }
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        let out = map_parallel(vec![7u32], 4, |x| x + 1);
+        assert_eq!(out, vec![Some(8)]);
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        let out = map_parallel(Vec::<u32>::new(), 4, |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn spawn_failure_degrades_to_caller_thread() {
+        loom::thread::fail_next_spawn();
+        let out = map_parallel((0..16u64).collect(), 4, |x| x + 1);
+        assert_eq!(out.len(), 16);
+        assert!(out
+            .iter()
+            .enumerate()
+            .all(|(i, r)| *r == Some(i as u64 + 1)));
+    }
+
+    #[test]
+    fn workers_clamped_to_item_count() {
+        let out = map_parallel(vec![1u8, 2], 64, |x| x);
+        assert_eq!(out, vec![Some(1), Some(2)]);
+    }
+}

@@ -1,7 +1,7 @@
-//! Checkpoint blob format.
+//! Checkpoint blob formats.
 //!
-//! One checkpoint = all protected regions of one rank, packed into a single
-//! integrity-framed blob:
+//! **VCF1** (format version 1): one checkpoint = all protected regions of
+//! one rank, packed into a single integrity-framed blob:
 //!
 //! ```text
 //! [4  bytes magic "VCF1"]
@@ -12,25 +12,52 @@
 //!     [u32 region_id][u64 payload_len][payload bytes]
 //! ```
 //!
+//! **VCF2** (format version 2): an *incremental* frame. Regions whose
+//! dirty-tracking generation did not move since the last committed version
+//! are referenced by id only; their payloads live in the frame of
+//! `base_version` (which may itself be a delta — restart walks the chain).
+//! Payload integrity moves from one whole-blob CRC to per-region CRCs, so a
+//! frame's changed payloads are checkable without the base frames in hand
+//! and the parallel pack pool can compute CRCs region-by-region:
+//!
+//! ```text
+//! [4  bytes magic "VCF2"]
+//! [u32 crc32(meta)]            // over `meta` only; payloads carry their own
+//! meta:
+//!   [u64 base_ref]             // 0 = full frame; else base_version + 1
+//!   [u32 changed_count]
+//!   [u32 unchanged_count]      // must be 0 when base_ref is 0
+//!   repeat unchanged_count times: [u32 region_id]
+//!   repeat changed_count   times: [u32 region_id][u64 payload_len][u32 crc32(payload)]
+//! payloads: changed payloads concatenated, in `changed` order
+//! ```
+//!
 //! Restores match regions by id, so a restart can tolerate registration in
 //! a different order (Kokkos Resilience re-registers views after a context
-//! reset).
+//! reset). [`unpack_any`] sniffs the magic, so VCF1 blobs written before
+//! this format existed still restore.
 //!
-//! The CRC frame exists because the structural checks alone cannot catch a
-//! flipped byte *inside* a region payload — without it, a corrupted blob
-//! would silently restore garbage application state. [`unpack`] rejects any
-//! blob whose checksum does not match, turning silent corruption into the
-//! typed [`crate::VelocError::Corrupt`] the restart path degrades on.
+//! The CRC frames exist because the structural checks alone cannot catch a
+//! flipped byte *inside* a region payload — without them, a corrupted blob
+//! would silently restore garbage application state. [`unpack`] and
+//! [`unpack_any`] reject any blob whose checksums do not match, turning
+//! silent corruption into the typed [`crate::VelocError::Corrupt`] the
+//! restart path degrades on.
 //!
 //! The `chaos-mutants` feature re-enables the garbage-restore bug by
-//! skipping the checksum comparison (structure is still parsed). It exists
-//! only so the chaos campaign can prove it catches exactly this class of
-//! bug (`crates/chaos/tests/mutant.rs`); never enable it in normal builds.
+//! skipping every checksum comparison in both formats (structure is still
+//! parsed). It exists only so the chaos campaign can prove it catches
+//! exactly this class of bug (`crates/chaos/tests/mutant.rs`); never enable
+//! it in normal builds.
 
 use bytes::{BufMut, Bytes, BytesMut};
 
-/// Leading magic of every checkpoint blob (format version 1).
+/// Leading magic of a full, self-contained checkpoint blob (format
+/// version 1).
 pub const MAGIC: [u8; 4] = *b"VCF1";
+
+/// Leading magic of an incremental checkpoint frame (format version 2).
+pub const MAGIC2: [u8; 4] = *b"VCF2";
 
 /// CRC32 (IEEE 802.3, reflected) of `data`.
 ///
@@ -117,9 +144,178 @@ pub fn unpack(blob: &Bytes) -> Option<Vec<(u32, Bytes)>> {
     Some(out)
 }
 
-/// Whether `blob` is a well-formed, checksum-intact checkpoint blob.
+/// One changed region as it enters a VCF2 frame: payload plus its CRC,
+/// precomputed so the parallel pack pool can fan the checksum work out and
+/// [`pack_frame`] only assembles bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PackedRegion {
+    pub id: u32,
+    pub payload: Bytes,
+    pub crc: u32,
+}
+
+impl PackedRegion {
+    pub fn new(id: u32, payload: Bytes) -> Self {
+        let crc = crc32(&payload);
+        PackedRegion { id, payload, crc }
+    }
+}
+
+/// A decoded checkpoint frame, either format version.
+///
+/// A VCF1 blob decodes as a full frame: `base_version: None`, everything in
+/// `changed`, `unchanged` empty.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// `None` for a self-contained full frame; `Some(v)` for a delta whose
+    /// `unchanged` regions live in (the chain rooted at) version `v`.
+    pub base_version: Option<u64>,
+    /// Regions whose payloads this frame carries.
+    pub changed: Vec<(u32, Bytes)>,
+    /// Regions unchanged since `base_version` (ids only).
+    pub unchanged: Vec<u32>,
+}
+
+impl Frame {
+    /// Whether this frame is self-contained (no base reference).
+    pub fn is_full(&self) -> bool {
+        self.base_version.is_none()
+    }
+}
+
+/// Pack a VCF2 frame. A full frame passes `base_version: None` and an empty
+/// `unchanged` list; a delta frame references the committed version its
+/// unchanged regions live under.
+pub fn pack_frame(base_version: Option<u64>, changed: &[PackedRegion], unchanged: &[u32]) -> Bytes {
+    debug_assert!(
+        base_version.is_some() || unchanged.is_empty(),
+        "a full frame cannot reference unchanged regions"
+    );
+    let meta_len = 16 + 4 * unchanged.len() + 16 * changed.len();
+    let mut meta = BytesMut::with_capacity(meta_len);
+    // `base_version + 1` so 0 can mean "full"; versions are iteration
+    // numbers, nowhere near u64::MAX (saturating keeps this panic-free).
+    meta.put_u64_le(match base_version {
+        None => 0,
+        Some(v) => v.saturating_add(1),
+    });
+    meta.put_u32_le(changed.len() as u32);
+    meta.put_u32_le(unchanged.len() as u32);
+    for id in unchanged {
+        meta.put_u32_le(*id);
+    }
+    for r in changed {
+        meta.put_u32_le(r.id);
+        meta.put_u64_le(r.payload.len() as u64);
+        meta.put_u32_le(r.crc);
+    }
+    let meta = meta.freeze();
+    let payload_len: usize = changed.iter().map(|r| r.payload.len()).sum();
+    let mut buf = BytesMut::with_capacity(8 + meta.len() + payload_len);
+    buf.put_slice(&MAGIC2);
+    buf.put_u32_le(crc32(&meta));
+    buf.put_slice(&meta);
+    for r in changed {
+        buf.put_slice(&r.payload);
+    }
+    buf.freeze()
+}
+
+/// Unpack a VCF2 blob (magic already sniffed by [`unpack_any`]).
+fn unpack_v2(blob: &Bytes) -> Option<Frame> {
+    let stored_crc = u32::from_le_bytes(blob.get(4..8)?.try_into().ok()?);
+    let body = blob.slice(8..);
+    let mut off = 0usize;
+    let take = |off: &mut usize, n: usize| -> Option<&[u8]> {
+        let s = body.get(*off..*off + n)?;
+        *off += n;
+        Some(s)
+    };
+    let base_ref = u64::from_le_bytes(take(&mut off, 8)?.try_into().ok()?);
+    let changed_count = u32::from_le_bytes(take(&mut off, 4)?.try_into().ok()?) as usize;
+    let unchanged_count = u32::from_le_bytes(take(&mut off, 4)?.try_into().ok()?) as usize;
+    // Guard against absurd counts from corrupt headers before allocating.
+    let meta_need = changed_count
+        .saturating_mul(16)
+        .saturating_add(unchanged_count.saturating_mul(4));
+    if meta_need > body.len() {
+        return None;
+    }
+    let mut unchanged = Vec::with_capacity(unchanged_count);
+    for _ in 0..unchanged_count {
+        unchanged.push(u32::from_le_bytes(take(&mut off, 4)?.try_into().ok()?));
+    }
+    let mut entries = Vec::with_capacity(changed_count);
+    for _ in 0..changed_count {
+        let id = u32::from_le_bytes(take(&mut off, 4)?.try_into().ok()?);
+        let len = u64::from_le_bytes(take(&mut off, 8)?.try_into().ok()?) as usize;
+        let crc = u32::from_le_bytes(take(&mut off, 4)?.try_into().ok()?);
+        entries.push((id, len, crc));
+    }
+    // The seeded chaos mutant skips both this and the per-payload check,
+    // re-enabling the garbage-restore path the CRC frames exist to close.
+    #[cfg(not(feature = "chaos-mutants"))]
+    if crc32(body.get(..off)?) != stored_crc {
+        return None;
+    }
+    #[cfg(feature = "chaos-mutants")]
+    let _ = stored_crc;
+
+    let mut changed = Vec::with_capacity(changed_count);
+    for (id, len, crc) in entries {
+        if len > body.len() || off + len > body.len() {
+            return None;
+        }
+        let payload = body.slice(off..off + len);
+        off += len;
+        #[cfg(not(feature = "chaos-mutants"))]
+        if crc32(&payload) != crc {
+            return None;
+        }
+        #[cfg(feature = "chaos-mutants")]
+        let _ = crc;
+        changed.push((id, payload));
+    }
+    if off != body.len() {
+        return None; // trailing garbage
+    }
+    let base_version = base_ref.checked_sub(1);
+    if base_version.is_none() && !unchanged.is_empty() {
+        return None; // a full frame cannot reference unchanged regions
+    }
+    Some(Frame {
+        base_version,
+        changed,
+        unchanged,
+    })
+}
+
+/// Unpack a checkpoint blob of *either* format version into a [`Frame`],
+/// sniffing the magic. Returns `None` on any malformed blob — a restart
+/// from a corrupt checkpoint must fail cleanly, not panic.
+pub fn unpack_any(blob: &Bytes) -> Option<Frame> {
+    if blob.len() < 8 {
+        return None;
+    }
+    if blob[..4] == MAGIC {
+        return Some(Frame {
+            base_version: None,
+            changed: unpack(blob)?,
+            unchanged: Vec::new(),
+        });
+    }
+    if blob[..4] == MAGIC2 {
+        return unpack_v2(blob);
+    }
+    None
+}
+
+/// Whether `blob` is a well-formed, checksum-intact checkpoint blob of
+/// either format version. For a VCF2 delta this checks *the frame itself*
+/// (meta + carried payloads); whether its base chain is intact is the
+/// client's chain walk to decide.
 pub fn verify(blob: &Bytes) -> bool {
-    unpack(blob).is_some()
+    unpack_any(blob).is_some()
 }
 
 #[cfg(test)]
@@ -198,5 +394,147 @@ mod tests {
         raw[10] = 0xFF;
         raw[11] = 0x7F;
         assert!(unpack(&Bytes::from(raw)).is_none());
+    }
+
+    fn delta_frame() -> Bytes {
+        pack_frame(
+            Some(7),
+            &[
+                PackedRegion::new(2, Bytes::from_static(b"changed-two")),
+                PackedRegion::new(5, Bytes::from_static(b"")),
+            ],
+            &[1, 3],
+        )
+    }
+
+    #[test]
+    fn vcf2_full_frame_roundtrip() {
+        let regions = [
+            PackedRegion::new(1, Bytes::from_static(b"alpha")),
+            PackedRegion::new(7, Bytes::from_static(b"")),
+        ];
+        let blob = pack_frame(None, &regions, &[]);
+        let frame = unpack_any(&blob).unwrap();
+        assert!(frame.is_full());
+        assert_eq!(
+            frame.changed,
+            vec![
+                (1, Bytes::from_static(b"alpha")),
+                (7, Bytes::from_static(b""))
+            ]
+        );
+        assert!(frame.unchanged.is_empty());
+        assert!(verify(&blob));
+    }
+
+    #[test]
+    fn vcf2_delta_frame_roundtrip() {
+        let frame = unpack_any(&delta_frame()).unwrap();
+        assert_eq!(frame.base_version, Some(7));
+        assert_eq!(frame.unchanged, vec![1, 3]);
+        assert_eq!(
+            frame.changed,
+            vec![
+                (2, Bytes::from_static(b"changed-two")),
+                (5, Bytes::from_static(b""))
+            ]
+        );
+    }
+
+    #[test]
+    fn vcf2_base_version_zero_is_representable() {
+        let blob = pack_frame(
+            Some(0),
+            &[PackedRegion::new(1, Bytes::from_static(b"x"))],
+            &[2],
+        );
+        let frame = unpack_any(&blob).unwrap();
+        assert_eq!(frame.base_version, Some(0));
+        assert!(!frame.is_full());
+    }
+
+    #[test]
+    fn unpack_any_sniffs_vcf1() {
+        let regions = vec![(1u32, Bytes::from_static(b"legacy"))];
+        let frame = unpack_any(&pack(&regions)).unwrap();
+        assert!(frame.is_full());
+        assert_eq!(frame.changed, regions);
+        assert!(frame.unchanged.is_empty());
+    }
+
+    #[test]
+    fn unpack_any_rejects_unknown_magic() {
+        let mut raw = delta_frame().to_vec();
+        raw[3] = b'9';
+        assert!(unpack_any(&Bytes::from(raw)).is_none());
+    }
+
+    #[test]
+    fn vcf2_truncation_fails_cleanly() {
+        let blob = delta_frame();
+        for cut in [0, 3, 7, 9, 20, blob.len() - 1] {
+            let truncated = blob.slice(0..cut);
+            assert!(unpack_any(&truncated).is_none(), "cut at {cut} should fail");
+            assert!(!verify(&truncated));
+        }
+    }
+
+    #[test]
+    fn vcf2_trailing_garbage_fails() {
+        let mut raw = delta_frame().to_vec();
+        raw.push(0xFF);
+        assert!(unpack_any(&Bytes::from(raw)).is_none());
+    }
+
+    #[cfg(not(feature = "chaos-mutants"))]
+    #[test]
+    fn vcf2_payload_byte_flip_is_detected() {
+        // A flip in the last payload byte passes every structural check —
+        // only the per-region CRC catches it.
+        let mut raw = delta_frame().to_vec();
+        let last = raw.len() - 1;
+        raw[last] ^= 0xFF;
+        assert!(unpack_any(&Bytes::from(raw)).is_none());
+    }
+
+    #[cfg(not(feature = "chaos-mutants"))]
+    #[test]
+    fn vcf2_meta_flip_is_detected() {
+        // Flip an unchanged-region id (meta section, structurally valid) —
+        // only the meta CRC catches it.
+        let blob = delta_frame();
+        let mut raw = blob.to_vec();
+        raw[24] ^= 0xFF; // first unchanged id (8 header + 16 fixed meta)
+        assert!(unpack_any(&Bytes::from(raw)).is_none());
+    }
+
+    #[test]
+    fn vcf2_full_frame_with_unchanged_rejected() {
+        // Hand-build base_ref=0 with unchanged_count=1: structurally
+        // parseable but semantically void — must be rejected even though
+        // its CRCs are valid.
+        let mut meta = BytesMut::new();
+        meta.put_u64_le(0);
+        meta.put_u32_le(0);
+        meta.put_u32_le(1);
+        meta.put_u32_le(42);
+        let meta = meta.freeze();
+        let mut buf = BytesMut::new();
+        buf.put_slice(&MAGIC2);
+        buf.put_u32_le(crc32(&meta));
+        buf.put_slice(&meta);
+        assert!(unpack_any(&buf.freeze()).is_none());
+    }
+
+    #[cfg(not(feature = "chaos-mutants"))]
+    #[test]
+    fn vcf2_corrupt_counts_fail() {
+        let mut raw = delta_frame().to_vec();
+        // changed_count lives at body offset 8 (blob offset 16).
+        raw[16] = 0xFF;
+        raw[17] = 0xFF;
+        raw[18] = 0xFF;
+        raw[19] = 0x7F;
+        assert!(unpack_any(&Bytes::from(raw)).is_none());
     }
 }

@@ -6,9 +6,13 @@
 //! truncated blob either fails *cleanly* (`None`) or is byte-identical to
 //! the original — `unpack` never panics and never returns wrong data.
 
+use std::sync::Arc;
+
 use bytes::Bytes;
+use cluster::{Cluster, ClusterConfig, TimeScale};
 use proptest::prelude::*;
-use veloc::serial::{crc32, pack, unpack, verify};
+use veloc::serial::{crc32, pack, pack_frame, unpack, unpack_any, verify, PackedRegion};
+use veloc::{Client, Config, Mode, Protected, VecRegion};
 
 /// Region-list strategy: up to 5 regions with arbitrary ids and payloads
 /// of 0..64 arbitrary bytes (empty payloads and duplicate ids included —
@@ -92,5 +96,256 @@ proptest! {
         let mut flipped = data.clone();
         flipped[pos] ^= mask;
         prop_assert_ne!(crc32(&data), crc32(&flipped));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// VCF2 (incremental frames): structural round-trips, per-sub-frame
+// corruption detection, and chain-walk degradation at the client level.
+// ---------------------------------------------------------------------------
+
+/// Changed-region strategy for VCF2 frames.
+fn changed_strategy() -> impl Strategy<Value = Vec<(u32, Vec<u8>)>> {
+    proptest::collection::vec(
+        (
+            any::<u32>(),
+            proptest::collection::vec(any::<u8>(), 0usize..64),
+        ),
+        0usize..4,
+    )
+}
+
+/// Unchanged-id strategy for VCF2 frames.
+fn unchanged_strategy() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(any::<u32>(), 0usize..4)
+}
+
+/// A well-formed frame shape: a base version must be present whenever
+/// anything is marked unchanged (a full frame claiming unchanged regions
+/// is structurally invalid).
+fn shape_base(base_raw: u64, full: bool, unchanged: &[u32]) -> Option<u64> {
+    if full && unchanged.is_empty() {
+        None
+    } else {
+        Some(base_raw)
+    }
+}
+
+fn pack_v2(base: Option<u64>, changed: &[(u32, Vec<u8>)], unchanged: &[u32]) -> Bytes {
+    let packed: Vec<PackedRegion> = changed
+        .iter()
+        .map(|(id, p)| PackedRegion::new(*id, Bytes::from(p.clone())))
+        .collect();
+    pack_frame(base, &packed, unchanged)
+}
+
+proptest! {
+    #[test]
+    fn vcf2_roundtrip_is_exact(
+        base_raw in 0u64..1_000_000,
+        changed in changed_strategy(),
+        unchanged in unchanged_strategy(),
+        full in any::<bool>(),
+    ) {
+        let base = shape_base(base_raw, full, &unchanged);
+        let blob = pack_v2(base, &changed, &unchanged);
+        let frame = unpack_any(&blob).expect("intact frame unpacks");
+        prop_assert_eq!(frame.base_version, base);
+        prop_assert_eq!(frame.unchanged, unchanged);
+        let got: Vec<(u32, Vec<u8>)> = frame
+            .changed
+            .into_iter()
+            .map(|(id, p)| (id, p.to_vec()))
+            .collect();
+        prop_assert_eq!(got, changed);
+    }
+
+    #[test]
+    fn vcf2_truncation_fails_cleanly(
+        base_raw in 0u64..1_000_000,
+        changed in changed_strategy(),
+        unchanged in unchanged_strategy(),
+        full in any::<bool>(),
+        frac in 0.0f64..1.0,
+    ) {
+        let base = shape_base(base_raw, full, &unchanged);
+        let blob = pack_v2(base, &changed, &unchanged);
+        let cut = ((blob.len() as f64) * frac) as usize;
+        let truncated = blob.slice(0..cut.min(blob.len() - 1));
+        prop_assert!(unpack_any(&truncated).is_none());
+    }
+}
+
+#[cfg(not(feature = "chaos-mutants"))]
+proptest! {
+    #[test]
+    fn vcf2_single_byte_corruption_is_detected(
+        base_raw in 0u64..1_000_000,
+        changed in changed_strategy(),
+        unchanged in unchanged_strategy(),
+        full in any::<bool>(),
+        pos_frac in 0.0f64..1.0,
+        mask in 1u8..255,
+    ) {
+        let base = shape_base(base_raw, full, &unchanged);
+        // Every sub-frame is covered: the magic by the sniff, the meta
+        // block (base ref, counts, id tables, per-payload CRCs) by the
+        // meta CRC, and each payload by its own CRC — so a one-byte XOR
+        // anywhere in the blob must be rejected.
+        let blob = pack_v2(base, &changed, &unchanged);
+        let pos = ((blob.len() as f64) * pos_frac) as usize % blob.len();
+        let mut raw = blob.to_vec();
+        raw[pos] ^= mask;
+        prop_assert!(
+            unpack_any(&Bytes::from(raw)).is_none(),
+            "flip at {} undetected", pos
+        );
+    }
+}
+
+// --- chain-walk degradation (client level) ---------------------------------
+
+const CHAIN_REGIONS: usize = 3;
+const CHAIN_NAME: &str = "chain-prop";
+
+/// Run `steps` checkpoints over `CHAIN_REGIONS` regions, dirtying the
+/// subset given by each step's bool mask. Returns the client, the live
+/// regions, and the model state captured after every version (index v-1).
+#[allow(clippy::type_complexity)]
+fn run_chain(c: &Cluster, steps: &[Vec<bool>]) -> (Client, Vec<VecRegion<u8>>, Vec<Vec<Vec<u8>>>) {
+    let client = Client::init(
+        c.clone(),
+        0,
+        Config {
+            mode: Mode::Single,
+            async_flush: false,
+        },
+    );
+    let regions: Vec<VecRegion<u8>> = (0..CHAIN_REGIONS)
+        .map(|i| VecRegion::new(vec![i as u8; 16]))
+        .collect();
+    for (i, r) in regions.iter().enumerate() {
+        client.protect(i as u32, Arc::new(r.clone()));
+    }
+    let mut model = Vec::new();
+    for (step, dirty) in steps.iter().enumerate() {
+        for (r, d) in regions.iter().zip(dirty) {
+            if *d {
+                let mut g = r.lock();
+                if let Some(b) = g.first_mut() {
+                    *b = b.wrapping_add(step as u8 + 1);
+                }
+            }
+        }
+        client
+            .checkpoint(CHAIN_NAME, (step + 1) as u64)
+            .expect("sync checkpoint");
+        // `snapshot()` (not `lock()`): capturing the model must not stamp
+        // the regions dirty, or every frame would degenerate to full.
+        model.push(regions.iter().map(|r| r.snapshot().to_vec()).collect());
+    }
+    (client, regions, model)
+}
+
+fn chain_cluster() -> Cluster {
+    Cluster::new(ClusterConfig {
+        nodes: 1,
+        ranks_per_node: 1,
+        time_scale: TimeScale::instant(),
+        ..ClusterConfig::default()
+    })
+}
+
+/// Versions whose delta chain includes `victim` (including itself).
+fn depends_on(c: &Cluster, versions: u64, victim: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    for v in 1..=versions {
+        let mut cur = v;
+        loop {
+            if cur == victim {
+                out.push(v);
+                break;
+            }
+            let path = format!("{CHAIN_NAME}/v{cur}/r0");
+            let Some((blob, _)) = c.scratch().read(0, &path) else {
+                break;
+            };
+            match unpack_any(&blob).and_then(|f| f.base_version) {
+                Some(base) if base < cur => cur = base,
+                _ => break,
+            }
+        }
+    }
+    out
+}
+
+fn steps_strategy() -> impl Strategy<Value = Vec<Vec<bool>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(any::<bool>(), CHAIN_REGIONS),
+        2usize..6,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Delta round-trip equals full state: whatever mix of full and delta
+    /// frames the dirty pattern produced, restarting from any version
+    /// reproduces exactly the state the application had at that commit.
+    #[test]
+    fn delta_chain_restores_exact_state(steps in steps_strategy(), pick in 0.0f64..1.0) {
+        let c = chain_cluster();
+        let (client, regions, model) = run_chain(&c, &steps);
+        let v = 1 + ((steps.len() as f64 - 1.0) * pick) as usize; // 1..=n
+        for r in &regions {
+            r.lock().fill(0xEE);
+        }
+        client.restart(CHAIN_NAME, v as u64).expect("restart");
+        let got: Vec<Vec<u8>> = regions.iter().map(|r| r.lock().clone()).collect();
+        prop_assert_eq!(&got, &model[v - 1], "version {} state mismatch", v);
+    }
+}
+
+#[cfg(not(feature = "chaos-mutants"))]
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Truncating one version on both tiers invalidates exactly the
+    /// versions whose chain passes through it; the client degrades to the
+    /// newest version with an intact chain and restores its exact state.
+    #[test]
+    fn truncated_chain_degrades_to_newest_intact_base(
+        steps in steps_strategy(),
+        pick in 0.0f64..1.0,
+        keep in 0usize..12,
+    ) {
+        let c = chain_cluster();
+        let (client, regions, model) = run_chain(&c, &steps);
+        let n = steps.len() as u64;
+        let victim = 1 + ((n as f64 - 1.0) * pick) as u64; // 1..=n
+        let broken = depends_on(&c, n, victim);
+        let path = format!("{CHAIN_NAME}/v{victim}/r0");
+        let (blob, _) = c.scratch().read(0, &path).expect("victim exists");
+        let cut = blob.slice(0..keep.min(blob.len() - 1));
+        c.scratch().write(0, &path, cut.clone());
+        c.pfs().write(&path, cut);
+
+        let expected = (1..=n).filter(|v| !broken.contains(v)).max();
+        for v in 1..=n {
+            prop_assert_eq!(
+                client.version_intact(CHAIN_NAME, v),
+                !broken.contains(&v),
+                "version {} intactness", v
+            );
+        }
+        prop_assert_eq!(client.latest_intact_version(CHAIN_NAME, u64::MAX), expected);
+        if let Some(best) = expected {
+            for r in &regions {
+                r.lock().fill(0xEE);
+            }
+            client.restart(CHAIN_NAME, best).expect("degraded restart");
+            let got: Vec<Vec<u8>> = regions.iter().map(|r| r.lock().clone()).collect();
+            prop_assert_eq!(&got, &model[best as usize - 1]);
+        }
     }
 }

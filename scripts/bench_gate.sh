@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Benchmark-regression gate for the synchronous checkpoint pipeline.
+#
+# Runs crates/bench/benches/checkpoint_pipeline.rs, which writes
+# target/BENCH_checkpoint.json (median ns + bytes written per config), then:
+#
+#   1. proves the incremental pipeline's headline claim — the sync
+#      checkpoint at 1-of-100-regions-dirty must be >= MIN_SPEEDUP_X times
+#      faster than the full-pack pipeline;
+#   2. compares every config's median against the committed baseline
+#      (BENCH_checkpoint.json at the repo root) and fails on a regression
+#      beyond MAX_REGRESSION_PCT;
+#   3. on the first run (no committed baseline) commits the fresh numbers
+#      as the baseline instead of failing.
+#
+# Knobs: MAX_REGRESSION_PCT (default 15), MIN_SPEEDUP_X (default 5).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MAX_REGRESSION_PCT="${MAX_REGRESSION_PCT:-15}"
+MIN_SPEEDUP_X="${MIN_SPEEDUP_X:-5}"
+BASELINE="BENCH_checkpoint.json"
+FRESH="target/BENCH_checkpoint.json"
+
+echo "== bench: checkpoint pipeline =="
+cargo bench -q -p bench --bench checkpoint_pipeline
+
+[ -f "$FRESH" ] || { echo "bench gate: $FRESH was not produced" >&2; exit 1; }
+
+# median_ns for a config name out of one of the one-entry-per-line JSONs.
+median_of() { # file config
+  sed -n "s/.*\"name\":\"$2\",\"median_ns\":\([0-9]*\).*/\1/p" "$1"
+}
+
+full=$(median_of "$FRESH" full_pack)
+inc1=$(median_of "$FRESH" incremental_1pct)
+[ -n "$full" ] && [ -n "$inc1" ] || {
+  echo "bench gate: fresh results missing full_pack/incremental_1pct" >&2
+  exit 1
+}
+
+speedup=$((full / inc1))
+echo "bench gate: full-pack ${full} ns vs incremental@1% ${inc1} ns (${speedup}x)"
+if [ "$((inc1 * MIN_SPEEDUP_X))" -gt "$full" ]; then
+  echo "bench gate: FAIL — incremental@1% must be >= ${MIN_SPEEDUP_X}x faster than full-pack" >&2
+  exit 1
+fi
+
+if [ ! -f "$BASELINE" ]; then
+  cp "$FRESH" "$BASELINE"
+  echo "bench gate: no committed baseline; committed fresh numbers to $BASELINE"
+  echo "bench gate: OK (baseline created)"
+  exit 0
+fi
+
+fail=0
+for cfg in full_pack incremental_1pct incremental_25pct incremental_100pct; do
+  base=$(median_of "$BASELINE" "$cfg")
+  now=$(median_of "$FRESH" "$cfg")
+  if [ -z "$base" ] || [ -z "$now" ]; then
+    echo "bench gate: config $cfg missing from baseline or fresh run" >&2
+    fail=1
+    continue
+  fi
+  limit=$((base * (100 + MAX_REGRESSION_PCT) / 100))
+  if [ "$now" -gt "$limit" ]; then
+    echo "bench gate: FAIL — $cfg regressed: ${now} ns > ${limit} ns (baseline ${base} ns +${MAX_REGRESSION_PCT}%)" >&2
+    fail=1
+  else
+    echo "bench gate: $cfg ${now} ns (baseline ${base} ns, limit ${limit} ns)"
+  fi
+done
+[ "$fail" -eq 0 ] || exit 1
+echo "bench gate: OK"

@@ -1,16 +1,59 @@
 #!/usr/bin/env bash
-# Local CI gate: formatting, lints, and the tier-1 build + test pass
-# (ROADMAP.md). Run from anywhere inside the repo; fails fast.
+# Local CI gate: formatting, lints, the tier-1 build + test pass
+# (ROADMAP.md), chaos/modelcheck suites, and the checkpoint-pipeline
+# benchmark gate. Run from anywhere inside the repo; fails fast.
+#
+# Every stage is wall-clock timed; the per-stage seconds and the artifact
+# paths land in target/ci-summary.json (written even when a stage fails,
+# covering the stages that ran).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== cargo fmt --check =="
+STAGE_JSON=""
+CURRENT_STAGE=""
+STAGE_START=0
+
+now_ms() { date +%s%3N; }
+
+begin() {
+  CURRENT_STAGE="$1"
+  STAGE_START=$(now_ms)
+  echo "== $1 =="
+}
+
+end() {
+  local dur_ms=$(( $(now_ms) - STAGE_START ))
+  local entry
+  entry=$(printf '{"name":"%s","seconds":%d.%03d}' \
+    "$CURRENT_STAGE" $((dur_ms / 1000)) $((dur_ms % 1000)))
+  STAGE_JSON="${STAGE_JSON:+$STAGE_JSON,}$entry"
+  CURRENT_STAGE=""
+}
+
+write_summary() {
+  local status=$?
+  mkdir -p target
+  {
+    printf '{"ok":%s,"stages":[%s],"artifacts":{' \
+      "$([ "$status" -eq 0 ] && echo true || echo false)" "$STAGE_JSON"
+    printf '"lint_report":"target/lint-report.json",'
+    printf '"bench_results":"target/BENCH_checkpoint.json",'
+    printf '"bench_baseline":"BENCH_checkpoint.json"'
+    printf '}}\n'
+  } > target/ci-summary.json
+  echo "stage summary written to target/ci-summary.json"
+}
+trap write_summary EXIT
+
+begin "cargo fmt --check"
 cargo fmt --all -- --check
+end
 
-echo "== cargo clippy (-D warnings) =="
+begin "cargo clippy (-D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
+end
 
-echo "== resilience-invariant lints (crates/lint) =="
+begin "resilience-invariant lints (crates/lint)"
 # Self-check first: proves every rule still fires on its fire fixture and
 # stays silent on its clean twin, so a clean workspace scan means "no
 # violations", not "linter rotted".
@@ -25,14 +68,17 @@ cargo run -q -p lint -- --report target/lint-report.json
 # opted in, and the seeded violation must really be a bug:
 cargo test -q -p lint --test mutant
 cargo test -q -p fenix --features lint-mutants
+end
 
-echo "== tier-1: cargo build --release =="
+begin "tier-1: cargo build --release"
 cargo build --release
+end
 
-echo "== tier-1: cargo test -q =="
+begin "tier-1: cargo test -q"
 cargo test -q
+end
 
-echo "== chaos: smoke campaign + seeded integrity mutant =="
+begin "chaos: smoke campaign + seeded integrity mutant"
 # A short seeded campaign across all three resilience layers: every
 # schedule must satisfy the differential oracle (bitwise-equal digest or a
 # clean typed error — never a hang, panic, or incoherent timeline). Env
@@ -43,16 +89,27 @@ cargo run -q --release -p harness --bin chaos -- \
 # The campaign must also catch the seeded checkpoint-integrity bug
 # (chaos-mutants skips the CRC check) and shrink it to <=2 events:
 cargo test -q -p chaos --features chaos-mutants
+end
 
-echo "== modelcheck: bounded interleaving exploration =="
-# The protocol suites (telemetry seqlock, veloc flush, simmpi rendezvous)
-# honour env overrides for deeper sweeps than the in-tree defaults, e.g.:
+begin "modelcheck: bounded interleaving exploration"
+# The protocol suites (telemetry seqlock, veloc flush, pack pool, simmpi
+# rendezvous) honour env overrides for deeper sweeps than the in-tree
+# defaults, e.g.:
 #   MC_PREEMPTION_BOUND=3 MC_DFS_CAP=500000 MC_RANDOM_EXECUTIONS=2000 scripts/ci.sh
 # (raise MC_DFS_CAP alongside the bound or the exhaustiveness assertions
-# will rightly fail on truncation).
+# will rightly fail on truncation.)
 cargo test -q -p modelcheck --tests
+end
 
-echo "== miri: UB check on the lock-free core (optional) =="
+begin "bench gate: checkpoint pipeline"
+# Re-measures the sync checkpoint pipeline and fails on a >15% median
+# regression against the committed BENCH_checkpoint.json baseline; also
+# asserts the incremental pipeline's >=5x claim at 1% dirty. See
+# scripts/bench_gate.sh for the knobs.
+scripts/bench_gate.sh
+end
+
+begin "miri: UB check on the lock-free core (optional)"
 if cargo miri --version >/dev/null 2>&1; then
   # Miri runs the seqlock/pod/router tests under the interpreter's memory
   # model; slow, so scoped to the crates with unsafe code or raw atomics.
@@ -60,5 +117,6 @@ if cargo miri --version >/dev/null 2>&1; then
 else
   echo "cargo-miri not installed; skipping (rustup +nightly component add miri)"
 fi
+end
 
 echo "CI OK"
