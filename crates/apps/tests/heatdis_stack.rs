@@ -26,6 +26,7 @@ fn cfg(strategy: Strategy, spares: usize) -> ExperimentConfig {
         checkpoints: 6,
         max_relaunches: 4,
         imr_policy: None,
+        redundancy: None,
         fresh_storage: true,
         telemetry: None,
     }

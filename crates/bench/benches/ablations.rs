@@ -30,6 +30,7 @@ fn checkpoint_interval_sweep(c: &mut Criterion) {
             checkpoints,
             max_relaunches: 4,
             imr_policy: None,
+            redundancy: None,
             fresh_storage: true,
             telemetry: None,
         };
@@ -57,6 +58,7 @@ fn imr_vs_veloc_commit(c: &mut Criterion) {
                 checkpoints: 6,
                 max_relaunches: 4,
                 imr_policy: None,
+                redundancy: None,
                 fresh_storage: true,
                 telemetry: None,
             };
@@ -84,6 +86,7 @@ fn spare_count_sensitivity(c: &mut Criterion) {
             checkpoints: 4,
             max_relaunches: 4,
             imr_policy: None,
+            redundancy: None,
             fresh_storage: true,
             telemetry: None,
         };

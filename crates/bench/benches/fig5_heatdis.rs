@@ -22,6 +22,7 @@ fn cfg(strategy: Strategy) -> ExperimentConfig {
         checkpoints: 6,
         max_relaunches: 4,
         imr_policy: None,
+        redundancy: None,
         fresh_storage: true,
         telemetry: None,
     }

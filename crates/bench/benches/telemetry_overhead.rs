@@ -28,6 +28,7 @@ fn heatdis_cfg(telemetry: Option<Telemetry>) -> ExperimentConfig {
         checkpoints: 6,
         max_relaunches: 2,
         imr_policy: None,
+        redundancy: None,
         fresh_storage: true,
         telemetry,
     }

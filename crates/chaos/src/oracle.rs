@@ -78,7 +78,7 @@ pub struct CaseReport {
 
 /// Differential oracle with a per-strategy baseline cache.
 pub struct Oracle {
-    baselines: Mutex<HashMap<(Strategy, usize), u64>>,
+    baselines: Mutex<HashMap<(Strategy, usize, usize), u64>>,
     /// Watchdog window for one chaotic run (simulated time is instant, so
     /// this is pure wall slack; anything near it is a deadlock).
     pub watchdog: Duration,
@@ -90,10 +90,10 @@ impl Default for Oracle {
     }
 }
 
-fn campaign_cluster(nodes: usize) -> Cluster {
+fn campaign_cluster(nodes: usize, rpn: usize) -> Cluster {
     Cluster::new(ClusterConfig {
         nodes,
-        ranks_per_node: 1,
+        ranks_per_node: rpn,
         time_scale: TimeScale::instant(),
         relaunch: RelaunchModel::free(),
         ..ClusterConfig::default()
@@ -110,7 +110,8 @@ fn experiment_config(sched: &ChaosSchedule, telemetry: Option<Telemetry>) -> Exp
         spares: sched.spares,
         checkpoints: CHECKPOINTS,
         max_relaunches: 8,
-        imr_policy: None,
+        imr_policy: sched.imr,
+        redundancy: None,
         fresh_storage: true,
         telemetry,
     }
@@ -134,21 +135,28 @@ impl Oracle {
         }
     }
 
-    /// Digest of the uninterrupted run (cached).
-    fn baseline(&self, strategy: Strategy, spares: usize) -> Result<u64, Violation> {
-        if let Some(d) = self.baselines.lock().get(&(strategy, spares)) {
+    /// Digest of the uninterrupted run (cached). Keyed by the full cluster
+    /// shape — rank-per-node layout changes the communicator's node map,
+    /// hence placement, hence the run's telemetry (never its digest, but
+    /// the baseline must still launch on the identical shape).
+    fn baseline(&self, strategy: Strategy, spares: usize, rpn: usize) -> Result<u64, Violation> {
+        if let Some(d) = self.baselines.lock().get(&(strategy, spares, rpn)) {
             return Ok(*d);
         }
         let sched = ChaosSchedule {
             strategy,
             spares,
+            rpn,
+            imr: None,
             events: Vec::new(),
         };
         let digest = match self.launch(&sched, None)? {
             Ok(d) => d,
             Err(e) => return Err(Violation::Baseline(e)),
         };
-        self.baselines.lock().insert((strategy, spares), digest);
+        self.baselines
+            .lock()
+            .insert((strategy, spares, rpn), digest);
         Ok(digest)
     }
 
@@ -159,7 +167,7 @@ impl Oracle {
         sched: &ChaosSchedule,
         telemetry: Option<Telemetry>,
     ) -> Result<Result<u64, String>, Violation> {
-        let cluster = campaign_cluster(sched.nodes());
+        let cluster = campaign_cluster(sched.nodes(), sched.rpn);
         let cfg = experiment_config(sched, telemetry);
         let plan = Arc::new(sched.build_plan());
         let (tx, rx) = mpsc::channel();
@@ -182,7 +190,7 @@ impl Oracle {
 
     /// Full differential check of one schedule, with evidence.
     pub fn run(&self, sched: &ChaosSchedule) -> CaseReport {
-        let expected = match self.baseline(sched.strategy, sched.spares) {
+        let expected = match self.baseline(sched.strategy, sched.spares, sched.rpn) {
             Ok(d) => d,
             Err(v) => {
                 return CaseReport {
@@ -319,6 +327,8 @@ mod tests {
             let sched = ChaosSchedule {
                 strategy,
                 spares: if strategy.uses_fenix() { 1 } else { 0 },
+                rpn: 1,
+                imr: None,
                 events: Vec::new(),
             };
             match oracle.check(&sched) {

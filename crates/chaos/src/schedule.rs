@@ -6,6 +6,7 @@
 //! back via `--schedule`), so any campaign finding is replayable without
 //! the seed that produced it.
 
+use fenix::ImrPolicy;
 use resilience::Strategy;
 use simmpi::{BackendFault, CorruptKind, CorruptTier, FaultSchedule};
 
@@ -34,12 +35,13 @@ pub const CHECKPOINT_VERSIONS: [u64; 3] = [3, 7, 11];
 /// no recovery semantics to falsify) and `PartialRollback` is excluded
 /// because its survivors keep in-progress data, so bitwise equivalence
 /// with the uninterrupted run is not its contract.
-pub const STRATEGY_POOL: [Strategy; 5] = [
+pub const STRATEGY_POOL: [Strategy; 6] = [
     Strategy::VelocOnly,
     Strategy::KokkosResilience,
     Strategy::FenixVeloc,
     Strategy::FenixKokkosResilience,
     Strategy::FenixImr,
+    Strategy::FenixRedstore,
 ];
 
 /// One scheduled fault.
@@ -47,6 +49,11 @@ pub const STRATEGY_POOL: [Strategy; 5] = [
 pub enum ChaosEvent {
     /// Kill `rank` the `at`-th time it passes fault point `site`.
     Kill { rank: usize, site: String, at: u64 },
+    /// Kill *every* rank hosted on modeled node `node` (a whole-node
+    /// failure: power loss, kernel panic) the `at`-th time each passes
+    /// fault point `site`. Lowered via the schedule's `rpn` — at one rank
+    /// per node it degenerates to a single `Kill`.
+    NodeKill { node: usize, site: String, at: u64 },
     /// Corrupt the checkpoint blob of `(version, rank)` on write.
     Corrupt {
         tier: CorruptTier,
@@ -65,6 +72,13 @@ pub enum ChaosEvent {
 pub struct ChaosSchedule {
     pub strategy: Strategy,
     pub spares: usize,
+    /// Ranks per modeled node of the campaign cluster (1 = the historical
+    /// flat layout; 2 co-locates rank pairs so node failures take both).
+    pub rpn: usize,
+    /// Buddy-policy override for the IMR strategies (`None` = the
+    /// runner's layout-aware default). Lets a spec pin the naive `pair`
+    /// policy that co-locates buddies at `rpn >= 2`.
+    pub imr: Option<ImrPolicy>,
     pub events: Vec<ChaosEvent>,
 }
 
@@ -84,7 +98,25 @@ fn strategy_name(s: Strategy) -> &'static str {
         Strategy::FenixVeloc => "FenixVeloc",
         Strategy::FenixKokkosResilience => "FenixKokkosResilience",
         Strategy::FenixImr => "FenixImr",
+        Strategy::FenixRedstore => "FenixRedstore",
         Strategy::PartialRollback => "PartialRollback",
+    }
+}
+
+fn imr_name(p: ImrPolicy) -> &'static str {
+    match p {
+        ImrPolicy::Pair => "pair",
+        ImrPolicy::Ring => "ring",
+        ImrPolicy::Topology => "topo",
+    }
+}
+
+fn parse_imr(name: &str) -> Result<ImrPolicy, String> {
+    match name {
+        "pair" => Ok(ImrPolicy::Pair),
+        "ring" => Ok(ImrPolicy::Ring),
+        "topo" => Ok(ImrPolicy::Topology),
+        other => Err(format!("unknown imr policy `{other}`")),
     }
 }
 
@@ -133,6 +165,9 @@ impl ChaosEvent {
     fn to_spec(&self) -> String {
         match self {
             ChaosEvent::Kill { rank, site, at } => format!("kill(rank={rank},site={site},at={at})"),
+            ChaosEvent::NodeKill { node, site, at } => {
+                format!("nodekill(node={node},site={site},at={at})")
+            }
             ChaosEvent::Corrupt {
                 tier,
                 version,
@@ -161,6 +196,11 @@ impl ChaosEvent {
         match head {
             "kill" => Ok(ChaosEvent::Kill {
                 rank: num(&fields, "rank", tok)? as usize,
+                site: field(&fields, "site", tok)?.to_owned(),
+                at: num(&fields, "at", tok)?,
+            }),
+            "nodekill" => Ok(ChaosEvent::NodeKill {
+                node: num(&fields, "node", tok)? as usize,
                 site: field(&fields, "site", tok)?.to_owned(),
                 at: num(&fields, "at", tok)?,
             }),
@@ -207,10 +247,16 @@ impl ChaosSchedule {
     /// Draw one schedule from the generator stream.
     pub fn generate(rng: &mut Rng) -> ChaosSchedule {
         let strategy = *rng.pick(&STRATEGY_POOL);
-        let spares = if strategy.uses_fenix() {
-            1 + rng.below(2) as usize
-        } else {
+        // A quarter of the cases co-locate ranks two-per-node, exercising
+        // topology-aware placement and whole-node failures; spares then
+        // come in node units so the world stays evenly divisible.
+        let rpn = if rng.chance(25) { 2 } else { 1 };
+        let spares = if !strategy.uses_fenix() {
             0
+        } else if rpn == 2 {
+            2
+        } else {
+            1 + rng.below(2) as usize
         };
         let n_events = rng.below(4) as usize; // 0..=3: empty schedules are sanity cases
         let mut events = Vec::with_capacity(n_events);
@@ -226,10 +272,18 @@ impl ChaosSchedule {
                 } else {
                     rng.below(ITERATIONS)
                 };
-                ChaosEvent::Kill {
-                    rank: rng.below(ACTIVE_RANKS as u64) as usize,
-                    site: site.to_owned(),
-                    at,
+                if rpn == 2 && rng.chance(30) {
+                    ChaosEvent::NodeKill {
+                        node: rng.below((ACTIVE_RANKS / rpn) as u64) as usize,
+                        site: site.to_owned(),
+                        at,
+                    }
+                } else {
+                    ChaosEvent::Kill {
+                        rank: rng.below(ACTIVE_RANKS as u64) as usize,
+                        site: site.to_owned(),
+                        at,
+                    }
                 }
             } else if roll < 80 {
                 let tier = if rng.chance(50) {
@@ -281,6 +335,8 @@ impl ChaosSchedule {
         ChaosSchedule {
             strategy,
             spares,
+            rpn,
+            imr: None,
             events,
         }
     }
@@ -291,6 +347,12 @@ impl ChaosSchedule {
             format!("strategy={}", strategy_name(self.strategy)),
             format!("spares={}", self.spares),
         ];
+        if self.rpn != 1 {
+            parts.push(format!("rpn={}", self.rpn));
+        }
+        if let Some(p) = self.imr {
+            parts.push(format!("imr={}", imr_name(p)));
+        }
         parts.extend(self.events.iter().map(ChaosEvent::to_spec));
         parts.join(" ")
     }
@@ -299,12 +361,21 @@ impl ChaosSchedule {
     pub fn parse(spec: &str) -> Result<ChaosSchedule, String> {
         let mut strategy = None;
         let mut spares = 0usize;
+        let mut rpn = 1usize;
+        let mut imr = None;
         let mut events = Vec::new();
         for tok in spec.split_whitespace() {
             if let Some(name) = tok.strip_prefix("strategy=") {
                 strategy = Some(parse_strategy(name)?);
             } else if let Some(v) = tok.strip_prefix("spares=") {
                 spares = v.parse().map_err(|_| format!("non-numeric spares `{v}`"))?;
+            } else if let Some(v) = tok.strip_prefix("rpn=") {
+                rpn = v.parse().map_err(|_| format!("non-numeric rpn `{v}`"))?;
+                if rpn == 0 {
+                    return Err("rpn must be at least 1".into());
+                }
+            } else if let Some(v) = tok.strip_prefix("imr=") {
+                imr = Some(parse_imr(v)?);
             } else {
                 events.push(ChaosEvent::parse(tok)?);
             }
@@ -312,12 +383,14 @@ impl ChaosSchedule {
         Ok(ChaosSchedule {
             strategy: strategy.ok_or("spec missing `strategy=`")?,
             spares,
+            rpn,
+            imr,
             events,
         })
     }
 
-    /// Total simulated nodes a run of this schedule needs.
-    pub fn nodes(&self) -> usize {
+    /// Total communicator ranks a run of this schedule uses.
+    pub fn total_ranks(&self) -> usize {
         ACTIVE_RANKS
             + if self.strategy.uses_fenix() {
                 self.spares
@@ -326,12 +399,27 @@ impl ChaosSchedule {
             }
     }
 
-    /// Lower the schedule to the simulator's injectable form.
+    /// Total simulated nodes a run of this schedule needs (the world is
+    /// `nodes() * rpn` ranks — rounded up when spares don't fill a node).
+    pub fn nodes(&self) -> usize {
+        self.total_ranks().div_ceil(self.rpn)
+    }
+
+    /// Lower the schedule to the simulator's injectable form. A `NodeKill`
+    /// becomes one kill per rank the node hosts (rank `r` lives on node
+    /// `r / rpn` — the cluster model's fixed layout).
     pub fn build_plan(&self) -> FaultSchedule {
         let mut plan = FaultSchedule::none();
         for ev in &self.events {
             plan = match ev {
                 ChaosEvent::Kill { rank, site, at } => plan.and_kill(*rank, site.clone(), *at),
+                ChaosEvent::NodeKill { node, site, at } => {
+                    let mut p = plan;
+                    for rank in node * self.rpn..(node + 1) * self.rpn {
+                        p = p.and_kill(rank, site.clone(), *at);
+                    }
+                    p
+                }
                 ChaosEvent::Corrupt {
                     tier,
                     version,
@@ -402,5 +490,42 @@ mod tests {
         assert_eq!(plan.backend_faults().len(), 2);
         assert!(plan.has_injections());
         assert_eq!(s.nodes(), ACTIVE_RANKS + 1);
+    }
+
+    #[test]
+    fn nodekill_lowers_to_one_kill_per_hosted_rank() {
+        let s = ChaosSchedule::parse(
+            "strategy=FenixRedstore spares=2 rpn=2 nodekill(node=1,site=iter,at=4)",
+        )
+        .expect("spec parses");
+        assert_eq!(s.rpn, 2);
+        // 4 active + 2 spares over 2 ranks/node = 3 nodes.
+        assert_eq!(s.nodes(), 3);
+        let plan = s.build_plan();
+        let mut killed: Vec<usize> = plan.kills().iter().map(|k| k.rank).collect();
+        killed.sort_unstable();
+        assert_eq!(killed, vec![2, 3], "node 1 hosts exactly ranks 2 and 3");
+        // At one rank per node the same event is a single kill.
+        let flat =
+            ChaosSchedule::parse("strategy=FenixRedstore spares=1 nodekill(node=1,site=iter,at=4)")
+                .expect("spec parses");
+        assert_eq!(flat.build_plan().kills().len(), 1);
+    }
+
+    #[test]
+    fn rpn_and_imr_fields_round_trip_and_default() {
+        let spec = "strategy=FenixImr spares=2 rpn=2 imr=pair kill(rank=0,site=iter,at=1)";
+        let s = ChaosSchedule::parse(spec).expect("spec parses");
+        assert_eq!(s.rpn, 2);
+        assert_eq!(s.imr, Some(ImrPolicy::Pair));
+        assert_eq!(s.to_spec(), spec);
+        // Absent fields keep historical defaults, and to_spec omits them
+        // so pre-existing golden specs stay byte-identical.
+        let old = ChaosSchedule::parse("strategy=VelocOnly spares=0").expect("parses");
+        assert_eq!(old.rpn, 1);
+        assert_eq!(old.imr, None);
+        assert_eq!(old.to_spec(), "strategy=VelocOnly spares=0");
+        assert!(ChaosSchedule::parse("strategy=VelocOnly rpn=0").is_err());
+        assert!(ChaosSchedule::parse("strategy=VelocOnly imr=frob").is_err());
     }
 }

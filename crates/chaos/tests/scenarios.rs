@@ -157,6 +157,119 @@ fn imr_recovery_detects_corrupted_partner_store_and_aborts_cleanly() {
     }
 }
 
+/// Two ranks of the same redundancy placement group die in the same
+/// iteration (ISSUE 6 satellite). Under buddy IMR (auto → Pair on a
+/// one-rank-per-node layout) ranks 0 and 1 are each other's buddies, so
+/// both copies of both payloads vanish at once and the driver must surface
+/// its typed unrecoverable error — while the redundancy store's
+/// erasure-coded groups (auto → RS(4,2) on this shape) absorb both
+/// erasures and finish bitwise-equal to the baseline.
+#[test]
+fn placement_group_double_kill_recovers_via_redstore_but_not_buddy_imr() {
+    let oracle = Oracle::new();
+    let buddy = ChaosSchedule::parse(
+        "strategy=FenixImr spares=2 kill(rank=0,site=iter,at=5) kill(rank=1,site=iter,at=5)",
+    )
+    .expect("spec parses");
+    match &oracle.run(&buddy).verdict {
+        Ok(RunOutcome::TypedError(msg)) => {
+            assert!(
+                msg.contains("unrecoverably"),
+                "expected the driver's RankFailed error, got: {msg}"
+            );
+        }
+        other => panic!("buddy IMR cannot survive a buddy-pair kill: {other:?}"),
+    }
+
+    let red = ChaosSchedule::parse(
+        "strategy=FenixRedstore spares=2 kill(rank=0,site=iter,at=5) kill(rank=1,site=iter,at=5)",
+    )
+    .expect("spec parses");
+    let report = oracle.run(&red);
+    match &report.verdict {
+        Ok(RunOutcome::Completed { .. }) => {}
+        other => panic!("redstore should recover the group kill bitwise: {other:?}"),
+    }
+    // Timeline evidence: both kills recorded, and at least one repair ran
+    // to completion (the oracle already enforced causal order).
+    let snap = &report.snapshot;
+    let kills = snap
+        .events
+        .iter()
+        .filter(|e| e.event.kind() == "rank_killed")
+        .count();
+    assert!(
+        kills >= 2,
+        "expected both kills in the timeline, saw {kills}"
+    );
+    let repairs_done = snap
+        .events
+        .iter()
+        .filter(|e| e.event.kind() == "repair_end")
+        .count();
+    assert!(repairs_done >= 1, "the group kill's repair should complete");
+}
+
+/// A whole node dies on a two-ranks-per-node layout (ISSUE 6 satellite).
+/// With the explicitly co-locating `imr=pair` map, ranks 0 and 1 buddy
+/// each other on the dead node — a clean typed error. The default map
+/// (auto → Topology, routed through redstore's interleaving) and the
+/// redundancy store (auto → cross-node k=2 replica groups) both place
+/// every copy off-node, so the same node loss completes bitwise-equal.
+#[test]
+fn node_kill_defeats_colocated_buddies_but_not_topology_aware_placement() {
+    let oracle = Oracle::new();
+    let colocated = ChaosSchedule::parse(
+        "strategy=FenixImr spares=2 rpn=2 imr=pair nodekill(node=0,site=iter,at=5)",
+    )
+    .expect("spec parses");
+    match &oracle.run(&colocated).verdict {
+        Ok(RunOutcome::TypedError(msg)) => {
+            assert!(
+                msg.contains("unrecoverably"),
+                "expected the driver's RankFailed error, got: {msg}"
+            );
+        }
+        other => panic!("co-located pair buddies cannot survive a node kill: {other:?}"),
+    }
+
+    let topo =
+        ChaosSchedule::parse("strategy=FenixImr spares=2 rpn=2 nodekill(node=0,site=iter,at=5)")
+            .expect("spec parses");
+    match &oracle.run(&topo).verdict {
+        Ok(RunOutcome::Completed { .. }) => {}
+        other => panic!("topology-aware buddies should survive a node kill: {other:?}"),
+    }
+
+    let red = ChaosSchedule::parse(
+        "strategy=FenixRedstore spares=2 rpn=2 nodekill(node=0,site=iter,at=5)",
+    )
+    .expect("spec parses");
+    let report = oracle.run(&red);
+    match &report.verdict {
+        Ok(RunOutcome::Completed { .. }) => {}
+        other => panic!("redstore should recover the node kill bitwise: {other:?}"),
+    }
+    // The node kill lowered to one kill per hosted rank; the repair that
+    // replaced them both must appear in the same coherent timeline.
+    let snap = &report.snapshot;
+    let kills = snap
+        .events
+        .iter()
+        .filter(|e| e.event.kind() == "rank_killed")
+        .count();
+    assert!(
+        kills >= 2,
+        "a two-rank node should record two kills, saw {kills}"
+    );
+    let repairs_done = snap
+        .events
+        .iter()
+        .filter(|e| e.event.kind() == "repair_end")
+        .count();
+    assert!(repairs_done >= 1, "the node kill's repair should complete");
+}
+
 /// Incremental-checkpoint chain integrity under injected corruption (ISSUE 5
 /// satellite): the *base* version of a delta chain is damaged through the
 /// chaos injection hook at write time, and a later delta frame must never be

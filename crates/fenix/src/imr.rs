@@ -33,22 +33,81 @@ pub enum ImrPolicy {
     /// Each rank stores to its right neighbor and holds for its left
     /// neighbor (works for any size ≥ 2).
     Ring,
+    /// A ring over the topology-interleaved rank order: consecutive ring
+    /// positions alternate modeled nodes wherever the layout permits, so a
+    /// rank's buddy lands on a *different node* and a whole-node failure no
+    /// longer takes both copies. With one rank per node this degenerates to
+    /// a plain ring; Pair/Ring on a multi-rank-per-node layout can pair
+    /// co-located ranks (rank 0 ↔ rank 1 on the same node = zero coverage
+    /// against node loss).
+    Topology,
 }
 
 impl ImrPolicy {
     /// The rank that will hold `rank`'s data.
+    ///
+    /// Pair/Ring buddies are pure functions of rank and size. Topology
+    /// buddies depend on the rank→node layout — use [`ImrPolicy::maps`].
     pub fn holder_of(self, rank: usize, size: usize) -> usize {
         match self {
             ImrPolicy::Pair => rank ^ 1,
             ImrPolicy::Ring => (rank + 1) % size,
+            ImrPolicy::Topology => panic!("Topology buddies need a node map; use ImrPolicy::maps"),
         }
     }
 
-    /// The rank whose data `rank` holds.
+    /// The rank whose data `rank` holds. See [`ImrPolicy::holder_of`].
     pub fn source_of(self, rank: usize, size: usize) -> usize {
         match self {
             ImrPolicy::Pair => rank ^ 1,
             ImrPolicy::Ring => (rank + size - 1) % size,
+            ImrPolicy::Topology => panic!("Topology buddies need a node map; use ImrPolicy::maps"),
+        }
+    }
+
+    /// Full buddy maps for a communicator whose rank→node layout is
+    /// `nodes`: returns `(holder, source)` where `holder[r]` stores `r`'s
+    /// data and `source[r]` is the rank whose data `r` holds.
+    pub fn maps(self, nodes: &[usize]) -> (Vec<usize>, Vec<usize>) {
+        let n = nodes.len();
+        match self {
+            ImrPolicy::Pair | ImrPolicy::Ring => (
+                (0..n).map(|r| self.holder_of(r, n)).collect(),
+                (0..n).map(|r| self.source_of(r, n)).collect(),
+            ),
+            ImrPolicy::Topology => {
+                // The same placement helper the redundancy-store tier uses:
+                // round-robin across node buckets, most-loaded node first.
+                // Adjacent positions in that order sit on different nodes
+                // whenever the rank counts allow it.
+                let order = redstore::node_interleaved_order(nodes);
+                let mut holder = vec![0usize; n];
+                let mut source = vec![0usize; n];
+                for (i, &r) in order.iter().enumerate() {
+                    let next = order[(i + 1) % n];
+                    holder[r] = next;
+                    source[next] = r;
+                }
+                (holder, source)
+            }
+        }
+    }
+
+    /// Default policy for a rank→node layout: Topology as soon as any node
+    /// hosts two or more communicator ranks (and more than one node
+    /// exists — otherwise no placement can help), else the historical
+    /// parity rule (Pair when even, Ring when odd).
+    pub fn auto(nodes: &[usize]) -> ImrPolicy {
+        let mut sorted = nodes.to_vec();
+        sorted.sort_unstable();
+        let co_located = sorted.windows(2).any(|w| w[0] == w[1]);
+        let multi_node = sorted.first() != sorted.last();
+        if co_located && multi_node {
+            ImrPolicy::Topology
+        } else if nodes.len().is_multiple_of(2) {
+            ImrPolicy::Pair
+        } else {
+            ImrPolicy::Ring
         }
     }
 
@@ -180,20 +239,34 @@ pub struct DataGroup<'a> {
     comm: &'a Comm,
     policy: ImrPolicy,
     store: Arc<ImrStore>,
+    /// `holder[r]` stores rank `r`'s data; `source[r]` is the rank whose
+    /// data `r` holds. Fixed at construction — for [`ImrPolicy::Topology`]
+    /// they derive from the communicator's rank→node layout.
+    holder: Vec<usize>,
+    source: Vec<usize>,
 }
 
 impl<'a> DataGroup<'a> {
     pub fn new(store: Arc<ImrStore>, comm: &'a Comm, policy: ImrPolicy) -> Self {
         policy.validate(comm.size());
+        let nodes = redstore::comm_node_map(comm);
+        let (holder, source) = policy.maps(&nodes);
         DataGroup {
             comm,
             policy,
             store,
+            holder,
+            source,
         }
     }
 
     pub fn policy(&self) -> ImrPolicy {
         self.policy
+    }
+
+    /// The rank holding `rank`'s data under this group's buddy map.
+    pub fn holder_of(&self, rank: usize) -> usize {
+        self.holder[rank]
     }
 
     fn tag(member: u32, leg: u64) -> u64 {
@@ -211,9 +284,8 @@ impl<'a> DataGroup<'a> {
     /// version, never a mix.
     pub fn store(&self, member: u32, version: u64, data: Bytes) -> MpiResult<()> {
         let me = self.comm.rank();
-        let n = self.comm.size();
-        let to = self.policy.holder_of(me, n);
-        let from = self.policy.source_of(me, n);
+        let to = self.holder[me];
+        let from = self.source[me];
 
         // Phase 1: exchange. My data goes to my holder; I receive my
         // source's data. Nothing is committed yet.
@@ -276,30 +348,46 @@ impl<'a> DataGroup<'a> {
     /// `recovered` is the list of resilient-communicator ranks that were
     /// just replaced by spares ([`crate::Fenix::recovered_ranks`]). Survivors
     /// recover from their local copy instantly; each recovered rank receives
-    /// its lost data from the rank holding it, and redundancy is
-    /// re-established (the recovered rank also re-receives the data it is
-    /// supposed to hold for its source).
+    /// its lost data from the rank holding it, and redundancy is then
+    /// re-established under the current buddy maps with a full exchange.
+    ///
+    /// Holder discovery is possession-based (an allgather of each rank's
+    /// held-owner), not map-based: a repair can move replacement ranks onto
+    /// different nodes, which shifts [`ImrPolicy::Topology`] maps away from
+    /// the ones the data was stored under. The closing exchange is what
+    /// brings the store back in line with the recomputed maps.
     ///
     /// Every rank of the communicator must call with the same `recovered`
     /// list. Fails with [`ImrError::DataLost`] when a recovered rank's
     /// holder was also replaced.
     pub fn restore(&self, member: u32, recovered: &[usize]) -> Result<(u64, Bytes), ImrError> {
         let me = self.comm.rank();
-        let n = self.comm.size();
 
-        // Feasibility check is deterministic — same verdict on every rank.
+        // Whose data does each rank actually hold? Replacements report -1:
+        // their stores are empty (and must not shadow a survivor's claim).
+        let claim: i64 = if recovered.contains(&me) {
+            -1
+        } else {
+            self.store
+                .held
+                .lock()
+                .get(&member)
+                .map_or(-1, |h| h.owner as i64)
+        };
+        let owners = self.comm.allgather(&[claim]).map_err(ImrError::from)?;
+        let holder_of = |q: usize| owners.iter().position(|&o| o == q as i64);
+
+        // Feasibility check is deterministic — the gathered view is
+        // identical everywhere, so every rank reaches the same verdict.
         for &q in recovered {
-            let h = self.policy.holder_of(q, n);
-            if recovered.contains(&h) {
+            if holder_of(q).is_none() {
                 return Err(ImrError::DataLost { member, rank: q });
             }
         }
 
         // Sends first (buffered), then receives: no ordering deadlock.
         for &q in recovered {
-            let holder = self.policy.holder_of(q, n);
-            let source = self.policy.source_of(q, n);
-            if me == holder && me != q {
+            if holder_of(q) == Some(me) && me != q {
                 let held = self.store.held.lock().get(&member).cloned();
                 let held = held.ok_or(ImrError::DataLost { member, rank: q })?;
                 debug_assert_eq!(held.owner, q, "held data owner mismatch");
@@ -310,22 +398,12 @@ impl<'a> DataGroup<'a> {
                     .send_bytes(q, Self::tag(member, 1), Bytes::from(payload))
                     .map_err(ImrError::from)?;
             }
-            if me == source && me != q {
-                // Re-establish the copy q holds for me.
-                let own = self.store.own.lock().get(&member).cloned();
-                if let Some((version, data)) = own {
-                    let mut payload = Vec::with_capacity(8 + data.len());
-                    payload.extend_from_slice(&version.to_le_bytes());
-                    payload.extend_from_slice(&data);
-                    self.comm
-                        .send_bytes(q, Self::tag(member, 2), Bytes::from(payload))
-                        .map_err(ImrError::from)?;
-                }
-            }
         }
 
-        if recovered.contains(&me) {
-            let holder = self.policy.holder_of(me, n);
+        let (version, data) = if recovered.contains(&me) {
+            // Feasibility was checked above; losing the holder between the
+            // gather and here is a data-lost condition, not a panic.
+            let holder = holder_of(me).ok_or(ImrError::DataLost { member, rank: me })?;
             let (payload, _) = self
                 .comm
                 .recv_bytes(Some(holder), Self::tag(member, 1))
@@ -336,32 +414,50 @@ impl<'a> DataGroup<'a> {
                 .own
                 .lock()
                 .insert(member, (version, data.clone()));
+            (version, data)
+        } else {
+            // Survivor: local copy is authoritative (this is IMR's "quick,
+            // local recovery on surviving ranks").
+            self.store
+                .own
+                .lock()
+                .get(&member)
+                .cloned()
+                .ok_or(ImrError::DataLost { member, rank: me })?
+        };
 
-            let source = self.policy.source_of(me, n);
-            let (payload, _) = self
-                .comm
-                .recv_bytes(Some(source), Self::tag(member, 2))
-                .map_err(ImrError::from)?;
-            let sversion = version_header(&payload)?;
-            self.store.held.lock().insert(
-                member,
-                Held {
-                    owner: source,
-                    version: sversion,
-                    data: payload.slice(8..),
-                },
-            );
-            return Ok((version, data));
-        }
+        // Re-establish redundancy under the *current* maps: every rank's
+        // copy moves to its present-day holder, restoring the placement the
+        // repair may have disturbed.
+        let out_of_range = |rank: usize| {
+            ImrError::Mpi(MpiError::RankOutOfRange {
+                rank,
+                size: self.holder.len(),
+            })
+        };
+        let to = self.holder.get(me).copied().ok_or(out_of_range(me))?;
+        let mut payload = Vec::with_capacity(8 + data.len());
+        payload.extend_from_slice(&version.to_le_bytes());
+        payload.extend_from_slice(&data);
+        self.comm
+            .send_bytes(to, Self::tag(member, 2), Bytes::from(payload))
+            .map_err(ImrError::from)?;
+        let source = self.source.get(me).copied().ok_or(out_of_range(me))?;
+        let (payload, _) = self
+            .comm
+            .recv_bytes(Some(source), Self::tag(member, 2))
+            .map_err(ImrError::from)?;
+        let sversion = version_header(&payload)?;
+        self.store.held.lock().insert(
+            member,
+            Held {
+                owner: source,
+                version: sversion,
+                data: payload.slice(8..),
+            },
+        );
 
-        // Survivor: local copy is authoritative (this is IMR's "quick, local
-        // recovery on surviving ranks").
-        self.store
-            .own
-            .lock()
-            .get(&member)
-            .cloned()
-            .ok_or(ImrError::DataLost { member, rank: me })
+        Ok((version, data))
     }
 }
 
@@ -410,6 +506,45 @@ mod tests {
     #[should_panic(expected = "even")]
     fn pair_rejects_odd_sizes() {
         ImrPolicy::Pair.validate(3);
+    }
+
+    #[test]
+    fn topology_buddies_cross_nodes_when_the_layout_permits() {
+        // Two nodes × two ranks: Pair would co-locate (0↔1 on node 0,
+        // 2↔3 on node 1) — exactly the layouts where Topology must differ.
+        let nodes = [0usize, 0, 1, 1];
+        let (holder, source) = ImrPolicy::Topology.maps(&nodes);
+        let mut holders = holder.clone();
+        holders.sort_unstable();
+        assert_eq!(holders, vec![0, 1, 2, 3], "holder map is a permutation");
+        for r in 0..nodes.len() {
+            assert_ne!(
+                nodes[r], nodes[holder[r]],
+                "rank {r}'s buddy must sit on another node"
+            );
+            assert_eq!(source[holder[r]], r, "holder/source maps are inverse");
+        }
+    }
+
+    #[test]
+    fn topology_balanced_layouts_never_colocate() {
+        for (n_nodes, rpn) in [(2usize, 2usize), (2, 3), (3, 2), (4, 2), (3, 3)] {
+            let nodes: Vec<usize> = (0..n_nodes * rpn).map(|r| r / rpn).collect();
+            let (holder, _) = ImrPolicy::Topology.maps(&nodes);
+            for (r, &h) in holder.iter().enumerate() {
+                assert_ne!(nodes[r], nodes[h], "{n_nodes}x{rpn}: rank {r} → {h}");
+            }
+        }
+    }
+
+    #[test]
+    fn auto_picks_topology_only_for_multi_rank_nodes() {
+        assert_eq!(ImrPolicy::auto(&[0, 1, 2, 3]), ImrPolicy::Pair);
+        assert_eq!(ImrPolicy::auto(&[0, 1, 2]), ImrPolicy::Ring);
+        assert_eq!(ImrPolicy::auto(&[0, 0, 1, 1]), ImrPolicy::Topology);
+        assert_eq!(ImrPolicy::auto(&[0, 0, 0, 1]), ImrPolicy::Topology);
+        // All ranks on one node: no placement helps — historical rule.
+        assert_eq!(ImrPolicy::auto(&[0, 0, 0, 0]), ImrPolicy::Pair);
     }
 
     #[test]

@@ -173,6 +173,7 @@ pub fn run_pair(
         checkpoints,
         max_relaunches: 6,
         imr_policy: None,
+        redundancy: None,
         fresh_storage: true,
         telemetry,
     };
@@ -428,6 +429,7 @@ pub fn partial_rollback_comparison(
         checkpoints: 6,
         max_relaunches: 4,
         imr_policy: None,
+        redundancy: None,
         fresh_storage: true,
         telemetry: telemetry.clone(),
     };

@@ -1,0 +1,445 @@
+//! Erasure codecs over opaque checkpoint payloads.
+//!
+//! A payload (one rank's packed checkpoint frame) is split into `n` equal
+//! data shards (zero-padded; the original length travels with the commit)
+//! and extended with parity:
+//!
+//! * [`xor_encode`] — single XOR parity shard (`n+1`, tolerates 1 erasure),
+//! * [`rs_encode`] — `m` Reed–Solomon parity shards over GF(256) built
+//!   from a Cauchy matrix (`n+m`, tolerates any `m` erasures — MDS).
+//!
+//! Decoding never panics on bad inputs: missing too many shards or
+//! inconsistent shard sizes surface as a typed [`CodecError`], because a
+//! multi-failure that exceeds coverage is an expected runtime outcome the
+//! resilience stack must convert into a clean job-level error.
+
+use crate::gf256;
+
+/// Typed codec failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// Fewer than `needed` shards survive: the erasure count exceeds the
+    /// code's tolerance and the payload is unrecoverable.
+    TooManyErasures { available: usize, needed: usize },
+    /// A shard's length disagrees with the others (transport damage).
+    ShardSizeMismatch { expected: usize, got: usize },
+    /// Shard geometry is impossible (zero data shards, > 256 total, or a
+    /// recorded original length that cannot fit the shards).
+    BadGeometry(String),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::TooManyErasures { available, needed } => {
+                write!(
+                    f,
+                    "unrecoverable: {available} shards survive, {needed} needed"
+                )
+            }
+            CodecError::ShardSizeMismatch { expected, got } => {
+                write!(f, "shard size mismatch: expected {expected}, got {got}")
+            }
+            CodecError::BadGeometry(msg) => write!(f, "bad shard geometry: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Split `payload` into `n` zero-padded data shards of equal length.
+/// A zero-length payload yields `n` empty shards.
+pub fn split_payload(payload: &[u8], n: usize) -> Result<Vec<Vec<u8>>, CodecError> {
+    if n == 0 {
+        return Err(CodecError::BadGeometry("zero data shards".into()));
+    }
+    let shard_len = payload.len().div_ceil(n);
+    let mut shards = Vec::with_capacity(n);
+    for i in 0..n {
+        let lo = (i * shard_len).min(payload.len());
+        let hi = ((i + 1) * shard_len).min(payload.len());
+        let mut s = payload[lo..hi].to_vec();
+        s.resize(shard_len, 0);
+        shards.push(s);
+    }
+    Ok(shards)
+}
+
+/// Reassemble the original payload from `n` data shards.
+pub fn join_payload(data: &[Vec<u8>], orig_len: usize) -> Result<Vec<u8>, CodecError> {
+    let total: usize = data.iter().map(Vec::len).sum();
+    if orig_len > total {
+        return Err(CodecError::BadGeometry(format!(
+            "original length {orig_len} exceeds shard capacity {total}"
+        )));
+    }
+    let mut out = Vec::with_capacity(total);
+    for s in data {
+        out.extend_from_slice(s);
+    }
+    out.truncate(orig_len);
+    Ok(out)
+}
+
+fn check_sizes(shards: &[Vec<u8>]) -> Result<usize, CodecError> {
+    let len = shards.first().map_or(0, Vec::len);
+    for s in shards {
+        if s.len() != len {
+            return Err(CodecError::ShardSizeMismatch {
+                expected: len,
+                got: s.len(),
+            });
+        }
+    }
+    Ok(len)
+}
+
+/// XOR encode: `n` data shards + 1 parity shard (tolerates 1 erasure).
+pub fn xor_encode(payload: &[u8], n: usize) -> Result<Vec<Vec<u8>>, CodecError> {
+    let mut shards = split_payload(payload, n)?;
+    let len = shards[0].len();
+    let mut parity = vec![0u8; len];
+    for s in &shards {
+        for (p, b) in parity.iter_mut().zip(s) {
+            *p ^= *b;
+        }
+    }
+    shards.push(parity);
+    Ok(shards)
+}
+
+/// XOR decode from `n + 1` slots (`None` = erased). At most one erasure is
+/// recoverable; the data shards come back in order.
+pub fn xor_decode(
+    shards: &[Option<Vec<u8>>],
+    n: usize,
+    orig_len: usize,
+) -> Result<Vec<u8>, CodecError> {
+    if n == 0 || shards.len() != n + 1 {
+        return Err(CodecError::BadGeometry(format!(
+            "xor expects {} slots, got {}",
+            n + 1,
+            shards.len()
+        )));
+    }
+    let present: Vec<&Vec<u8>> = shards.iter().flatten().collect();
+    if present.len() < n {
+        return Err(CodecError::TooManyErasures {
+            available: present.len(),
+            needed: n,
+        });
+    }
+    let len = present.first().map_or(0, |s| s.len());
+    for s in &present {
+        if s.len() != len {
+            return Err(CodecError::ShardSizeMismatch {
+                expected: len,
+                got: s.len(),
+            });
+        }
+    }
+    let missing: Vec<usize> = (0..n).filter(|&i| shards[i].is_none()).collect();
+    let mut data: Vec<Vec<u8>> = Vec::with_capacity(n);
+    match missing.as_slice() {
+        [] => {
+            for s in shards.iter().take(n) {
+                data.push(s.clone().expect("checked present"));
+            }
+        }
+        [hole] => {
+            // The lost data shard is the XOR of everything else, parity
+            // included.
+            let mut rec = vec![0u8; len];
+            for (i, s) in shards.iter().enumerate() {
+                if i == *hole {
+                    continue;
+                }
+                let s = s.as_ref().expect("only one erasure");
+                for (r, b) in rec.iter_mut().zip(s) {
+                    *r ^= *b;
+                }
+            }
+            for (i, s) in shards.iter().enumerate().take(n) {
+                data.push(if i == *hole {
+                    rec.clone()
+                } else {
+                    s.clone().expect("present")
+                });
+            }
+        }
+        _ => unreachable!("≥2 data erasures implies present < n"),
+    }
+    join_payload(&data, orig_len)
+}
+
+/// Cauchy coefficient of parity row `i` and data column `j` for an
+/// `(n, m)` code: `1 / (x_i ⊕ y_j)` with `x_i = i`, `y_j = m + j`. The two
+/// index sets are disjoint, so the denominator is never zero and every
+/// square submatrix of the extended matrix is nonsingular (MDS).
+fn cauchy(i: usize, j: usize, m: usize) -> u8 {
+    gf256::inv((i as u8) ^ ((m + j) as u8))
+}
+
+/// Reed–Solomon encode: `n` data shards + `m` Cauchy parity shards
+/// (tolerates any `m` erasures).
+pub fn rs_encode(payload: &[u8], n: usize, m: usize) -> Result<Vec<Vec<u8>>, CodecError> {
+    if n + m > 256 {
+        return Err(CodecError::BadGeometry(format!(
+            "{n}+{m} shards exceed the GF(256) limit"
+        )));
+    }
+    if m == 0 {
+        return Err(CodecError::BadGeometry("zero parity shards".into()));
+    }
+    let data = split_payload(payload, n)?;
+    let len = data[0].len();
+    let mut shards = data;
+    for i in 0..m {
+        let mut row = vec![0u8; len];
+        for (j, d) in shards.iter().take(n).enumerate() {
+            gf256::mul_acc(&mut row, d, cauchy(i, j, m));
+        }
+        shards.push(row);
+    }
+    Ok(shards)
+}
+
+/// Generator-matrix row of shard `idx`: identity for data shards, Cauchy
+/// for parity shards.
+fn generator_row(idx: usize, n: usize, m: usize) -> Vec<u8> {
+    let mut row = vec![0u8; n];
+    if idx < n {
+        row[idx] = 1;
+    } else {
+        for (j, r) in row.iter_mut().enumerate() {
+            *r = cauchy(idx - n, j, m);
+        }
+    }
+    row
+}
+
+/// Invert an `n × n` GF(256) matrix (rows are concatenated). Returns `None`
+/// when singular — impossible for Cauchy-derived submatrices, but decode
+/// treats it as a typed error anyway rather than trusting the proof.
+fn invert(mut a: Vec<Vec<u8>>) -> Option<Vec<Vec<u8>>> {
+    let n = a.len();
+    let mut inv: Vec<Vec<u8>> = (0..n)
+        .map(|i| {
+            let mut row = vec![0u8; n];
+            row[i] = 1;
+            row
+        })
+        .collect();
+    for col in 0..n {
+        let pivot = (col..n).find(|&r| a[r][col] != 0)?;
+        a.swap(col, pivot);
+        inv.swap(col, pivot);
+        let p = gf256::inv(a[col][col]);
+        for x in &mut a[col] {
+            *x = gf256::mul(*x, p);
+        }
+        for x in &mut inv[col] {
+            *x = gf256::mul(*x, p);
+        }
+        for r in 0..n {
+            if r != col && a[r][col] != 0 {
+                let f = a[r][col];
+                let (ar, ac) = split_rows(&mut a, r, col);
+                gf256::mul_acc(ar, ac, f);
+                let (ir, ic) = split_rows(&mut inv, r, col);
+                gf256::mul_acc(ir, ic, f);
+            }
+        }
+    }
+    Some(inv)
+}
+
+/// Two distinct rows of a matrix, mutably and immutably.
+fn split_rows(m: &mut [Vec<u8>], r: usize, c: usize) -> (&mut [u8], &[u8]) {
+    debug_assert_ne!(r, c);
+    if r < c {
+        let (lo, hi) = m.split_at_mut(c);
+        (&mut lo[r], &hi[0])
+    } else {
+        let (lo, hi) = m.split_at_mut(r);
+        (&mut hi[0], &lo[c])
+    }
+}
+
+/// Reed–Solomon decode from `n + m` slots (`None` = erased). Any `n`
+/// surviving shards reconstruct the payload.
+pub fn rs_decode(
+    shards: &[Option<Vec<u8>>],
+    n: usize,
+    m: usize,
+    orig_len: usize,
+) -> Result<Vec<u8>, CodecError> {
+    if n == 0 || m == 0 || shards.len() != n + m {
+        return Err(CodecError::BadGeometry(format!(
+            "rs expects {} slots, got {}",
+            n + m,
+            shards.len()
+        )));
+    }
+    let survivors: Vec<usize> = (0..shards.len()).filter(|&i| shards[i].is_some()).collect();
+    if survivors.len() < n {
+        return Err(CodecError::TooManyErasures {
+            available: survivors.len(),
+            needed: n,
+        });
+    }
+    let picked: Vec<Vec<u8>> = survivors
+        .iter()
+        .take(n)
+        .map(|&i| shards[i].clone().expect("survivor present"))
+        .collect();
+    let len = check_sizes(&picked)?;
+
+    // Fast path: all data shards survived.
+    if survivors
+        .iter()
+        .take(n)
+        .eq((0..n).collect::<Vec<_>>().iter())
+    {
+        return join_payload(&picked, orig_len);
+    }
+
+    let matrix: Vec<Vec<u8>> = survivors
+        .iter()
+        .take(n)
+        .map(|&i| generator_row(i, n, m))
+        .collect();
+    let inverse = invert(matrix).ok_or_else(|| {
+        CodecError::BadGeometry("singular decode matrix (corrupted shard set)".into())
+    })?;
+    let mut data: Vec<Vec<u8>> = Vec::with_capacity(n);
+    for row in &inverse {
+        let mut d = vec![0u8; len];
+        for (coeff, shard) in row.iter().zip(&picked) {
+            gf256::mul_acc(&mut d, shard, *coeff);
+        }
+        data.push(d);
+    }
+    join_payload(&data, orig_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i * 37 + 11) as u8).collect()
+    }
+
+    #[test]
+    fn split_pads_and_join_truncates() {
+        let p = payload(10);
+        let shards = split_payload(&p, 3).unwrap();
+        assert_eq!(shards.len(), 3);
+        assert!(shards.iter().all(|s| s.len() == 4));
+        assert_eq!(join_payload(&shards, 10).unwrap(), p);
+    }
+
+    #[test]
+    fn xor_recovers_any_single_erasure() {
+        let p = payload(100);
+        for hole in 0..4 {
+            let mut shards: Vec<Option<Vec<u8>>> =
+                xor_encode(&p, 3).unwrap().into_iter().map(Some).collect();
+            shards[hole] = None;
+            assert_eq!(xor_decode(&shards, 3, 100).unwrap(), p, "hole {hole}");
+        }
+    }
+
+    #[test]
+    fn xor_two_erasures_is_typed_error() {
+        let p = payload(64);
+        let mut shards: Vec<Option<Vec<u8>>> =
+            xor_encode(&p, 3).unwrap().into_iter().map(Some).collect();
+        shards[0] = None;
+        shards[2] = None;
+        assert_eq!(
+            xor_decode(&shards, 3, 64),
+            Err(CodecError::TooManyErasures {
+                available: 2,
+                needed: 3
+            })
+        );
+    }
+
+    #[test]
+    fn rs_recovers_any_m_erasures() {
+        let (n, m) = (3, 2);
+        let p = payload(257); // non-multiple of n
+        let encoded = rs_encode(&p, n, m).unwrap();
+        for a in 0..n + m {
+            for b in a + 1..n + m {
+                let mut shards: Vec<Option<Vec<u8>>> = encoded.iter().cloned().map(Some).collect();
+                shards[a] = None;
+                shards[b] = None;
+                assert_eq!(rs_decode(&shards, n, m, 257).unwrap(), p, "holes {a},{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn rs_zero_length_payload_roundtrips() {
+        let encoded = rs_encode(&[], 2, 2).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> = encoded.into_iter().map(Some).collect();
+        shards[0] = None;
+        shards[1] = None;
+        assert_eq!(rs_decode(&shards, 2, 2, 0).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn rs_exceeding_tolerance_is_typed_error() {
+        let p = payload(40);
+        let mut shards: Vec<Option<Vec<u8>>> =
+            rs_encode(&p, 2, 1).unwrap().into_iter().map(Some).collect();
+        shards[0] = None;
+        shards[1] = None;
+        assert!(matches!(
+            rs_decode(&shards, 2, 1, 40),
+            Err(CodecError::TooManyErasures {
+                available: 1,
+                needed: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn mismatched_shard_sizes_are_typed_errors() {
+        let mut shards: Vec<Option<Vec<u8>>> = rs_encode(&payload(40), 2, 2)
+            .unwrap()
+            .into_iter()
+            .map(Some)
+            .collect();
+        shards[3].as_mut().unwrap().push(0);
+        shards[0] = None; // decode must pick shards 1, 2 … and the bad 3
+        shards[1] = None;
+        assert!(matches!(
+            rs_decode(&shards, 2, 2, 40),
+            Err(CodecError::ShardSizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn geometry_errors_are_typed() {
+        assert!(matches!(
+            split_payload(b"x", 0),
+            Err(CodecError::BadGeometry(_))
+        ));
+        assert!(matches!(
+            rs_encode(b"x", 200, 100),
+            Err(CodecError::BadGeometry(_))
+        ));
+        assert!(matches!(
+            rs_encode(b"x", 2, 0),
+            Err(CodecError::BadGeometry(_))
+        ));
+        assert!(matches!(
+            xor_decode(&[None, None], 3, 0),
+            Err(CodecError::BadGeometry(_))
+        ));
+    }
+}

@@ -1,0 +1,147 @@
+//! GF(2^8) arithmetic for the Reed–Solomon codec.
+//!
+//! The field is GF(256) with the conventional AES-adjacent reduction
+//! polynomial `x^8 + x^4 + x^3 + x^2 + 1` (0x11d) and generator 2. All
+//! operations go through exp/log tables built once at startup, so encode
+//! and decode inner loops are a table lookup and an addition — fast enough
+//! that the codec bench is memory-bound, like real RS implementations.
+
+/// Reduction polynomial for GF(256): x^8 + x^4 + x^3 + x^2 + 1.
+const POLY: u16 = 0x11d;
+
+/// exp table over a doubled period so `exp[a + b]` needs no modulo for
+/// `a, b < 255`.
+struct Tables {
+    exp: [u8; 512],
+    log: [u8; 256],
+}
+
+fn build_tables() -> Tables {
+    let mut exp = [0u8; 512];
+    let mut log = [0u8; 256];
+    let mut x: u16 = 1;
+    for (i, e) in exp.iter_mut().enumerate().take(255) {
+        *e = x as u8;
+        log[x as usize] = i as u8;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= POLY;
+        }
+    }
+    for i in 255..512 {
+        exp[i] = exp[i - 255];
+    }
+    Tables { exp, log }
+}
+
+fn tables() -> &'static Tables {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(build_tables)
+}
+
+/// Field addition (= subtraction): XOR.
+#[inline]
+pub fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Field multiplication via log/exp tables.
+#[inline]
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let t = tables();
+    t.exp[t.log[a as usize] as usize + t.log[b as usize] as usize]
+}
+
+/// Multiplicative inverse. Panics on zero (a singular matrix is a caller
+/// bug — the Cauchy construction guarantees nonsingularity).
+#[inline]
+pub fn inv(a: u8) -> u8 {
+    assert_ne!(a, 0, "zero has no inverse in GF(256)");
+    let t = tables();
+    t.exp[255 - t.log[a as usize] as usize]
+}
+
+/// Field division: `a / b`.
+#[inline]
+pub fn div(a: u8, b: u8) -> u8 {
+    mul(a, inv(b))
+}
+
+/// `acc[i] ^= coeff * src[i]` over a whole slice — the codec's inner loop.
+#[inline]
+pub fn mul_acc(acc: &mut [u8], src: &[u8], coeff: u8) {
+    debug_assert_eq!(acc.len(), src.len());
+    if coeff == 0 {
+        return;
+    }
+    if coeff == 1 {
+        for (a, s) in acc.iter_mut().zip(src) {
+            *a ^= *s;
+        }
+        return;
+    }
+    let t = tables();
+    let lc = t.log[coeff as usize] as usize;
+    for (a, s) in acc.iter_mut().zip(src) {
+        if *s != 0 {
+            *a ^= t.exp[lc + t.log[*s as usize] as usize];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul_matches_schoolbook() {
+        // Carry-less multiply reduced by POLY, bit by bit.
+        fn slow_mul(mut a: u8, mut b: u8) -> u8 {
+            let mut acc = 0u8;
+            while b != 0 {
+                if b & 1 != 0 {
+                    acc ^= a;
+                }
+                let carry = a & 0x80 != 0;
+                a <<= 1;
+                if carry {
+                    a ^= (POLY & 0xff) as u8;
+                }
+                b >>= 1;
+            }
+            acc
+        }
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                assert_eq!(mul(a, b), slow_mul(a, b), "{a} * {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_nonzero_element_has_an_inverse() {
+        for a in 1..=255u8 {
+            assert_eq!(mul(a, inv(a)), 1, "inv({a})");
+        }
+    }
+
+    #[test]
+    fn mul_acc_is_linear() {
+        let src = [1u8, 2, 3, 250, 0, 7];
+        let mut acc = [9u8, 9, 9, 9, 9, 9];
+        mul_acc(&mut acc, &src, 0x53);
+        for (i, s) in src.iter().enumerate() {
+            assert_eq!(acc[i], 9 ^ mul(*s, 0x53));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no inverse")]
+    fn inverse_of_zero_panics() {
+        inv(0);
+    }
+}

@@ -1,0 +1,281 @@
+//! Topology-aware placement of redundancy groups.
+//!
+//! The store's coverage claims only hold if the replicas/shards of one
+//! group live on distinct modeled nodes — a whole-node failure must never
+//! take out more than one member of any group. [`Placement::compute`]
+//! guarantees that *by construction*: ranks are dealt to groups in
+//! node-interleaved order, so co-located ranks land in different groups
+//! whenever the shape makes it possible, and an impossible shape is a
+//! typed error instead of silent single-node redundancy.
+//!
+//! The same module provides [`node_interleaved_order`], which the Fenix
+//! buddy scheme reuses: a buddy ring walked in this order never pairs two
+//! ranks of one node unless a node hosts more than half the communicator.
+
+use simmpi::Comm;
+
+/// Typed placement failures. Deterministic from the communicator shape, so
+/// every rank reaches the same verdict collectively.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlacementError {
+    /// Fewer ranks than one group needs.
+    InsufficientRanks { ranks: usize, width: usize },
+    /// Some node hosts more ranks than there are groups, so two members of
+    /// one group would share that node.
+    InsufficientNodes {
+        ranks: usize,
+        width: usize,
+        max_per_node: usize,
+        groups: usize,
+    },
+}
+
+impl std::fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlacementError::InsufficientRanks { ranks, width } => {
+                write!(f, "{ranks} ranks cannot form a width-{width} group")
+            }
+            PlacementError::InsufficientNodes {
+                ranks,
+                width,
+                max_per_node,
+                groups,
+            } => write!(
+                f,
+                "{ranks} ranks / width {width}: a node hosts {max_per_node} ranks \
+                 but only {groups} groups exist — distinct-node placement impossible"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+/// The node hosting each communicator rank, indexed by comm rank.
+pub fn comm_node_map(comm: &Comm) -> Vec<usize> {
+    let topo = comm.router().cluster().topology().clone();
+    (0..comm.size())
+        .map(|r| topo.node_of(comm.global_of(r)))
+        .collect()
+}
+
+/// Node buckets ordered most-loaded first (ties to the lower node id),
+/// each bucket's ranks ascending. The deterministic backbone of both the
+/// group deal and the buddy ordering.
+fn node_buckets(nodes: &[usize]) -> Vec<Vec<usize>> {
+    let mut buckets: Vec<(usize, Vec<usize>)> = Vec::new();
+    for (rank, &node) in nodes.iter().enumerate() {
+        match buckets.iter_mut().find(|(n, _)| *n == node) {
+            Some((_, b)) => b.push(rank),
+            None => buckets.push((node, vec![rank])),
+        }
+    }
+    buckets.sort_by(|(an, ab), (bn, bb)| bb.len().cmp(&ab.len()).then(an.cmp(bn)));
+    buckets.into_iter().map(|(_, b)| b).collect()
+}
+
+/// Ranks reordered so consecutive entries sit on distinct nodes whenever
+/// the load shape allows: buckets are interleaved round-robin, most-loaded
+/// node first.
+pub fn node_interleaved_order(nodes: &[usize]) -> Vec<usize> {
+    let buckets = node_buckets(nodes);
+    let mut order = Vec::with_capacity(nodes.len());
+    let mut depth = 0;
+    loop {
+        let mut any = false;
+        for b in &buckets {
+            if let Some(&r) = b.get(depth) {
+                order.push(r);
+                any = true;
+            }
+        }
+        if !any {
+            return order;
+        }
+        depth += 1;
+    }
+}
+
+/// A partition of the communicator into redundancy groups.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Placement {
+    groups: Vec<Vec<usize>>,
+}
+
+impl Placement {
+    /// Partition `nodes.len()` ranks into groups of at least `width`
+    /// members, no two members of a group sharing a node.
+    ///
+    /// Ranks are dealt card-style across `floor(ranks / width)` groups in
+    /// *concatenated bucket* order (node by node): one node's ranks occupy
+    /// consecutive deal positions, so they land on distinct residues
+    /// mod `groups` exactly when the node hosts at most `groups` ranks —
+    /// checked up front, typed error otherwise. The invariant therefore
+    /// holds by construction, not by search.
+    pub fn compute(nodes: &[usize], width: usize) -> Result<Placement, PlacementError> {
+        let ranks = nodes.len();
+        if width < 2 || ranks < width {
+            return Err(PlacementError::InsufficientRanks { ranks, width });
+        }
+        let n_groups = ranks / width;
+        let buckets = node_buckets(nodes);
+        let max_per_node = buckets.first().map_or(0, Vec::len);
+        if max_per_node > n_groups {
+            return Err(PlacementError::InsufficientNodes {
+                ranks,
+                width,
+                max_per_node,
+                groups: n_groups,
+            });
+        }
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); n_groups];
+        for (i, rank) in buckets.into_iter().flatten().enumerate() {
+            groups[i % n_groups].push(rank);
+        }
+        for g in &mut groups {
+            g.sort_unstable();
+        }
+        Ok(Placement { groups })
+    }
+
+    pub fn groups(&self) -> &[Vec<usize>] {
+        &self.groups
+    }
+
+    /// The group containing `rank` and the rank's position inside it.
+    pub fn locate(&self, rank: usize) -> Option<(usize, usize)> {
+        self.groups
+            .iter()
+            .enumerate()
+            .find_map(|(gi, g)| g.iter().position(|&r| r == rank).map(|pos| (gi, pos)))
+    }
+
+    /// Check the invariant against a node map (tests; construction already
+    /// guarantees it).
+    pub fn all_groups_on_distinct_nodes(&self, nodes: &[usize]) -> bool {
+        self.groups.iter().all(|g| {
+            let mut seen: Vec<usize> = g.iter().map(|&r| nodes[r]).collect();
+            seen.sort_unstable();
+            let n = seen.len();
+            seen.dedup();
+            seen.len() == n
+        })
+    }
+
+    /// Rebuild from serialized group lists (restore-side layout transfer).
+    pub fn from_groups(groups: Vec<Vec<usize>>) -> Placement {
+        Placement { groups }
+    }
+}
+
+/// Can `nodes.len()` ranks form distinct-node groups of `width`?
+pub fn feasible(nodes: &[usize], width: usize) -> bool {
+    Placement::compute(nodes, width).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_rank_per_node_fills_groups_in_order() {
+        let nodes = [0, 1, 2, 3];
+        let p = Placement::compute(&nodes, 4).unwrap();
+        assert_eq!(p.groups(), &[vec![0, 1, 2, 3]]);
+        assert!(p.all_groups_on_distinct_nodes(&nodes));
+    }
+
+    #[test]
+    fn colocated_ranks_split_across_groups() {
+        // Two nodes, two ranks each: naive {0,1},{2,3} grouping would put
+        // both members of each pair on one node.
+        let nodes = [0, 0, 1, 1];
+        let p = Placement::compute(&nodes, 2).unwrap();
+        assert!(p.all_groups_on_distinct_nodes(&nodes));
+        assert_eq!(p.groups().len(), 2);
+        for g in p.groups() {
+            assert_eq!(g.len(), 2);
+        }
+    }
+
+    #[test]
+    fn uneven_sizes_spread_the_remainder() {
+        let nodes = [0, 1, 2, 3, 4];
+        let p = Placement::compute(&nodes, 2).unwrap();
+        let mut sizes: Vec<usize> = p.groups().iter().map(Vec::len).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![2, 3]);
+        assert!(p.all_groups_on_distinct_nodes(&nodes));
+    }
+
+    #[test]
+    fn overloaded_node_is_a_typed_error() {
+        // Three of four ranks on node 0: one width-2 group pair must
+        // collide. groups = 2, max load 3.
+        let nodes = [0, 0, 0, 1];
+        assert!(matches!(
+            Placement::compute(&nodes, 4),
+            Err(PlacementError::InsufficientNodes { .. })
+        ));
+        // Width 2 also fails: 2 groups but node 0 has 3 ranks.
+        assert!(matches!(
+            Placement::compute(&nodes, 2),
+            Err(PlacementError::InsufficientNodes {
+                max_per_node: 3,
+                groups: 2,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn too_few_ranks_is_a_typed_error() {
+        assert!(matches!(
+            Placement::compute(&[0, 1], 3),
+            Err(PlacementError::InsufficientRanks { ranks: 2, width: 3 })
+        ));
+    }
+
+    #[test]
+    fn interleaved_order_avoids_adjacent_colocation() {
+        let nodes = [0, 0, 1, 1, 2, 2];
+        let order = node_interleaved_order(&nodes);
+        assert_eq!(order.len(), 6);
+        for w in order.windows(2) {
+            assert_ne!(nodes[w[0]], nodes[w[1]], "adjacent ranks share a node");
+        }
+        // The ring wrap (last, first) also stays cross-node here.
+        assert_ne!(nodes[order[0]], nodes[*order.last().unwrap()]);
+    }
+
+    #[test]
+    fn skewed_loads_at_the_feasibility_edge_stay_distinct() {
+        // Loads 3,2,1 with 3 groups: an interleaved deal would collide
+        // (ranks 0 and 1 both land in group 0); the concatenated deal
+        // cannot, because node 0's ranks sit on consecutive positions.
+        let nodes = [0, 0, 0, 1, 1, 2];
+        let p = Placement::compute(&nodes, 2).unwrap();
+        assert!(p.all_groups_on_distinct_nodes(&nodes));
+    }
+
+    #[test]
+    fn invariant_holds_across_many_shapes() {
+        for (nodes, rpn) in [(4usize, 1usize), (4, 2), (3, 2), (6, 2), (2, 2), (5, 3)] {
+            let map: Vec<usize> = (0..nodes * rpn).map(|r| r / rpn).collect();
+            for width in 2..=4 {
+                if let Ok(p) = Placement::compute(&map, width) {
+                    assert!(
+                        p.all_groups_on_distinct_nodes(&map),
+                        "nodes={nodes} rpn={rpn} width={width}"
+                    );
+                    let total: usize = p.groups().iter().map(Vec::len).sum();
+                    assert_eq!(total, map.len(), "every rank assigned");
+                    for g in p.groups() {
+                        assert!(g.len() >= width, "group below width");
+                    }
+                }
+            }
+        }
+    }
+}

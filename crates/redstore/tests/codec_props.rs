@@ -1,0 +1,119 @@
+//! Property suite for the erasure codecs: encode → erase → decode must
+//! round-trip bitwise for arbitrary payloads (zero-length and
+//! non-shard-multiple sizes included), and erasures beyond the code's
+//! tolerance must surface as a typed error — never a panic.
+
+use proptest::prelude::*;
+use redstore::codec::{rs_decode, rs_encode, xor_decode, xor_encode, CodecError};
+
+/// Deterministic erasure pattern: kill `holes` distinct slots chosen by a
+/// seed, spread over the slot space.
+fn erase(shards: &mut [Option<Vec<u8>>], holes: usize, seed: usize) {
+    let total = shards.len();
+    let mut killed = 0;
+    let mut at = seed % total;
+    while killed < holes {
+        if shards[at].is_some() {
+            shards[at] = None;
+            killed += 1;
+        }
+        at = (at + 1) % total;
+    }
+}
+
+proptest! {
+    #[test]
+    fn xor_roundtrips_under_single_erasure(
+        payload in proptest::collection::vec(any::<u8>(), 0..400),
+        n in 1usize..8,
+        hole in 0usize..8,
+    ) {
+        let encoded = xor_encode(&payload, n).expect("encode");
+        prop_assert_eq!(encoded.len(), n + 1);
+        let mut slots: Vec<Option<Vec<u8>>> = encoded.into_iter().map(Some).collect();
+        slots[hole % (n + 1)] = None;
+        let decoded = xor_decode(&slots, n, payload.len()).expect("decode");
+        prop_assert_eq!(decoded, payload);
+    }
+
+    #[test]
+    fn xor_beyond_tolerance_is_typed_never_panics(
+        payload in proptest::collection::vec(any::<u8>(), 1..200),
+        n in 2usize..8,
+        seed in 0usize..64,
+    ) {
+        let mut slots: Vec<Option<Vec<u8>>> =
+            xor_encode(&payload, n).expect("encode").into_iter().map(Some).collect();
+        erase(&mut slots, 2, seed);
+        let got = xor_decode(&slots, n, payload.len());
+        prop_assert!(
+            matches!(got, Err(CodecError::TooManyErasures { .. })),
+            "expected typed error, got {:?}", got
+        );
+    }
+
+    #[test]
+    fn rs_roundtrips_under_up_to_m_erasures(
+        payload in proptest::collection::vec(any::<u8>(), 0..400),
+        n in 1usize..6,
+        m in 1usize..4,
+        holes in 0usize..4,
+        seed in 0usize..64,
+    ) {
+        let holes = holes.min(m);
+        let encoded = rs_encode(&payload, n, m).expect("encode");
+        prop_assert_eq!(encoded.len(), n + m);
+        let mut slots: Vec<Option<Vec<u8>>> = encoded.into_iter().map(Some).collect();
+        erase(&mut slots, holes, seed);
+        let decoded = rs_decode(&slots, n, m, payload.len()).expect("decode");
+        prop_assert_eq!(decoded, payload);
+    }
+
+    #[test]
+    fn rs_beyond_tolerance_is_typed_never_panics(
+        payload in proptest::collection::vec(any::<u8>(), 1..200),
+        n in 1usize..6,
+        m in 1usize..4,
+        extra in 1usize..3,
+        seed in 0usize..64,
+    ) {
+        let mut slots: Vec<Option<Vec<u8>>> =
+            rs_encode(&payload, n, m).expect("encode").into_iter().map(Some).collect();
+        let holes = (m + extra).min(n + m);
+        erase(&mut slots, holes, seed);
+        let got = rs_decode(&slots, n, m, payload.len());
+        if holes > m {
+            prop_assert!(
+                matches!(got, Err(CodecError::TooManyErasures { .. })),
+                "expected typed error, got {:?}", got
+            );
+        } else {
+            // holes capped at the slot count can still be within tolerance
+            // for tiny codes; then the round-trip must hold instead.
+            prop_assert_eq!(got.expect("within tolerance"), payload);
+        }
+    }
+
+    #[test]
+    fn rs_survives_exactly_m_erasures_at_every_offset(
+        len in 0usize..300,
+        seed in 0usize..32,
+    ) {
+        // The acceptance shape: n+2 RS loses any 2 shards and still
+        // round-trips bitwise, whatever the payload size (including 0 and
+        // non-multiples of the shard count).
+        let payload: Vec<u8> = (0..len).map(|i| (i * 131 + seed) as u8).collect();
+        let (n, m) = (2usize, 2usize);
+        let encoded = rs_encode(&payload, n, m).expect("encode");
+        for a in 0..n + m {
+            for b in (a + 1)..n + m {
+                let mut slots: Vec<Option<Vec<u8>>> =
+                    encoded.iter().cloned().map(Some).collect();
+                slots[a] = None;
+                slots[b] = None;
+                let decoded = rs_decode(&slots, n, m, payload.len()).expect("decode");
+                prop_assert_eq!(&decoded, &payload, "holes {} {}", a, b);
+            }
+        }
+    }
+}

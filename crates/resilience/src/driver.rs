@@ -12,6 +12,7 @@ use std::time::Instant;
 
 use cluster::Cluster;
 use fenix::ImrPolicy;
+use redstore::RedundancyMode;
 use simmpi::{FaultPlan, MpiError, Profile, Universe, UniverseConfig};
 use telemetry::Telemetry;
 
@@ -30,9 +31,13 @@ pub struct ExperimentConfig {
     pub checkpoints: u64,
     /// Safety bound on whole-job relaunches.
     pub max_relaunches: usize,
-    /// Buddy policy override for Fenix IMR (`None` = Pair when the
+    /// Buddy policy override for Fenix IMR (`None` = topology-aware ring
+    /// when any node hosts several communicator ranks, else Pair when the
     /// resilient communicator is even-sized, Ring otherwise).
     pub imr_policy: Option<ImrPolicy>,
+    /// Redundancy mode override for Fenix RedStore (`None` = strongest
+    /// topology-feasible mode: RS(4,2) → XOR(3) → 2-replica).
+    pub redundancy: Option<RedundancyMode>,
     /// Wipe checkpoint storage before the run (set false to chain runs).
     pub fresh_storage: bool,
     /// Observability hub: when set, every launch (and relaunch) of this
@@ -48,6 +53,7 @@ impl Default for ExperimentConfig {
             checkpoints: 6,
             max_relaunches: 8,
             imr_policy: None,
+            redundancy: None,
             fresh_storage: true,
             telemetry: None,
         }
@@ -150,6 +156,7 @@ pub fn try_run_experiment(
                     cfg.spares,
                     cfg.checkpoints,
                     cfg.imr_policy,
+                    cfg.redundancy,
                     &shared,
                 )
             },

@@ -31,7 +31,9 @@ pub struct ImrBackend {
 
 impl ImrBackend {
     /// `store` must outlive Fenix repairs (create it outside the run loop);
-    /// `policy = None` selects Pair for even communicators, Ring otherwise.
+    /// `policy = None` selects a topology-aware ring when any node hosts
+    /// several communicator ranks, else Pair for even communicators, Ring
+    /// otherwise.
     pub fn new(store: Arc<ImrStore>, policy: Option<ImrPolicy>) -> Self {
         ImrBackend { store, policy }
     }
@@ -41,15 +43,12 @@ impl ImrBackend {
     }
 
     fn policy_for(&self, comm: &Comm) -> ImrPolicy {
-        self.policy.unwrap_or(if comm.size().is_multiple_of(2) {
-            ImrPolicy::Pair
-        } else {
-            ImrPolicy::Ring
-        })
+        self.policy
+            .unwrap_or_else(|| ImrPolicy::auto(&redstore::comm_node_map(comm)))
     }
 
     /// Stable member id per region name.
-    fn member_of(name: &str) -> u32 {
+    pub(crate) fn member_of(name: &str) -> u32 {
         let mut h = DefaultHasher::new();
         name.hash(&mut h);
         (h.finish() & 0x7fff_ffff) as u32

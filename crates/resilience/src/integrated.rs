@@ -20,6 +20,7 @@ use kokkos_resilience::{
 use simmpi::{Comm, MpiResult, Phase, Profile, RankCtx};
 
 use crate::imr_backend::ImrBackend;
+use crate::redstore_backend::RedstoreBackend;
 
 /// Which data layer the integrated runtime drives.
 #[derive(Clone, Debug)]
@@ -27,9 +28,16 @@ pub enum IntegratedBackend {
     /// VeloC in single mode — the paper's published configuration.
     VelocSingle,
     /// Fenix in-memory redundancy as a KR backend — the future-work
-    /// configuration (`policy = None` picks Pair/Ring by communicator
+    /// configuration (`policy = None` picks a topology-aware ring on
+    /// multi-rank-per-node layouts, else Pair/Ring by communicator
     /// parity).
     Imr { policy: Option<ImrPolicy> },
+    /// The multi-failure redundancy-store tier as a KR backend: k-replica
+    /// or erasure-coded placement groups (`mode = None` picks the
+    /// strongest topology-feasible mode).
+    Redstore {
+        mode: Option<redstore::RedundancyMode>,
+    },
 }
 
 /// Configuration for [`resilient_main`].
@@ -145,6 +153,7 @@ where
     };
     let kr_cell: RefCell<Option<Context>> = RefCell::new(None);
     let imr_store = ImrStore::new();
+    let red_store = redstore::RedStore::new();
     let profile: Arc<Profile> = Arc::clone(ctx.profile());
 
     let summary = fenix::run(ctx.world(), fenix_cfg, |fx, comm, role| {
@@ -164,6 +173,11 @@ where
                         comm.clone(),
                         kr_config,
                         Box::new(ImrBackend::new(Arc::clone(&imr_store), *policy)),
+                    ),
+                    IntegratedBackend::Redstore { mode } => Context::with_backend(
+                        comm.clone(),
+                        kr_config,
+                        Box::new(RedstoreBackend::new(Arc::clone(&red_store), *mode)),
                     ),
                 }
             });

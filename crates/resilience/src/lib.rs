@@ -28,6 +28,7 @@ pub mod driver;
 pub mod imr_backend;
 pub mod integrated;
 pub mod record;
+pub mod redstore_backend;
 pub mod strategy;
 
 mod runner;
@@ -38,4 +39,5 @@ pub use driver::{run_experiment, try_run_experiment, ExperimentConfig, Experimen
 pub use imr_backend::ImrBackend;
 pub use integrated::{resilient_main, IntegratedBackend, IntegratedConfig, ResilientScope};
 pub use record::{CostBreakdown, RunRecord};
+pub use redstore_backend::RedstoreBackend;
 pub use strategy::Strategy;

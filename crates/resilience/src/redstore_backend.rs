@@ -1,0 +1,158 @@
+//! Redundancy-store data backend for Kokkos Resilience — the multi-failure
+//! sibling of [`crate::imr_backend`].
+//!
+//! Where [`crate::ImrBackend`] commits each rank's blob to exactly one
+//! buddy, this backend hands it to a [`RedundancyGroup`]: k replicas or
+//! erasure-coded shards spread over a topology-aware placement group, so a
+//! checkpoint survives several concurrent rank losses (including a whole
+//! modeled node) with tunable memory overhead.
+//!
+//! The version agreement is the same *max* reduction: committed versions
+//! are consistent across survivors (two-phase store) and replacement
+//! ranks, contributing "nothing", restore from the surviving shards.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use kokkos_resilience::{DataBackend, RegionViews};
+use redstore::{RedError, RedStore, RedundancyGroup, RedundancyMode};
+use simmpi::{Comm, MpiError, MpiResult, ReduceOp};
+
+/// Kokkos Resilience data backend storing checkpoints in the redundancy
+/// tier.
+pub struct RedstoreBackend {
+    store: Arc<RedStore>,
+    mode: Option<RedundancyMode>,
+}
+
+impl RedstoreBackend {
+    /// `store` must outlive Fenix repairs (create it outside the run loop);
+    /// `mode = None` selects the strongest placement-feasible mode for the
+    /// communicator's node layout (RS(4,2) → XOR(3) → 2-replica).
+    pub fn new(store: Arc<RedStore>, mode: Option<RedundancyMode>) -> Self {
+        RedstoreBackend { store, mode }
+    }
+
+    pub fn store(&self) -> &Arc<RedStore> {
+        &self.store
+    }
+
+    /// Stable member id per region name (same hash as [`crate::ImrBackend`]
+    /// so the two backends agree on namespaces).
+    fn member_of(name: &str) -> u32 {
+        let mut h = DefaultHasher::new();
+        name.hash(&mut h);
+        (h.finish() & 0x7fff_ffff) as u32
+    }
+
+    fn pack(views: &RegionViews) -> Bytes {
+        let parts: Vec<(u32, Bytes)> = views.iter().map(|(id, v)| (*id, v.snapshot())).collect();
+        veloc::serial::pack(&parts)
+    }
+
+    fn unpack(views: &RegionViews, blob: &Bytes) {
+        let parts = veloc::serial::unpack(blob).expect("redundancy blob intact");
+        for (id, payload) in parts {
+            let (_, handle) = views
+                .iter()
+                .find(|(vid, _)| *vid == id)
+                .expect("region id present");
+            handle.restore(&payload);
+        }
+    }
+
+    fn red_err(e: RedError) -> MpiError {
+        match e {
+            RedError::Mpi(m) => m,
+            // Beyond the code's tolerance (or no feasible placement): no
+            // layer below can recover, so the job aborts — through the
+            // error channel, keeping survivors' collectives matched.
+            RedError::DataLost { .. } | RedError::Placement(_) | RedError::Codec(_) => {
+                MpiError::Aborted
+            }
+        }
+    }
+}
+
+impl DataBackend for RedstoreBackend {
+    fn set_rank(&self, _rank: usize) {
+        // Group storage is keyed by communicator position; nothing cached.
+    }
+
+    fn checkpoint(
+        &self,
+        comm: &Comm,
+        name: &str,
+        version: u64,
+        views: &RegionViews,
+    ) -> MpiResult<()> {
+        let group = RedundancyGroup::new(Arc::clone(&self.store), comm, self.mode);
+        group
+            .store(Self::member_of(name), version, Self::pack(views))
+            .map_err(Self::red_err)
+    }
+
+    fn latest_local(&self, name: &str) -> Option<u64> {
+        self.store.latest_version(Self::member_of(name))
+    }
+
+    fn latest_agreed(&self, comm: &Comm, name: &str) -> MpiResult<Option<u64>> {
+        let local = self.latest_local(name).map_or(-1i64, |v| v as i64);
+        let max = comm.allreduce_scalar(local, ReduceOp::Max)?;
+        Ok((max >= 0).then_some(max as u64))
+    }
+
+    fn restore(
+        &self,
+        comm: &Comm,
+        name: &str,
+        version: u64,
+        views: &RegionViews,
+        recovering_ranks: &[usize],
+    ) -> MpiResult<()> {
+        let group = RedundancyGroup::new(Arc::clone(&self.store), comm, self.mode);
+        let (got, blob) = group
+            .restore(Self::member_of(name), recovering_ranks)
+            .map_err(Self::red_err)?;
+        debug_assert_eq!(got, version, "commit protocol keeps versions consistent");
+        Self::unpack(views, &blob);
+        Ok(())
+    }
+
+    fn clear(&self) {
+        // Survivor copies must persist across context resets — clearing the
+        // group store would defeat recovery.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ImrBackend;
+
+    #[test]
+    fn member_ids_match_the_imr_backend_namespace() {
+        assert_eq!(
+            RedstoreBackend::member_of("app.loop"),
+            ImrBackend::member_of("app.loop")
+        );
+        assert_ne!(
+            RedstoreBackend::member_of("app.loop"),
+            RedstoreBackend::member_of("app.other")
+        );
+    }
+
+    #[test]
+    fn unrecoverable_losses_abort_through_the_error_channel() {
+        assert!(matches!(
+            RedstoreBackend::red_err(RedError::DataLost { member: 1, rank: 2 }),
+            MpiError::Aborted
+        ));
+        assert!(matches!(
+            RedstoreBackend::red_err(RedError::Mpi(MpiError::Revoked)),
+            MpiError::Revoked
+        ));
+    }
+}

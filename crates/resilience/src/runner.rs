@@ -19,6 +19,7 @@ use bytes::Bytes;
 use fenix::{DataGroup, ExhaustPolicy, Fenix, FenixConfig, ImrError, ImrPolicy, ImrStore, Role};
 use kokkos::capture::Checkpointable;
 use kokkos_resilience::{BackendKind, CheckpointFilter, Context, ContextConfig, RecoveryScope};
+use redstore::{RedError, RedStore, RedundancyGroup, RedundancyMode};
 use simmpi::{Comm, MpiError, MpiResult, Phase, RankCtx, ReduceOp};
 use veloc::{Client, Config as VelocConfig, Mode, Protected, VelocError};
 
@@ -63,6 +64,18 @@ fn imr_err(e: ImrError) -> MpiError {
         // Both replicas gone: unrecoverable, so the job aborts — through
         // the error channel, not a panic that strands surviving ranks.
         ImrError::DataLost { .. } => MpiError::Aborted,
+    }
+}
+
+fn red_err(e: RedError) -> MpiError {
+    match e {
+        RedError::Mpi(e) => e,
+        // More shards lost than the code tolerates, or no feasible
+        // placement: no layer below can recover — abort through the error
+        // channel so the surviving ranks' collectives stay matched.
+        RedError::DataLost { .. } | RedError::Placement(_) | RedError::Codec(_) => {
+            MpiError::Aborted
+        }
     }
 }
 
@@ -349,6 +362,7 @@ fn kr_restart_version(kr: &Context, max: u64) -> MpiResult<Option<u64>> {
 // ---------------------------------------------------------------------------
 
 /// One rank of a process-resilient job (Figure 4's structure).
+#[allow(clippy::too_many_arguments)]
 pub fn fenix_rank(
     ctx: &mut RankCtx,
     app: &dyn IterativeApp,
@@ -356,6 +370,7 @@ pub fn fenix_rank(
     spares: usize,
     checkpoints: u64,
     imr_policy: Option<ImrPolicy>,
+    redundancy: Option<RedundancyMode>,
     shared: &SharedState,
 ) -> MpiResult<()> {
     let bk = Bookkeeper::new(Arc::clone(ctx.profile()));
@@ -373,6 +388,7 @@ pub fn fenix_rank(
     let kr: RefCell<Option<Context>> = RefCell::new(None);
     let veloc_client: RefCell<Option<Client>> = RefCell::new(None);
     let imr_store = ImrStore::new();
+    let red_store = RedStore::new();
     let ctx = &*ctx;
 
     let summary = fenix::run(ctx.world(), fenix_cfg, |fx, comm, role| {
@@ -416,6 +432,9 @@ pub fn fenix_rank(
             ),
             Strategy::FenixImr => fenix_imr_body(
                 ctx, app, comm, role, &bk, &filter, mode, shared, &state, &imr_store, imr_policy,
+            ),
+            Strategy::FenixRedstore => fenix_redstore_body(
+                ctx, app, comm, role, &bk, &filter, mode, shared, &state, &red_store, redundancy,
             ),
             other => panic!("{other:?} is not a Fenix strategy"),
         }
@@ -620,11 +639,10 @@ fn fenix_imr_body(
     store: &Arc<ImrStore>,
     imr_policy: Option<ImrPolicy>,
 ) -> MpiResult<()> {
-    let policy = imr_policy.unwrap_or(if comm.size().is_multiple_of(2) {
-        ImrPolicy::Pair
-    } else {
-        ImrPolicy::Ring
-    });
+    // Default policy is layout-aware: on multi-rank-per-node layouts a
+    // naive Pair/Ring can place a buddy on the owner's own node — a
+    // whole-node failure then takes both copies and IMR covers nothing.
+    let policy = imr_policy.unwrap_or_else(|| ImrPolicy::auto(&redstore::comm_node_map(comm)));
     let group = DataGroup::new(Arc::clone(store), comm, policy);
 
     if state.borrow().is_none() {
@@ -692,6 +710,91 @@ fn fenix_imr_body(
     finish(comm, st, shared, done)
 }
 
+/// Fenix process recovery + the multi-failure redundancy-store tier.
+///
+/// Structurally the twin of [`fenix_imr_body`], with [`RedundancyGroup`]
+/// in place of the buddy pair: checkpoints are replicated or erasure-coded
+/// across a topology-aware placement group, so recovery survives several
+/// concurrent rank losses — including every rank of one modeled node —
+/// instead of exactly one per buddy pair.
+#[allow(clippy::too_many_arguments)]
+fn fenix_redstore_body(
+    ctx: &RankCtx,
+    app: &dyn IterativeApp,
+    comm: &Comm,
+    role: Role,
+    bk: &Bookkeeper,
+    filter: &CheckpointFilter,
+    mode: RunMode,
+    shared: &SharedState,
+    state: &RefCell<Option<Box<dyn RankApp>>>,
+    store: &Arc<RedStore>,
+    redundancy: Option<RedundancyMode>,
+) -> MpiResult<()> {
+    let group = RedundancyGroup::new(Arc::clone(store), comm, redundancy);
+
+    if state.borrow().is_none() {
+        *state.borrow_mut() = Some(bk.book(Phase::AppInit, || app.init_rank(ctx, comm)));
+    }
+
+    let start = if role != Role::Initial {
+        // Possession-based agreement, exactly as in `fenix_imr_body`: the
+        // max over gathered local versions is the committed version (the
+        // two-phase store keeps committed versions consistent), and every
+        // rank below it — every replacement, however many repairs ago — is
+        // recovering.
+        let local = store.latest_version(IMR_MEMBER).map_or(-1i64, |v| v as i64);
+        let locals = comm.allgather(&[local])?;
+        let committed = locals.iter().copied().max().unwrap_or(-1);
+        if committed >= 0 {
+            let recovering: Vec<usize> = locals
+                .iter()
+                .enumerate()
+                .filter(|&(_, &v)| v != committed)
+                .map(|(r, _)| r)
+                .collect();
+            let (version, blob) = bk
+                .book(Phase::DataRecovery, || {
+                    group.restore(IMR_MEMBER, &recovering)
+                })
+                .map_err(red_err)?;
+            debug_assert_eq!(version as i64, committed, "commit protocol consistency");
+            let mut sref = state.borrow_mut();
+            let st = sref.as_mut().expect("state initialized");
+            unpack_views(st.as_ref(), &blob, comm.rank())?;
+            st.post_restore(comm, bk)?;
+            version + 1
+        } else {
+            // Failure before the first commit: consistent cold restart.
+            *state.borrow_mut() = Some(bk.book(Phase::AppInit, || app.init_rank(ctx, comm)));
+            0
+        }
+    } else {
+        0
+    };
+
+    let mut state_ref = state.borrow_mut();
+    let st = state_ref.as_mut().expect("state initialized");
+    let done = iteration_loop(
+        ctx,
+        comm,
+        st,
+        bk,
+        mode,
+        start,
+        filter,
+        shared,
+        |_c, comm, st, i, bk| st.step(comm, i, bk),
+        |i, st| {
+            let blob = pack_views(st.as_ref());
+            bk.book(Phase::CheckpointFn, || {
+                group.store(IMR_MEMBER, i, blob).map_err(red_err)
+            })
+        },
+    )?;
+    finish(comm, st, shared, done)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -712,6 +815,14 @@ mod tests {
         ));
         assert!(matches!(
             imr_err(ImrError::DataLost { member: 0, rank: 1 }),
+            MpiError::Aborted
+        ));
+        assert!(matches!(
+            red_err(RedError::Mpi(MpiError::Killed)),
+            MpiError::Killed
+        ));
+        assert!(matches!(
+            red_err(RedError::DataLost { member: 0, rank: 1 }),
             MpiError::Aborted
         ));
     }

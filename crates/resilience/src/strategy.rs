@@ -21,6 +21,10 @@ pub enum Strategy {
     /// Fenix process recovery + Fenix In-Memory-Redundancy (buddy-rank)
     /// data storage.
     FenixImr,
+    /// Fenix process recovery + the redundancy-store tier: k-replica or
+    /// erasure-coded placement groups in peer memory, topology-aware
+    /// placement, multi-failure recovery (see the `redstore` crate).
+    FenixRedstore,
     /// Integrated system + partial rollback: only recovered ranks restore
     /// checkpoint data; survivors keep in-progress data and the application
     /// iterates to convergence (for tolerant iterative solvers).
@@ -29,13 +33,14 @@ pub enum Strategy {
 
 impl Strategy {
     /// All strategies, in presentation order.
-    pub const ALL: [Strategy; 7] = [
+    pub const ALL: [Strategy; 8] = [
         Strategy::Unprotected,
         Strategy::VelocOnly,
         Strategy::KokkosResilience,
         Strategy::FenixVeloc,
         Strategy::FenixKokkosResilience,
         Strategy::FenixImr,
+        Strategy::FenixRedstore,
         Strategy::PartialRollback,
     ];
 
@@ -46,6 +51,7 @@ impl Strategy {
             Strategy::FenixVeloc
                 | Strategy::FenixKokkosResilience
                 | Strategy::FenixImr
+                | Strategy::FenixRedstore
                 | Strategy::PartialRollback
         )
     }
@@ -68,7 +74,12 @@ impl Strategy {
     /// Does this strategy store checkpoints in peer memory rather than the
     /// filesystem?
     pub fn uses_imr(self) -> bool {
-        self == Strategy::FenixImr
+        matches!(self, Strategy::FenixImr | Strategy::FenixRedstore)
+    }
+
+    /// Does this strategy use the multi-failure redundancy-store tier?
+    pub fn uses_redstore(self) -> bool {
+        self == Strategy::FenixRedstore
     }
 
     /// Does recovery roll back only the failed rank's data?
@@ -85,6 +96,7 @@ impl Strategy {
             Strategy::FenixVeloc => "Fenix+VeloC",
             Strategy::FenixKokkosResilience => "Fenix+KR (VeloC)",
             Strategy::FenixImr => "Fenix IMR",
+            Strategy::FenixRedstore => "Fenix RedStore",
             Strategy::PartialRollback => "Partial-Rollback",
         }
     }
@@ -103,8 +115,17 @@ mod tests {
     #[test]
     fn fenix_strategies_partition() {
         let fenix: Vec<_> = Strategy::ALL.iter().filter(|s| s.uses_fenix()).collect();
-        assert_eq!(fenix.len(), 4);
+        assert_eq!(fenix.len(), 5);
         assert!(!Strategy::KokkosResilience.uses_fenix());
+    }
+
+    #[test]
+    fn peer_memory_strategies_are_fenix_strategies() {
+        for s in Strategy::ALL.iter().filter(|s| s.uses_imr()) {
+            assert!(s.uses_fenix(), "{s:?} stores in peer memory without Fenix");
+        }
+        assert!(Strategy::FenixRedstore.uses_redstore());
+        assert!(!Strategy::FenixImr.uses_redstore());
     }
 
     #[test]
@@ -118,6 +139,6 @@ mod tests {
     #[test]
     fn unprotected_never_checkpoints() {
         assert!(!Strategy::Unprotected.checkpoints());
-        assert!(Strategy::ALL.iter().filter(|s| s.checkpoints()).count() == 6);
+        assert!(Strategy::ALL.iter().filter(|s| s.checkpoints()).count() == 7);
     }
 }

@@ -8,7 +8,8 @@ use cluster::{Cluster, ClusterConfig, RelaunchModel, TimeScale};
 use kokkos::capture::Checkpointable;
 use kokkos::View;
 use resilience::{
-    run_experiment, Bookkeeper, ExperimentConfig, IterativeApp, RankApp, RunMode, Strategy,
+    run_experiment, try_run_experiment, Bookkeeper, ExperimentConfig, ExperimentError,
+    IterativeApp, RankApp, RunMode, Strategy,
 };
 use simmpi::{Comm, FaultPlan, MpiResult, Phase, RankCtx};
 
@@ -141,6 +142,7 @@ fn cfg(strategy: Strategy, spares: usize) -> ExperimentConfig {
         checkpoints: 6,
         max_relaunches: 4,
         imr_policy: None,
+        redundancy: None,
         fresh_storage: true,
         telemetry: None,
     }
@@ -169,6 +171,7 @@ fn failure_free_all_strategies_agree() {
         Strategy::FenixVeloc,
         Strategy::FenixKokkosResilience,
         Strategy::FenixImr,
+        Strategy::FenixRedstore,
     ] {
         // Fenix strategies get a spare on top of the 4 active ranks.
         let (nodes, spares) = if strategy.uses_fenix() {
@@ -233,6 +236,7 @@ fn fenix_strategies_recover_exactly() {
         Strategy::FenixVeloc,
         Strategy::FenixKokkosResilience,
         Strategy::FenixImr,
+        Strategy::FenixRedstore,
     ] {
         let c = cluster(5); // 4 active + 1 spare
         let plan = Arc::new(FaultPlan::kill_at(2, "iter", 23));
@@ -255,6 +259,7 @@ fn fenix_failure_before_first_checkpoint_cold_restarts() {
         Strategy::FenixVeloc,
         Strategy::FenixKokkosResilience,
         Strategy::FenixImr,
+        Strategy::FenixRedstore,
     ] {
         eprintln!("cold-restart strategy: {strategy}");
         let c = cluster(5);
@@ -316,6 +321,38 @@ fn imr_two_failures_with_two_spares() {
     let rec = run_experiment(&c, &fixed_app(iters), &cfg(Strategy::FenixImr, 2), plan);
     assert!(rec.repairs >= 2);
     assert_eq!(rec.digest, reference);
+}
+
+/// The acceptance scenario of the redundancy tier: two ranks of one
+/// placement group die *concurrently* (same iteration, before any repair
+/// can interleave). Buddy-rank IMR loses both copies of each other's data
+/// and must fail with a clean typed error; the redundancy store's RS(2,2)
+/// code tolerates two erasures per group and must complete bitwise-equal.
+#[test]
+fn concurrent_group_kill_redstore_recovers_where_buddy_imr_cannot() {
+    let iters = 30;
+    let reference = reference_digest(4, iters);
+    let plan = || Arc::new(FaultPlan::kill_at(0, "iter", 12).and_kill(1, "iter", 12));
+
+    // Ranks 0 and 1 are a buddy pair under the default (even-size) Pair
+    // policy: their concurrent loss is unrecoverable for buddy IMR.
+    let c = cluster(6); // 4 active + 2 spares
+    let imr = try_run_experiment(&c, &fixed_app(iters), &cfg(Strategy::FenixImr, 2), plan());
+    match imr {
+        Err(ExperimentError::RankFailed { .. }) => {}
+        other => panic!("buddy IMR must fail with a typed error, got {other:?}"),
+    }
+
+    // Same schedule, same shape, redundancy tier: recovered exactly.
+    let rec = run_experiment(
+        &c,
+        &fixed_app(iters),
+        &cfg(Strategy::FenixRedstore, 2),
+        plan(),
+    );
+    assert!(rec.repairs >= 1);
+    assert_eq!(rec.iterations, iters);
+    assert_eq!(rec.digest, reference, "bitwise recovery after a group kill");
 }
 
 #[test]

@@ -28,6 +28,7 @@ fn main() {
         checkpoints: 5,
         max_relaunches: 4,
         imr_policy: None,
+        redundancy: None,
         fresh_storage: true,
         telemetry: None,
     };

@@ -48,6 +48,7 @@ fn main() {
             checkpoints: 6,
             max_relaunches: 4,
             imr_policy: None,
+            redundancy: None,
             fresh_storage: true,
             telemetry: None,
         };

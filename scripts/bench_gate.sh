@@ -32,6 +32,12 @@ median_of() { # file config
   sed -n "s/.*\"name\":\"$2\",\"median_ns\":\([0-9]*\).*/\1/p" "$1"
 }
 
+# min_ns variant — the redundancy codec configs gate on the low-water mark,
+# the least scheduler-sensitive estimator for microsecond-scale operations.
+min_of() { # file config
+  sed -n "s/.*\"name\":\"$2\",\"min_ns\":\([0-9]*\).*/\1/p" "$1"
+}
+
 full=$(median_of "$FRESH" full_pack)
 inc1=$(median_of "$FRESH" incremental_1pct)
 [ -n "$full" ] && [ -n "$inc1" ] || {
@@ -72,3 +78,61 @@ for cfg in full_pack incremental_1pct incremental_25pct incremental_100pct; do
 done
 [ "$fail" -eq 0 ] || exit 1
 echo "bench gate: OK"
+
+# ---------------------------------------------------------------------------
+# Redundancy-tier gate: encode/reconstruct medians per mode (k2, k3, XOR
+# n+1, RS n+2) against the committed BENCH_redundancy.json baseline. The
+# recovery_* medians in the JSON are recorded but not gated — they time a
+# collective across rank threads, which is scheduler-noisy. The codec
+# medians sit in the microsecond range where run-to-run jitter is wider
+# than the checkpoint pipeline's, so this section has its own knob
+# (RED_MAX_REGRESSION_PCT, default 30).
+echo "== bench: redundancy tier =="
+RED_MAX_REGRESSION_PCT="${RED_MAX_REGRESSION_PCT:-30}"
+RED_BASELINE="BENCH_redundancy.json"
+RED_FRESH="target/BENCH_redundancy.json"
+cargo bench -q -p bench --bench redundancy
+
+[ -f "$RED_FRESH" ] || { echo "bench gate: $RED_FRESH was not produced" >&2; exit 1; }
+
+# Sanity claim: the XOR n+1 codec must encode cheaper than RS n+2 — if
+# GF(256) math sneaks into the XOR path this trips long before 15%.
+xor=$(min_of "$RED_FRESH" encode_xor4)
+rs=$(min_of "$RED_FRESH" encode_rs4_2)
+[ -n "$xor" ] && [ -n "$rs" ] || {
+  echo "bench gate: fresh results missing encode_xor4/encode_rs4_2" >&2
+  exit 1
+}
+echo "bench gate: encode xor4 ${xor} ns vs rs4.2 ${rs} ns"
+if [ "$xor" -gt "$rs" ]; then
+  echo "bench gate: FAIL — XOR parity encode should be cheaper than RS" >&2
+  exit 1
+fi
+
+if [ ! -f "$RED_BASELINE" ]; then
+  cp "$RED_FRESH" "$RED_BASELINE"
+  echo "bench gate: no committed baseline; committed fresh numbers to $RED_BASELINE"
+  echo "bench gate: OK (redundancy baseline created)"
+  exit 0
+fi
+
+fail=0
+for cfg in encode_k2 reconstruct_k2 encode_k3 reconstruct_k3 \
+           encode_xor4 reconstruct_xor4 encode_rs4_2 reconstruct_rs4_2; do
+  base=$(min_of "$RED_BASELINE" "$cfg")
+  now=$(min_of "$RED_FRESH" "$cfg")
+  if [ -z "$base" ] || [ -z "$now" ]; then
+    echo "bench gate: config $cfg missing from baseline or fresh run" >&2
+    fail=1
+    continue
+  fi
+  limit=$((base * (100 + RED_MAX_REGRESSION_PCT) / 100))
+  if [ "$now" -gt "$limit" ]; then
+    echo "bench gate: FAIL — $cfg regressed: ${now} ns > ${limit} ns (baseline ${base} ns +${RED_MAX_REGRESSION_PCT}%)" >&2
+    fail=1
+  else
+    echo "bench gate: $cfg ${now} ns (baseline ${base} ns, limit ${limit} ns)"
+  fi
+done
+[ "$fail" -eq 0 ] || exit 1
+echo "bench gate: OK (redundancy)"

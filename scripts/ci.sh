@@ -38,7 +38,9 @@ write_summary() {
       "$([ "$status" -eq 0 ] && echo true || echo false)" "$STAGE_JSON"
     printf '"lint_report":"target/lint-report.json",'
     printf '"bench_results":"target/BENCH_checkpoint.json",'
-    printf '"bench_baseline":"BENCH_checkpoint.json"'
+    printf '"bench_baseline":"BENCH_checkpoint.json",'
+    printf '"bench_redundancy_results":"target/BENCH_redundancy.json",'
+    printf '"bench_redundancy_baseline":"BENCH_redundancy.json"'
     printf '}}\n'
   } > target/ci-summary.json
   echo "stage summary written to target/ci-summary.json"
@@ -91,6 +93,24 @@ cargo run -q --release -p harness --bin chaos -- \
 cargo test -q -p chaos --features chaos-mutants
 end
 
+begin "redstore: codec proptests + multi-failure chaos smoke"
+# Property suite: RS/XOR encode -> erase up to m shards -> decode
+# round-trips bitwise at arbitrary payload sizes, and beyond-tolerance
+# decode is a typed error, never a panic.
+cargo test -q -p redstore
+# Seeded multi-failure smoke, replayed through the differential oracle:
+# a two-rank placement-group kill and a whole-node kill must complete
+# bitwise-equal via the redundancy store, and the same node loss under
+# explicitly co-located pair buddies must stay a clean typed error (the
+# exact differential is asserted in crates/chaos/tests/scenarios.rs).
+chaos_replay() {
+  cargo run -q --release -p harness --bin chaos -- --schedule "$1"
+}
+chaos_replay "strategy=FenixRedstore spares=2 kill(rank=0,site=iter,at=5) kill(rank=1,site=iter,at=5)"
+chaos_replay "strategy=FenixRedstore spares=2 rpn=2 nodekill(node=0,site=iter,at=5)"
+chaos_replay "strategy=FenixImr spares=2 rpn=2 imr=pair nodekill(node=0,site=iter,at=5)"
+end
+
 begin "modelcheck: bounded interleaving exploration"
 # The protocol suites (telemetry seqlock, veloc flush, pack pool, simmpi
 # rendezvous) honour env overrides for deeper sweeps than the in-tree
@@ -101,11 +121,12 @@ begin "modelcheck: bounded interleaving exploration"
 cargo test -q -p modelcheck --tests
 end
 
-begin "bench gate: checkpoint pipeline"
-# Re-measures the sync checkpoint pipeline and fails on a >15% median
-# regression against the committed BENCH_checkpoint.json baseline; also
-# asserts the incremental pipeline's >=5x claim at 1% dirty. See
-# scripts/bench_gate.sh for the knobs.
+begin "bench gate: checkpoint pipeline + redundancy tier"
+# Re-measures the sync checkpoint pipeline (fails on a >15% median
+# regression against the committed BENCH_checkpoint.json baseline, and
+# asserts the incremental pipeline's >=5x claim at 1% dirty) and the
+# redundancy-tier codecs (low-water-mark medians vs BENCH_redundancy.json,
+# plus XOR-cheaper-than-RS sanity). See scripts/bench_gate.sh for knobs.
 scripts/bench_gate.sh
 end
 

@@ -112,6 +112,7 @@ fn spare_exhaustion_aborts_cleanly() {
                 checkpoints: 3,
                 max_relaunches: 2,
                 imr_policy: None,
+                redundancy: None,
                 fresh_storage: true,
                 telemetry: None,
             },
@@ -147,6 +148,7 @@ fn strategy_matrix_shares_a_cluster() {
                 checkpoints: 3,
                 max_relaunches: 2,
                 imr_policy: None,
+                redundancy: None,
                 fresh_storage: true,
                 telemetry: None,
             },

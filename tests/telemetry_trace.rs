@@ -39,6 +39,7 @@ fn traced_failure_run() -> TraceSnapshot {
             checkpoints: 3,
             max_relaunches: 2,
             imr_policy: None,
+            redundancy: None,
             fresh_storage: true,
             telemetry: Some(tel.clone()),
         },
