@@ -47,12 +47,13 @@ impl ImrPolicy {
     /// The rank that will hold `rank`'s data.
     ///
     /// Pair/Ring buddies are pure functions of rank and size. Topology
-    /// buddies depend on the rank→node layout — use [`ImrPolicy::maps`].
+    /// buddies depend on the rank→node layout — use [`ImrPolicy::maps`];
+    /// without one, Topology degenerates to its one-rank-per-node shape,
+    /// a plain ring.
     pub fn holder_of(self, rank: usize, size: usize) -> usize {
         match self {
             ImrPolicy::Pair => rank ^ 1,
-            ImrPolicy::Ring => (rank + 1) % size,
-            ImrPolicy::Topology => panic!("Topology buddies need a node map; use ImrPolicy::maps"),
+            ImrPolicy::Ring | ImrPolicy::Topology => (rank + 1) % size,
         }
     }
 
@@ -60,8 +61,7 @@ impl ImrPolicy {
     pub fn source_of(self, rank: usize, size: usize) -> usize {
         match self {
             ImrPolicy::Pair => rank ^ 1,
-            ImrPolicy::Ring => (rank + size - 1) % size,
-            ImrPolicy::Topology => panic!("Topology buddies need a node map; use ImrPolicy::maps"),
+            ImrPolicy::Ring | ImrPolicy::Topology => (rank + size - 1) % size,
         }
     }
 
@@ -84,9 +84,19 @@ impl ImrPolicy {
                 let mut holder = vec![0usize; n];
                 let mut source = vec![0usize; n];
                 for (i, &r) in order.iter().enumerate() {
-                    let next = order[(i + 1) % n];
-                    holder[r] = next;
-                    source[next] = r;
+                    // `order` is a permutation of 0..n, so these lookups
+                    // cannot miss; stay panic-free on the recovery path
+                    // anyway — a malformed map must surface as a bad
+                    // placement, not a dead rank.
+                    let Some(&next) = order.get((i + 1) % n) else {
+                        continue;
+                    };
+                    if let Some(h) = holder.get_mut(r) {
+                        *h = next;
+                    }
+                    if let Some(s) = source.get_mut(next) {
+                        *s = r;
+                    }
                 }
                 (holder, source)
             }
@@ -100,7 +110,10 @@ impl ImrPolicy {
     pub fn auto(nodes: &[usize]) -> ImrPolicy {
         let mut sorted = nodes.to_vec();
         sorted.sort_unstable();
-        let co_located = sorted.windows(2).any(|w| w[0] == w[1]);
+        let co_located = sorted
+            .iter()
+            .zip(sorted.iter().skip(1))
+            .any(|(a, b)| a == b);
         let multi_node = sorted.first() != sorted.last();
         if co_located && multi_node {
             ImrPolicy::Topology
@@ -265,8 +278,9 @@ impl<'a> DataGroup<'a> {
     }
 
     /// The rank holding `rank`'s data under this group's buddy map.
+    /// Out-of-range ranks map to themselves (no remote copy).
     pub fn holder_of(&self, rank: usize) -> usize {
-        self.holder[rank]
+        self.holder.get(rank).copied().unwrap_or(rank)
     }
 
     fn tag(member: u32, leg: u64) -> u64 {
@@ -284,8 +298,12 @@ impl<'a> DataGroup<'a> {
     /// version, never a mix.
     pub fn store(&self, member: u32, version: u64, data: Bytes) -> MpiResult<()> {
         let me = self.comm.rank();
-        let to = self.holder[me];
-        let from = self.source[me];
+        let out_of_range = |rank: usize| MpiError::RankOutOfRange {
+            rank,
+            size: self.holder.len(),
+        };
+        let to = self.holder.get(me).copied().ok_or(out_of_range(me))?;
+        let from = self.source.get(me).copied().ok_or(out_of_range(me))?;
 
         // Phase 1: exchange. My data goes to my holder; I receive my
         // source's data. Nothing is committed yet.

@@ -1,0 +1,18 @@
+//! Fires `blocking-while-locked`: a blocking receive executed while the
+//! mailbox lock is held. The sender that would satisfy the receive needs
+//! the same lock to enqueue, so the rank stalls itself. Analyzed under
+//! the simmpi crate scope.
+
+pub struct Mailbox {
+    queue: Mutex<Vec<u8>>,
+}
+
+impl Mailbox {
+    /// Holds the queue lock across `recv`: the peer delivering the reply
+    /// must take `queue` to enqueue it — self-deadlock.
+    pub fn deliver(&self, peer: &Endpoint) {
+        let q = self.queue.lock();
+        let msg = peer.recv();
+        q.push(msg);
+    }
+}

@@ -1,0 +1,24 @@
+//! Clean twin for `collective-match`: every rank-dependent branch issues
+//! the same collective sequence on all fall-through arms, and
+//! rank-uniform conditions (iteration intervals) are not flagged even
+//! with a lone collective inside. Must produce no findings from any rule.
+
+/// Both arms reach the same barrier; only local prep differs by rank.
+pub fn prep_then_sync(comm: &Comm, rank: usize) {
+    if rank == 0 {
+        prepare_root();
+        comm.barrier();
+    } else {
+        comm.barrier();
+    }
+}
+
+/// Rank-uniform condition: every rank computes the same `iter`, so all
+/// of them take the same arm together.
+pub fn interval_sync(comm: &Comm, iter: usize) {
+    if iter % 10 == 0 {
+        comm.barrier();
+    }
+}
+
+fn prepare_root() {}

@@ -1,0 +1,24 @@
+//! Fires `collective-match`, twice: a collective reached by only one
+//! side of a rank-dependent `if`, and a role `match` whose arms issue
+//! different collective sequences. Ranks taking different paths deadlock
+//! in the unmatched collective. Analyzed under the fenix crate scope.
+
+/// Root-only barrier: every other rank sails past while rank 0 blocks.
+pub fn root_only_barrier(comm: &Comm, rank: usize) {
+    if rank == 0 {
+        comm.barrier();
+    }
+}
+
+/// Leader gathers after the agreement; members never enter the gather.
+pub fn lopsided_commit(comm: &Comm, role: Role, digest: &[u8]) {
+    match role {
+        Role::Leader => {
+            comm.agree(1, 0);
+            comm.allgather(digest);
+        }
+        Role::Member => {
+            comm.agree(1, 0);
+        }
+    }
+}

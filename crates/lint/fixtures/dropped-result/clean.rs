@@ -12,12 +12,14 @@ impl Client {
 
 pub fn commit(client: &Client, version: u64) -> Result<(), CkError> {
     // Propagated: the caller decides what a failed commit means.
+    client.protect(version, 1);
     client.checkpoint("loop", version)?;
     Ok(())
 }
 
 pub fn commit_logged(client: &Client, version: u64) {
     // Inspected: a failure is at least recorded.
+    client.protect(version, 1);
     if client.checkpoint("loop", version).is_err() {
         log_failure(version);
     }

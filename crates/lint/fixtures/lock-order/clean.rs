@@ -1,0 +1,23 @@
+//! Clean twin for `lock-order`: both functions acquire the two mutexes
+//! in the same global order (routes before peers), so the acquisition
+//! graph has an edge but no cycle. Must produce no findings from any
+//! rule.
+
+pub struct Router {
+    routes: Mutex<u64>,
+    peers: Mutex<u64>,
+}
+
+impl Router {
+    pub fn forward(&self) {
+        let r = self.routes.lock();
+        let p = self.peers.lock();
+        *r += *p;
+    }
+
+    pub fn audit(&self) {
+        let r = self.routes.lock();
+        let p = self.peers.lock();
+        *p += *r;
+    }
+}

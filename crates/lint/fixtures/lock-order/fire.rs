@@ -1,0 +1,26 @@
+//! Fires `lock-order`: two functions acquire the same two mutexes in
+//! opposite orders — the classic AB/BA deadlock. One report per edge in
+//! the cycle. Analyzed under the simmpi crate scope.
+
+pub struct Router {
+    routes: Mutex<u64>,
+    peers: Mutex<u64>,
+}
+
+impl Router {
+    /// Acquires routes, then peers.
+    pub fn forward(&self) {
+        let r = self.routes.lock();
+        let p = self.peers.lock();
+        *r += *p;
+    }
+
+    /// Acquires peers, then routes: reversed — two threads running
+    /// `forward` and `reverse` concurrently can each hold one lock and
+    /// wait forever for the other.
+    pub fn reverse(&self) {
+        let p = self.peers.lock();
+        let r = self.routes.lock();
+        *p += *r;
+    }
+}

@@ -1,0 +1,23 @@
+//! Clean twin for `protocol-typestate`: the full ULFM recovery protocol
+//! in order — detect, revoke, agree, then collectives on the repaired
+//! communicator. Must produce no findings from any rule.
+
+pub struct Recovery;
+
+impl Recovery {
+    /// The legal sequence: detection gates the revoke, agreement repairs
+    /// the communicator, and only then do collectives resume.
+    pub fn recover(&self, comm: &Comm, err: &Failure) -> Result<(), Failure> {
+        if err.is_recoverable() {
+            comm.revoke();
+            comm.agree(1, 0)?;
+            comm.barrier()?;
+        }
+        Ok(())
+    }
+
+    /// Detection alone (no revoke) keeps every transition legal.
+    pub fn probe(&self, comm: &Comm) -> usize {
+        comm.failed_ranks().len()
+    }
+}

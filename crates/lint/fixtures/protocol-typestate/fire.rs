@@ -1,0 +1,23 @@
+//! Fires `protocol-typestate` (ulfm-recovery automaton), twice:
+//! a revoke with no preceding failure detection, and a collective issued
+//! on a communicator that was revoked and never repaired by agreement.
+//! Analyzed under the fenix crate scope.
+
+pub struct Recovery;
+
+impl Recovery {
+    /// Revokes the communicator from the live state: nothing observed a
+    /// failure, so healthy peers get poisoned for no reason.
+    pub fn hasty_revoke(&self, comm: &Comm) {
+        comm.revoke();
+    }
+
+    /// Detects and revokes correctly, then issues a collective on the
+    /// still-revoked communicator instead of agreeing first.
+    pub fn collective_after_revoke(&self, comm: &Comm, err: &Failure) {
+        if err.is_recoverable() {
+            comm.revoke();
+            comm.barrier();
+        }
+    }
+}

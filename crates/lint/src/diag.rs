@@ -83,7 +83,7 @@ pub fn render_json(diags: &[Diagnostic], baselined: usize) -> String {
 }
 
 /// Minimal JSON string escaping (ASCII control chars, quote, backslash).
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -201,6 +201,30 @@ mod tests {
         let b = Baseline::parse("# old\npanic-reach @ crates/gone.rs # f\n").unwrap();
         let stale = b.stale(&[diag()]);
         assert_eq!(stale, vec!["panic-reach @ crates/gone.rs # f"]);
+    }
+
+    #[test]
+    fn baseline_key_round_trips_through_parse() {
+        // A key produced by `Diagnostic::key()` written into a baseline
+        // (with justification) must come back as a matching, non-stale
+        // entry — the exact flow `scripts/ci.sh` relies on.
+        let d = diag();
+        let text = format!("# audited: round-trip test\n{}\n", d.key());
+        let b = Baseline::parse(&text).unwrap();
+        assert_eq!(b.len(), 1);
+        assert!(b.contains(&d));
+        assert!(b.stale(&[d]).is_empty(), "a matched entry is not stale");
+    }
+
+    #[test]
+    fn baseline_parses_multiple_entries_each_needing_a_comment() {
+        let text = "# first\nrule-a @ f.rs # f\n\n# second\nrule-b @ g.rs # g\n";
+        let b = Baseline::parse(text).unwrap();
+        assert_eq!(b.len(), 2);
+        // A blank line clears the pending comment: the entry after it
+        // must bring its own justification.
+        let bad = "# only one comment\nrule-a @ f.rs # f\n\nrule-b @ g.rs # g\n";
+        assert!(Baseline::parse(bad).is_err());
     }
 
     #[test]

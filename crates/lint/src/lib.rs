@@ -25,10 +25,12 @@
 //! fixtures deliberately contain every pattern the rules hunt for).
 
 pub mod callgraph;
+pub mod cfg;
 pub mod diag;
 pub mod lexer;
 pub mod parser;
 pub mod rules;
+pub mod sarif;
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -116,6 +118,15 @@ pub fn analyze(ws: &Workspace, opts: GraphOpts) -> Vec<Diagnostic> {
     rules::run_all(ws, opts)
 }
 
+/// Like [`analyze`], but also returns per-pass wall-clock timings for
+/// `--timings` / CI summaries.
+pub fn analyze_timed(
+    ws: &Workspace,
+    opts: GraphOpts,
+) -> (Vec<Diagnostic>, Vec<(&'static str, std::time::Duration)>) {
+    rules::run_all_timed(ws, opts)
+}
+
 /// Pseudo-path a rule's fixtures are analyzed under, placing them in a
 /// crate where the rule's scope applies.
 fn fixture_rel(rule: &str) -> &'static str {
@@ -124,6 +135,8 @@ fn fixture_rel(rule: &str) -> &'static str {
         "panic-reach" | "wildcard-match" => "crates/fenix/src/__fixture__.rs",
         "relaxed-sync" => "crates/telemetry/src/__fixture__.rs",
         "thread-spawn" => "crates/simmpi/src/__fixture__.rs",
+        "protocol-typestate" | "collective-match" => "crates/fenix/src/__fixture__.rs",
+        "lock-order" | "blocking-while-locked" => "crates/simmpi/src/__fixture__.rs",
         // single-exit, protect-pairing, reset-order, unsafe-comment.
         _ => "crates/resilience/src/__fixture__.rs",
     }
@@ -181,10 +194,19 @@ pub fn self_check(fixture_root: &Path) -> Result<Vec<(&'static str, usize)>, Str
     Ok(counts)
 }
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum OutFormat {
+    Human,
+    Json,
+    Sarif,
+}
+
 struct CliOpts {
     root: PathBuf,
-    format_json: bool,
+    format: OutFormat,
     report: Option<PathBuf>,
+    sarif: Option<PathBuf>,
+    timings: Option<PathBuf>,
     baseline: Option<PathBuf>,
     trace: Option<PathBuf>,
     deep: bool,
@@ -195,8 +217,10 @@ struct CliOpts {
 fn parse_args() -> Result<CliOpts, String> {
     let mut opts = CliOpts {
         root: PathBuf::from("."),
-        format_json: false,
+        format: OutFormat::Human,
         report: None,
+        sarif: None,
+        timings: None,
         baseline: None,
         trace: None,
         deep: std::env::var("LINT_DEEP")
@@ -214,13 +238,16 @@ fn parse_args() -> Result<CliOpts, String> {
         match a.as_str() {
             "--root" => opts.root = PathBuf::from(value("--root")?),
             "--format" => {
-                opts.format_json = match value("--format")?.as_str() {
-                    "json" => true,
-                    "human" => false,
+                opts.format = match value("--format")?.as_str() {
+                    "json" => OutFormat::Json,
+                    "human" => OutFormat::Human,
+                    "sarif" => OutFormat::Sarif,
                     other => return Err(format!("unknown format `{other}`")),
                 }
             }
             "--report" => opts.report = Some(PathBuf::from(value("--report")?)),
+            "--sarif" => opts.sarif = Some(PathBuf::from(value("--sarif")?)),
+            "--timings" => opts.timings = Some(PathBuf::from(value("--timings")?)),
             "--baseline" => opts.baseline = Some(PathBuf::from(value("--baseline")?)),
             "--trace" => opts.trace = Some(PathBuf::from(value("--trace")?)),
             "--deep" => opts.deep = true,
@@ -232,6 +259,24 @@ fn parse_args() -> Result<CliOpts, String> {
     Ok(opts)
 }
 
+/// Render per-pass timings as a small JSON object (seconds, 6 decimals).
+fn render_timings(timings: &[(&'static str, std::time::Duration)]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\n  \"passes\": {\n");
+    for (i, (name, dur)) in timings.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {}: {:.6}",
+            diag::json_str(name),
+            dur.as_secs_f64()
+        );
+        out.push_str(if i + 1 < timings.len() { ",\n" } else { "\n" });
+    }
+    let total: f64 = timings.iter().map(|(_, d)| d.as_secs_f64()).sum();
+    let _ = write!(out, "  }},\n  \"total_seconds\": {total:.6}\n}}\n");
+    out
+}
+
 /// Entry point for the `lint` binary. Exit codes: 0 clean, 1 findings or
 /// self-check failure, 2 usage/IO error.
 pub fn cli_main() {
@@ -240,8 +285,9 @@ pub fn cli_main() {
         Err(e) => {
             eprintln!("lint: {e}");
             eprintln!(
-                "usage: lint [--root DIR] [--format human|json] [--report PATH] \
-                 [--baseline PATH] [--trace PATH] [--deep] [--mutants] [--self-check]"
+                "usage: lint [--root DIR] [--format human|json|sarif] [--report PATH] \
+                 [--sarif PATH] [--timings PATH] [--baseline PATH] [--trace PATH] \
+                 [--deep] [--mutants] [--self-check]"
             );
             std::process::exit(2);
         }
@@ -277,10 +323,10 @@ pub fn cli_main() {
     };
     let outcome = rec.time(telemetry::Phase::StaticAnalysis, || {
         let ws = load_workspace(&opts.root)?;
-        let diags = analyze(&ws, graph_opts);
-        Ok::<_, std::io::Error>((ws.files.len(), diags))
+        let (diags, timings) = analyze_timed(&ws, graph_opts);
+        Ok::<_, std::io::Error>((ws.files.len(), diags, timings))
     });
-    let (files_scanned, diags) = match outcome {
+    let (files_scanned, diags, timings) = match outcome {
         Ok(v) => v,
         Err(e) => {
             eprintln!("lint: failed to read workspace: {e}");
@@ -319,20 +365,41 @@ pub fn cli_main() {
 
     let (baselined, active): (Vec<_>, Vec<_>) =
         diags.into_iter().partition(|d| baseline.contains(d));
-    for stale in baseline.stale(&baselined) {
-        eprintln!("lint: warning: stale baseline entry: {stale}");
+    // A stale baseline entry is an error, not a warning: either the
+    // finding was fixed (delete the entry) or the code moved (re-key it).
+    // Letting stale entries linger would silently accept a future
+    // regression at the old key.
+    let stale_entries: Vec<String> = baseline
+        .stale(&baselined)
+        .into_iter()
+        .map(str::to_owned)
+        .collect();
+    for stale in &stale_entries {
+        eprintln!("lint: error: stale baseline entry (remove it): {stale}");
     }
 
-    if let Some(report) = &opts.report {
-        if let Some(parent) = report.parent() {
+    let write_out = |path: &PathBuf, what: &str, content: String| {
+        if let Some(parent) = path.parent() {
             let _unused = std::fs::create_dir_all(parent);
         }
-        let json = diag::render_json(&active, baselined.len());
-        if let Err(e) = std::fs::write(report, json) {
-            eprintln!("lint: cannot write report {}: {e}", report.display());
+        if let Err(e) = std::fs::write(path, content) {
+            eprintln!("lint: cannot write {what} {}: {e}", path.display());
             std::process::exit(2);
         }
-        println!("lint: report written to {}", report.display());
+        println!("lint: {what} written to {}", path.display());
+    };
+    if let Some(report) = &opts.report {
+        write_out(
+            report,
+            "report",
+            diag::render_json(&active, baselined.len()),
+        );
+    }
+    if let Some(path) = &opts.sarif {
+        write_out(path, "sarif log", sarif::render(&active));
+    }
+    if let Some(path) = &opts.timings {
+        write_out(path, "timings", render_timings(&timings));
     }
     if let Some(trace) = &opts.trace {
         let snap = tel.snapshot();
@@ -341,24 +408,26 @@ pub fn cli_main() {
         }
     }
 
-    if opts.format_json {
-        print!("{}", diag::render_json(&active, baselined.len()));
-    } else {
-        for d in &active {
-            println!("{}", d.render_human());
+    match opts.format {
+        OutFormat::Json => print!("{}", diag::render_json(&active, baselined.len())),
+        OutFormat::Sarif => print!("{}", sarif::render(&active)),
+        OutFormat::Human => {
+            for d in &active {
+                println!("{}", d.render_human());
+            }
+            let spent = acc.get(telemetry::Phase::StaticAnalysis);
+            println!(
+                "lint: {} finding(s), {} baselined, {} files scanned in {:?}{}{}",
+                active.len(),
+                baselined.len(),
+                files_scanned,
+                spent,
+                if opts.deep { " [deep]" } else { "" },
+                if opts.mutants { " [mutants]" } else { "" },
+            );
         }
-        let spent = acc.get(telemetry::Phase::StaticAnalysis);
-        println!(
-            "lint: {} finding(s), {} baselined, {} files scanned in {:?}{}{}",
-            active.len(),
-            baselined.len(),
-            files_scanned,
-            spent,
-            if opts.deep { " [deep]" } else { "" },
-            if opts.mutants { " [mutants]" } else { "" },
-        );
     }
-    if !active.is_empty() {
+    if !active.is_empty() || !stale_entries.is_empty() {
         std::process::exit(1);
     }
 }

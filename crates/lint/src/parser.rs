@@ -880,7 +880,9 @@ impl<'a> Parser<'a> {
             line,
             init: (init_start, k),
             question,
-            stmt_end: k + 1,
+            // Just past the `;`; an unterminated statement (truncated
+            // input) ends at the region boundary instead of past it.
+            stmt_end: if k < end { k + 1 } else { k },
         })
     }
 

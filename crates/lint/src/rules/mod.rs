@@ -14,13 +14,16 @@
 //! The old `unwrap-on-recovery-path` regex rule is gone: `panic-reach`
 //! (transitive, call-graph-precise) and `dropped-result` supersede it.
 
+pub mod collective_match;
 pub mod delta_base_reset;
 pub mod dropped_result;
+pub mod lockorder;
 pub mod pairing;
 pub mod panic_reach;
 pub mod reset_order;
 pub mod single_exit;
 pub mod tokens;
+pub mod typestate;
 pub mod wildcard;
 
 use crate::callgraph::{CallGraph, GraphOpts, Resolver, Workspace};
@@ -119,6 +122,10 @@ pub const ALL_RULES: &[&str] = &[
     "unsafe-comment",
     "relaxed-sync",
     "thread-spawn",
+    "protocol-typestate",
+    "collective-match",
+    "lock-order",
+    "blocking-while-locked",
 ];
 
 pub fn in_crates(krate: &str, list: &[&str]) -> bool {
@@ -129,17 +136,74 @@ pub fn in_crates(krate: &str, list: &[&str]) -> bool {
 /// resolution across crate boundaries (`LINT_DEEP=1`); `include_mutants`
 /// lets the seeded `lint-mutants` violations into the call graph.
 pub fn run_all(ws: &Workspace, opts: GraphOpts) -> Vec<Diagnostic> {
+    run_all_timed(ws, opts).0
+}
+
+/// Like [`run_all`], but also returns per-pass wall-clock timings (one
+/// entry per analysis pass; the token pass covers its three rule ids and
+/// the lock pass covers `lock-order` + `blocking-while-locked`).
+pub fn run_all_timed(
+    ws: &Workspace,
+    opts: GraphOpts,
+) -> (Vec<Diagnostic>, Vec<(&'static str, std::time::Duration)>) {
     let graph = CallGraph::build(ws, opts);
     let resolver = Resolver::new(ws, opts);
-    let mut diags = Vec::new();
-    diags.extend(single_exit::check(ws, opts));
-    diags.extend(pairing::check(ws, &graph));
-    diags.extend(reset_order::check(ws));
-    diags.extend(delta_base_reset::check(ws, opts));
-    diags.extend(dropped_result::check(ws, &resolver));
-    diags.extend(panic_reach::check(ws, &graph, opts));
-    diags.extend(wildcard::check(ws));
-    diags.extend(tokens::check(ws));
-    diags.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
-    diags
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut timings: Vec<(&'static str, std::time::Duration)> = Vec::new();
+    {
+        let mut pass = |name: &'static str, f: &mut dyn FnMut() -> Vec<Diagnostic>| {
+            let t0 = std::time::Instant::now();
+            let out = f();
+            timings.push((name, t0.elapsed()));
+            diags.extend(out);
+        };
+        pass("single-exit", &mut || single_exit::check(ws, opts));
+        pass("protect-pairing", &mut || pairing::check(ws, &graph));
+        pass("reset-order", &mut || reset_order::check(ws));
+        pass("delta-base-reset", &mut || {
+            delta_base_reset::check(ws, opts)
+        });
+        pass("dropped-result", &mut || {
+            dropped_result::check(ws, &resolver)
+        });
+        pass("panic-reach", &mut || panic_reach::check(ws, &graph, opts));
+        pass("wildcard-match", &mut || wildcard::check(ws));
+        pass("tokens", &mut || tokens::check(ws));
+        pass("protocol-typestate", &mut || {
+            typestate::check(ws, &resolver, opts)
+        });
+        pass("collective-match", &mut || {
+            collective_match::check(ws, &resolver, opts)
+        });
+        pass("lock-order", &mut || lockorder::check(ws, &resolver, opts));
+    }
+    // Stable order, then full-tuple dedupe: deep mode can re-resolve a
+    // call the shallow pass already reported (same rule, site, and
+    // message) — one finding must survive, not two. The key() tuple is
+    // not enough here: it drops the line, and two distinct findings in
+    // one function would collapse.
+    diags.sort_by(|a, b| {
+        (
+            a.file.as_str(),
+            a.line,
+            a.rule,
+            a.func.as_str(),
+            a.msg.as_str(),
+        )
+            .cmp(&(
+                b.file.as_str(),
+                b.line,
+                b.rule,
+                b.func.as_str(),
+                b.msg.as_str(),
+            ))
+    });
+    diags.dedup_by(|a, b| {
+        a.rule == b.rule
+            && a.file == b.file
+            && a.line == b.line
+            && a.func == b.func
+            && a.msg == b.msg
+    });
+    (diags, timings)
 }

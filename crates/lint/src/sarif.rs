@@ -1,0 +1,114 @@
+//! SARIF 2.1.0 output.
+//!
+//! A minimal, dependency-free serializer for the Static Analysis Results
+//! Interchange Format so CI systems and editors that speak SARIF can
+//! ingest lint findings (`--format sarif` on stdout, or `--sarif PATH`
+//! alongside any other format). Only active (non-baselined) findings are
+//! emitted; every rule id from [`rules::ALL_RULES`] is declared in the
+//! tool metadata so result `ruleIndex` references stay valid even for
+//! rules with zero findings.
+
+use std::fmt::Write as _;
+
+use crate::diag::{json_str, Diagnostic};
+use crate::rules;
+
+/// Render active findings as a single-run SARIF 2.1.0 log.
+pub fn render(diags: &[Diagnostic]) -> String {
+    let mut out = String::from(
+        "{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \
+         \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n      \"tool\": {\n        \
+         \"driver\": {\n          \"name\": \"lint\",\n          \
+         \"informationUri\": \"https://example.invalid/layered-resilience/crates/lint\",\n          \
+         \"rules\": [\n",
+    );
+    for (i, rule) in rules::ALL_RULES.iter().enumerate() {
+        let _ = write!(
+            out,
+            "            {{\"id\": {}, \"name\": {}}}",
+            json_str(rule),
+            json_str(&rule_name(rule))
+        );
+        out.push_str(if i + 1 < rules::ALL_RULES.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("          ]\n        }\n      },\n      \"results\": [\n");
+    for (i, d) in diags.iter().enumerate() {
+        let rule_index = rules::ALL_RULES
+            .iter()
+            .position(|r| *r == d.rule)
+            .unwrap_or(0);
+        let text = if d.func.is_empty() {
+            d.msg.clone()
+        } else {
+            format!("{}: {}", d.func, d.msg)
+        };
+        let _ = write!(
+            out,
+            "        {{\"ruleId\": {}, \"ruleIndex\": {rule_index}, \"level\": \"error\", \
+             \"message\": {{\"text\": {}}}, \"locations\": [{{\"physicalLocation\": \
+             {{\"artifactLocation\": {{\"uri\": {}, \"uriBaseId\": \"SRCROOT\"}}, \
+             \"region\": {{\"startLine\": {}}}}}}}]}}",
+            json_str(d.rule),
+            json_str(&text),
+            json_str(&d.file),
+            d.line.max(1)
+        );
+        out.push_str(if i + 1 < diags.len() { ",\n" } else { "\n" });
+    }
+    out.push_str(
+        "      ],\n      \"originalUriBaseIds\": {\"SRCROOT\": {\"uri\": \"file:///./\"}},\n      \
+         \"columnKind\": \"utf16CodeUnits\"\n    }\n  ]\n}\n",
+    );
+    out
+}
+
+/// SARIF rule `name` is PascalCase by convention.
+fn rule_name(id: &str) -> String {
+    id.split('-')
+        .map(|w| {
+            let mut c = w.chars();
+            match c.next() {
+                Some(f) => f.to_uppercase().chain(c).collect::<String>(),
+                None => String::new(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sarif_log_has_schema_rules_and_located_results() {
+        let d = Diagnostic {
+            rule: "lock-order",
+            file: "crates/simmpi/src/router.rs".into(),
+            line: 42,
+            func: "Router::deliver".into(),
+            msg: "say \"hi\"".into(),
+        };
+        let s = render(&[d]);
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("sarif-2.1.0.json"));
+        // Every rule id is declared even with no findings.
+        for rule in rules::ALL_RULES {
+            assert!(s.contains(&format!("\"id\": \"{rule}\"")), "{rule} missing");
+        }
+        assert!(s.contains("\"ruleId\": \"lock-order\""));
+        assert!(s.contains("\"uri\": \"crates/simmpi/src/router.rs\""));
+        assert!(s.contains("\"startLine\": 42"));
+        assert!(s.contains("\\\"hi\\\""), "message must be escaped");
+        assert!(s.contains("\"name\": \"LockOrder\""));
+    }
+
+    #[test]
+    fn empty_run_is_still_a_valid_log() {
+        let s = render(&[]);
+        assert!(s.contains("\"results\": [\n      ]"));
+    }
+}

@@ -50,4 +50,49 @@ fn seeded_mutant_is_caught_only_with_opt_in() {
         hit.func
     );
     assert!(hit.msg.contains("unwrap"));
+
+    // One seeded violation per protocol analysis, each caught only with
+    // the opt-in (the `without` assertion above covers both mutant files).
+    let typestate = with
+        .iter()
+        .find(|d| d.rule == "protocol-typestate" && d.file == "crates/fenix/src/mutant.rs")
+        .expect("protocol-typestate must flag the undetected revoke");
+    assert!(
+        typestate.func.contains("revoke_without_detect"),
+        "got {}",
+        typestate.func
+    );
+    assert!(typestate.msg.contains("ulfm-recovery"), "{}", typestate.msg);
+
+    let collective = with
+        .iter()
+        .find(|d| d.rule == "collective-match" && d.file == "crates/fenix/src/mutant.rs")
+        .expect("collective-match must flag the root-only barrier");
+    assert!(
+        collective.func.contains("lopsided_barrier"),
+        "got {}",
+        collective.func
+    );
+    assert!(collective.msg.contains("barrier"), "{}", collective.msg);
+
+    let order = with
+        .iter()
+        .find(|d| d.rule == "lock-order" && d.file == "crates/simmpi/src/mutant.rs")
+        .expect("lock-order must flag the ABBA cycle");
+    assert!(
+        order.msg.contains("mu_alpha") && order.msg.contains("mu_beta"),
+        "{}",
+        order.msg
+    );
+
+    let blocking = with
+        .iter()
+        .find(|d| d.rule == "blocking-while-locked" && d.file == "crates/simmpi/src/mutant.rs")
+        .expect("blocking-while-locked must flag the receive under mu_alpha");
+    assert!(
+        blocking.func.contains("recv_under_lock"),
+        "got {}",
+        blocking.func
+    );
+    assert!(blocking.msg.contains("recv_bytes"), "{}", blocking.msg);
 }

@@ -649,7 +649,11 @@ fn fenix_imr_body(
         *state.borrow_mut() = Some(bk.book(Phase::AppInit, || app.init_rank(ctx, comm)));
     }
 
-    let start = if role != Role::Initial {
+    // Epoch-uniform predicate, not a rank-dependent one: after a repair,
+    // *every* rank re-enters with a non-Initial role together, so all
+    // ranks take the same arm of the branch below (and its allgather).
+    let resuming = role != Role::Initial;
+    let start = if resuming {
         // Agree who actually holds the committed version. The last repair's
         // replacement list (`Fenix::recovered_ranks`) is not enough: when a
         // failure cascades into recovery itself, an *earlier* replacement
@@ -737,7 +741,9 @@ fn fenix_redstore_body(
         *state.borrow_mut() = Some(bk.book(Phase::AppInit, || app.init_rank(ctx, comm)));
     }
 
-    let start = if role != Role::Initial {
+    // Epoch-uniform, as in `fenix_imr_body`: all ranks resume together.
+    let resuming = role != Role::Initial;
+    let start = if resuming {
         // Possession-based agreement, exactly as in `fenix_imr_body`: the
         // max over gathered local versions is the committed version (the
         // two-phase store keeps committed versions consistent), and every

@@ -140,7 +140,9 @@ impl Corruption {
                 }
                 let idx = blob.len().saturating_sub(1 + back.min(blob.len() - 1));
                 let mut out = blob.to_vec();
-                out[idx] ^= 0xFF;
+                if let Some(b) = out.get_mut(idx) {
+                    *b ^= 0xFF;
+                }
                 Bytes::from(out)
             }
             CorruptKind::FlipFront { front } => {
@@ -149,7 +151,9 @@ impl Corruption {
                 }
                 let idx = front.min(blob.len() - 1);
                 let mut out = blob.to_vec();
-                out[idx] ^= 0xFF;
+                if let Some(b) = out.get_mut(idx) {
+                    *b ^= 0xFF;
+                }
                 Bytes::from(out)
             }
             CorruptKind::Truncate { keep } => blob.slice(0..keep.min(blob.len())),

@@ -27,6 +27,7 @@
 pub mod comm;
 pub mod error;
 pub mod fault;
+pub mod mutant;
 pub mod pod;
 pub mod profile;
 pub mod rendezvous;

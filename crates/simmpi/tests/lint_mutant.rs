@@ -1,0 +1,14 @@
+//! Built only under `lint-mutants` (CI: `cargo test -p simmpi --features
+//! lint-mutants`): the seeded lock-order violation must compile and run,
+//! so `crates/lint/tests/mutant.rs` is testing against live code, not a
+//! stale decoy. The deadlock itself needs a two-thread schedule each
+//! holding one lock — sequentially, both halves complete, which is
+//! exactly why the bug survives casual testing and needs the static rule.
+#![cfg(feature = "lint-mutants")]
+
+#[test]
+fn seeded_abba_halves_each_complete_alone() {
+    let p = simmpi::mutant::Pair::default();
+    assert_eq!(p.ab(), 0);
+    assert_eq!(p.ba(), 0);
+}

@@ -80,7 +80,7 @@ where
     for h in handles {
         // An Err means the worker panicked; its in-flight slot stays
         // `None` and the caller recomputes it.
-        let _ = h.join();
+        h.join().ok();
     }
     // All workers joined (even a panicking worker drops its clone while
     // unwinding), so this Arc is the last one; the empty-vec arm is

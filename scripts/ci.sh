@@ -37,6 +37,8 @@ write_summary() {
     printf '{"ok":%s,"stages":[%s],"artifacts":{' \
       "$([ "$status" -eq 0 ] && echo true || echo false)" "$STAGE_JSON"
     printf '"lint_report":"target/lint-report.json",'
+    printf '"lint_sarif":"target/lint-report.sarif",'
+    printf '"lint_timings":"target/lint-timings.json",'
     printf '"bench_results":"target/BENCH_checkpoint.json",'
     printf '"bench_baseline":"BENCH_checkpoint.json",'
     printf '"bench_redundancy_results":"target/BENCH_redundancy.json",'
@@ -60,16 +62,23 @@ begin "resilience-invariant lints (crates/lint)"
 # stays silent on its clean twin, so a clean workspace scan means "no
 # violations", not "linter rotted".
 cargo run -q -p lint -- --self-check
-# Workspace scan: fails on any diagnostic not justified in
-# lint-baseline.txt; the machine-readable report is kept as a CI artifact.
-# LINT_DEEP=1 widens call resolution across crate boundaries (slower,
-# stricter — the default scan keeps resolution within each crate):
-#   LINT_DEEP=1 scripts/ci.sh
-cargo run -q -p lint -- --report target/lint-report.json
-# The analyzer must also catch the seeded violation when mutants are
-# opted in, and the seeded violation must really be a bug:
+# Workspace scan, in both resolution modes: fails on any diagnostic not
+# justified in lint-baseline.txt — and on any stale baseline entry. The
+# shallow scan keeps call resolution within each crate and emits the
+# machine-readable artifacts (JSON report, SARIF 2.1.0 log, per-rule pass
+# timings); the LINT_DEEP=1 scan widens resolution across crate
+# boundaries (slower, stricter) and must be just as clean.
+cargo run -q -p lint -- \
+  --report target/lint-report.json \
+  --sarif target/lint-report.sarif \
+  --timings target/lint-timings.json
+LINT_DEEP=1 cargo run -q -p lint -- --root .
+# The analyzer must also catch the seeded violations (panic-reach,
+# protocol-typestate, collective-match, lock-order, blocking-while-locked)
+# when mutants are opted in, and the seeded code must really compile:
 cargo test -q -p lint --test mutant
 cargo test -q -p fenix --features lint-mutants
+cargo test -q -p simmpi --features lint-mutants
 end
 
 begin "tier-1: cargo build --release"
