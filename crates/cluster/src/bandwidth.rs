@@ -13,8 +13,10 @@
 //! slowest one determines completion.
 
 use parking_lot::Mutex;
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 
+use crate::clock::Clock;
 use crate::TimeScale;
 
 /// A shared channel with a fixed modeled bandwidth.
@@ -25,24 +27,40 @@ pub struct Governor {
     latency: Duration,
     state: Mutex<State>,
     scale: TimeScale,
+    /// Time source for queue bookkeeping. Wall by default; a discrete-event
+    /// scheduler shares one virtual clock across every governor instead.
+    clock: Arc<Clock>,
 }
 
 struct State {
-    /// The modeled instant (measured on the real clock, pre-scaling) at
-    /// which the channel next becomes free.
-    next_free: Option<Instant>,
+    /// Clock time (nanoseconds on `Governor::clock`, pre-scaling) at which
+    /// the channel next becomes free.
+    next_free_ns: Option<u64>,
 }
 
 impl Governor {
-    /// Create a governor delivering `rate` bytes per modeled second.
+    /// Create a governor delivering `rate` bytes per modeled second,
+    /// tracking queue time on a wall [`Clock`].
     pub fn new(rate: f64, latency: Duration, scale: TimeScale) -> Self {
+        Self::with_clock(rate, latency, scale, Arc::new(Clock::wall()))
+    }
+
+    /// Create a governor on an explicit time source. Pass a shared
+    /// [`Clock::virtual_at`] to drive reservations from simulated time.
+    pub fn with_clock(rate: f64, latency: Duration, scale: TimeScale, clock: Arc<Clock>) -> Self {
         assert!(rate > 0.0, "bandwidth rate must be positive");
         Governor {
             rate,
             latency,
-            state: Mutex::new(State { next_free: None }),
+            state: Mutex::new(State { next_free_ns: None }),
             scale,
+            clock,
         }
+    }
+
+    /// The time source this governor tracks its queue on.
+    pub fn clock(&self) -> &Arc<Clock> {
+        &self.clock
     }
 
     /// The configured rate in bytes per modeled second.
@@ -63,15 +81,16 @@ impl Governor {
         // by `scale` so that the queue drains at the same (real-time) rate at
         // which callers actually sleep.
         let real_service = self.scale.to_real(service);
-        let now = Instant::now();
+        let now_ns = self.clock.now_ns();
+        let service_ns = real_service.as_nanos().min(u128::from(u64::MAX)) as u64;
         let mut st = self.state.lock();
-        let start = match st.next_free {
-            Some(nf) if nf > now => nf,
-            _ => now,
+        let start_ns = match st.next_free_ns {
+            Some(nf) if nf > now_ns => nf,
+            _ => now_ns,
         };
-        let done = start + real_service;
-        st.next_free = Some(done);
-        let real_wait = done - now;
+        let done_ns = start_ns.saturating_add(service_ns);
+        st.next_free_ns = Some(done_ns);
+        let real_wait = Duration::from_nanos(done_ns - now_ns);
         // Convert the real wait back to modeled units for the caller.
         if self.scale.0 > 0.0 {
             real_wait.div_f64(self.scale.0)
@@ -159,5 +178,18 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_rate_panics() {
         let _ = Governor::new(0.0, Duration::ZERO, TimeScale::instant());
+    }
+
+    #[test]
+    fn virtual_clock_queueing_is_deterministic() {
+        // On a virtual clock, reservation is a pure function of queue state:
+        // exact results, no real time consulted.
+        let clock = Arc::new(Clock::virtual_at(0));
+        let g = Governor::with_clock(1000.0, Duration::ZERO, TimeScale::realtime(), clock.clone());
+        assert_eq!(g.reserve(1000), Duration::from_secs(1));
+        assert_eq!(g.reserve(1000), Duration::from_secs(2));
+        // Advancing simulated time drains the queue.
+        clock.advance(2_000_000_000);
+        assert_eq!(g.reserve(1000), Duration::from_secs(1));
     }
 }

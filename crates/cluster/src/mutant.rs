@@ -1,0 +1,32 @@
+//! Seeded effect violations, compiled only under the `lint-mutants`
+//! feature (mirroring `crates/fenix/src/mutant.rs`).
+//!
+//! `crates/lint/tests/mutant.rs` proves the effect engine catches the
+//! wall-clock sleep below *interprocedurally* — the sleep hides two helper
+//! hops below the rank entry point — and that it stays invisible without
+//! the opt-in, so the default workspace scan remains clean.
+
+/// A rank entry point by name (`Governor::transfer` roots the
+/// `rank-path-effects` traversal) whose effect site is two calls away.
+#[cfg(feature = "lint-mutants")]
+pub struct Governor;
+
+#[cfg(feature = "lint-mutants")]
+impl Governor {
+    pub fn transfer(&self, bytes: usize) -> usize {
+        self.warmup_settle(bytes)
+    }
+
+    /// First hop: still clean — only the helper below misbehaves.
+    fn warmup_settle(&self, bytes: usize) -> usize {
+        self.warmup_backoff();
+        bytes
+    }
+
+    /// BUG (on purpose): burns real wall-clock time on the transfer path —
+    /// exactly the effect class the DES migration must exclude, and
+    /// invisible to any per-file rule because the entry point is clean.
+    fn warmup_backoff(&self) {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}

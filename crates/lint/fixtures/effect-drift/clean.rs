@@ -1,0 +1,22 @@
+//! Clean: the same worker join, sanctioned with a justification — the
+//! site still appears in the effects inventory (flagged sanctioned) but
+//! no longer drifts.
+
+pub struct Router {
+    worker: Option<std::thread::JoinHandle<u64>>,
+}
+
+impl Router {
+    pub fn recv(&mut self) -> u64 {
+        self.drain_worker()
+    }
+
+    fn drain_worker(&mut self) -> u64 {
+        match self.worker.take() {
+            // lint: sanction(blocks): teardown join of the flush worker;
+            // the DES scheduler parks the rank task instead. audited 2026-08.
+            Some(handle) => handle.join().unwrap_or(0),
+            None => 0,
+        }
+    }
+}

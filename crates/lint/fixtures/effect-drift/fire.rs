@@ -1,0 +1,22 @@
+//! Fire: a blocking worker join appears on the rank path with no
+//! sanction pragma and no entry in the committed effects inventory —
+//! `effect-drift` must fail the scan until the site is fixed or
+//! sanctioned. (`rank-path-effects` stays quiet: plain blocking is
+//! allowed on the rank path, but it must be *inventoried*.)
+
+pub struct Router {
+    worker: Option<std::thread::JoinHandle<u64>>,
+}
+
+impl Router {
+    pub fn recv(&mut self) -> u64 {
+        self.drain_worker()
+    }
+
+    fn drain_worker(&mut self) -> u64 {
+        match self.worker.take() {
+            Some(handle) => handle.join().unwrap_or(0),
+            None => 0,
+        }
+    }
+}

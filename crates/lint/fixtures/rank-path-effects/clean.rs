@@ -1,0 +1,23 @@
+//! Clean: the same mailbox loop timed against a governor-owned virtual
+//! clock. The single remaining wall-clock read sits at the clock seam and
+//! carries a sanction pragma — the rule stays quiet and the site shows up
+//! in the effects inventory as sanctioned.
+
+pub struct Router {
+    virtual_ns: u64,
+}
+
+impl Router {
+    pub fn recv(&mut self) -> u64 {
+        let waited = self.poll_backoff();
+        self.virtual_ns += waited;
+        waited
+    }
+
+    fn poll_backoff(&self) -> u64 {
+        // lint: sanction(wall-clock): governor-owned clock seam; the DES
+        // scheduler swaps this read for virtual time. audited 2026-08.
+        let t0 = std::time::Instant::now();
+        t0.elapsed().as_nanos() as u64
+    }
+}

@@ -1,0 +1,23 @@
+//! Fire: a mailbox receive loop whose poll backoff reads the wall clock
+//! two calls deep — exactly the hidden dependency the DES refactor must
+//! eliminate before virtual time can replace real time.
+
+pub struct Router {
+    last_wait_ns: u64,
+}
+
+impl Router {
+    pub fn recv(&mut self) -> u64 {
+        let waited = self.poll_backoff();
+        self.last_wait_ns = waited;
+        waited
+    }
+
+    fn poll_backoff(&self) -> u64 {
+        let t0 = std::time::Instant::now();
+        spin_once();
+        t0.elapsed().as_nanos() as u64
+    }
+}
+
+fn spin_once() {}

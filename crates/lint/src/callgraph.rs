@@ -24,6 +24,10 @@ pub type FnId = (usize, usize);
 
 /// The parsed workspace: every `.rs` file the analyzer looked at.
 pub struct Workspace {
+    /// Filesystem root the workspace was loaded from (`None` for
+    /// synthetic workspaces — fixtures and unit tests). `effect-drift`
+    /// reads the committed `effects-inventory.json` relative to it.
+    pub root: Option<std::path::PathBuf>,
     pub files: Vec<ParsedFile>,
 }
 
@@ -232,6 +236,7 @@ mod tests {
 
     fn ws(files: &[(&str, &str, &str)]) -> Workspace {
         Workspace {
+            root: None,
             files: files
                 .iter()
                 .map(|(rel, krate, src)| ParsedFile::parse(rel, krate, src, false))

@@ -27,6 +27,7 @@
 pub mod callgraph;
 pub mod cfg;
 pub mod diag;
+pub mod effects;
 pub mod lexer;
 pub mod parser;
 pub mod rules;
@@ -110,7 +111,10 @@ pub fn load_workspace(root: &Path) -> std::io::Result<Workspace> {
         let src = std::fs::read_to_string(&path)?;
         files.push(ParsedFile::parse(&rel, &krate, &src, is_test));
     }
-    Ok(Workspace { files })
+    Ok(Workspace {
+        root: Some(root.to_path_buf()),
+        files,
+    })
 }
 
 /// Run every rule over an already-loaded workspace.
@@ -137,6 +141,8 @@ fn fixture_rel(rule: &str) -> &'static str {
         "thread-spawn" => "crates/simmpi/src/__fixture__.rs",
         "protocol-typestate" | "collective-match" => "crates/fenix/src/__fixture__.rs",
         "lock-order" | "blocking-while-locked" => "crates/simmpi/src/__fixture__.rs",
+        "rank-path-effects" | "effect-drift" => "crates/simmpi/src/__fixture__.rs",
+        "blocking-in-governor" => "crates/cluster/src/__fixture__.rs",
         // single-exit, protect-pairing, reset-order, unsafe-comment.
         _ => "crates/resilience/src/__fixture__.rs",
     }
@@ -148,6 +154,7 @@ pub fn analyze_fixture(rule: &str, src: &str) -> Vec<Diagnostic> {
     let rel = fixture_rel(rule);
     let krate = classify(rel).map(|(c, _)| c).unwrap_or_default();
     let ws = Workspace {
+        root: None,
         files: vec![ParsedFile::parse(rel, &krate, src, false)],
     };
     analyze(&ws, GraphOpts::default())
@@ -156,12 +163,31 @@ pub fn analyze_fixture(rule: &str, src: &str) -> Vec<Diagnostic> {
 /// Verify every rule against its checked-in fixtures: `fire.rs` must
 /// trigger the rule, `clean.rs` must produce no findings at all. Returns
 /// per-rule fire counts.
+///
+/// The fixture tree is also *discovered*: a fixture directory with no
+/// registered rule is an error (a rule was removed or renamed without its
+/// fixtures), just as a registered rule without its fire/clean pair is —
+/// so a new rule can never silently ship uncovered in either direction.
 pub fn self_check(fixture_root: &Path) -> Result<Vec<(&'static str, usize)>, String> {
     if !fixture_root.is_dir() {
         return Err(format!(
             "fixture directory {} does not exist",
             fixture_root.display()
         ));
+    }
+    let entries = std::fs::read_dir(fixture_root)
+        .map_err(|e| format!("cannot list {}: {e}", fixture_root.display()))?;
+    for entry in entries.flatten() {
+        if !entry.path().is_dir() {
+            continue;
+        }
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if !rules::ALL_RULES.contains(&name.as_ref()) {
+            return Err(format!(
+                "{name}: orphan fixture directory — no registered rule with this id"
+            ));
+        }
     }
     let mut counts = Vec::new();
     for &rule in rules::ALL_RULES {
@@ -209,6 +235,7 @@ struct CliOpts {
     timings: Option<PathBuf>,
     baseline: Option<PathBuf>,
     trace: Option<PathBuf>,
+    effects: Option<PathBuf>,
     deep: bool,
     mutants: bool,
     self_check: bool,
@@ -223,6 +250,7 @@ fn parse_args() -> Result<CliOpts, String> {
         timings: None,
         baseline: None,
         trace: None,
+        effects: None,
         deep: std::env::var("LINT_DEEP")
             .map(|v| v == "1")
             .unwrap_or(false),
@@ -250,6 +278,7 @@ fn parse_args() -> Result<CliOpts, String> {
             "--timings" => opts.timings = Some(PathBuf::from(value("--timings")?)),
             "--baseline" => opts.baseline = Some(PathBuf::from(value("--baseline")?)),
             "--trace" => opts.trace = Some(PathBuf::from(value("--trace")?)),
+            "--effects" => opts.effects = Some(PathBuf::from(value("--effects")?)),
             "--deep" => opts.deep = true,
             "--mutants" => opts.mutants = true,
             "--self-check" => opts.self_check = true,
@@ -287,7 +316,7 @@ pub fn cli_main() {
             eprintln!(
                 "usage: lint [--root DIR] [--format human|json|sarif] [--report PATH] \
                  [--sarif PATH] [--timings PATH] [--baseline PATH] [--trace PATH] \
-                 [--deep] [--mutants] [--self-check]"
+                 [--effects PATH] [--deep] [--mutants] [--self-check]"
             );
             std::process::exit(2);
         }
@@ -324,15 +353,16 @@ pub fn cli_main() {
     let outcome = rec.time(telemetry::Phase::StaticAnalysis, || {
         let ws = load_workspace(&opts.root)?;
         let (diags, timings) = analyze_timed(&ws, graph_opts);
-        Ok::<_, std::io::Error>((ws.files.len(), diags, timings))
+        Ok::<_, std::io::Error>((ws, diags, timings))
     });
-    let (files_scanned, diags, timings) = match outcome {
+    let (ws, diags, timings) = match outcome {
         Ok(v) => v,
         Err(e) => {
             eprintln!("lint: failed to read workspace: {e}");
             std::process::exit(2);
         }
     };
+    let files_scanned = ws.files.len();
     for &rule in rules::ALL_RULES {
         let n = diags.iter().filter(|d| d.rule == rule).count() as u64;
         tel.metrics().counter(&format!("lint.{rule}")).add(n);
@@ -400,6 +430,15 @@ pub fn cli_main() {
     }
     if let Some(path) = &opts.timings {
         write_out(path, "timings", render_timings(&timings));
+    }
+    if let Some(path) = &opts.effects {
+        let fx = effects::EffectAnalysis::run(&ws, graph_opts);
+        let inventory = fx.inventory(&ws, graph_opts);
+        write_out(
+            path,
+            "effects inventory",
+            effects::render_inventory(&inventory),
+        );
     }
     if let Some(trace) = &opts.trace {
         let snap = tel.snapshot();

@@ -521,6 +521,7 @@ mod tests {
 
     fn run(files: &[(&str, &str)]) -> Vec<Diagnostic> {
         let ws = Workspace {
+            root: None,
             files: files
                 .iter()
                 .map(|(rel, src)| {

@@ -110,6 +110,60 @@ pub const STALE_METADATA_READS: &[&str] = &[
     "checkpoint_bytes",
 ];
 
+/// Rank entry points: the code a simulated rank executes — the simmpi
+/// mailbox loop, the Fenix recovery handlers, the KR region machinery,
+/// and the modeled transfers they ride on. `rank-path-effects` and the
+/// effects inventory root their traversal here. Patterns with `::` match
+/// the qualified name exactly; bare names match only free functions.
+pub const RANK_ENTRY_FNS: &[(&str, &[&str])] = &[
+    ("simmpi", &["Router::send", "Router::recv"]),
+    (
+        "fenix",
+        &[
+            "run",
+            "Fenix::fire_callbacks",
+            "Fenix::apply_repair",
+            "Fenix::repair_rendezvous",
+        ],
+    ),
+    (
+        "kokkos-resilience",
+        &[
+            "Context::checkpoint",
+            "Context::checkpoint_wait",
+            "Context::reset",
+        ],
+    ),
+    (
+        "cluster",
+        &["Network::transfer", "Network::egress", "Governor::transfer"],
+    ),
+];
+
+/// Reservation math and export callbacks that must never park the
+/// thread: bandwidth-governor bookkeeping runs under the governor lock,
+/// and the telemetry exporters run on live failure-timeline paths.
+/// `blocking-in-governor` roots here.
+pub const GOVERNOR_FNS: &[(&str, &[&str])] = &[
+    (
+        "cluster",
+        &[
+            "Governor::reserve",
+            "Governor::service_time",
+            "Network::reserve_transfer",
+        ],
+    ),
+    (
+        "telemetry",
+        &[
+            "event_fields",
+            "to_jsonl",
+            "to_chrome_trace",
+            "failure_timeline",
+        ],
+    ),
+];
+
 /// All rule identifiers, in report order.
 pub const ALL_RULES: &[&str] = &[
     "single-exit",
@@ -126,7 +180,92 @@ pub const ALL_RULES: &[&str] = &[
     "collective-match",
     "lock-order",
     "blocking-while-locked",
+    "rank-path-effects",
+    "blocking-in-governor",
+    "effect-drift",
 ];
+
+/// One-line rule descriptions, rendered as SARIF `shortDescription` and
+/// kept in lockstep with [`ALL_RULES`] (a unit test enforces the pairing).
+pub const RULE_META: &[(&str, &str)] = &[
+    (
+        "single-exit",
+        "A protected region must leave through exactly one success exit",
+    ),
+    (
+        "protect-pairing",
+        "Every protect() needs its matching unprotect() on all paths",
+    ),
+    (
+        "reset-order",
+        "Context::reset must precede metadata reads after a failure",
+    ),
+    (
+        "delta-base-reset",
+        "Delta chains must re-base after a restore or membership change",
+    ),
+    (
+        "dropped-result",
+        "A Result on a recovery path must be consumed, not dropped",
+    ),
+    (
+        "panic-reach",
+        "No panic site may be reachable from a recovery entry point",
+    ),
+    (
+        "wildcard-match",
+        "Failure-enum matches must be exhaustive, no catch-all arms",
+    ),
+    (
+        "unsafe-comment",
+        "Every unsafe needs a SAFETY comment within ten lines",
+    ),
+    (
+        "relaxed-sync",
+        "Ordering::Relaxed is forbidden on synchronization-carrying atomics",
+    ),
+    (
+        "thread-spawn",
+        "Model-checked crates must spawn through the loom-aware shims",
+    ),
+    (
+        "protocol-typestate",
+        "Checkpoint/capture/ULFM call sequences must follow their automata",
+    ),
+    (
+        "collective-match",
+        "Collectives must be invoked uniformly across rank-dependent branches",
+    ),
+    (
+        "lock-order",
+        "Workspace lock acquisition order must stay acyclic",
+    ),
+    (
+        "blocking-while-locked",
+        "No blocking call while holding a lock guard",
+    ),
+    (
+        "rank-path-effects",
+        "No wall-clock, nondeterminism, or thread spawns reachable from rank entry points",
+    ),
+    (
+        "blocking-in-governor",
+        "No blocking inside bandwidth-governor math or telemetry export callbacks",
+    ),
+    (
+        "effect-drift",
+        "Unsanctioned effect sites on the rank path must match the committed inventory",
+    ),
+];
+
+/// The one-line description for a rule id (`""` for unknown ids).
+pub fn rule_short(id: &str) -> &'static str {
+    RULE_META
+        .iter()
+        .find(|(r, _)| *r == id)
+        .map(|(_, d)| *d)
+        .unwrap_or("")
+}
 
 pub fn in_crates(krate: &str, list: &[&str]) -> bool {
     list.contains(&krate)
@@ -150,6 +289,11 @@ pub fn run_all_timed(
     let resolver = Resolver::new(ws, opts);
     let mut diags: Vec<Diagnostic> = Vec::new();
     let mut timings: Vec<(&'static str, std::time::Duration)> = Vec::new();
+    // The effect summaries are shared by three rules; the inference cost
+    // gets its own timing entry so the per-rule numbers stay honest.
+    let t0 = std::time::Instant::now();
+    let fx = crate::effects::EffectAnalysis::run(ws, opts);
+    timings.push(("effects-infer", t0.elapsed()));
     {
         let mut pass = |name: &'static str, f: &mut dyn FnMut() -> Vec<Diagnostic>| {
             let t0 = std::time::Instant::now();
@@ -176,6 +320,15 @@ pub fn run_all_timed(
             collective_match::check(ws, &resolver, opts)
         });
         pass("lock-order", &mut || lockorder::check(ws, &resolver, opts));
+        pass("rank-path-effects", &mut || {
+            crate::effects::check_rank_path(ws, &fx, opts)
+        });
+        pass("blocking-in-governor", &mut || {
+            crate::effects::check_governor(ws, &fx, opts)
+        });
+        pass("effect-drift", &mut || {
+            crate::effects::check_drift(ws, &fx, opts)
+        });
     }
     // Stable order, then full-tuple dedupe: deep mode can re-resolve a
     // call the shallow pass already reported (same rule, site, and

@@ -449,6 +449,7 @@ mod tests {
 
     fn ws(files: &[(&str, &str)]) -> Workspace {
         Workspace {
+            root: None,
             files: files
                 .iter()
                 .map(|(rel, src)| {

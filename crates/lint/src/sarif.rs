@@ -25,9 +25,14 @@ pub fn render(diags: &[Diagnostic]) -> String {
     for (i, rule) in rules::ALL_RULES.iter().enumerate() {
         let _ = write!(
             out,
-            "            {{\"id\": {}, \"name\": {}}}",
+            "            {{\"id\": {}, \"name\": {}, \"shortDescription\": {{\"text\": {}}}, \
+             \"helpUri\": {}}}",
             json_str(rule),
-            json_str(&rule_name(rule))
+            json_str(&rule_name(rule)),
+            json_str(rules::rule_short(rule)),
+            json_str(&format!(
+                "https://example.invalid/layered-resilience/crates/lint/rules#{rule}"
+            ))
         );
         out.push_str(if i + 1 < rules::ALL_RULES.len() {
             ",\n"
@@ -110,5 +115,35 @@ mod tests {
     fn empty_run_is_still_a_valid_log() {
         let s = render(&[]);
         assert!(s.contains("\"results\": [\n      ]"));
+    }
+
+    #[test]
+    fn rules_array_matches_registry_with_full_metadata() {
+        // Satellite: the SARIF `rules` array length must equal the
+        // registered-rule count, and every entry carries the full
+        // metadata (shortDescription + helpUri).
+        let s = render(&[]);
+        let driver = s
+            .split("\"results\"")
+            .next()
+            .expect("driver section precedes results");
+        let ids = driver.matches("\"id\": ").count();
+        let shorts = driver.matches("\"shortDescription\"").count();
+        let uris = driver.matches("\"helpUri\"").count();
+        assert_eq!(ids, rules::ALL_RULES.len());
+        assert_eq!(shorts, rules::ALL_RULES.len());
+        assert_eq!(uris, rules::ALL_RULES.len());
+        // And every description is non-empty — RULE_META covers the
+        // registry exactly.
+        assert_eq!(rules::RULE_META.len(), rules::ALL_RULES.len());
+        for rule in rules::ALL_RULES {
+            assert!(
+                !rules::rule_short(rule).is_empty(),
+                "{rule} has no shortDescription"
+            );
+        }
+        for (rule, _) in rules::RULE_META {
+            assert!(rules::ALL_RULES.contains(rule), "{rule} not registered");
+        }
     }
 }

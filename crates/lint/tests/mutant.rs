@@ -95,4 +95,25 @@ fn seeded_mutant_is_caught_only_with_opt_in() {
         blocking.func
     );
     assert!(blocking.msg.contains("recv_bytes"), "{}", blocking.msg);
+
+    // The effect engine must trace the wall-clock sleep two helper hops
+    // below the `Governor::transfer` rank entry point, witness chain and
+    // all — and the `without` assertion above proves the gated mutant
+    // stays invisible to the default scan.
+    let effects = with
+        .iter()
+        .find(|d| d.rule == "rank-path-effects" && d.file == "crates/cluster/src/mutant.rs")
+        .expect("rank-path-effects must flag the seeded wall-clock sleep");
+    assert!(
+        effects.func.contains("warmup_backoff"),
+        "the finding must land on the helper holding the sleep, got {}",
+        effects.func
+    );
+    assert!(
+        effects.msg.contains("Governor::transfer")
+            && effects.msg.contains("warmup_settle")
+            && effects.msg.contains("warmup_backoff"),
+        "the witness chain must walk entry -> helper -> site: {}",
+        effects.msg
+    );
 }

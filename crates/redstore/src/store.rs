@@ -379,6 +379,8 @@ impl<'a> RedundancyGroup<'a> {
         let orig_len = data.len() as u64;
 
         // Encode.
+        // lint: sanction(wall-clock): encode-latency histogram; metrics
+        // only, never feeds control flow. audited 2026-08.
         let t0 = Instant::now();
         let outgoing: Vec<(usize, u8, Bytes)> = match mode {
             RedundancyMode::Replicate { k } => (1..k)
@@ -412,6 +414,8 @@ impl<'a> RedundancyGroup<'a> {
             label: "redstore.encode".into(),
         });
         if let Some(m) = recorder.metrics() {
+            // lint: sanction(wall-clock): encode-latency histogram; metrics
+            // only, never feeds control flow. audited 2026-08.
             m.histogram("redstore.encode_ns")
                 .record(t0.elapsed().as_nanos() as u64);
         }
@@ -568,6 +572,8 @@ impl<'a> RedundancyGroup<'a> {
 
         // Recovering ranks collect and reconstruct.
         if recovering.contains(&me) {
+            // lint: sanction(wall-clock): reconstruct-latency histogram;
+            // metrics only, never feeds control flow. audited 2026-08.
             let t0 = Instant::now();
             let (gi, pos) = committed
                 .locate(me)
@@ -629,6 +635,8 @@ impl<'a> RedundancyGroup<'a> {
                 label: "redstore.reconstruct".into(),
             });
             if let Some(m) = recorder.metrics() {
+                // lint: sanction(wall-clock): reconstruct-latency histogram;
+                // metrics only, never feeds control flow. audited 2026-08.
                 m.histogram("redstore.reconstruct_ns")
                     .record(t0.elapsed().as_nanos() as u64);
             }

@@ -60,6 +60,9 @@ impl Profile {
             // The recorder's span books inclusive time into `self.acc`.
             Some(rec) => rec.time(phase, f),
             None => {
+                // lint: sanction(wall-clock): phase-time accounting for the
+                // paper's figures; read-only instrumentation, never feeds
+                // control flow. audited 2026-08.
                 let t0 = Instant::now();
                 let out = f();
                 self.acc.add(phase, t0.elapsed());

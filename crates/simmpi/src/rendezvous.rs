@@ -184,6 +184,9 @@ impl Router {
                 continue; // next loop iteration picks the result up
             }
 
+            // lint: sanction(blocks): the agreement wait point; every state
+            // transition notifies, and the DES scheduler turns this park
+            // into a task yield. audited 2026-08.
             entry.cv.wait_for(&mut st, Duration::from_millis(250));
         }
     }

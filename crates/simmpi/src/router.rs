@@ -325,6 +325,9 @@ impl Router {
             }
             // Bounded wait: all state transitions notify, the timeout is a
             // belt-and-braces re-check.
+            // lint: sanction(blocks): the mailbox wait point — the single
+            // blocking receive of the rank loop, and the seam where the DES
+            // scheduler will yield the rank task. audited 2026-08.
             mb.cv.wait_for(&mut queue, Duration::from_millis(250));
         }
     }

@@ -112,6 +112,8 @@ impl Telemetry {
 
     /// Nanoseconds since this telemetry instance was created.
     pub fn now_ns(&self) -> u64 {
+        // lint: sanction(wall-clock): timestamps for traces and metrics;
+        // observability only, never read back by the model. audited 2026-08.
         self.inner.epoch.elapsed().as_nanos() as u64
     }
 
@@ -267,6 +269,9 @@ impl Recorder {
     pub fn emit(&self, event: Event) {
         #[cfg(feature = "events")]
         if let Some(inner) = &self.inner {
+            // lint: sanction(wall-clock): event timestamping against the
+            // recorder epoch; observability only, never read back by the
+            // model. audited 2026-08.
             let words = event.encode(
                 inner.tel.epoch.elapsed().as_nanos() as u64,
                 &inner.tel.interner,

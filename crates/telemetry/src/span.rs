@@ -45,6 +45,9 @@ impl SpanGuard {
         SpanGuard {
             rec,
             phase,
+            // lint: sanction(wall-clock): span timing for profiles and
+            // traces; observability only, never read back by the model.
+            // audited 2026-08.
             t0: Instant::now(),
         }
     }

@@ -195,6 +195,9 @@ impl ActiveBackend {
     pub fn wait(&self) {
         let mut c = self.pending.count.lock();
         while *c > 0 {
+            // lint: sanction(blocks): the checkpoint drain barrier (VeloC
+            // checkpoint_wait semantics); the DES scheduler parks the rank
+            // task here instead of the thread. audited 2026-08.
             self.pending.cv.wait(&mut c);
         }
     }

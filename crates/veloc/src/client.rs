@@ -495,6 +495,8 @@ impl Client {
     /// synchronously (nothing is ever outstanding).
     pub fn checkpoint_wait(&self) {
         if let Some(backend) = &self.backend {
+            // lint: sanction(blocks): delegates to the backend drain
+            // barrier; same DES yield point. audited 2026-08.
             backend.wait();
         }
     }

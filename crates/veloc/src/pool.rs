@@ -66,6 +66,8 @@ where
     let mut handles = Vec::with_capacity(fan_out - 1);
     for i in 0..fan_out - 1 {
         let shared = Arc::clone(&shared);
+        // lint: sanction(spawns): bounded pack-pool workers, joined before
+        // return — parallelism is invisible to callers. audited 2026-08.
         let spawned = thread::Builder::new()
             .name(format!("veloc-pack-{i}"))
             .spawn(move || drain(&shared));
@@ -80,6 +82,8 @@ where
     for h in handles {
         // An Err means the worker panicked; its in-flight slot stays
         // `None` and the caller recomputes it.
+        // lint: sanction(blocks): scoped join of the pack pool spawned
+        // above; bounded by the workers' own drain. audited 2026-08.
         h.join().ok();
     }
     // All workers joined (even a panicking worker drops its clone while

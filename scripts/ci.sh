@@ -39,6 +39,8 @@ write_summary() {
     printf '"lint_report":"target/lint-report.json",'
     printf '"lint_sarif":"target/lint-report.sarif",'
     printf '"lint_timings":"target/lint-timings.json",'
+    printf '"effects_inventory":"target/effects-inventory.json",'
+    printf '"effects_snapshot":"effects-inventory.json",'
     printf '"bench_results":"target/BENCH_checkpoint.json",'
     printf '"bench_baseline":"BENCH_checkpoint.json",'
     printf '"bench_redundancy_results":"target/BENCH_redundancy.json",'
@@ -66,19 +68,26 @@ cargo run -q -p lint -- --self-check
 # justified in lint-baseline.txt — and on any stale baseline entry. The
 # shallow scan keeps call resolution within each crate and emits the
 # machine-readable artifacts (JSON report, SARIF 2.1.0 log, per-rule pass
-# timings); the LINT_DEEP=1 scan widens resolution across crate
-# boundaries (slower, stricter) and must be just as clean.
+# timings, and the interprocedural effects inventory — `effect-drift`
+# inside the scan compares that inventory against the committed
+# effects-inventory.json snapshot, so any new wall-clock/blocking/spawn/
+# non-determinism site fails here until fixed or sanctioned); the
+# LINT_DEEP=1 scan widens resolution across crate boundaries (slower,
+# stricter) and must be just as clean.
 cargo run -q -p lint -- \
   --report target/lint-report.json \
   --sarif target/lint-report.sarif \
-  --timings target/lint-timings.json
+  --timings target/lint-timings.json \
+  --effects target/effects-inventory.json
 LINT_DEEP=1 cargo run -q -p lint -- --root .
 # The analyzer must also catch the seeded violations (panic-reach,
-# protocol-typestate, collective-match, lock-order, blocking-while-locked)
-# when mutants are opted in, and the seeded code must really compile:
+# protocol-typestate, collective-match, lock-order, blocking-while-locked,
+# rank-path-effects) when mutants are opted in, and the seeded code must
+# really compile:
 cargo test -q -p lint --test mutant
 cargo test -q -p fenix --features lint-mutants
 cargo test -q -p simmpi --features lint-mutants
+cargo test -q -p cluster --features lint-mutants
 end
 
 begin "tier-1: cargo build --release"

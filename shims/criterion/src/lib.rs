@@ -144,12 +144,15 @@ impl Bencher {
     {
         // Warm-up: also estimates the per-iteration cost so each sample
         // can batch enough iterations to dominate timer resolution.
+        // lint: sanction(wall-clock): the bench harness measures real time
+        // by design; never on a rank path. audited 2026-08.
         let warm_start = Instant::now();
         let mut warm_iters: u64 = 0;
         while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
             black_box(routine());
             warm_iters += 1;
         }
+        // lint: sanction(wall-clock): bench harness timing. audited 2026-08.
         let per_iter = warm_start.elapsed().div_f64(warm_iters as f64);
 
         let budget = self.measurement_time.div_f64(self.sample_size as f64);
@@ -163,11 +166,15 @@ impl Bencher {
 
         self.samples.clear();
         for _ in 0..self.sample_size {
+            // lint: sanction(wall-clock): bench harness sample timing; real
+            // time is the measurement itself. audited 2026-08.
             let start = Instant::now();
             for _ in 0..iters_per_sample {
                 black_box(routine());
             }
             self.samples
+                // lint: sanction(wall-clock): bench harness sample timing.
+                // audited 2026-08.
                 .push(start.elapsed().div_f64(iters_per_sample as f64));
         }
     }

@@ -76,6 +76,9 @@ pub mod channel {
                 if st.senders == 0 {
                     return Err(RecvError);
                 }
+                // lint: sanction(blocks): blocking channel receive — that is
+                // the shim's contract; the DES layer replaces the channel
+                // wholesale. audited 2026-08.
                 self.0.cv.wait(&mut st);
             }
         }
@@ -90,6 +93,8 @@ pub mod channel {
         }
 
         pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            // lint: sanction(blocks): blocking iteration delegates to recv;
+            // same channel contract. audited 2026-08.
             std::iter::from_fn(|| self.recv().ok())
         }
     }

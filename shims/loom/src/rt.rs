@@ -273,6 +273,9 @@ impl Execution {
                 st.tasks[me].woke_by_timeout = false;
                 return wake;
             }
+            // lint: sanction(blocks): the model-checker scheduler parks
+            // every task except the one holding the token; blocking is how
+            // the exploration serializes. audited 2026-08.
             st = self.cv.wait(st).unwrap();
         }
     }
@@ -365,6 +368,8 @@ pub fn spawn_controlled(name: Option<String>, f: Box<dyn FnOnce() + Send>) -> bo
         id
     };
     let exec2 = Arc::clone(&exec);
+    // lint: sanction(spawns): one OS thread per modeled task — the
+    // model-checker shim is the sanctioned OS-thread seam. audited 2026-08.
     let handle = std::thread::Builder::new()
         .name(name.unwrap_or_else(|| format!("loom-task-{id}")))
         .spawn(move || {

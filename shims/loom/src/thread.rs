@@ -40,6 +40,8 @@ impl<T: Send + 'static> JoinHandle<T> {
     /// the panic payload, as with `std`).
     pub fn join(self) -> std::thread::Result<T> {
         match self.0 {
+            // lint: sanction(blocks): join is this type's contract; the
+            // model branch routes through the scheduler. audited 2026-08.
             Inner::Std(h) => h.join(),
             Inner::Model(cell) => {
                 let c = Arc::clone(&cell);
@@ -51,6 +53,8 @@ impl<T: Send + 'static> JoinHandle<T> {
                     if let Some(r) = slot.take() {
                         return r;
                     }
+                    // lint: sanction(blocks): detach fallback for modeled
+                    // join; bounded by task completion. audited 2026-08.
                     slot = cell.cv.wait(slot).unwrap();
                 }
             }
@@ -132,6 +136,8 @@ impl Builder {
         }
         // The modeled branch consumed `f` in its closure; keep the two arms
         // exclusive so the plain branch still owns `f`.
+        // lint: sanction(spawns): the loom shim is the sanctioned OS-thread
+        // seam outside a model run. audited 2026-08.
         b.spawn(f).map(|h| JoinHandle(Inner::Std(h)))
     }
 }

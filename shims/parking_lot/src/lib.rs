@@ -363,10 +363,15 @@ impl Condvar {
         let inner = guard.inner.take().expect("guard present");
         match timeout {
             None => {
+                // lint: sanction(blocks): condvar wait is this shim's
+                // contract; callers carry their own sanctions or fixes.
+                // audited 2026-08.
                 guard.inner = Some(self.inner.wait(inner).unwrap_or_else(|e| e.into_inner()));
                 false
             }
             Some(t) => {
+                // lint: sanction(blocks): bounded condvar wait; same shim
+                // contract. audited 2026-08.
                 let (inner, result) = self
                     .inner
                     .wait_timeout(inner, t)
