@@ -21,6 +21,7 @@ fn cluster(n: usize) -> Cluster {
 
 fn cfg(strategy: Strategy, spares: usize) -> ExperimentConfig {
     ExperimentConfig {
+        backend: Default::default(),
         strategy,
         spares,
         checkpoints: 6,

@@ -1,0 +1,78 @@
+//! 1,024-rank weak-scaling smoke on the DES backend (ISSUE 9 satellite):
+//! a full Heatdis + Fenix/KR run with one injected failure at four-digit
+//! rank counts, on virtual time. The thread-per-rank backend at this scale
+//! would contend 1k OS threads against a handful of cores; under the
+//! deterministic scheduler exactly one rank runs at a time, so the run
+//! completes in tier-1 time and its schedule is a pure function of the
+//! seed.
+//!
+//! `SCALE_RANKS` overrides the rank count for deeper sweeps, e.g.
+//! `SCALE_RANKS=4096 cargo test -q -p apps --release --test scale_smoke`.
+
+use std::sync::Arc;
+
+use apps::Heatdis;
+use cluster::{Cluster, ClusterConfig, RelaunchModel};
+use resilience::{run_experiment, ExperimentConfig, Strategy};
+use simmpi::{Backend, FaultPlan};
+
+fn ranks() -> usize {
+    std::env::var("SCALE_RANKS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1024)
+}
+
+/// 8 ranks per node, virtual time: node topology (buddy placement, NIC
+/// sharing) is exercised at scale, not just flat rank counts.
+fn virtual_cluster(total_ranks: usize) -> Cluster {
+    Cluster::new(ClusterConfig {
+        nodes: total_ranks.div_ceil(8),
+        ranks_per_node: 8,
+        virtual_time: true,
+        relaunch: RelaunchModel::free(),
+        ..ClusterConfig::default()
+    })
+}
+
+#[test]
+fn heatdis_1k_ranks_with_failure_completes_deterministically() {
+    let active = ranks();
+    let spares = 8; // one spare node
+    let app = Heatdis::fixed(2 * 8 * 16 * 8, 16, 8);
+    let cfg = ExperimentConfig {
+        strategy: Strategy::FenixKokkosResilience,
+        spares,
+        checkpoints: 2,
+        backend: Backend::Des { seed: 1024 },
+        ..ExperimentConfig::default()
+    };
+    let run = || {
+        run_experiment(
+            &virtual_cluster(active + spares),
+            &app,
+            &cfg,
+            // One failure past the first checkpoint, in the middle of the
+            // rank grid.
+            Arc::new(FaultPlan::kill_at(active / 2, "iter", 5)),
+        )
+    };
+    let rec = run();
+    // The EXPERIMENTS.md weak-scaling panel is this line at several
+    // SCALE_RANKS values (run with `--nocapture`).
+    println!(
+        "scale_smoke: ranks={} virtual_wall={:?} repairs={} digest={:#x}",
+        rec.ranks, rec.wall, rec.repairs, rec.digest
+    );
+    assert_eq!(rec.ranks, active + spares);
+    assert_eq!(rec.failures, 1);
+    assert!(
+        rec.repairs >= 1,
+        "the kill must have been repaired in place"
+    );
+    assert_eq!(rec.iterations, 8, "recovered run must reach the last step");
+    // Same seed, same schedule: the recovered digest replays exactly.
+    let again = run();
+    assert_eq!(rec.digest, again.digest, "digest must replay bit-for-bit");
+    assert_eq!(rec.wall, again.wall, "virtual wall time must replay");
+}

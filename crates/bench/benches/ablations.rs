@@ -25,6 +25,7 @@ fn checkpoint_interval_sweep(c: &mut Criterion) {
         let cluster = bench_cluster(5);
         let app = Heatdis::fixed(256 * 1024, 128, 30);
         let cfg = ExperimentConfig {
+            backend: Default::default(),
             strategy: Strategy::FenixKokkosResilience,
             spares: 1,
             checkpoints,
@@ -53,6 +54,7 @@ fn imr_vs_veloc_commit(c: &mut Criterion) {
             let cluster = bench_cluster(5);
             let app = Heatdis::fixed(kb * 1024, 128, 12);
             let cfg = ExperimentConfig {
+                backend: Default::default(),
                 strategy,
                 spares: 1,
                 checkpoints: 6,
@@ -81,6 +83,7 @@ fn spare_count_sensitivity(c: &mut Criterion) {
         let cluster = bench_cluster(4 + spares);
         let app = Heatdis::fixed(128 * 1024, 128, 20);
         let cfg = ExperimentConfig {
+            backend: Default::default(),
             strategy: Strategy::FenixKokkosResilience,
             spares,
             checkpoints: 4,

@@ -17,6 +17,7 @@ use simmpi::FaultPlan;
 
 fn cfg(strategy: Strategy) -> ExperimentConfig {
     ExperimentConfig {
+        backend: Default::default(),
         strategy,
         spares: 1,
         checkpoints: 6,

@@ -25,6 +25,7 @@ fn fig6_framework_weak_scaling(c: &mut Criterion) {
             let cluster = bench_cluster(nodes);
             let app = MiniMd::new([3, 3, 3], 15);
             let cfg = ExperimentConfig {
+                backend: Default::default(),
                 strategy,
                 spares: 1,
                 checkpoints: 3,

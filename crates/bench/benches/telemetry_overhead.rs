@@ -23,6 +23,7 @@ use telemetry::{Telemetry, TelemetryConfig};
 
 fn heatdis_cfg(telemetry: Option<Telemetry>) -> ExperimentConfig {
     ExperimentConfig {
+        backend: Default::default(),
         strategy: Strategy::FenixKokkosResilience,
         spares: 1,
         checkpoints: 6,

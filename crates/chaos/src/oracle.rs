@@ -23,7 +23,8 @@ use apps::Heatdis;
 use cluster::{Cluster, ClusterConfig, RelaunchModel, TimeScale};
 use parking_lot::Mutex;
 use resilience::{try_run_experiment, ExperimentConfig, Strategy};
-use telemetry::{Event, Telemetry, TelemetryConfig, TraceSnapshot};
+use simmpi::Backend;
+use telemetry::{Event, Telemetry, TelemetryConfig, TimeSource, TraceSnapshot};
 
 use crate::schedule::{ChaosSchedule, ACTIVE_RANKS, CHECKPOINTS, ITERATIONS};
 
@@ -80,8 +81,14 @@ pub struct CaseReport {
 pub struct Oracle {
     baselines: Mutex<HashMap<(Strategy, usize, usize), u64>>,
     /// Watchdog window for one chaotic run (simulated time is instant, so
-    /// this is pure wall slack; anything near it is a deadlock).
+    /// this is pure wall slack; anything near it is a deadlock). Under the
+    /// DES backend deadlocks surface as typed aborts first; the watchdog
+    /// remains as a livelock backstop.
     pub watchdog: Duration,
+    /// Execution engine for every run this oracle launches. `Des` runs on
+    /// virtual-time clusters with virtually-stamped telemetry, so a
+    /// schedule's verdict *and* timeline are pure functions of the seed.
+    backend: Backend,
 }
 
 impl Default for Oracle {
@@ -90,12 +97,13 @@ impl Default for Oracle {
     }
 }
 
-fn campaign_cluster(nodes: usize, rpn: usize) -> Cluster {
+fn campaign_cluster(nodes: usize, rpn: usize, virtual_time: bool) -> Cluster {
     Cluster::new(ClusterConfig {
         nodes,
         ranks_per_node: rpn,
         time_scale: TimeScale::instant(),
         relaunch: RelaunchModel::free(),
+        virtual_time,
         ..ClusterConfig::default()
     })
 }
@@ -104,7 +112,11 @@ fn campaign_app() -> Heatdis {
     Heatdis::fixed(2 * 8 * 16 * 8, 16, ITERATIONS)
 }
 
-fn experiment_config(sched: &ChaosSchedule, telemetry: Option<Telemetry>) -> ExperimentConfig {
+fn experiment_config(
+    sched: &ChaosSchedule,
+    telemetry: Option<Telemetry>,
+    backend: Backend,
+) -> ExperimentConfig {
     ExperimentConfig {
         strategy: sched.strategy,
         spares: sched.spares,
@@ -114,6 +126,7 @@ fn experiment_config(sched: &ChaosSchedule, telemetry: Option<Telemetry>) -> Exp
         redundancy: None,
         fresh_storage: true,
         telemetry,
+        backend,
     }
 }
 
@@ -129,10 +142,25 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 
 impl Oracle {
     pub fn new() -> Oracle {
+        Self::with_backend(Backend::Threads)
+    }
+
+    /// An oracle whose every launch runs on the given backend.
+    /// `Backend::Des { seed }` turns the campaign into deterministic
+    /// schedule-exploration: the seed picks the interleaving of
+    /// simultaneous events, and replaying a `(schedule, seed)` pair
+    /// reproduces the run bit-for-bit.
+    pub fn with_backend(backend: Backend) -> Oracle {
         Oracle {
             baselines: Mutex::new(HashMap::new()),
             watchdog: Duration::from_secs(30),
+            backend,
         }
+    }
+
+    /// The backend this oracle launches on.
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// Digest of the uninterrupted run (cached). Keyed by the full cluster
@@ -150,7 +178,7 @@ impl Oracle {
             imr: None,
             events: Vec::new(),
         };
-        let digest = match self.launch(&sched, None)? {
+        let digest = match self.launch(&sched, false).0? {
             Ok(d) => d,
             Err(e) => return Err(Violation::Baseline(e)),
         };
@@ -161,14 +189,28 @@ impl Oracle {
     }
 
     /// Run one schedule under the watchdog. `Ok(Ok(digest))` = completed,
-    /// `Ok(Err(msg))` = typed error, `Err` = panic or hang.
+    /// `Ok(Err(msg))` = typed error, `Err` = panic or hang. Also returns
+    /// the telemetry hub when one was requested — it is created here so a
+    /// DES run's hub can stamp events from the cluster's virtual clock.
     fn launch(
         &self,
         sched: &ChaosSchedule,
-        telemetry: Option<Telemetry>,
-    ) -> Result<Result<u64, String>, Violation> {
-        let cluster = campaign_cluster(sched.nodes(), sched.rpn);
-        let cfg = experiment_config(sched, telemetry);
+        want_telemetry: bool,
+    ) -> (Result<Result<u64, String>, Violation>, Option<Telemetry>) {
+        let des = matches!(self.backend, Backend::Des { .. });
+        let cluster = campaign_cluster(sched.nodes(), sched.rpn, des);
+        let telemetry = want_telemetry.then(|| {
+            if des {
+                let clock = Arc::clone(cluster.clock());
+                Telemetry::with_time_source(
+                    TelemetryConfig::default(),
+                    TimeSource::External(Arc::new(move || clock.now_ns())),
+                )
+            } else {
+                Telemetry::new(TelemetryConfig::default())
+            }
+        });
+        let cfg = experiment_config(sched, telemetry.clone(), self.backend);
         let plan = Arc::new(sched.build_plan());
         let (tx, rx) = mpsc::channel();
         // The worker is detached on purpose: if the run deadlocks we report
@@ -180,12 +222,13 @@ impl Oracle {
             }));
             let _ = tx.send(result);
         });
-        match rx.recv_timeout(self.watchdog) {
+        let verdict = match rx.recv_timeout(self.watchdog) {
             Err(_) => Err(Violation::Hang),
             Ok(Err(payload)) => Err(Violation::Panic(panic_message(payload))),
             Ok(Ok(Ok(record))) => Ok(Ok(record.digest)),
             Ok(Ok(Err(e))) => Ok(Err(e.to_string())),
-        }
+        };
+        (verdict, telemetry)
     }
 
     /// Full differential check of one schedule, with evidence.
@@ -199,9 +242,8 @@ impl Oracle {
                 }
             }
         };
-        let tel = Telemetry::new(TelemetryConfig::default());
-        let outcome = self.launch(sched, Some(tel.clone()));
-        let snapshot = tel.snapshot();
+        let (outcome, tel) = self.launch(sched, true);
+        let snapshot = tel.map(|t| t.snapshot()).unwrap_or_default();
         let verdict = match outcome {
             Err(v) => Err(v),
             Ok(terminal) => match check_timeline(&snapshot) {

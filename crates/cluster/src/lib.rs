@@ -36,6 +36,7 @@ pub mod relaunch;
 pub mod scratch;
 pub mod topology;
 
+use std::cell::RefCell;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -49,6 +50,53 @@ pub use pfs::ParallelFileSystem;
 pub use relaunch::RelaunchModel;
 pub use scratch::NodeScratch;
 pub use topology::Topology;
+
+/// A per-thread hook that consumes modeled durations instead of sleeping.
+///
+/// Under the discrete-event backend every modeled sleep must become a
+/// virtual-time event: rank threads install a closure that parks the task
+/// on the scheduler until the simulated clock reaches `now + modeled`, and
+/// driver threads install one that advances the shared [`Clock`] directly.
+/// The hook always receives the **modeled** (pre-[`TimeScale`]) duration.
+pub type VirtualSleeper = Arc<dyn Fn(Duration) + Send + Sync>;
+
+thread_local! {
+    static VIRTUAL_SLEEPER: RefCell<Option<VirtualSleeper>> = const { RefCell::new(None) };
+}
+
+/// Install a [`VirtualSleeper`] on the current thread; the returned guard
+/// restores the previous hook (usually none) when dropped, so a panicking
+/// experiment cannot leak virtual-time behavior into an unrelated caller
+/// reusing the thread.
+pub fn install_virtual_sleeper(hook: VirtualSleeper) -> SleeperGuard {
+    let prev = VIRTUAL_SLEEPER.with(|s| s.borrow_mut().replace(hook));
+    SleeperGuard { prev }
+}
+
+/// Restores the previously installed [`VirtualSleeper`] on drop.
+pub struct SleeperGuard {
+    prev: Option<VirtualSleeper>,
+}
+
+impl Drop for SleeperGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        VIRTUAL_SLEEPER.with(|s| *s.borrow_mut() = prev);
+    }
+}
+
+/// Route `modeled` to the current thread's virtual sleeper, if one is
+/// installed. Returns `true` when the hook consumed the duration.
+fn virtual_sleep(modeled: Duration) -> bool {
+    let hook = VIRTUAL_SLEEPER.with(|s| s.borrow().clone());
+    match hook {
+        Some(hook) => {
+            hook(modeled);
+            true
+        }
+        None => false,
+    }
+}
 
 /// Conversion factor between *modeled* time (what the cost models compute)
 /// and *real* wall-clock time (what threads actually sleep).
@@ -75,7 +123,14 @@ impl TimeScale {
     }
 
     /// Sleep for the scaled equivalent of `modeled`.
+    ///
+    /// When the current thread carries a [`VirtualSleeper`] the modeled
+    /// duration is handed to it *unscaled* and no real time passes — the
+    /// DES backend turns every modeled sleep into a simulated-clock event.
     pub fn sleep(&self, modeled: Duration) {
+        if virtual_sleep(modeled) {
+            return;
+        }
         let real = self.to_real(modeled);
         if !real.is_zero() {
             // lint: sanction(wall-clock, blocks): modeled time is burned as a
@@ -122,6 +177,12 @@ pub struct ClusterConfig {
     pub time_scale: TimeScale,
     /// Job relaunch cost model.
     pub relaunch: RelaunchModel,
+    /// Drive every bandwidth governor from one shared virtual [`Clock`]
+    /// instead of the wall. Set by the DES backend; implies
+    /// `time_scale = realtime()` so governor queue bookkeeping (tracked in
+    /// scaled nanoseconds) coincides with modeled nanoseconds and
+    /// reservation math is an exact function of simulated time.
+    pub virtual_time: bool,
 }
 
 impl Default for ClusterConfig {
@@ -138,6 +199,7 @@ impl Default for ClusterConfig {
             scratch_bandwidth: 40.0e9,
             time_scale: TimeScale::default(),
             relaunch: RelaunchModel::default(),
+            virtual_time: false,
         }
     }
 }
@@ -166,28 +228,46 @@ pub struct Cluster {
     /// Storage-path fault hooks (chaos injection). Shared by every clone so
     /// an injector installed at launch is seen by all layers.
     injector: Arc<RwLock<Option<Arc<dyn FaultInjector>>>>,
+    /// Time source shared by every governor: wall by default, one virtual
+    /// clock for the whole cluster when `config.virtual_time` is set.
+    clock: Arc<Clock>,
 }
 
 impl Cluster {
-    pub fn new(config: ClusterConfig) -> Self {
+    pub fn new(mut config: ClusterConfig) -> Self {
+        if config.virtual_time {
+            // Governor queue state is kept in scaled nanoseconds; a 1:1
+            // scale makes those coincide with modeled nanoseconds on the
+            // shared virtual clock, so queueing math is exact and no real
+            // sleep ever fires (every sleep routes to a VirtualSleeper).
+            config.time_scale = TimeScale::realtime();
+        }
+        let clock = Arc::new(if config.virtual_time {
+            Clock::virtual_at(0)
+        } else {
+            Clock::wall()
+        });
         let topology = Topology::new(config.nodes, config.ranks_per_node);
-        let network = Arc::new(Network::new(
+        let network = Arc::new(Network::with_clock(
             topology.total_ranks(),
             config.nic_bandwidth,
             config.bisection_bandwidth,
             config.net_latency,
             config.time_scale,
+            &clock,
         ));
-        let pfs = Arc::new(ParallelFileSystem::new(
+        let pfs = Arc::new(ParallelFileSystem::with_clock(
             config.pfs_servers,
             config.pfs_bandwidth,
             config.pfs_latency,
             config.time_scale,
+            &clock,
         ));
-        let scratch = Arc::new(NodeScratch::new(
+        let scratch = Arc::new(NodeScratch::with_clock(
             config.nodes,
             config.scratch_bandwidth,
             config.time_scale,
+            &clock,
         ));
         Cluster {
             config,
@@ -196,6 +276,7 @@ impl Cluster {
             pfs,
             scratch,
             injector: Arc::new(RwLock::new(None)),
+            clock,
         }
     }
 
@@ -221,6 +302,12 @@ impl Cluster {
 
     pub fn time_scale(&self) -> TimeScale {
         self.config.time_scale
+    }
+
+    /// The cluster-wide time source. Virtual iff the cluster was built
+    /// with [`ClusterConfig::virtual_time`].
+    pub fn clock(&self) -> &Arc<Clock> {
+        &self.clock
     }
 
     /// Install (or replace) the storage-path fault injector. The slot is

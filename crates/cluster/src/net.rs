@@ -6,9 +6,11 @@
 //! asynchronous checkpoint flusher charge their traffic here, which is what
 //! lets background checkpoint flushes congest application messaging.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use crate::bandwidth::Governor;
+use crate::clock::Clock;
 use crate::TimeScale;
 
 /// The modeled interconnect.
@@ -26,12 +28,38 @@ impl Network {
         latency: Duration,
         scale: TimeScale,
     ) -> Self {
+        Self::with_clock(
+            ranks,
+            nic_bandwidth,
+            bisection_bandwidth,
+            latency,
+            scale,
+            &Arc::new(Clock::wall()),
+        )
+    }
+
+    /// Like [`Network::new`], but every governor tracks its queue on the
+    /// given shared time source (the DES backend passes one virtual clock
+    /// for the whole cluster).
+    pub fn with_clock(
+        ranks: usize,
+        nic_bandwidth: f64,
+        bisection_bandwidth: f64,
+        latency: Duration,
+        scale: TimeScale,
+        clock: &Arc<Clock>,
+    ) -> Self {
         let nics = (0..ranks)
-            .map(|_| Governor::new(nic_bandwidth, latency, scale))
+            .map(|_| Governor::with_clock(nic_bandwidth, latency, scale, Arc::clone(clock)))
             .collect();
         Network {
             nics,
-            bisection: Governor::new(bisection_bandwidth, Duration::ZERO, scale),
+            bisection: Governor::with_clock(
+                bisection_bandwidth,
+                Duration::ZERO,
+                scale,
+                Arc::clone(clock),
+            ),
             scale,
         }
     }

@@ -18,7 +18,10 @@ use std::time::Duration;
 use bytes::Bytes;
 use parking_lot::RwLock;
 
+use std::sync::Arc;
+
 use crate::bandwidth::Governor;
+use crate::clock::Clock;
 use crate::TimeScale;
 
 /// Persistent, bandwidth-limited blob storage.
@@ -35,11 +38,29 @@ impl ParallelFileSystem {
         latency: Duration,
         scale: TimeScale,
     ) -> Self {
+        Self::with_clock(
+            servers,
+            aggregate_bandwidth,
+            latency,
+            scale,
+            &Arc::new(Clock::wall()),
+        )
+    }
+
+    /// Like [`ParallelFileSystem::new`], with every server governor on the
+    /// given shared time source.
+    pub fn with_clock(
+        servers: usize,
+        aggregate_bandwidth: f64,
+        latency: Duration,
+        scale: TimeScale,
+        clock: &Arc<Clock>,
+    ) -> Self {
         assert!(servers > 0, "need at least one I/O server");
         let per_server = aggregate_bandwidth / servers as f64;
         ParallelFileSystem {
             servers: (0..servers)
-                .map(|_| Governor::new(per_server, latency, scale))
+                .map(|_| Governor::with_clock(per_server, latency, scale, Arc::clone(clock)))
                 .collect(),
             store: RwLock::new(HashMap::new()),
         }

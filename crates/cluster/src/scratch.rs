@@ -12,7 +12,10 @@ use std::time::Duration;
 use bytes::Bytes;
 use parking_lot::RwLock;
 
+use std::sync::Arc;
+
 use crate::bandwidth::Governor;
+use crate::clock::Clock;
 use crate::TimeScale;
 
 /// Per-node in-memory blob store with memory-speed bandwidth accounting.
@@ -27,10 +30,16 @@ struct NodeStore {
 
 impl NodeScratch {
     pub fn new(nodes: usize, bandwidth: f64, scale: TimeScale) -> Self {
+        Self::with_clock(nodes, bandwidth, scale, &Arc::new(Clock::wall()))
+    }
+
+    /// Like [`NodeScratch::new`], with every node governor on the given
+    /// shared time source.
+    pub fn with_clock(nodes: usize, bandwidth: f64, scale: TimeScale, clock: &Arc<Clock>) -> Self {
         NodeScratch {
             nodes: (0..nodes)
                 .map(|_| NodeStore {
-                    gov: Governor::new(bandwidth, Duration::ZERO, scale),
+                    gov: Governor::with_clock(bandwidth, Duration::ZERO, scale, Arc::clone(clock)),
                     blobs: RwLock::new(HashMap::new()),
                 })
                 .collect(),

@@ -176,6 +176,7 @@ pub fn run_pair(
         redundancy: None,
         fresh_storage: true,
         telemetry,
+        backend: simmpi::Backend::default(),
     };
 
     let no_failure = averaged(
@@ -432,6 +433,7 @@ pub fn partial_rollback_comparison(
         redundancy: None,
         fresh_storage: true,
         telemetry: telemetry.clone(),
+        backend: simmpi::Backend::default(),
     };
     let free = run_experiment(
         &cluster,

@@ -13,7 +13,7 @@ use std::time::Instant;
 use cluster::Cluster;
 use fenix::ImrPolicy;
 use redstore::RedundancyMode;
-use simmpi::{FaultPlan, MpiError, Profile, Universe, UniverseConfig};
+use simmpi::{Backend, FaultPlan, MpiError, Profile, Universe, UniverseConfig};
 use telemetry::Telemetry;
 
 use crate::app::IterativeApp;
@@ -43,6 +43,10 @@ pub struct ExperimentConfig {
     /// Observability hub: when set, every launch (and relaunch) of this
     /// experiment records events/spans/metrics into it.
     pub telemetry: Option<Telemetry>,
+    /// Execution engine for every launch of this experiment (threads by
+    /// default; `Backend::Des` pairs with a `virtual_time` cluster for
+    /// deterministic schedules).
+    pub backend: Backend,
 }
 
 impl Default for ExperimentConfig {
@@ -56,6 +60,7 @@ impl Default for ExperimentConfig {
             redundancy: None,
             fresh_storage: true,
             telemetry: None,
+            backend: Backend::default(),
         }
     }
 }
@@ -135,7 +140,21 @@ pub fn try_run_experiment(
     let shared = SharedState::default();
     let failures = plan.kills().len();
     let n = cluster.topology().total_ranks();
+    // On a virtual-time cluster the driver itself must not sleep: modeled
+    // teardown/startup charges advance the simulated clock, and the wall
+    // time reported is simulated-job time.
+    let virtual_clock = cluster
+        .clock()
+        .is_virtual()
+        .then(|| cluster.clock().clone());
+    let _driver_sleeper = virtual_clock.as_ref().map(|clock| {
+        let clock = Arc::clone(clock);
+        cluster::install_virtual_sleeper(Arc::new(move |modeled: std::time::Duration| {
+            clock.advance(modeled.as_nanos().min(u128::from(u64::MAX)) as u64);
+        }))
+    });
     let t0 = Instant::now();
+    let start_ns = virtual_clock.as_ref().map(|c| c.now_ns());
     let merged = Profile::new();
     let mut relaunches = 0usize;
 
@@ -146,6 +165,7 @@ pub fn try_run_experiment(
                 abort_on_failure: false,
                 charge_startup: true,
                 telemetry: cfg.telemetry.clone(),
+                backend: cfg.backend,
             },
             Arc::clone(&plan),
             |ctx| {
@@ -183,6 +203,7 @@ pub fn try_run_experiment(
                     abort_on_failure: true,
                     charge_startup: true,
                     telemetry: cfg.telemetry.clone(),
+                    backend: cfg.backend,
                 },
                 Arc::clone(&plan),
                 |ctx| runner::relaunch_rank(ctx, app, cfg.strategy, cfg.checkpoints, &shared),
@@ -205,7 +226,12 @@ pub fn try_run_experiment(
         }
     }
 
-    let wall = t0.elapsed();
+    let wall = match (&virtual_clock, start_ns) {
+        (Some(clock), Some(ns)) => {
+            std::time::Duration::from_nanos(clock.now_ns().saturating_sub(ns))
+        }
+        _ => t0.elapsed(),
+    };
     Ok(RunRecord {
         strategy: cfg.strategy,
         ranks: n,

@@ -137,6 +137,7 @@ fn fixed_app(iters: u64) -> RingDiffusion {
 
 fn cfg(strategy: Strategy, spares: usize) -> ExperimentConfig {
     ExperimentConfig {
+        backend: Default::default(),
         strategy,
         spares,
         checkpoints: 6,

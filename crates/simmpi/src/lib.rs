@@ -32,6 +32,7 @@ pub mod pod;
 pub mod profile;
 pub mod rendezvous;
 pub mod router;
+pub mod sched;
 pub mod ulfm;
 pub mod universe;
 
@@ -42,4 +43,5 @@ pub use fault::{
 };
 pub use pod::Pod;
 pub use profile::{Phase, Profile};
-pub use universe::{LaunchReport, RankCtx, RankOutcome, Universe, UniverseConfig};
+pub use sched::Scheduler;
+pub use universe::{Backend, LaunchReport, RankCtx, RankOutcome, Universe, UniverseConfig};

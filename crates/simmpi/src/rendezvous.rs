@@ -18,13 +18,13 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Duration;
 
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
 
 use crate::error::{MpiError, MpiResult};
 use crate::router::{CommId, Router};
+use crate::sched;
 
 /// Uniquely names one logical agreement operation. All participants must use
 /// the same key; the `purpose`/`seq` pair orders successive operations on
@@ -181,13 +181,31 @@ impl Router {
                     failures_observed,
                 });
                 entry.cv.notify_all();
+                if let Some(s) = self.sched() {
+                    // Publication wakes the whole group; pushes are in
+                    // ascending rank order so the seeded tiebreak alone
+                    // decides who resumes first.
+                    for &r in group {
+                        if r != me {
+                            s.wake(r);
+                        }
+                    }
+                }
                 continue; // next loop iteration picks the result up
             }
 
-            // lint: sanction(blocks): the agreement wait point; every state
-            // transition notifies, and the DES scheduler turns this park
-            // into a task yield. audited 2026-08.
-            entry.cv.wait_for(&mut st, Duration::from_millis(250));
+            // Not complete: yield. DES ranks hand the baton back to the
+            // scheduler and resume when a contribution, publication, or
+            // failure transition wakes them; threads-backend ranks park on
+            // the entry condvar with a bounded re-check timeout.
+            match self.sched() {
+                Some(s) => {
+                    drop(st);
+                    s.yield_blocked(me);
+                    st = entry.state.lock();
+                }
+                None => sched::park_on(&entry.cv, &mut st),
+            }
         }
     }
 }
@@ -196,6 +214,7 @@ impl Router {
 mod tests {
     use super::*;
     use cluster::{Cluster, ClusterConfig, TimeScale};
+    use std::time::Duration;
 
     fn router(n: usize) -> Arc<Router> {
         let cfg = ClusterConfig {

@@ -20,7 +20,6 @@
 
 use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
-use std::time::Duration;
 
 // loom facade: std atomics in production, schedule points under modelcheck
 // (crates/modelcheck/tests/rendezvous.rs drives this fabric).
@@ -34,6 +33,7 @@ use telemetry::{Event, MpiOp, Recorder};
 
 use crate::error::{MpiError, MpiResult};
 use crate::rendezvous::RendezvousTable;
+use crate::sched::{self, Scheduler};
 
 /// Identifies a communicator. Derived communicators get deterministic ids so
 /// all ranks agree without communication.
@@ -91,6 +91,10 @@ pub struct Router {
     /// `Universe::launch` so ULFM/fault paths can emit events without
     /// threading handles through every call signature.
     recorders: RwLock<Vec<Recorder>>,
+    /// Discrete-event scheduler for this launch (DES backend only). When
+    /// set, blocking waits become scheduler yields and every state change
+    /// that can unblock a rank routes a wake through it.
+    sched: RwLock<Option<Arc<Scheduler>>>,
 }
 
 impl Router {
@@ -104,7 +108,20 @@ impl Router {
             cluster,
             rendezvous: RendezvousTable::new(),
             recorders: RwLock::new(vec![Recorder::disabled(); n]),
+            sched: RwLock::new(None),
         })
+    }
+
+    /// Attach (or detach) the DES scheduler for this launch. Installed by
+    /// `Universe::launch` before any rank runs and cleared afterwards so a
+    /// reused router never wakes a dead scheduler.
+    pub fn set_sched(&self, sched: Option<Arc<Scheduler>>) {
+        *self.sched.write() = sched;
+    }
+
+    /// The attached DES scheduler, if this launch runs on the DES backend.
+    pub(crate) fn sched(&self) -> Option<Arc<Scheduler>> {
+        self.sched.read().clone()
     }
 
     /// Install `rank`'s telemetry recorder (see `UniverseConfig::telemetry`).
@@ -202,6 +219,9 @@ impl Router {
             mb.cv.notify_all();
         }
         self.rendezvous.wake_all();
+        if let Some(s) = self.sched() {
+            s.wake_all();
+        }
     }
 
     /// Discard queued envelopes belonging to a retired communicator epoch
@@ -265,6 +285,9 @@ impl Router {
         }
         mb.queue.lock().push_back(env);
         mb.cv.notify_all();
+        if let Some(s) = self.sched() {
+            s.wake(dst);
+        }
         Ok(())
     }
 
@@ -323,12 +346,20 @@ impl Router {
                 }
                 _ => {}
             }
-            // Bounded wait: all state transitions notify, the timeout is a
-            // belt-and-braces re-check.
-            // lint: sanction(blocks): the mailbox wait point — the single
-            // blocking receive of the rank loop, and the seam where the DES
-            // scheduler will yield the rank task. audited 2026-08.
-            mb.cv.wait_for(&mut queue, Duration::from_millis(250));
+            // Nothing deliverable: yield. Under the DES backend the rank
+            // task hands the baton to the scheduler and resumes when a
+            // sender (or a failure transition) wakes it; on the threads
+            // backend it parks on the mailbox condvar with a bounded
+            // re-check timeout. Either way the loop re-evaluates the
+            // predicate from scratch on resume.
+            match self.sched() {
+                Some(s) => {
+                    drop(queue);
+                    s.yield_blocked(spec.me);
+                    queue = mb.queue.lock();
+                }
+                None => sched::park_on(&mb.cv, &mut queue),
+            }
         }
     }
 
@@ -363,6 +394,7 @@ impl std::fmt::Debug for Router {
 mod tests {
     use super::*;
     use cluster::{ClusterConfig, TimeScale};
+    use std::time::Duration;
 
     fn router(n: usize) -> Arc<Router> {
         let cfg = ClusterConfig {

@@ -20,6 +20,37 @@ use crate::error::{MpiError, MpiResult};
 use crate::fault::FaultPlan;
 use crate::profile::Profile;
 use crate::router::Router;
+use crate::sched::Scheduler;
+
+/// Which execution engine drives the rank bodies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// One free-running OS thread per rank; modeled time is burned as
+    /// scaled real sleeps. The production default and the differential
+    /// oracle for the DES backend.
+    Threads,
+    /// Discrete-event simulation: ranks are cooperative tasks on virtual
+    /// time, one running at a time, schedules a pure function of `seed`
+    /// (see [`crate::sched`]).
+    Des { seed: u64 },
+}
+
+impl Default for Backend {
+    /// `Threads`, unless `SIMMPI_BACKEND=des` is set in the environment
+    /// (with an optional `SIMMPI_SEED` for the schedule seed).
+    fn default() -> Self {
+        match std::env::var("SIMMPI_BACKEND") {
+            Ok(v) if v.eq_ignore_ascii_case("des") => {
+                let seed = std::env::var("SIMMPI_SEED")
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(0);
+                Backend::Des { seed }
+            }
+            _ => Backend::Threads,
+        }
+    }
+}
 
 /// Launch-time options.
 #[derive(Clone, Debug, Default)]
@@ -36,6 +67,11 @@ pub struct UniverseConfig {
     /// ULFM, and kill paths emit structured events. `None` (the default)
     /// records nothing.
     pub telemetry: Option<Telemetry>,
+    /// Execution engine (threads by default; see [`Backend`]). Full
+    /// determinism on the DES backend additionally wants a cluster built
+    /// with `virtual_time: true` and a telemetry hub stamping events from
+    /// the cluster clock.
+    pub backend: Backend,
 }
 
 /// Per-rank execution context handed to the application closure.
@@ -183,12 +219,43 @@ impl Universe {
             cluster.set_injector(Some(injector));
         }
 
+        // DES backend: build the scheduler on the cluster's virtual clock
+        // (or a private one when the cluster runs on the wall), attach it
+        // to the router so waits become yields, and make deadlock abort
+        // the job as a typed outcome instead of hanging.
+        let sched = match config.backend {
+            Backend::Threads => None,
+            Backend::Des { seed } => {
+                let clock = if cluster.clock().is_virtual() {
+                    Arc::clone(cluster.clock())
+                } else {
+                    Arc::new(cluster::Clock::virtual_at(0))
+                };
+                let s = Scheduler::new(n, seed, clock);
+                router.set_sched(Some(Arc::clone(&s)));
+                let r = Arc::clone(&router);
+                s.set_deadlock_hook(move || r.abort());
+                Some(s)
+            }
+        };
+
+        // Driver-side sleeps during a DES launch (the startup charge here,
+        // teardown charges in relaunch loops) advance the virtual clock
+        // instead of parking the launching thread.
+        let _driver_sleeper = sched.as_ref().map(|s| {
+            let clock = Arc::clone(s.clock());
+            cluster::install_virtual_sleeper(Arc::new(move |modeled: Duration| {
+                clock.advance(modeled.as_nanos().min(u128::from(u64::MAX)) as u64);
+            }))
+        });
+
         if config.charge_startup {
             let startup = cluster.config().relaunch.startup(n);
             cluster.time_scale().sleep(startup);
         }
 
         let t0 = Instant::now();
+        let start_ns = sched.as_ref().map(|s| s.clock().now_ns());
         let mut outcomes: Vec<Option<RankOutcome>> = Vec::new();
         outcomes.resize_with(n, || None);
 
@@ -199,7 +266,20 @@ impl Universe {
                 let fault = Arc::clone(&fault);
                 let f = &f;
                 let config = &config;
+                let sched = sched.clone();
                 handles.push(scope.spawn(move || {
+                    // Under DES this rank is a cooperative task: its modeled
+                    // sleeps become scheduler events, and it runs only while
+                    // it holds the baton.
+                    let _rank_sleeper = sched.as_ref().map(|s| {
+                        let s = Arc::clone(s);
+                        cluster::install_virtual_sleeper(Arc::new(move |modeled: Duration| {
+                            s.sleep(rank, modeled);
+                        }))
+                    });
+                    if let Some(s) = &sched {
+                        s.wait_for_start(rank);
+                    }
                     let profile = Arc::new(Profile::new());
                     let recorder = match &config.telemetry {
                         Some(tel) => {
@@ -230,12 +310,23 @@ impl Universe {
                     if result.is_err() && config.abort_on_failure {
                         router.abort();
                     }
+                    if let Some(s) = &sched {
+                        // Release the baton for good: the next event (or
+                        // the deadlock hook) takes over.
+                        s.finish(rank);
+                    }
                     RankOutcome {
                         rank,
                         result,
                         profile,
                     }
                 }));
+            }
+            if let Some(s) = &sched {
+                // All rank threads exist (parked on their batons): seed a
+                // start event per task and dispatch the first. The launch
+                // then runs entirely on baton hand-offs.
+                s.start();
             }
             for (rank, h) in handles.into_iter().enumerate() {
                 let outcome = h.join().unwrap_or_else(|_| RankOutcome {
@@ -247,9 +338,21 @@ impl Universe {
             }
         });
 
+        // Break the scheduler↔router reference cycle and report virtual
+        // wall time for DES launches (the modeled job duration — real
+        // elapsed time is meaningless when no thread ever sleeps).
+        let wall = match (&sched, start_ns) {
+            (Some(s), Some(ns)) => {
+                router.set_sched(None);
+                s.clear_deadlock_hook();
+                Duration::from_nanos(s.clock().now_ns().saturating_sub(ns))
+            }
+            _ => t0.elapsed(),
+        };
+
         LaunchReport {
             outcomes: outcomes.into_iter().map(|o| o.expect("joined")).collect(),
-            wall: t0.elapsed(),
+            wall,
             aborted: router.is_aborted(),
         }
     }

@@ -154,7 +154,7 @@ fn abort_on_failure_tears_down_job() {
     let cfg = UniverseConfig {
         abort_on_failure: true,
         charge_startup: false,
-        telemetry: None,
+        ..UniverseConfig::default()
     };
     let report = run_with_faults(3, FaultPlan::kill_at(1, "boom", 0), cfg, |ctx| {
         let w = ctx.world();

@@ -1,0 +1,143 @@
+//! Determinism battery for the DES backend (ISSUE 9 satellite): for any
+//! workload shape, ring size, and (optional) injected failure, launching
+//! the same schedule twice with the same seed must produce **byte-identical**
+//! telemetry timelines and identical per-rank digests — the schedule is a
+//! pure function of the seed. A no-fault run's result must additionally be
+//! independent of the seed: scheduling order may change, the answer may not.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use cluster::{Cluster, ClusterConfig};
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use simmpi::{Backend, FaultPlan, MpiResult, RankCtx, ReduceOp, Universe, UniverseConfig};
+use telemetry::export::to_jsonl;
+use telemetry::{Telemetry, TelemetryConfig, TimeSource};
+
+fn virtual_cluster(n: usize) -> Cluster {
+    Cluster::new(ClusterConfig {
+        nodes: n,
+        ranks_per_node: 1,
+        virtual_time: true,
+        ..ClusterConfig::default()
+    })
+}
+
+/// Outcome of one DES launch: the exported timeline, per-rank digests of
+/// everything each rank received, and the per-rank ok/err pattern.
+struct RunTrace {
+    timeline: String,
+    digests: BTreeMap<usize, u64>,
+    oks: Vec<bool>,
+    killed: Vec<usize>,
+}
+
+fn fnv(h: u64, x: u64) -> u64 {
+    (h ^ x).wrapping_mul(0x100_0000_01b3)
+}
+
+/// Ring workload: each iteration every rank sends its running digest to
+/// `(r+1) % n`, receives from the left neighbor, folds it in, and joins an
+/// allreduce. Recoverable errors (a neighbor died, the job aborted) end the
+/// rank early — under DES a wait that can never complete is converted into
+/// a typed abort by the scheduler's deadlock detector, so this terminates.
+fn run_once(n: usize, iters: u64, seed: u64, kill: Option<(usize, u64)>) -> RunTrace {
+    let cluster = virtual_cluster(n);
+    let clock = Arc::clone(cluster.clock());
+    let tel = Telemetry::with_time_source(
+        TelemetryConfig {
+            record_mpi_calls: true,
+            ..TelemetryConfig::default()
+        },
+        TimeSource::External(Arc::new(move || clock.now_ns())),
+    );
+    let plan = match kill {
+        Some((victim, at)) => FaultPlan::kill_at(victim, "iter", at),
+        None => FaultPlan::none(),
+    };
+    let digests: Arc<Mutex<BTreeMap<usize, u64>>> = Arc::new(Mutex::new(BTreeMap::new()));
+    let sink = Arc::clone(&digests);
+    let report = Universe::launch(
+        &cluster,
+        UniverseConfig {
+            telemetry: Some(tel.clone()),
+            backend: Backend::Des { seed },
+            ..UniverseConfig::default()
+        },
+        Arc::new(plan),
+        move |ctx: &mut RankCtx| -> MpiResult<()> {
+            let w = ctx.world();
+            let n = w.size();
+            let me = ctx.rank();
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for i in 0..iters {
+                ctx.fault_point("iter", i)?;
+                let res = (|| -> MpiResult<u64> {
+                    w.send((me + 1) % n, i, &h.to_le_bytes())?;
+                    let mut b = [0u8; 8];
+                    w.recv_into(Some((me + n - 1) % n), i, &mut b)?;
+                    h = fnv(h, u64::from_le_bytes(b));
+                    w.allreduce_scalar(h, ReduceOp::Max)
+                })();
+                match res {
+                    Ok(sum) => h = fnv(h, sum),
+                    // A dead neighbor or a job abort is a legitimate end of
+                    // this rank's run; anything else is a real failure.
+                    Err(e) if e.is_recoverable() || e == simmpi::MpiError::Aborted => break,
+                    Err(e) => return Err(e),
+                }
+            }
+            sink.lock().insert(me, h);
+            Ok(())
+        },
+    );
+    let final_digests = digests.lock().clone();
+    RunTrace {
+        timeline: to_jsonl(&tel.snapshot()),
+        digests: final_digests,
+        oks: report.outcomes.iter().map(|o| o.result.is_ok()).collect(),
+        killed: report.killed_ranks(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Same seed ⇒ bitwise-identical telemetry timeline, identical final
+    /// digests, identical outcome pattern — with or without a failure.
+    #[test]
+    fn same_seed_same_schedule(
+        n in 2usize..6,
+        iters in 1u64..5,
+        seed in any::<u64>(),
+        fault in (any::<bool>(), 0usize..8, 0u64..8),
+    ) {
+        let (with_fault, fr, fat) = fault;
+        let kill = with_fault.then(|| (fr % n, fat % iters));
+        let a = run_once(n, iters, seed, kill);
+        let b = run_once(n, iters, seed, kill);
+        prop_assert_eq!(&a.timeline, &b.timeline, "timelines diverged for seed {}", seed);
+        prop_assert_eq!(&a.digests, &b.digests);
+        prop_assert_eq!(&a.oks, &b.oks);
+        prop_assert_eq!(&a.killed, &b.killed);
+        prop_assert!(!a.timeline.is_empty(), "timeline must carry events");
+    }
+
+    /// Without faults the *answer* is schedule-independent: two different
+    /// seeds may order the ranks differently but must agree on every
+    /// rank's final digest.
+    #[test]
+    fn result_is_seed_independent_without_faults(
+        n in 2usize..6,
+        iters in 1u64..5,
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+    ) {
+        let a = run_once(n, iters, seed_a, None);
+        let b = run_once(n, iters, seed_b, None);
+        prop_assert_eq!(&a.digests, &b.digests);
+        prop_assert!(a.oks.iter().all(|&ok| ok));
+        prop_assert!(b.oks.iter().all(|&ok| ok));
+    }
+}

@@ -70,8 +70,31 @@ struct RankSlot {
     exclusive: PhaseAccumulator,
 }
 
+/// Where event timestamps come from.
+pub enum TimeSource {
+    /// Wall-clock nanoseconds since the hub's creation (the default).
+    Epoch(Instant),
+    /// An external nanosecond counter — the DES backend passes a closure
+    /// reading the cluster's virtual clock, so traces carry simulated
+    /// timestamps and identical schedules produce identical timelines.
+    External(Arc<dyn Fn() -> u64 + Send + Sync>),
+}
+
+impl TimeSource {
+    fn now_ns(&self) -> u64 {
+        match self {
+            // lint: sanction(wall-clock): timestamps for traces and
+            // metrics; observability only, never read back by the model.
+            // Virtual-time hubs use External and never reach this arm.
+            // audited 2026-08.
+            TimeSource::Epoch(epoch) => epoch.elapsed().as_nanos() as u64,
+            TimeSource::External(f) => f(),
+        }
+    }
+}
+
 struct TelemetryInner {
-    epoch: Instant,
+    time: TimeSource,
     config: TelemetryConfig,
     interner: Interner,
     metrics: Metrics,
@@ -95,9 +118,15 @@ impl std::fmt::Debug for Telemetry {
 
 impl Telemetry {
     pub fn new(config: TelemetryConfig) -> Telemetry {
+        Self::with_time_source(config, TimeSource::Epoch(Instant::now()))
+    }
+
+    /// A hub stamping events from an explicit [`TimeSource`] (the DES
+    /// backend passes the cluster's virtual clock).
+    pub fn with_time_source(config: TelemetryConfig, time: TimeSource) -> Telemetry {
         Telemetry {
             inner: Arc::new(TelemetryInner {
-                epoch: Instant::now(),
+                time,
                 config,
                 interner: Interner::new(),
                 metrics: Metrics::new(),
@@ -110,11 +139,10 @@ impl Telemetry {
         &self.inner.config
     }
 
-    /// Nanoseconds since this telemetry instance was created.
+    /// Nanoseconds on this hub's time source (since creation for the
+    /// wall-clock default, simulated time under DES).
     pub fn now_ns(&self) -> u64 {
-        // lint: sanction(wall-clock): timestamps for traces and metrics;
-        // observability only, never read back by the model. audited 2026-08.
-        self.inner.epoch.elapsed().as_nanos() as u64
+        self.inner.time.now_ns()
     }
 
     /// The shared metrics registry.
@@ -269,13 +297,7 @@ impl Recorder {
     pub fn emit(&self, event: Event) {
         #[cfg(feature = "events")]
         if let Some(inner) = &self.inner {
-            // lint: sanction(wall-clock): event timestamping against the
-            // recorder epoch; observability only, never read back by the
-            // model. audited 2026-08.
-            let words = event.encode(
-                inner.tel.epoch.elapsed().as_nanos() as u64,
-                &inner.tel.interner,
-            );
+            let words = event.encode(inner.tel.time.now_ns(), &inner.tel.interner);
             inner.slot.ring.push(words);
         }
         #[cfg(not(feature = "events"))]

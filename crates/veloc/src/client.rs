@@ -164,7 +164,13 @@ impl Client {
     /// the scratch→PFS transfer inline) and records the reason, observable
     /// via [`Client::spawn_error`] / [`Client::async_flush_active`].
     pub fn init(cluster: Cluster, physical_rank: usize, config: Config) -> Self {
-        let (backend, spawn_error) = if config.async_flush {
+        // Under a virtual-time cluster (the DES backend) there is no
+        // free-running worker to overlap with: flushes run synchronously
+        // on the rank task so the schedule stays a pure function of the
+        // seed. This is a backend choice, not a degradation — spawn_error
+        // stays clear.
+        let async_flush = config.async_flush && !cluster.clock().is_virtual();
+        let (backend, spawn_error) = if async_flush {
             match ActiveBackend::spawn(cluster.clone(), physical_rank) {
                 Ok(b) => (Some(b), None),
                 Err(e) => (None, Some(e)),

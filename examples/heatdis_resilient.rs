@@ -37,6 +37,7 @@ fn main() {
     let app = Heatdis::fixed((per_rank_mb * 1e6) as usize, 512, iterations);
 
     let cfg = |strategy: Strategy, spares: usize| ExperimentConfig {
+        backend: Default::default(),
         strategy,
         spares,
         checkpoints: 6,

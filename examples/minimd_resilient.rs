@@ -23,6 +23,7 @@ use layered_resilience::simmpi::{FaultPlan, Profile, Universe, UniverseConfig};
 fn main() {
     let app = MiniMd::new([3, 3, 3], 40);
     let cfg = ExperimentConfig {
+        backend: Default::default(),
         strategy: Strategy::FenixKokkosResilience,
         spares: 1,
         checkpoints: 5,

@@ -25,6 +25,7 @@ fn main() {
     let cluster = Cluster::new(ccfg);
 
     let cfg = |strategy: Strategy| ExperimentConfig {
+        backend: Default::default(),
         strategy,
         spares: 1,
         checkpoints: 6,

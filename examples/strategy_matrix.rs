@@ -43,6 +43,7 @@ fn main() {
         };
         let cluster = Cluster::new(ccfg);
         let cfg = ExperimentConfig {
+            backend: Default::default(),
             strategy,
             spares,
             checkpoints: 6,

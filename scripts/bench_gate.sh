@@ -136,3 +136,43 @@ for cfg in encode_k2 reconstruct_k2 encode_k3 reconstruct_k3 \
 done
 [ "$fail" -eq 0 ] || exit 1
 echo "bench gate: OK (redundancy)"
+
+# ---------------------------------------------------------------------------
+# DES scheduler gate: baton hand-off floor and schedules-per-second against
+# the committed BENCH_sched.json baseline. The ring_* configs time a whole
+# Universe launch (thread spawn + scheduler), so this section carries its
+# own, wider knob (SCHED_MAX_REGRESSION_PCT, default 30).
+echo "== bench: DES scheduler =="
+SCHED_MAX_REGRESSION_PCT="${SCHED_MAX_REGRESSION_PCT:-30}"
+SCHED_BASELINE="BENCH_sched.json"
+SCHED_FRESH="target/BENCH_sched.json"
+cargo bench -q -p bench --bench sched
+
+[ -f "$SCHED_FRESH" ] || { echo "bench gate: $SCHED_FRESH was not produced" >&2; exit 1; }
+
+if [ ! -f "$SCHED_BASELINE" ]; then
+  cp "$SCHED_FRESH" "$SCHED_BASELINE"
+  echo "bench gate: no committed baseline; committed fresh numbers to $SCHED_BASELINE"
+  echo "bench gate: OK (sched baseline created)"
+  exit 0
+fi
+
+fail=0
+for cfg in baton_handoff ring_16 ring_64; do
+  base=$(median_of "$SCHED_BASELINE" "$cfg")
+  now=$(median_of "$SCHED_FRESH" "$cfg")
+  if [ -z "$base" ] || [ -z "$now" ]; then
+    echo "bench gate: config $cfg missing from baseline or fresh run" >&2
+    fail=1
+    continue
+  fi
+  limit=$((base * (100 + SCHED_MAX_REGRESSION_PCT) / 100))
+  if [ "$now" -gt "$limit" ]; then
+    echo "bench gate: FAIL — $cfg regressed: ${now} ns > ${limit} ns (baseline ${base} ns +${SCHED_MAX_REGRESSION_PCT}%)" >&2
+    fail=1
+  else
+    echo "bench gate: $cfg ${now} ns (baseline ${base} ns, limit ${limit} ns)"
+  fi
+done
+[ "$fail" -eq 0 ] || exit 1
+echo "bench gate: OK (sched)"

@@ -44,7 +44,9 @@ write_summary() {
     printf '"bench_results":"target/BENCH_checkpoint.json",'
     printf '"bench_baseline":"BENCH_checkpoint.json",'
     printf '"bench_redundancy_results":"target/BENCH_redundancy.json",'
-    printf '"bench_redundancy_baseline":"BENCH_redundancy.json"'
+    printf '"bench_redundancy_baseline":"BENCH_redundancy.json",'
+    printf '"bench_sched_results":"target/BENCH_sched.json",'
+    printf '"bench_sched_baseline":"BENCH_sched.json"'
     printf '}}\n'
   } > target/ci-summary.json
   echo "stage summary written to target/ci-summary.json"
@@ -109,6 +111,18 @@ cargo run -q --release -p harness --bin chaos -- \
 # The campaign must also catch the seeded checkpoint-integrity bug
 # (chaos-mutants skips the CRC check) and shrink it to <=2 events:
 cargo test -q -p chaos --features chaos-mutants
+end
+
+begin "sched: determinism battery + 1k-rank DES smoke"
+# The deterministic scheduler's proof obligations: same seed => bitwise
+# identical timeline/digest (proptest), DES-vs-threads verdict agreement
+# on every committed chaos reproducer, and a full Heatdis + Fenix/KR run
+# at SCALE_RANKS ranks (default 1,024) with one injected failure, replayed
+# twice for bitwise equality. Deeper sweeps, e.g.:
+#   SCALE_RANKS=4096 scripts/ci.sh
+cargo test -q -p simmpi --test sched_props
+cargo test -q -p chaos --test differential
+SCALE_RANKS="${SCALE_RANKS:-1024}" cargo test -q --release -p apps --test scale_smoke
 end
 
 begin "redstore: codec proptests + multi-failure chaos smoke"

@@ -107,6 +107,7 @@ fn spare_exhaustion_aborts_cleanly() {
             &c,
             &Heatdis::fixed(2 * 8 * 16 * 8, 16, 12),
             &ExperimentConfig {
+                backend: Default::default(),
                 strategy: Strategy::FenixKokkosResilience,
                 spares: 1, // one spare, two failures
                 checkpoints: 3,
@@ -143,6 +144,7 @@ fn strategy_matrix_shares_a_cluster() {
             &c,
             &app,
             &ExperimentConfig {
+                backend: Default::default(),
                 strategy,
                 spares: if strategy.uses_fenix() { 2 } else { 0 },
                 checkpoints: 3,

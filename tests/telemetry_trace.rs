@@ -42,6 +42,7 @@ fn traced_failure_run() -> TraceSnapshot {
             redundancy: None,
             fresh_storage: true,
             telemetry: Some(tel.clone()),
+            backend: simmpi::Backend::default(),
         },
         Arc::new(FaultPlan::kill_at(1, "iter", 7)),
     );
