@@ -1,6 +1,10 @@
 //! Criterion benchmark crate: one bench target per paper table/figure plus
-//! ablation studies. See `benches/`. The library itself only hosts shared
-//! helpers.
+//! ablation studies. See `benches/`. The library hosts shared helpers and
+//! the tested decision logic behind the CI bench gate ([`gate`], [`json`],
+//! driven by the `bench_compare` binary).
+
+pub mod gate;
+pub mod json;
 
 use cluster::{Cluster, ClusterConfig, RelaunchModel, TimeScale};
 

@@ -65,13 +65,25 @@ fn simplify(ev: &ChaosEvent) -> Vec<ChaosEvent> {
     out
 }
 
+/// Replays required before a candidate counts as "still failing".
+///
+/// A simplified candidate can be *racy* where the original was not: e.g.
+/// advancing a kill to the iteration right after a checkpoint puts the
+/// abort inside the async-flush window, so whether the PFS copy exists at
+/// restart — and with it the verdict — depends on OS thread scheduling.
+/// Accepting such a candidate on one lucky draw would hand the user a
+/// reproducer that doesn't reproduce. Requiring consecutive failures
+/// drives the accept probability of a coin-flip candidate below p^N while
+/// deterministic failures pay only the replay cost (runs are ~10 ms).
+const RELIABLE_FAILS: usize = 4;
+
 /// Shrink `failing` to a locally-minimal schedule that still fails.
 ///
 /// `failing` must fail the oracle when passed in; the return value is
-/// guaranteed to fail as well (it is only ever replaced by a re-checked
-/// failing candidate).
+/// guaranteed to fail as well — and to keep failing: every accepted
+/// candidate failed [`RELIABLE_FAILS`] consecutive replays.
 pub fn shrink(oracle: &Oracle, failing: &ChaosSchedule) -> ChaosSchedule {
-    let fails = |s: &ChaosSchedule| oracle.check(s).is_err();
+    let fails = |s: &ChaosSchedule| (0..RELIABLE_FAILS).all(|_| oracle.check(s).is_err());
     let mut cur = failing.clone();
     loop {
         let mut progressed = false;

@@ -25,6 +25,7 @@ const REPRODUCER: &str =
 #[cfg(feature = "chaos-mutants")]
 mod mutant_build {
     use chaos::{shrink, ChaosSchedule, Oracle, Violation};
+    use simmpi::Backend;
 
     /// The reproducer buried under two irrelevant service faults the
     /// shrinker must strip away.
@@ -38,7 +39,15 @@ mod mutant_build {
 
     #[test]
     fn mutant_is_caught_as_divergence_and_shrinks_to_two_events() {
-        let oracle = Oracle::new();
+        // The DES backend makes every shrink-candidate verdict a pure
+        // function of the seed. Under the threaded backend, simplifying
+        // the kill from at=9 to at=8 lands the abort inside version 7's
+        // async-flush window, so whether rank 1's PFS copy exists at
+        // restart — and with it the whole verdict — depends on OS thread
+        // scheduling; a candidate accepted on a lucky draw then flips to
+        // Completed on the re-check below. Threaded-backend coverage of
+        // the mutant stays with the seeded campaign test.
+        let oracle = Oracle::with_backend(Backend::Des { seed: 0x5eed });
         let padded = ChaosSchedule::parse(PADDED).expect("spec parses");
         let verdict = oracle.check(&padded);
         assert!(
@@ -57,7 +66,8 @@ mod mutant_build {
         let verdict = oracle.check(&minimal);
         assert!(
             matches!(verdict, Err(Violation::Divergence { .. })),
-            "shrunk schedule changed failure class: {verdict:?}"
+            "shrunk schedule changed failure class: {verdict:?} (spec: {})",
+            minimal.to_spec()
         );
         let spec = minimal.to_spec();
         assert!(

@@ -111,6 +111,12 @@ impl Protected for ViewRegion {
         // every checkpoint's `protect` performs.
         self.0.generation()
     }
+
+    fn snapshot_into(&self, out: &mut [u8]) -> bool {
+        // Forward so the view's direct-copy path (no intermediate `Bytes`)
+        // survives the trait-object hop into the zero-copy pack.
+        self.0.snapshot_into(out)
+    }
 }
 
 /// The VeloC-based backend (both agreement modes).

@@ -18,7 +18,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::Mutex;
-use simmpi::pod::Pod;
+use simmpi::pod::{self, Pod};
 
 use crate::view::{View, ViewMeta};
 
@@ -34,6 +34,18 @@ pub trait Checkpointable: Send + Sync {
     /// safe default for handles without write-path instrumentation.
     fn generation(&self) -> Option<u64> {
         None
+    }
+
+    /// Serialize straight into `out` (the resilience layer's zero-copy
+    /// pack slot). Returns `false` when the current byte length no longer
+    /// matches `out.len()` — the caller falls back to [`Self::snapshot`].
+    fn snapshot_into(&self, out: &mut [u8]) -> bool {
+        let snap = self.snapshot();
+        if snap.len() != out.len() {
+            return false;
+        }
+        out.copy_from_slice(&snap);
+        true
     }
 }
 
@@ -52,6 +64,19 @@ impl<T: Pod> Checkpointable for View<T> {
 
     fn generation(&self) -> Option<u64> {
         Some(View::generation(self))
+    }
+
+    fn snapshot_into(&self, out: &mut [u8]) -> bool {
+        // One copy, from the view's storage into the frame slot, without
+        // the intermediate `Bytes` of `snapshot_bytes` (and without
+        // recording a capture, like every serialization path here).
+        let guard = self.read_uncaptured();
+        let src = pod::as_bytes(&guard);
+        if src.len() != out.len() {
+            return false;
+        }
+        out.copy_from_slice(src);
+        true
     }
 }
 

@@ -382,10 +382,20 @@ impl<'a> RedundancyGroup<'a> {
         // lint: sanction(wall-clock): encode-latency histogram; metrics
         // only, never feeds control flow. audited 2026-08.
         let t0 = Instant::now();
-        let outgoing: Vec<(usize, u8, Bytes)> = match mode {
-            RedundancyMode::Replicate { k } => (1..k)
-                .map(|i| (group[(pos + i) % s], 0u8, data.clone()))
-                .collect(),
+        // Each entry is `(dst, shard_len, pre-framed wire bytes)` — framing
+        // happens here, once per distinct payload, not per destination in
+        // the send loop below.
+        let outgoing: Vec<(usize, usize, Bytes)> = match mode {
+            RedundancyMode::Replicate { k } => {
+                // Every replica carries identical bytes: frame once and
+                // fan the (reference-counted) wire blob out to the k-1
+                // destinations, instead of rebuilding version+len+index
+                // headers and re-copying the payload per peer.
+                let framed = frame(version, orig_len, 0u8, data);
+                (1..k)
+                    .map(|i| (group[(pos + i) % s], data.len(), framed.clone()))
+                    .collect()
+            }
             RedundancyMode::XorParity { .. } | RedundancyMode::ReedSolomon { .. } => {
                 if s > 256 {
                     return Err(CodecError::BadGeometry(format!(
@@ -406,7 +416,14 @@ impl<'a> RedundancyGroup<'a> {
                     .into_iter()
                     .enumerate()
                     .skip(1)
-                    .map(|(i, sh)| (group[(pos + i) % s], i as u8, Bytes::from(sh)))
+                    .map(|(i, sh)| {
+                        let len = sh.len();
+                        (
+                            group[(pos + i) % s],
+                            len,
+                            frame(version, orig_len, i as u8, &sh),
+                        )
+                    })
                     .collect()
             }
         };
@@ -422,13 +439,9 @@ impl<'a> RedundancyGroup<'a> {
 
         // Sends first (buffered by the simulator), then receives.
         let mut sent_bytes = 0u64;
-        for (dst, index, payload) in outgoing {
-            sent_bytes += payload.len() as u64;
-            self.comm.send_bytes(
-                dst,
-                Self::tag(member, 0),
-                frame(version, orig_len, index, &payload),
-            )?;
+        for (dst, shard_len, wire) in outgoing {
+            sent_bytes += shard_len as u64;
+            self.comm.send_bytes(dst, Self::tag(member, 0), wire)?;
         }
         if let Some(m) = recorder.metrics() {
             m.counter("redstore.exchange_bytes").add(sent_bytes);

@@ -39,6 +39,14 @@ const PACK_WORKERS: usize = 4;
 /// (thread spawn costs more than serializing a few KiB).
 const PARALLEL_PACK_THRESHOLD: usize = 64 * 1024;
 
+/// Worker fan-out for restart's parallel payload verification (including
+/// the calling thread).
+const RESTART_WORKERS: usize = 4;
+
+/// Chain payload volume below which restart verification stays on the
+/// calling thread — same spawn-cost argument as the pack threshold.
+const PARALLEL_RESTART_THRESHOLD: usize = 64 * 1024;
+
 /// Delta bookkeeping for one checkpoint name: what the last *committed*
 /// (acknowledged to the application) version looked like.
 #[derive(Clone, Debug)]
@@ -82,6 +90,24 @@ impl Default for Config {
             async_flush: true,
         }
     }
+}
+
+/// Per-stage accounting of one restart — the numbers behind the paper's
+/// recovery-cost claim. `read_ns` covers the chain walk (tier reads + meta
+/// parse), `verify_ns` the parallel payload checksumming, `apply_ns` the
+/// in-order restore into protected regions. All three are modeled-clock
+/// durations under a virtual clock and wall durations otherwise.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RestartReport {
+    /// Regions restored.
+    pub regions: usize,
+    /// Payload bytes written back into protected memory.
+    pub bytes_restored: u64,
+    /// Frames the delta-chain walk visited (1 = full frame).
+    pub frames_walked: usize,
+    pub read_ns: u64,
+    pub verify_ns: u64,
+    pub apply_ns: u64,
 }
 
 /// Errors from checkpoint/restart operations.
@@ -380,26 +406,7 @@ impl Client {
             .filter(|(id, _)| !unchanged_set.contains(id))
             .map(|(id, r)| (*id, Arc::clone(r)))
             .collect();
-        let changed_bytes: usize = changed.iter().map(|(_, r)| r.byte_len()).sum();
-        let workers = if changed_bytes >= PARALLEL_PACK_THRESHOLD {
-            PACK_WORKERS
-        } else {
-            1
-        };
-        let work: Vec<(u32, Arc<dyn Protected>)> =
-            changed.iter().map(|(id, r)| (*id, Arc::clone(r))).collect();
-        let results = pool::map_parallel(work, workers, |(id, r)| {
-            serial::PackedRegion::new(id, r.snapshot())
-        });
-        let mut packed = Vec::with_capacity(changed.len());
-        for (i, (id, r)) in changed.iter().enumerate() {
-            match results.get(i).cloned().flatten() {
-                Some(p) => packed.push(p),
-                // A pool worker died mid-item: recompute inline.
-                None => packed.push(serial::PackedRegion::new(*id, r.snapshot())),
-            }
-        }
-        let blob = serial::pack_frame(base, &packed, &unchanged);
+        let blob = self.pack_blob(base, &changed, &unchanged);
         if let Some(metrics) = rec.metrics() {
             let protected: usize = handles.iter().map(|(_, r)| r.byte_len()).sum();
             metrics
@@ -456,6 +463,76 @@ impl Client {
             });
         }
         Ok(())
+    }
+
+    /// Assemble the frame for `changed` regions (zero-copy pack).
+    ///
+    /// The fast path lays the finished frame out up front and serializes
+    /// each region *straight into its payload slot* — one copy from
+    /// protected memory to the frame, no intermediate `Bytes` snapshots —
+    /// fanning the fill + CRC work out across the pack pool when the
+    /// changed volume warrants it. A region whose byte length drifted
+    /// between planning and serialization (a concurrent resize) invalidates
+    /// the planned layout; the whole frame then falls back to the copying
+    /// [`serial::pack_frame`] path, whose layout follows the snapshots
+    /// themselves.
+    fn pack_blob(
+        &self,
+        base: Option<u64>,
+        changed: &[(u32, Arc<dyn Protected>)],
+        unchanged: &[u32],
+    ) -> Bytes {
+        let plan: Vec<(u32, usize)> = changed.iter().map(|(id, r)| (*id, r.byte_len())).collect();
+        let changed_bytes: usize = plan.iter().map(|&(_, len)| len).sum();
+        let workers = if changed_bytes >= PARALLEL_PACK_THRESHOLD {
+            PACK_WORKERS
+        } else {
+            1
+        };
+        let mut builder = serial::FrameBuilder::new(base, &plan, unchanged);
+        let fills: Vec<Option<Option<u32>>> = {
+            let work: Vec<(&Arc<dyn Protected>, &mut [u8])> = changed
+                .iter()
+                .map(|(_, r)| r)
+                .zip(builder.payloads_mut())
+                .collect();
+            pool::scoped_map(work, workers, |(r, slot)| {
+                if r.snapshot_into(slot) {
+                    Some(serial::crc32(slot))
+                } else {
+                    None
+                }
+            })
+        };
+        let mut drifted = false;
+        for (i, (fill, (_, region))) in fills.iter().zip(changed).enumerate() {
+            match fill {
+                Some(Some(crc)) => builder.set_crc(i, *crc),
+                // The region resized between planning and serialization.
+                Some(None) => {
+                    drifted = true;
+                    break;
+                }
+                // A pool worker died mid-fill: recompute inline.
+                None => {
+                    if region.snapshot_into(builder.payload_mut(i)) {
+                        let crc = serial::crc32(builder.payload(i));
+                        builder.set_crc(i, crc);
+                    } else {
+                        drifted = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if !drifted {
+            return builder.seal();
+        }
+        let packed: Vec<serial::PackedRegion> = changed
+            .iter()
+            .map(|(id, r)| serial::PackedRegion::new(*id, r.snapshot()))
+            .collect();
+        serial::pack_frame(base, &packed, unchanged)
     }
 
     /// Decide the delta plan for the next checkpoint of `name`: the base
@@ -692,12 +769,26 @@ impl Client {
     /// the parallel filesystem (recovered replacement ranks). Returns the
     /// number of regions restored.
     pub fn restart(&self, name: &str, version: u64) -> Result<usize, VelocError> {
+        self.restart_with_workers(name, version, RESTART_WORKERS)
+            .map(|r| r.regions)
+    }
+
+    /// [`Client::restart`] with an explicit verification fan-out and the
+    /// full per-stage accounting. `workers = 1` is the sequential baseline
+    /// the restart benchmarks and the parallel/sequential equivalence
+    /// proptests compare against.
+    pub fn restart_with_workers(
+        &self,
+        name: &str,
+        version: u64,
+        workers: usize,
+    ) -> Result<RestartReport, VelocError> {
         let rec = self.recorder();
         rec.emit_with(|| Event::RestartBegin {
             name: name.to_owned(),
             version,
         });
-        let out = self.restart_inner(name, version);
+        let out = self.restart_inner(name, version, workers);
         rec.emit_with(|| Event::RestartEnd {
             name: name.to_owned(),
             version,
@@ -706,30 +797,52 @@ impl Client {
         out
     }
 
-    fn restart_inner(&self, name: &str, version: u64) -> Result<usize, VelocError> {
-        // Walk the delta chain newest→oldest, collecting each region's
-        // *newest* payload (first occurrence wins). Every frame degrades
-        // tier by tier independently: a corrupt scratch copy must not mask
-        // an intact PFS copy of the same version.
-        let mut payloads: BTreeMap<u32, Bytes> = BTreeMap::new();
-        let mut expected: Option<BTreeSet<u32>> = None;
+    fn restart_inner(
+        &self,
+        name: &str,
+        version: u64,
+        workers: usize,
+    ) -> Result<RestartReport, VelocError> {
+        struct WalkedFrame {
+            path: String,
+            blob: Bytes,
+            meta: serial::FrameMeta,
+            /// Whether `blob` came from scratch (a PFS copy may still exist
+            /// as a verification-failure fallback) or already from PFS (no
+            /// further tier to fall back to).
+            from_scratch: bool,
+        }
+
+        let clock = self.cluster.clock();
+        let t0 = clock.now_ns();
+
+        // Stage 1 — chain walk by meta only. Each frame's *shape* (magic,
+        // counts, extents, meta CRC) is validated here, which is all the
+        // walk needs to follow base references; the expensive payload
+        // checksums are deferred to stage 2. Every frame degrades tier by
+        // tier independently: a corrupt scratch copy must not mask an
+        // intact PFS copy of the same version.
+        let mut frames: Vec<WalkedFrame> = Vec::new();
         let mut v = version;
-        let mut walked_any = false;
         loop {
             let path = self.path(name, v);
             let mut present = false;
-            let mut frame: Option<serial::Frame> = None;
+            let mut picked: Option<(Bytes, serial::FrameMeta, bool)> = None;
             if let Some((blob, _)) = self.cluster.scratch().read(self.node(), &path) {
                 present = true;
-                frame = serial::unpack_any(&blob);
-            }
-            if frame.is_none() {
-                if let Some((blob, _)) = self.cluster.pfs().read(&path) {
-                    present = true;
-                    frame = serial::unpack_any(&blob);
+                if let Some(meta) = serial::parse_meta(&blob) {
+                    picked = Some((blob, meta, true));
                 }
             }
-            if !present && !walked_any {
+            if picked.is_none() {
+                if let Some((blob, _)) = self.cluster.pfs().read(&path) {
+                    present = true;
+                    if let Some(meta) = serial::parse_meta(&blob) {
+                        picked = Some((blob, meta, false));
+                    }
+                }
+            }
+            if !present && frames.is_empty() {
                 return Err(VelocError::NotFound {
                     name: name.to_owned(),
                     version,
@@ -737,24 +850,17 @@ impl Client {
             }
             // A missing *base* of a chain already entered is corruption of
             // the chain, not absence of the checkpoint.
-            let frame = frame.ok_or(VelocError::Corrupt { path })?;
-            walked_any = true;
-            // The requested version's frame defines which regions restart
-            // restores; older frames only supply payloads for them.
-            let expected = expected.get_or_insert_with(|| {
-                frame
-                    .changed
-                    .iter()
-                    .map(|(id, _)| *id)
-                    .chain(frame.unchanged.iter().copied())
-                    .collect()
+            let Some((blob, meta, from_scratch)) = picked else {
+                return Err(VelocError::Corrupt { path });
+            };
+            let base = meta.base_version;
+            frames.push(WalkedFrame {
+                path,
+                blob,
+                meta,
+                from_scratch,
             });
-            for (id, payload) in frame.changed {
-                if expected.contains(&id) {
-                    payloads.entry(id).or_insert(payload);
-                }
-            }
-            match frame.base_version {
+            match base {
                 None => break,
                 Some(base) if base < v => v = base,
                 // A forward/self reference can only come from corruption;
@@ -766,7 +872,87 @@ impl Client {
                 }
             }
         }
-        let expected = expected.unwrap_or_default();
+        let t_read = clock.now_ns();
+
+        // Stage 2 — payload verification, the CRC-bound bulk of decode,
+        // fanned out across the pool when the chain carries enough bytes.
+        // Verdicts are consumed in chain order (newest first) so the first
+        // failure — and therefore the reported path — is deterministic
+        // regardless of worker scheduling.
+        let total_payload: usize = frames.iter().map(|f| f.meta.payload_bytes()).sum();
+        let fan_out = if total_payload >= PARALLEL_RESTART_THRESHOLD {
+            workers
+        } else {
+            1
+        };
+        let verdicts = pool::scoped_map(frames.iter().collect(), fan_out, |f: &WalkedFrame| {
+            f.meta.verify_payloads(&f.blob)
+        });
+        for (f, verdict) in frames.iter_mut().zip(verdicts) {
+            // A `None` slot means the pool worker died; recompute inline.
+            let ok = verdict.unwrap_or_else(|| f.meta.verify_payloads(&f.blob));
+            if ok {
+                continue;
+            }
+            // The scratch copy carries corrupt payloads; the PFS copy of
+            // the same version may still be intact. Read lazily — only
+            // frames that actually fail pay the remote read, preserving
+            // the modeled cost of the common path.
+            if !f.from_scratch {
+                return Err(VelocError::Corrupt {
+                    path: f.path.clone(),
+                });
+            }
+            let fallback = self.cluster.pfs().read(&f.path).and_then(|(blob, _)| {
+                let meta = serial::parse_meta(&blob)?;
+                // The replacement must describe the same frame: same chain
+                // reference and same region sets, else the walk above (and
+                // any newer frame's first-occurrence claims) would not hold.
+                let same_shape = meta.base_version == f.meta.base_version
+                    && meta.unchanged == f.meta.unchanged
+                    && meta.changed_ids().eq(f.meta.changed_ids());
+                (same_shape && meta.verify_payloads(&blob)).then_some((blob, meta))
+            });
+            match fallback {
+                Some((blob, meta)) => {
+                    f.blob = blob;
+                    f.meta = meta;
+                    f.from_scratch = false;
+                }
+                None => {
+                    return Err(VelocError::Corrupt {
+                        path: f.path.clone(),
+                    })
+                }
+            }
+        }
+        let t_verify = clock.now_ns();
+
+        // Stage 3 — sequential apply. Collect each region's *newest*
+        // payload (first occurrence along the newest→oldest walk wins) as
+        // zero-copy slices of the frame blobs, then restore in id order.
+        // The requested version's frame defines which regions restart
+        // restores; older frames only supply payloads for them.
+        let Some(newest) = frames.first() else {
+            // Unreachable — stage 1 errors out before leaving `frames`
+            // empty — but the recovery path must stay panic-free.
+            return Err(VelocError::Corrupt {
+                path: self.path(name, version),
+            });
+        };
+        let expected: BTreeSet<u32> = newest
+            .meta
+            .changed_ids()
+            .chain(newest.meta.unchanged.iter().copied())
+            .collect();
+        let mut payloads: BTreeMap<u32, Bytes> = BTreeMap::new();
+        for f in &frames {
+            for (id, payload) in f.meta.payloads(&f.blob) {
+                if expected.contains(&id) {
+                    payloads.entry(id).or_insert(payload);
+                }
+            }
+        }
         if payloads.len() != expected.len() {
             // An unchanged id whose payload never appeared anywhere down
             // the chain: the chain is inconsistent.
@@ -775,13 +961,21 @@ impl Client {
             });
         }
         let regions = self.regions.lock();
-        let mut restored = 0;
+        let mut report = RestartReport {
+            frames_walked: frames.len(),
+            ..RestartReport::default()
+        };
         for (id, payload) in payloads {
             let region = regions.get(&id).ok_or(VelocError::UnknownRegion { id })?;
             region.restore(&payload);
-            restored += 1;
+            report.regions += 1;
+            report.bytes_restored += payload.len() as u64;
         }
-        Ok(restored)
+        let t_apply = clock.now_ns();
+        report.read_ns = t_read.saturating_sub(t0);
+        report.verify_ns = t_verify.saturating_sub(t_read);
+        report.apply_ns = t_apply.saturating_sub(t_verify);
+        Ok(report)
     }
 
     /// Drop all but the newest `keep_last` versions of `name` reachable by

@@ -37,5 +37,5 @@ pub mod region;
 pub mod serial;
 
 pub use backend::ActiveBackend;
-pub use client::{Client, Config, Mode, VelocError, MAX_DELTA_DEPTH};
+pub use client::{Client, Config, Mode, RestartReport, VelocError, MAX_DELTA_DEPTH};
 pub use region::{Protected, VecRegion};

@@ -39,6 +39,24 @@ pub trait Protected: Send + Sync {
     fn generation(&self) -> Option<u64> {
         None
     }
+
+    /// Serialize the current contents directly into `out` — the zero-copy
+    /// pack path, where `out` is this region's payload slot inside the
+    /// frame allocation. Returns `false` (leaving `out` unspecified) when
+    /// the region's current byte length differs from `out.len()`, i.e. the
+    /// region was resized between layout planning and serialization; the
+    /// caller must then abandon the planned frame and fall back to the
+    /// copying path. The default goes through [`Protected::snapshot`], so
+    /// implementors only override when they can write without the
+    /// intermediate allocation.
+    fn snapshot_into(&self, out: &mut [u8]) -> bool {
+        let snap = self.snapshot();
+        if snap.len() != out.len() {
+            return false;
+        }
+        out.copy_from_slice(&snap);
+        true
+    }
 }
 
 /// A shared, lockable vector usable directly as a protected region —
@@ -94,6 +112,18 @@ impl<T: Pod> Protected for VecRegion<T> {
     fn generation(&self) -> Option<u64> {
         Some(self.generation.load(Ordering::Relaxed))
     }
+
+    fn snapshot_into(&self, out: &mut [u8]) -> bool {
+        // One copy, straight from the locked vector into the frame slot —
+        // no intermediate `Bytes`.
+        let guard = self.data.lock();
+        let src = pod::as_bytes(&guard);
+        if src.len() != out.len() {
+            return false;
+        }
+        out.copy_from_slice(src);
+        true
+    }
 }
 
 #[cfg(test)]
@@ -137,6 +167,19 @@ mod tests {
         assert_ne!(g1, g0, "lock() must re-stamp (guard may write)");
         r.restore(&snap);
         assert_ne!(r.generation(), Some(g1), "restore must re-stamp");
+    }
+
+    #[test]
+    fn snapshot_into_fills_exact_slot_and_rejects_drift() {
+        let r = VecRegion::new(vec![1u32, 2, 3]);
+        let mut slot = vec![0u8; 12];
+        assert!(r.snapshot_into(&mut slot));
+        assert_eq!(Bytes::from(slot), r.snapshot());
+        // A slot sized for the pre-resize layout must be refused.
+        let mut stale = vec![0u8; 8];
+        assert!(!r.snapshot_into(&mut stale));
+        let mut oversized = vec![0u8; 16];
+        assert!(!r.snapshot_into(&mut oversized));
     }
 
     #[test]

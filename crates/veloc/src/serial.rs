@@ -59,12 +59,92 @@ pub const MAGIC: [u8; 4] = *b"VCF1";
 /// Leading magic of an incremental checkpoint frame (format version 2).
 pub const MAGIC2: [u8; 4] = *b"VCF2";
 
+/// Lookup tables for the slice-by-16 [`crc32`], built at compile time from
+/// the bitwise recurrence. `CRC_TABLES[0]` is the classic one-byte-at-a-time
+/// table; `CRC_TABLES[k]` carries a byte through `k` further zero bytes, so
+/// one loop iteration folds 16 input bytes at once.
+const CRC_TABLES: [[u32; 256]; 16] = {
+    let mut t = [[0u32; 256]; 16];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut j = 0;
+        while j < 8 {
+            crc = if crc & 1 == 1 {
+                0xEDB8_8320 ^ (crc >> 1)
+            } else {
+                crc >> 1
+            };
+            j += 1;
+        }
+        t[0][i] = crc;
+        i += 1;
+    }
+    let mut k = 1usize;
+    while k < 16 {
+        let mut i = 0usize;
+        while i < 256 {
+            t[k][i] = (t[k - 1][i] >> 8) ^ t[0][(t[k - 1][i] & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    t
+};
+
 /// CRC32 (IEEE 802.3, reflected) of `data`.
 ///
-/// Bitwise rather than table-driven: checkpoint blobs here are small and
-/// the bit loop keeps the restart path free of any indexing a corrupted
-/// length could turn into a panic.
+/// Slice-by-16: sixteen compile-time tables fold 16 bytes per iteration
+/// where the bit loop needed 128 shift-and-mask steps, which is what keeps
+/// whole-chain verification on the restart path memory-bound rather than
+/// compute-bound. Every table index is a single byte, so no corrupted
+/// length can steer a lookup out of bounds. [`crc32_bitwise`] is the
+/// definitional form this implementation is property-tested against.
 pub fn crc32(data: &[u8]) -> u32 {
+    // Lookup with the index masked to a byte: infallible by construction,
+    // and expressed via `get` (not `[...]`) so the recovery path carries no
+    // reachable panic — the mask proves the bound, so the fallback folds
+    // away in codegen.
+    #[inline(always)]
+    fn tab(t: &[u32; 256], i: u32) -> u32 {
+        t.get((i & 0xFF) as usize).copied().unwrap_or(0)
+    }
+    let [t0, t1, t2, t3, t4, t5, t6, t7, t8, t9, t10, t11, t12, t13, t14, t15] = &CRC_TABLES;
+    let mut crc = 0xFFFF_FFFFu32;
+    let mut bytes = data;
+    while let [b0, b1, b2, b3, b4, b5, b6, b7, b8, b9, b10, b11, b12, b13, b14, b15, rest @ ..] =
+        bytes
+    {
+        let folded = crc ^ u32::from_le_bytes([*b0, *b1, *b2, *b3]);
+        crc = tab(t15, folded)
+            ^ tab(t14, folded >> 8)
+            ^ tab(t13, folded >> 16)
+            ^ tab(t12, folded >> 24)
+            ^ tab(t11, *b4 as u32)
+            ^ tab(t10, *b5 as u32)
+            ^ tab(t9, *b6 as u32)
+            ^ tab(t8, *b7 as u32)
+            ^ tab(t7, *b8 as u32)
+            ^ tab(t6, *b9 as u32)
+            ^ tab(t5, *b10 as u32)
+            ^ tab(t4, *b11 as u32)
+            ^ tab(t3, *b12 as u32)
+            ^ tab(t2, *b13 as u32)
+            ^ tab(t1, *b14 as u32)
+            ^ tab(t0, *b15 as u32);
+        bytes = rest;
+    }
+    for &b in bytes {
+        crc = tab(t0, crc ^ b as u32) ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+/// CRC32 (IEEE 802.3, reflected) of `data`, one bit at a time — the
+/// polynomial's definition. Kept solely as the oracle [`crc32`] is
+/// property-tested against (`tests/serial_props.rs` and the bench's
+/// measured-speedup gate); no production path calls it.
+pub fn crc32_bitwise(data: &[u8]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
     for &b in data {
         crc ^= b as u32;
@@ -221,10 +301,267 @@ pub fn pack_frame(base_version: Option<u64>, changed: &[PackedRegion], unchanged
     buf.freeze()
 }
 
-/// Unpack a VCF2 blob (magic already sniffed by [`unpack_any`]).
-fn unpack_v2(blob: &Bytes) -> Option<Frame> {
+fn put_u32_at(buf: &mut [u8], at: usize, v: u32) {
+    buf[at..at + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64_at(buf: &mut [u8], at: usize, v: u64) {
+    buf[at..at + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Zero-copy VCF2 frame assembler.
+///
+/// [`pack_frame`] touches every payload twice: once serializing protected
+/// memory into a `Bytes` snapshot, once copying the snapshot into the
+/// frame. `FrameBuilder` allocates the finished frame up front from the
+/// planned layout and hands out disjoint `&mut [u8]` payload slots, so
+/// regions serialize *straight into their final location*
+/// ([`crate::Protected::snapshot_into`]) and the intermediate copy
+/// disappears. [`FrameBuilder::seal`] stamps the meta CRC and freezes; the
+/// output is byte-identical to `pack_frame` on the same content
+/// (`builder_output_matches_pack_frame` below holds the two together).
+pub struct FrameBuilder {
+    buf: Vec<u8>,
+    /// Per changed region: offset of its CRC field in the meta table.
+    crc_offsets: Vec<usize>,
+    /// Per changed region: `(payload offset, len)` in `buf`.
+    payload_slots: Vec<(usize, usize)>,
+    /// End of the meta section (= start of the payload section).
+    meta_end: usize,
+}
+
+impl FrameBuilder {
+    /// Lay out a frame for `changed` regions `(id, byte length)` in frame
+    /// order, plus `unchanged` references. Payload slots come back zeroed;
+    /// the caller fills each and records its CRC via [`Self::set_crc`].
+    pub fn new(base_version: Option<u64>, changed: &[(u32, usize)], unchanged: &[u32]) -> Self {
+        debug_assert!(
+            base_version.is_some() || unchanged.is_empty(),
+            "a full frame cannot reference unchanged regions"
+        );
+        let meta_len = 16 + 4 * unchanged.len() + 16 * changed.len();
+        let payload_len: usize = changed.iter().map(|&(_, len)| len).sum();
+        let mut buf = vec![0u8; 8 + meta_len + payload_len];
+        buf[..4].copy_from_slice(&MAGIC2);
+        let mut w = 8usize;
+        // Same saturating base_ref encoding as `pack_frame`.
+        put_u64_at(
+            &mut buf,
+            w,
+            match base_version {
+                None => 0,
+                Some(v) => v.saturating_add(1),
+            },
+        );
+        w += 8;
+        put_u32_at(&mut buf, w, changed.len() as u32);
+        w += 4;
+        put_u32_at(&mut buf, w, unchanged.len() as u32);
+        w += 4;
+        for id in unchanged {
+            put_u32_at(&mut buf, w, *id);
+            w += 4;
+        }
+        let mut crc_offsets = Vec::with_capacity(changed.len());
+        let mut payload_slots = Vec::with_capacity(changed.len());
+        let mut p = 8 + meta_len;
+        for &(id, len) in changed {
+            put_u32_at(&mut buf, w, id);
+            w += 4;
+            put_u64_at(&mut buf, w, len as u64);
+            w += 8;
+            crc_offsets.push(w); // CRC written later by `set_crc`
+            w += 4;
+            payload_slots.push((p, len));
+            p += len;
+        }
+        FrameBuilder {
+            buf,
+            crc_offsets,
+            payload_slots,
+            meta_end: 8 + meta_len,
+        }
+    }
+
+    /// Number of changed-payload slots.
+    pub fn payload_count(&self) -> usize {
+        self.payload_slots.len()
+    }
+
+    /// All payload slots as disjoint mutable slices, in frame order — what
+    /// the pack pool hands its workers.
+    pub fn payloads_mut(&mut self) -> Vec<&mut [u8]> {
+        let (_, mut rest) = self.buf.split_at_mut(self.meta_end);
+        let mut out = Vec::with_capacity(self.payload_slots.len());
+        for &(_, len) in &self.payload_slots {
+            let (slot, tail) = rest.split_at_mut(len);
+            out.push(slot);
+            rest = tail;
+        }
+        out
+    }
+
+    /// Payload slot `i`, mutable (the inline recompute path when a pool
+    /// worker died mid-fill).
+    pub fn payload_mut(&mut self, i: usize) -> &mut [u8] {
+        // Out-of-range slots yield an empty slice rather than indexing:
+        // the pack path runs during recovery, where a panic kills the rank.
+        let (off, len) = self.payload_slots.get(i).copied().unwrap_or((0, 0));
+        self.buf.get_mut(off..off + len).unwrap_or(&mut [])
+    }
+
+    /// Payload slot `i`, read-only (CRC of an inline-filled slot).
+    pub fn payload(&self, i: usize) -> &[u8] {
+        let (off, len) = self.payload_slots.get(i).copied().unwrap_or((0, 0));
+        self.buf.get(off..off + len).unwrap_or(&[])
+    }
+
+    /// Record the CRC of payload slot `i` in the meta table.
+    pub fn set_crc(&mut self, i: usize, crc: u32) {
+        if let Some(&off) = self.crc_offsets.get(i) {
+            put_u32_at(&mut self.buf, off, crc);
+        }
+    }
+
+    /// Stamp the meta CRC and freeze the frame. The caller must have
+    /// filled every payload slot and set every CRC — `seal` cannot tell an
+    /// unfilled slot from genuine zeroes.
+    pub fn seal(mut self) -> Bytes {
+        let crc = crc32(&self.buf[8..self.meta_end]);
+        put_u32_at(&mut self.buf, 4, crc);
+        Bytes::from(self.buf)
+    }
+}
+
+/// The structural half of a decoded checkpoint frame: everything *except*
+/// the payload bytes, which stay unverified until
+/// [`FrameMeta::verify_payloads`] runs against the same blob.
+///
+/// Splitting decode in two is what makes the parallel chain-walk restart
+/// possible: walking a delta chain needs only each frame's meta (a few
+/// dozen bytes, verified by the meta CRC), while the expensive half —
+/// checksumming megabytes of payload — fans out across the pack pool once
+/// the whole chain is in hand.
+#[derive(Clone, Debug)]
+pub struct FrameMeta {
+    /// `None` for a self-contained full frame; `Some(v)` for a delta.
+    pub base_version: Option<u64>,
+    /// Regions unchanged since `base_version` (ids only).
+    pub unchanged: Vec<u32>,
+    /// Changed regions in frame order: `(id, payload offset in blob, len)`.
+    entries: Vec<(u32, usize, usize)>,
+    integrity: Integrity,
+}
+
+#[derive(Clone, Debug)]
+enum Integrity {
+    /// VCF2: one stored CRC per changed payload, in `entries` order.
+    PerRegion(Vec<u32>),
+    /// VCF1: one stored CRC over the whole body (`blob[8..]`).
+    WholeBody(u32),
+}
+
+impl FrameMeta {
+    /// Total changed-payload bytes this frame carries — the work
+    /// [`Self::verify_payloads`] will checksum.
+    pub fn payload_bytes(&self) -> usize {
+        self.entries.iter().map(|&(_, _, len)| len).sum()
+    }
+
+    /// Verify the payload checksums against `blob` — which must be the
+    /// blob this meta was parsed from. This is the expensive half of
+    /// decode, the part restart runs concurrently per frame.
+    pub fn verify_payloads(&self, blob: &Bytes) -> bool {
+        // The seeded chaos mutant skips payload verification here exactly
+        // as it does in `unpack`, re-enabling the garbage-restore path.
+        #[cfg(feature = "chaos-mutants")]
+        {
+            let _ = blob;
+            true
+        }
+        #[cfg(not(feature = "chaos-mutants"))]
+        match &self.integrity {
+            Integrity::WholeBody(stored) => blob.get(8..).is_some_and(|b| crc32(b) == *stored),
+            Integrity::PerRegion(crcs) => {
+                self.entries.iter().zip(crcs).all(|(&(_, off, len), &crc)| {
+                    blob.get(off..off + len).is_some_and(|p| crc32(p) == crc)
+                })
+            }
+        }
+    }
+
+    /// Ids of the changed regions, in frame order.
+    pub fn changed_ids(&self) -> impl Iterator<Item = u32> + '_ {
+        self.entries.iter().map(|&(id, _, _)| id)
+    }
+
+    /// Zero-copy payload views `(id, bytes)` in frame order. Slices of the
+    /// blob's allocation — no payload is copied. Only meaningful after
+    /// [`Self::verify_payloads`] passed on the same blob.
+    pub fn payloads(&self, blob: &Bytes) -> Vec<(u32, Bytes)> {
+        self.entries
+            .iter()
+            .map(|&(id, off, len)| (id, blob.slice(off..off + len)))
+            .collect()
+    }
+}
+
+/// Parse a blob of either format into a [`FrameMeta`] without touching the
+/// payload bytes. All structural checks run here — magic, counts, payload
+/// extents, trailing garbage, and (VCF2) the meta CRC — so a `Some` return
+/// means the frame's *shape* and chain reference are trustworthy; only the
+/// payload checksums remain. Returns `None` on anything malformed.
+pub fn parse_meta(blob: &Bytes) -> Option<FrameMeta> {
+    if blob.len() < 8 {
+        return None;
+    }
+    if blob[..4] == MAGIC {
+        return parse_meta_v1(blob);
+    }
+    if blob[..4] == MAGIC2 {
+        return parse_meta_v2(blob);
+    }
+    None
+}
+
+fn parse_meta_v1(blob: &Bytes) -> Option<FrameMeta> {
     let stored_crc = u32::from_le_bytes(blob.get(4..8)?.try_into().ok()?);
-    let body = blob.slice(8..);
+    let body = &blob[8..];
+    let mut off = 0usize;
+    let take = |off: &mut usize, n: usize| -> Option<&[u8]> {
+        let s = body.get(*off..*off + n)?;
+        *off += n;
+        Some(s)
+    };
+    let count = u32::from_le_bytes(take(&mut off, 4)?.try_into().ok()?) as usize;
+    // Guard against absurd counts from corrupt headers.
+    if count > body.len() {
+        return None;
+    }
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let id = u32::from_le_bytes(take(&mut off, 4)?.try_into().ok()?);
+        let len = u64::from_le_bytes(take(&mut off, 8)?.try_into().ok()?) as usize;
+        if off.checked_add(len)? > body.len() {
+            return None;
+        }
+        entries.push((id, 8 + off, len));
+        off += len;
+    }
+    if off != body.len() {
+        return None; // trailing garbage
+    }
+    Some(FrameMeta {
+        base_version: None,
+        unchanged: Vec::new(),
+        entries,
+        integrity: Integrity::WholeBody(stored_crc),
+    })
+}
+
+fn parse_meta_v2(blob: &Bytes) -> Option<FrameMeta> {
+    let stored_crc = u32::from_le_bytes(blob.get(4..8)?.try_into().ok()?);
+    let body = &blob[8..];
     let mut off = 0usize;
     let take = |off: &mut usize, n: usize| -> Option<&[u8]> {
         let s = body.get(*off..*off + n)?;
@@ -245,15 +582,16 @@ fn unpack_v2(blob: &Bytes) -> Option<Frame> {
     for _ in 0..unchanged_count {
         unchanged.push(u32::from_le_bytes(take(&mut off, 4)?.try_into().ok()?));
     }
-    let mut entries = Vec::with_capacity(changed_count);
+    let mut raw_entries = Vec::with_capacity(changed_count);
     for _ in 0..changed_count {
         let id = u32::from_le_bytes(take(&mut off, 4)?.try_into().ok()?);
         let len = u64::from_le_bytes(take(&mut off, 8)?.try_into().ok()?) as usize;
         let crc = u32::from_le_bytes(take(&mut off, 4)?.try_into().ok()?);
-        entries.push((id, len, crc));
+        raw_entries.push((id, len, crc));
     }
-    // The seeded chaos mutant skips both this and the per-payload check,
-    // re-enabling the garbage-restore path the CRC frames exist to close.
+    // The seeded chaos mutant skips the meta check here and the payload
+    // checks in `FrameMeta::verify_payloads`, re-enabling the
+    // garbage-restore path the CRC frames exist to close.
     #[cfg(not(feature = "chaos-mutants"))]
     if crc32(body.get(..off)?) != stored_crc {
         return None;
@@ -261,20 +599,15 @@ fn unpack_v2(blob: &Bytes) -> Option<Frame> {
     #[cfg(feature = "chaos-mutants")]
     let _ = stored_crc;
 
-    let mut changed = Vec::with_capacity(changed_count);
-    for (id, len, crc) in entries {
-        if len > body.len() || off + len > body.len() {
+    let mut entries = Vec::with_capacity(changed_count);
+    let mut crcs = Vec::with_capacity(changed_count);
+    for (id, len, crc) in raw_entries {
+        if len > body.len() || off.checked_add(len)? > body.len() {
             return None;
         }
-        let payload = body.slice(off..off + len);
+        entries.push((id, 8 + off, len));
+        crcs.push(crc);
         off += len;
-        #[cfg(not(feature = "chaos-mutants"))]
-        if crc32(&payload) != crc {
-            return None;
-        }
-        #[cfg(feature = "chaos-mutants")]
-        let _ = crc;
-        changed.push((id, payload));
     }
     if off != body.len() {
         return None; // trailing garbage
@@ -283,10 +616,25 @@ fn unpack_v2(blob: &Bytes) -> Option<Frame> {
     if base_version.is_none() && !unchanged.is_empty() {
         return None; // a full frame cannot reference unchanged regions
     }
-    Some(Frame {
+    Some(FrameMeta {
         base_version,
-        changed,
         unchanged,
+        entries,
+        integrity: Integrity::PerRegion(crcs),
+    })
+}
+
+/// Unpack a VCF2 blob (magic already sniffed by [`unpack_any`]): the
+/// sequential composition of the two decode halves.
+fn unpack_v2(blob: &Bytes) -> Option<Frame> {
+    let meta = parse_meta_v2(blob)?;
+    if !meta.verify_payloads(blob) {
+        return None;
+    }
+    Some(Frame {
+        base_version: meta.base_version,
+        changed: meta.payloads(blob),
+        unchanged: meta.unchanged,
     })
 }
 
@@ -345,6 +693,106 @@ mod tests {
         // The classic IEEE check value.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32_bitwise(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32_bitwise(b""), 0);
+    }
+
+    #[test]
+    fn crc32_slice16_agrees_with_bitwise_at_chunk_boundaries() {
+        // Lengths straddling the 16-byte fold width: 0..=17, 31..=33, and a
+        // large buffer exercising many folded iterations plus a remainder.
+        for len in (0..=17).chain(31..=33).chain([255, 256, 4096 + 5]) {
+            let data: Vec<u8> = (0..len)
+                .map(|i| (i as u8).wrapping_mul(31).wrapping_add(7))
+                .collect();
+            assert_eq!(crc32(&data), crc32_bitwise(&data), "len {len}");
+        }
+    }
+
+    #[test]
+    fn builder_output_matches_pack_frame() {
+        // The zero-copy assembler must be byte-identical to the copying
+        // packer on the same content — restart cannot tell which wrote a
+        // frame, and the committed-baseline CRCs must agree.
+        let payloads: Vec<(u32, Bytes)> = vec![
+            (2, Bytes::from_static(b"changed-two")),
+            (5, Bytes::from_static(b"")),
+            (9, Bytes::from(vec![0xAB; 100])),
+        ];
+        let unchanged = [1u32, 3];
+        for base in [None, Some(0u64), Some(7)] {
+            let unchanged: &[u32] = if base.is_none() { &[] } else { &unchanged };
+            let packed: Vec<PackedRegion> = payloads
+                .iter()
+                .map(|(id, p)| PackedRegion::new(*id, p.clone()))
+                .collect();
+            let reference = pack_frame(base, &packed, unchanged);
+
+            let plan: Vec<(u32, usize)> = payloads.iter().map(|(id, p)| (*id, p.len())).collect();
+            let mut b = FrameBuilder::new(base, &plan, unchanged);
+            assert_eq!(b.payload_count(), payloads.len());
+            let slots = b.payloads_mut();
+            for (slot, (_, p)) in slots.into_iter().zip(&payloads) {
+                slot.copy_from_slice(p);
+            }
+            for i in 0..payloads.len() {
+                let crc = crc32(b.payload(i));
+                b.set_crc(i, crc);
+            }
+            assert_eq!(&b.seal()[..], &reference[..], "base {base:?}");
+        }
+    }
+
+    #[test]
+    fn parse_meta_then_verify_equals_unpack_any() {
+        let blobs = [
+            delta_frame(),
+            pack_frame(
+                None,
+                &[PackedRegion::new(1, Bytes::from_static(b"alpha"))],
+                &[],
+            ),
+            pack(&[(1, Bytes::from_static(b"legacy")), (2, Bytes::new())]),
+        ];
+        for blob in &blobs {
+            let meta = parse_meta(blob).expect("intact blob parses");
+            assert!(meta.verify_payloads(blob));
+            let frame = unpack_any(blob).unwrap();
+            assert_eq!(meta.base_version, frame.base_version);
+            assert_eq!(meta.unchanged, frame.unchanged);
+            assert_eq!(meta.payloads(blob), frame.changed);
+            assert_eq!(
+                meta.payload_bytes(),
+                frame.changed.iter().map(|(_, p)| p.len()).sum::<usize>()
+            );
+        }
+    }
+
+    #[cfg(not(feature = "chaos-mutants"))]
+    #[test]
+    fn parse_meta_splits_corruption_by_section() {
+        // A payload flip leaves the meta parseable (the split's point) but
+        // fails payload verification; a meta flip fails parse outright.
+        let blob = delta_frame();
+        let mut payload_flip = blob.to_vec();
+        let last = payload_flip.len() - 1;
+        payload_flip[last] ^= 0xFF;
+        let corrupted = Bytes::from(payload_flip);
+        let meta = parse_meta(&corrupted).expect("meta section is untouched");
+        assert!(!meta.verify_payloads(&corrupted));
+
+        let mut meta_flip = blob.to_vec();
+        meta_flip[24] ^= 0xFF; // first unchanged id (8 header + 16 fixed meta)
+        assert!(parse_meta(&Bytes::from(meta_flip)).is_none());
+
+        // Same split for VCF1: body flip parses, fails whole-body verify.
+        let v1 = pack(&[(1, Bytes::from_static(b"payload"))]);
+        let mut v1_flip = v1.to_vec();
+        let last = v1_flip.len() - 1;
+        v1_flip[last] ^= 0xFF;
+        let corrupted = Bytes::from(v1_flip);
+        let meta = parse_meta(&corrupted).expect("v1 structure is untouched");
+        assert!(!meta.verify_payloads(&corrupted));
     }
 
     #[test]

@@ -11,7 +11,9 @@ use std::sync::Arc;
 use bytes::Bytes;
 use cluster::{Cluster, ClusterConfig, TimeScale};
 use proptest::prelude::*;
-use veloc::serial::{crc32, pack, pack_frame, unpack, unpack_any, verify, PackedRegion};
+use veloc::serial::{
+    crc32, crc32_bitwise, pack, pack_frame, unpack, unpack_any, verify, FrameBuilder, PackedRegion,
+};
 use veloc::{Client, Config, Mode, Protected, VecRegion};
 
 /// Region-list strategy: up to 5 regions with arbitrary ids and payloads
@@ -100,6 +102,46 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// CRC slice-by-16 vs the bitwise oracle. The production `crc32` processes
+// 16 bytes per iteration through precomputed tables; `crc32_bitwise` is the
+// direct IEEE 802.3 recurrence kept solely as this oracle. They must agree
+// on every input — in particular across the chunk remainder boundaries
+// (len % 16) where table-folding bugs hide.
+// ---------------------------------------------------------------------------
+
+/// Deterministic splitmix-style fill: `len` and `seed` shrink cheaply while
+/// the bytes stay arbitrary-looking.
+fn fill(len: usize, seed: u64) -> Vec<u8> {
+    let mut x = seed;
+    (0..len)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (x >> 33) as u8
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn crc_slice16_equals_bitwise(len in 0usize..70_000, seed in any::<u64>()) {
+        let data = fill(len, seed);
+        prop_assert_eq!(crc32(&data), crc32_bitwise(&data));
+    }
+}
+
+#[test]
+fn crc_slice16_equals_bitwise_on_empty_and_large() {
+    // The explicit edge cases: the empty buffer (no chunks, no remainder)
+    // and a buffer past 64 KiB (the parallel-path threshold size class).
+    assert_eq!(crc32(&[]), crc32_bitwise(&[]));
+    let big = fill(96 * 1024, 0x5EED);
+    assert_eq!(crc32(&big), crc32_bitwise(&big));
+    assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+}
+
+// ---------------------------------------------------------------------------
 // VCF2 (incremental frames): structural round-trips, per-sub-frame
 // corruption detection, and chain-walk degradation at the client level.
 // ---------------------------------------------------------------------------
@@ -158,6 +200,29 @@ proptest! {
             .map(|(id, p)| (id, p.to_vec()))
             .collect();
         prop_assert_eq!(got, changed);
+    }
+
+    /// The zero-copy pack (slot-filling [`FrameBuilder`]) and the copying
+    /// [`pack_frame`] path must emit byte-identical frames for the same
+    /// inputs — the drift fallback inside the client silently switches
+    /// between them, so any divergence would make checkpoint bytes depend
+    /// on a race.
+    #[test]
+    fn frame_builder_matches_pack_frame(
+        base_raw in 0u64..1_000_000,
+        changed in changed_strategy(),
+        unchanged in unchanged_strategy(),
+        full in any::<bool>(),
+    ) {
+        let base = shape_base(base_raw, full, &unchanged);
+        let plan: Vec<(u32, usize)> = changed.iter().map(|(id, p)| (*id, p.len())).collect();
+        let mut b = FrameBuilder::new(base, &plan, &unchanged);
+        for (i, (_, p)) in changed.iter().enumerate() {
+            b.payload_mut(i).copy_from_slice(p);
+            let crc = crc32(b.payload(i));
+            b.set_crc(i, crc);
+        }
+        prop_assert_eq!(b.seal(), pack_v2(base, &changed, &unchanged));
     }
 
     #[test]

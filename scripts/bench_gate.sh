@@ -1,178 +1,91 @@
 #!/usr/bin/env bash
-# Benchmark-regression gate for the synchronous checkpoint pipeline.
+# Benchmark-regression gate. Each section runs one bench target, which
+# writes a machine-readable target/BENCH_*.json, then delegates every
+# decision — regression percentages, speedup claims, JSON validity — to
+# the tested Rust helper (`cargo run -p bench --bin bench_compare`,
+# logic + unit tests in crates/bench/src/gate.rs). The script only
+# sequences the runs and handles first-run baseline creation.
 #
-# Runs crates/bench/benches/checkpoint_pipeline.rs, which writes
-# target/BENCH_checkpoint.json (median ns + bytes written per config), then:
+# Sections and their committed baselines (repo root):
+#   checkpoint pipeline  BENCH_checkpoint.json  (median_ns, MAX_REGRESSION_PCT,   default 15)
+#   redundancy tier      BENCH_redundancy.json  (min_ns,    RED_MAX_REGRESSION_PCT,  default 30)
+#   DES scheduler        BENCH_sched.json       (median_ns, SCHED_MAX_REGRESSION_PCT, default 30)
+#   restart latency      BENCH_restart.json     (median_ns, RESTART_MAX_REGRESSION_PCT, default 30)
 #
-#   1. proves the incremental pipeline's headline claim — the sync
-#      checkpoint at 1-of-100-regions-dirty must be >= MIN_SPEEDUP_X times
-#      faster than the full-pack pipeline;
-#   2. compares every config's median against the committed baseline
-#      (BENCH_checkpoint.json at the repo root) and fails on a regression
-#      beyond MAX_REGRESSION_PCT;
-#   3. on the first run (no committed baseline) commits the fresh numbers
-#      as the baseline instead of failing.
-#
-# Knobs: MAX_REGRESSION_PCT (default 15), MIN_SPEEDUP_X (default 5).
+# Claims asserted beyond regression bounds:
+#   - incremental@1% checkpoint >= MIN_SPEEDUP_X (default 5) faster than full-pack;
+#   - XOR n+1 encode cheaper than RS n+2 (GF(256) must not leak into XOR);
+#   - slice-by-16 CRC faster than the bitwise oracle it replaced.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 MAX_REGRESSION_PCT="${MAX_REGRESSION_PCT:-15}"
 MIN_SPEEDUP_X="${MIN_SPEEDUP_X:-5}"
-BASELINE="BENCH_checkpoint.json"
-FRESH="target/BENCH_checkpoint.json"
-
-echo "== bench: checkpoint pipeline =="
-cargo bench -q -p bench --bench checkpoint_pipeline
-
-[ -f "$FRESH" ] || { echo "bench gate: $FRESH was not produced" >&2; exit 1; }
-
-# median_ns for a config name out of one of the one-entry-per-line JSONs.
-median_of() { # file config
-  sed -n "s/.*\"name\":\"$2\",\"median_ns\":\([0-9]*\).*/\1/p" "$1"
-}
-
-# min_ns variant — the redundancy codec configs gate on the low-water mark,
-# the least scheduler-sensitive estimator for microsecond-scale operations.
-min_of() { # file config
-  sed -n "s/.*\"name\":\"$2\",\"min_ns\":\([0-9]*\).*/\1/p" "$1"
-}
-
-full=$(median_of "$FRESH" full_pack)
-inc1=$(median_of "$FRESH" incremental_1pct)
-[ -n "$full" ] && [ -n "$inc1" ] || {
-  echo "bench gate: fresh results missing full_pack/incremental_1pct" >&2
-  exit 1
-}
-
-speedup=$((full / inc1))
-echo "bench gate: full-pack ${full} ns vs incremental@1% ${inc1} ns (${speedup}x)"
-if [ "$((inc1 * MIN_SPEEDUP_X))" -gt "$full" ]; then
-  echo "bench gate: FAIL — incremental@1% must be >= ${MIN_SPEEDUP_X}x faster than full-pack" >&2
-  exit 1
-fi
-
-if [ ! -f "$BASELINE" ]; then
-  cp "$FRESH" "$BASELINE"
-  echo "bench gate: no committed baseline; committed fresh numbers to $BASELINE"
-  echo "bench gate: OK (baseline created)"
-  exit 0
-fi
-
-fail=0
-for cfg in full_pack incremental_1pct incremental_25pct incremental_100pct; do
-  base=$(median_of "$BASELINE" "$cfg")
-  now=$(median_of "$FRESH" "$cfg")
-  if [ -z "$base" ] || [ -z "$now" ]; then
-    echo "bench gate: config $cfg missing from baseline or fresh run" >&2
-    fail=1
-    continue
-  fi
-  limit=$((base * (100 + MAX_REGRESSION_PCT) / 100))
-  if [ "$now" -gt "$limit" ]; then
-    echo "bench gate: FAIL — $cfg regressed: ${now} ns > ${limit} ns (baseline ${base} ns +${MAX_REGRESSION_PCT}%)" >&2
-    fail=1
-  else
-    echo "bench gate: $cfg ${now} ns (baseline ${base} ns, limit ${limit} ns)"
-  fi
-done
-[ "$fail" -eq 0 ] || exit 1
-echo "bench gate: OK"
-
-# ---------------------------------------------------------------------------
-# Redundancy-tier gate: encode/reconstruct medians per mode (k2, k3, XOR
-# n+1, RS n+2) against the committed BENCH_redundancy.json baseline. The
-# recovery_* medians in the JSON are recorded but not gated — they time a
-# collective across rank threads, which is scheduler-noisy. The codec
-# medians sit in the microsecond range where run-to-run jitter is wider
-# than the checkpoint pipeline's, so this section has its own knob
-# (RED_MAX_REGRESSION_PCT, default 30).
-echo "== bench: redundancy tier =="
 RED_MAX_REGRESSION_PCT="${RED_MAX_REGRESSION_PCT:-30}"
-RED_BASELINE="BENCH_redundancy.json"
-RED_FRESH="target/BENCH_redundancy.json"
-cargo bench -q -p bench --bench redundancy
+SCHED_MAX_REGRESSION_PCT="${SCHED_MAX_REGRESSION_PCT:-30}"
+RESTART_MAX_REGRESSION_PCT="${RESTART_MAX_REGRESSION_PCT:-30}"
 
-[ -f "$RED_FRESH" ] || { echo "bench gate: $RED_FRESH was not produced" >&2; exit 1; }
+BC() { cargo run -q -p bench --bin bench_compare -- "$@"; }
 
-# Sanity claim: the XOR n+1 codec must encode cheaper than RS n+2 — if
-# GF(256) math sneaks into the XOR path this trips long before 15%.
-xor=$(min_of "$RED_FRESH" encode_xor4)
-rs=$(min_of "$RED_FRESH" encode_rs4_2)
-[ -n "$xor" ] && [ -n "$rs" ] || {
-  echo "bench gate: fresh results missing encode_xor4/encode_rs4_2" >&2
-  exit 1
+# Run one bench target and compare its fresh JSON against the committed
+# baseline; on the first run (no baseline) commit the fresh numbers instead.
+gate_section() { # title target baseline metric max_pct configs
+  local title="$1" target="$2" baseline="$3" metric="$4" max_pct="$5" configs="$6"
+  local fresh="target/${baseline}"
+  echo "== bench: ${title} =="
+  cargo bench -q -p bench --bench "$target"
+  [ -f "$fresh" ] || { echo "bench gate: $fresh was not produced" >&2; exit 1; }
+  if [ ! -f "$baseline" ]; then
+    cp "$fresh" "$baseline"
+    echo "bench gate: no committed baseline; committed fresh numbers to $baseline"
+    return 0
+  fi
+  BC compare "$baseline" "$fresh" \
+    --metric "$metric" --max-pct "$max_pct" --configs "$configs"
 }
-echo "bench gate: encode xor4 ${xor} ns vs rs4.2 ${rs} ns"
-if [ "$xor" -gt "$rs" ]; then
-  echo "bench gate: FAIL — XOR parity encode should be cheaper than RS" >&2
-  exit 1
-fi
 
-if [ ! -f "$RED_BASELINE" ]; then
-  cp "$RED_FRESH" "$RED_BASELINE"
-  echo "bench gate: no committed baseline; committed fresh numbers to $RED_BASELINE"
-  echo "bench gate: OK (redundancy baseline created)"
-  exit 0
-fi
+gate_section "checkpoint pipeline" checkpoint_pipeline BENCH_checkpoint.json \
+  median_ns "$MAX_REGRESSION_PCT" \
+  full_pack,incremental_1pct,incremental_25pct,incremental_100pct
+# Headline claim: the sync checkpoint at 1-of-100-regions-dirty must be
+# >= MIN_SPEEDUP_X times faster than the full-pack pipeline.
+BC assert-faster target/BENCH_checkpoint.json incremental_1pct full_pack \
+  --metric median_ns --min-x "$MIN_SPEEDUP_X"
+echo "bench gate: OK (checkpoint)"
 
-fail=0
-for cfg in encode_k2 reconstruct_k2 encode_k3 reconstruct_k3 \
-           encode_xor4 reconstruct_xor4 encode_rs4_2 reconstruct_rs4_2; do
-  base=$(min_of "$RED_BASELINE" "$cfg")
-  now=$(min_of "$RED_FRESH" "$cfg")
-  if [ -z "$base" ] || [ -z "$now" ]; then
-    echo "bench gate: config $cfg missing from baseline or fresh run" >&2
-    fail=1
-    continue
-  fi
-  limit=$((base * (100 + RED_MAX_REGRESSION_PCT) / 100))
-  if [ "$now" -gt "$limit" ]; then
-    echo "bench gate: FAIL — $cfg regressed: ${now} ns > ${limit} ns (baseline ${base} ns +${RED_MAX_REGRESSION_PCT}%)" >&2
-    fail=1
-  else
-    echo "bench gate: $cfg ${now} ns (baseline ${base} ns, limit ${limit} ns)"
-  fi
-done
-[ "$fail" -eq 0 ] || exit 1
+# The redundancy codecs gate on the low-water mark (min_ns) — the least
+# scheduler-sensitive estimator for microsecond-scale operations — with a
+# wider budget, since their medians sit where run-to-run jitter is large.
+# The recovery_* medians in the JSON are recorded but not gated (they time
+# a collective across rank threads).
+gate_section "redundancy tier" redundancy BENCH_redundancy.json \
+  min_ns "$RED_MAX_REGRESSION_PCT" \
+  encode_k2,reconstruct_k2,encode_k3,reconstruct_k3,encode_xor4,reconstruct_xor4,encode_rs4_2,reconstruct_rs4_2
+# Sanity claim: XOR n+1 encode must be cheaper than RS n+2 — if GF(256)
+# math sneaks into the XOR path this trips long before any percentage.
+BC assert-faster target/BENCH_redundancy.json encode_xor4 encode_rs4_2 \
+  --metric min_ns --min-x 1
 echo "bench gate: OK (redundancy)"
 
-# ---------------------------------------------------------------------------
-# DES scheduler gate: baton hand-off floor and schedules-per-second against
-# the committed BENCH_sched.json baseline. The ring_* configs time a whole
-# Universe launch (thread spawn + scheduler), so this section carries its
-# own, wider knob (SCHED_MAX_REGRESSION_PCT, default 30).
-echo "== bench: DES scheduler =="
-SCHED_MAX_REGRESSION_PCT="${SCHED_MAX_REGRESSION_PCT:-30}"
-SCHED_BASELINE="BENCH_sched.json"
-SCHED_FRESH="target/BENCH_sched.json"
-cargo bench -q -p bench --bench sched
-
-[ -f "$SCHED_FRESH" ] || { echo "bench gate: $SCHED_FRESH was not produced" >&2; exit 1; }
-
-if [ ! -f "$SCHED_BASELINE" ]; then
-  cp "$SCHED_FRESH" "$SCHED_BASELINE"
-  echo "bench gate: no committed baseline; committed fresh numbers to $SCHED_BASELINE"
-  echo "bench gate: OK (sched baseline created)"
-  exit 0
-fi
-
-fail=0
-for cfg in baton_handoff ring_16 ring_64; do
-  base=$(median_of "$SCHED_BASELINE" "$cfg")
-  now=$(median_of "$SCHED_FRESH" "$cfg")
-  if [ -z "$base" ] || [ -z "$now" ]; then
-    echo "bench gate: config $cfg missing from baseline or fresh run" >&2
-    fail=1
-    continue
-  fi
-  limit=$((base * (100 + SCHED_MAX_REGRESSION_PCT) / 100))
-  if [ "$now" -gt "$limit" ]; then
-    echo "bench gate: FAIL — $cfg regressed: ${now} ns > ${limit} ns (baseline ${base} ns +${SCHED_MAX_REGRESSION_PCT}%)" >&2
-    fail=1
-  else
-    echo "bench gate: $cfg ${now} ns (baseline ${base} ns, limit ${limit} ns)"
-  fi
-done
-[ "$fail" -eq 0 ] || exit 1
+# The ring_* configs time a whole Universe launch (thread spawn +
+# scheduler), hence the wider budget.
+gate_section "DES scheduler" sched BENCH_sched.json \
+  median_ns "$SCHED_MAX_REGRESSION_PCT" \
+  baton_handoff,ring_16,ring_64
 echo "bench gate: OK (sched)"
+
+# Restart latency: full-frame restore, the 8-frame chain walk in its
+# parallel (4-worker) and sequential configurations — the multi-core
+# scaling pair — and the CRC kernel itself. bytes_restored and the
+# read/verify/apply stage medians ride along in the JSON for the
+# EXPERIMENTS.md latency budget.
+gate_section "restart latency" restart_latency BENCH_restart.json \
+  median_ns "$RESTART_MAX_REGRESSION_PCT" \
+  restart_full,restart_chain8,restart_chain8_seq,crc_bitwise_1m,crc_slice16_1m
+# Tentpole claim: the slice-by-16 CRC must beat the bitwise implementation
+# it replaced (kept in-tree solely as the proptest oracle).
+BC assert-faster target/BENCH_restart.json crc_slice16_1m crc_bitwise_1m \
+  --metric median_ns --min-x 1
+echo "bench gate: OK (restart)"
+
+echo "bench gate: OK"

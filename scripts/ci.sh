@@ -5,7 +5,11 @@
 #
 # Every stage is wall-clock timed; the per-stage seconds and the artifact
 # paths land in target/ci-summary.json (written even when a stage fails,
-# covering the stages that ran).
+# covering the stages that ran). The summary's schema is validated by the
+# tested Rust checker before the script declares success.
+#
+# CI_QUICK=1 skips the slow benchmark-regression gate and the 1k-rank DES
+# scale smoke — an inner-loop mode; the full gate must pass before merge.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -46,7 +50,9 @@ write_summary() {
     printf '"bench_redundancy_results":"target/BENCH_redundancy.json",'
     printf '"bench_redundancy_baseline":"BENCH_redundancy.json",'
     printf '"bench_sched_results":"target/BENCH_sched.json",'
-    printf '"bench_sched_baseline":"BENCH_sched.json"'
+    printf '"bench_sched_baseline":"BENCH_sched.json",'
+    printf '"bench_restart_results":"target/BENCH_restart.json",'
+    printf '"bench_restart_baseline":"BENCH_restart.json"'
     printf '}}\n'
   } > target/ci-summary.json
   echo "stage summary written to target/ci-summary.json"
@@ -59,6 +65,14 @@ end
 
 begin "cargo clippy (-D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
+end
+
+begin "bench baselines sanity (committed BENCH_*.json)"
+# Every committed baseline must parse as strict JSON, name its bench,
+# carry all the configs the gate compares, and have no zero metrics —
+# catching hand-edits or truncated files that would otherwise make the
+# benchmark gate vacuously pass. Pure validation; no benchmark runs here.
+cargo run -q -p bench --bin bench_compare -- check-baseline BENCH_*.json
 end
 
 begin "resilience-invariant lints (crates/lint)"
@@ -122,7 +136,11 @@ begin "sched: determinism battery + 1k-rank DES smoke"
 #   SCALE_RANKS=4096 scripts/ci.sh
 cargo test -q -p simmpi --test sched_props
 cargo test -q -p chaos --test differential
-SCALE_RANKS="${SCALE_RANKS:-1024}" cargo test -q --release -p apps --test scale_smoke
+if [ "${CI_QUICK:-0}" = "1" ]; then
+  echo "CI_QUICK=1: skipping the ${SCALE_RANKS:-1024}-rank scale smoke"
+else
+  SCALE_RANKS="${SCALE_RANKS:-1024}" cargo test -q --release -p apps --test scale_smoke
+fi
 end
 
 begin "redstore: codec proptests + multi-failure chaos smoke"
@@ -153,13 +171,21 @@ begin "modelcheck: bounded interleaving exploration"
 cargo test -q -p modelcheck --tests
 end
 
-begin "bench gate: checkpoint pipeline + redundancy tier"
+begin "bench gate: checkpoint + redundancy + sched + restart"
 # Re-measures the sync checkpoint pipeline (fails on a >15% median
 # regression against the committed BENCH_checkpoint.json baseline, and
-# asserts the incremental pipeline's >=5x claim at 1% dirty) and the
+# asserts the incremental pipeline's >=5x claim at 1% dirty), the
 # redundancy-tier codecs (low-water-mark medians vs BENCH_redundancy.json,
-# plus XOR-cheaper-than-RS sanity). See scripts/bench_gate.sh for knobs.
-scripts/bench_gate.sh
+# plus XOR-cheaper-than-RS sanity), the DES scheduler hot paths, and the
+# restart path (full restore + 8-frame chain walk vs BENCH_restart.json
+# under RESTART_MAX_REGRESSION_PCT, plus the slice-by-16-beats-bitwise CRC
+# claim). All comparisons run through the tested bench_compare helper; see
+# scripts/bench_gate.sh for knobs.
+if [ "${CI_QUICK:-0}" = "1" ]; then
+  echo "CI_QUICK=1: skipping benchmark regression gate"
+else
+  scripts/bench_gate.sh
+fi
 end
 
 begin "miri: UB check on the lock-free core (optional)"
@@ -171,5 +197,12 @@ else
   echo "cargo-miri not installed; skipping (rustup +nightly component add miri)"
 fi
 end
+
+# Declare success only after the summary itself validates: write it now
+# (the EXIT trap will rewrite the identical content afterwards) and run it
+# through the schema checker — ok flag, named stages with non-negative
+# seconds, string-valued artifact paths.
+write_summary
+cargo run -q -p bench --bin bench_compare -- check-summary target/ci-summary.json
 
 echo "CI OK"
